@@ -1,0 +1,61 @@
+//! Criterion: end-to-end collapsed execution across recovery
+//! strategies (the §V ablation, microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrl_core::{run_collapsed, CollapseSpec, Recovery, Schedule, ThreadPool};
+use nrl_polyhedra::NestSpec;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_recoveries(c: &mut Criterion) {
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+    let mut group = c.benchmark_group("collapsed_recovery");
+    group.sample_size(20);
+    for (label, recovery) in [
+        ("once_per_chunk", Recovery::OncePerChunk),
+        ("batched64", Recovery::Batched(64)),
+        ("naive", Recovery::Naive),
+        ("binary_search", Recovery::BinarySearch),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &recovery,
+            |b, &recovery| {
+                b.iter(|| {
+                    run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |_t, p| {
+                        sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
+fn bench_spec_construction(c: &mut Criterion) {
+    // Full symbolic preparation (ranking + all level equations).
+    c.bench_function("collapse_spec_figure6", |b| {
+        let nest = NestSpec::figure6();
+        b.iter(|| CollapseSpec::new(black_box(&nest)).unwrap());
+    });
+    c.bench_function("bind_figure6_n1000", |b| {
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        b.iter(|| spec.bind_unchecked(black_box(&[1000])));
+    });
+}
+
+
+/// Shared Criterion settings: short measurement windows so the full
+/// suite stays CI-friendly.
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_spec_construction }
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion: costs of the extension features — guarded (imperfect)
+//! execution overhead, exact outer-cut computation, and unranking-based
+//! position queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrl_core::{
+    balanced_outer_cuts, run_collapsed, run_collapsed_guarded, CollapseSpec, NestPosition,
+    Recovery, Schedule, ThreadPool,
+};
+use nrl_polyhedra::NestSpec;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The guarded executor adds an O(depth) bounds scan per iteration;
+/// measure it against the plain collapsed run on the same nest.
+fn bench_guarded_overhead(c: &mut Criterion) {
+    let nest = NestSpec::figure6();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[60]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+
+    let mut group = c.benchmark_group("guarded");
+    group.sample_size(20);
+    group.bench_function("plain_collapsed", |b| {
+        b.iter(|| {
+            run_collapsed(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p| {
+                    sink.fetch_add(p[2] as u64, Ordering::Relaxed);
+                },
+            )
+        })
+    });
+    group.bench_function("guarded_collapsed", |b| {
+        b.iter(|| {
+            run_collapsed_guarded(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p, pos| {
+                    let bonus = u64::from(pos.fires_prologue(0));
+                    sink.fetch_add(p[2] as u64 + bonus, Ordering::Relaxed);
+                },
+            )
+        })
+    });
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
+/// Exact outer-cut computation: O(T·depth·log rows) rank evaluations.
+fn bench_outer_cuts(c: &mut Criterion) {
+    let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+    let collapsed = spec.bind_unchecked(&[1_000_000]);
+    let mut group = c.benchmark_group("outer_cuts");
+    for threads in [4usize, 64] {
+        group.bench_function(format!("n1e6_t{threads}"), |b| {
+            b.iter(|| balanced_outer_cuts(black_box(&collapsed), threads))
+        });
+    }
+    group.finish();
+}
+
+/// NestPosition computation — the per-iteration cost the guarded
+/// executor pays, in isolation.
+fn bench_position(c: &mut Criterion) {
+    let nest = NestSpec::figure6().bind(&[1000]);
+    c.bench_function("nest_position_of", |b| {
+        let point = [500i64, 250, 400];
+        b.iter(|| NestPosition::of(black_box(&nest), black_box(&point)))
+    });
+}
+
+/// Schedule string parsing (the OMP_SCHEDULE path) — must be trivially
+/// cheap since harnesses may parse per run.
+fn bench_schedule_parse(c: &mut Criterion) {
+    c.bench_function("schedule_parse", |b| {
+        b.iter(|| {
+            let s: Schedule = black_box("dynamic,64").parse().unwrap();
+            s
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_guarded_overhead, bench_outer_cuts, bench_position, bench_schedule_parse
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: small-size kernel comparison (outer-static vs. dynamic
+//! vs. collapsed) — the micro version of Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrl_core::{Recovery, Schedule, ThreadPool};
+use nrl_kernels::{kernel_by_name, Mode};
+
+fn bench_kernel(c: &mut Criterion, name: &str, scale: f64) {
+    let pool = ThreadPool::new(4);
+    let mut kernel = kernel_by_name(name, scale).expect("kernel exists");
+    let mut group = c.benchmark_group(format!("kernel_{name}"));
+    group.sample_size(10);
+    let modes: Vec<(&str, Mode)> = vec![
+        ("seq", Mode::Seq),
+        (
+            "outer_static",
+            Mode::Outer {
+                pool: &pool,
+                schedule: Schedule::Static,
+            },
+        ),
+        (
+            "outer_dynamic",
+            Mode::Outer {
+                pool: &pool,
+                schedule: Schedule::Dynamic(1),
+            },
+        ),
+        (
+            "collapsed_static",
+            Mode::Collapsed {
+                pool: &pool,
+                schedule: Schedule::Static,
+                recovery: Recovery::OncePerChunk,
+            },
+        ),
+    ];
+    for (label, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+            b.iter(|| {
+                kernel.reset();
+                kernel.execute(mode)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // Scaled well below harness defaults: criterion runs many samples.
+    bench_kernel(c, "correlation", 0.3);
+    bench_kernel(c, "utma", 0.3);
+    bench_kernel(c, "ltmp", 0.3);
+}
+
+
+/// Shared Criterion settings: short measurement windows so the full
+/// suite stays CI-friendly.
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = kernel_benches; config = config(); targets = benches }
+criterion_main!(kernel_benches);

@@ -1,0 +1,126 @@
+//! Criterion: the morph extensions (§IX future work) — packed-layout
+//! locality, remap traversal cost, and fusion vs. per-part execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrl_core::{run_collapsed, CollapseSpec, Collapsed, Recovery, Schedule, ThreadPool};
+use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
+use nrl_polyhedra::NestSpec;
+use std::hint::black_box;
+
+fn collapse(nest: &NestSpec, params: &[i64]) -> Collapsed {
+    CollapseSpec::new(nest).unwrap().bind(params).unwrap()
+}
+
+/// Packed (rank-order) vs. dense (bounding-box) storage for a
+/// triangular read sweep: the locality claim of the paper's ref. [8].
+fn bench_packed_vs_dense(c: &mut Criterion) {
+    let n = 1000i64;
+    let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[n]);
+    let packed = PackedArray::from_fn(layout, |p| (p[0] + p[1]) as f64);
+    let mut dense = vec![0.0f64; (n * n) as usize];
+    for p in NestSpec::correlation().enumerate(&[n]) {
+        dense[(p[0] * n + p[1]) as usize] = (p[0] + p[1]) as f64;
+    }
+    let points: Vec<(i64, i64)> = NestSpec::correlation()
+        .enumerate(&[n])
+        .map(|p| (p[0], p[1]))
+        .collect();
+
+    let mut group = c.benchmark_group("packed_layout");
+    group.sample_size(20);
+    group.bench_function("packed_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in packed.as_slice() {
+                acc += *v;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("dense_triangular_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(i, j) in &points {
+                acc += dense[(i * n + j) as usize];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Remap traversal: parallel pair-walk vs. naive per-pair rank+unrank.
+fn bench_remap(c: &mut Criterion) {
+    let n = 700i64;
+    let tri = collapse(&NestSpec::correlation(), &[n]);
+    let total = tri.total();
+    let line = collapse(&NestSpec::rectangular(&[total as i64]), &[]);
+    let remap = RankRemap::new(tri, line).unwrap();
+    let pool = ThreadPool::new(4);
+
+    let mut group = c.benchmark_group("remap");
+    group.sample_size(15);
+    group.bench_function("par_incremental", |b| {
+        b.iter(|| {
+            remap.par_for_each(&pool, Schedule::Static, |_t, s, d| {
+                black_box((s[0], d[0]));
+            })
+        })
+    });
+    group.bench_function("seq_rank_unrank_per_pair", |b| {
+        // The strategy the incremental walk replaces: a full rank +
+        // unrank round-trip per pair.
+        b.iter(|| {
+            let mut dst = vec![0i64; 1];
+            for p in NestSpec::correlation().enumerate(&[n]) {
+                remap.map_into(&p, &mut dst);
+                black_box(dst[0]);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Fusion: one schedule over the union vs. one parallel loop per part
+/// (a barrier between parts).
+fn bench_fusion(c: &mut Criterion) {
+    let tri_n = 900i64;
+    let tetra_n = 120i64;
+    let pool = ThreadPool::new(4);
+
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(15);
+    group.bench_function("fused_single_schedule", |b| {
+        let fused = FusedLoop::new(vec![
+            collapse(&NestSpec::correlation(), &[tri_n]),
+            collapse(&NestSpec::figure6(), &[tetra_n]),
+        ])
+        .unwrap();
+        b.iter(|| {
+            fused.par_for_each(&pool, Schedule::Static, |_t, part, p| {
+                black_box((part, p[0]));
+            })
+        })
+    });
+    group.bench_function("per_part_with_barrier", |b| {
+        let tri = collapse(&NestSpec::correlation(), &[tri_n]);
+        let tetra = collapse(&NestSpec::figure6(), &[tetra_n]);
+        b.iter(|| {
+            run_collapsed(&pool, &tri, Schedule::Static, Recovery::OncePerChunk, |_t, p| {
+                black_box((0usize, p[0]));
+            });
+            run_collapsed(&pool, &tetra, Schedule::Static, Recovery::OncePerChunk, |_t, p| {
+                black_box((1usize, p[0]));
+            });
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = benches; config = config(); targets = bench_packed_vs_dense, bench_remap, bench_fusion }
+criterion_main!(benches);

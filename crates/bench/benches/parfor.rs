@@ -1,0 +1,61 @@
+//! Criterion: `parallel_for` dispatch overhead per schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrl_parfor::{Schedule, ThreadPool};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_schedules(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let n = 1_000_000u64;
+    let sink = AtomicU64::new(0);
+    let mut group = c.benchmark_group("parallel_for");
+    group.sample_size(20);
+    for schedule in [
+        Schedule::Static,
+        Schedule::StaticChunk(1024),
+        Schedule::Dynamic(1024),
+        Schedule::Guided(256),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.label()),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    pool.parallel_for(n, schedule, &|_t, s, e| {
+                        let mut acc = 0u64;
+                        for i in s..e {
+                            acc = acc.wrapping_add(i);
+                        }
+                        sink.fetch_add(acc, Ordering::Relaxed);
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
+fn bench_region_dispatch(c: &mut Criterion) {
+    // Pure dispatch + join cost of an empty parallel region.
+    let pool = ThreadPool::new(4);
+    c.bench_function("empty_region_dispatch", |b| {
+        b.iter(|| {
+            pool.run(&|tid| {
+                black_box(tid);
+            })
+        });
+    });
+}
+
+
+/// Shared Criterion settings: short measurement windows so the full
+/// suite stays CI-friendly.
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = benches; config = config(); targets = bench_schedules, bench_region_dispatch }
+criterion_main!(benches);

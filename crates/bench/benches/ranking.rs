@@ -1,0 +1,59 @@
+//! Criterion: ranking-polynomial construction and evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrl_core::Ranking;
+use nrl_polyhedra::{NestSpec, Space};
+use std::hint::black_box;
+
+fn four_deep() -> NestSpec {
+    let s = Space::new(&["i", "j", "k", "l"], &["N"]);
+    NestSpec::new(
+        s.clone(),
+        vec![
+            (s.cst(0), s.var("N") - 1),
+            (s.cst(0), s.var("i")),
+            (s.cst(0), s.var("i")),
+            (s.cst(0), s.var("i")),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_construction");
+    for (label, nest) in [
+        ("correlation_2d", NestSpec::correlation()),
+        ("figure6_3d", NestSpec::figure6()),
+        ("dependent_4d", four_deep()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| Ranking::new(black_box(&nest)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_evaluation");
+    let ranking = Ranking::new(&NestSpec::figure6());
+    for n in [100i64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("rank_at", n), &n, |b, &n| {
+            b.iter(|| ranking.rank_at(black_box(&[n / 2, n / 4, n / 3]), &[n]));
+        });
+    }
+    group.bench_function("total_at", |b| {
+        b.iter(|| ranking.total_at(black_box(&[100_000])));
+    });
+    group.finish();
+}
+
+
+/// Shared Criterion settings: short measurement windows so the full
+/// suite stays CI-friendly.
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = benches; config = config(); targets = bench_construction, bench_evaluation }
+criterion_main!(benches);

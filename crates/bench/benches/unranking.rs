@@ -1,0 +1,69 @@
+//! Criterion: index-recovery cost — closed-form vs. binary-search
+//! unranking, across nest depths and sizes (the §V "costly recovery").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrl_core::CollapseSpec;
+use nrl_polyhedra::NestSpec;
+use std::hint::black_box;
+
+fn bench_unrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unrank");
+    for (label, nest, params) in [
+        ("correlation_n1e3", NestSpec::correlation(), vec![1_000i64]),
+        ("correlation_n1e6", NestSpec::correlation(), vec![1_000_000]),
+        ("figure6_n300", NestSpec::figure6(), vec![300]),
+    ] {
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&params).unwrap();
+        let total = collapsed.total();
+        let probe = total / 2 + 1;
+        let mut point = vec![0i64; nest.depth()];
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", label),
+            &probe,
+            |b, &pc| {
+                b.iter(|| {
+                    collapsed.unrank_into(black_box(pc), &mut point);
+                    black_box(point[0])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", label),
+            &probe,
+            |b, &pc| {
+                b.iter(|| {
+                    collapsed.unrank_binary_into(black_box(pc), &mut point);
+                    black_box(point[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_odometer(c: &mut Criterion) {
+    // The cheap path between recoveries: one odometer advance.
+    let nest = NestSpec::correlation();
+    let bound = nest.bind(&[10_000]);
+    c.bench_function("odometer_advance", |b| {
+        let mut point = bound.first_point().unwrap();
+        b.iter(|| {
+            if !bound.advance(&mut point) {
+                point = bound.first_point().unwrap();
+            }
+            black_box(point[1])
+        });
+    });
+}
+
+
+/// Shared Criterion settings: short measurement windows so the full
+/// suite stays CI-friendly.
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+criterion_group! { name = benches; config = config(); targets = bench_unrank, bench_odometer }
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Figure 8**: the curves `r(i, 0, 0) − pc` of the 3-deep nest of
+//! Fig. 6, for `i ∈ [−2.5, 3]` and `pc = 1..10` — illustrating that the
+//! curves are parallel translates, so the convenient-root branch is the
+//! same for every `pc` (§IV-D).
+//!
+//! Emits CSV: first column `i`, one column per `pc`.
+//!
+//! ```text
+//! cargo run -p nrl-bench --bin figure8 -- [--steps 56]
+//! ```
+
+use nrl_bench::Args;
+use nrl_core::Ranking;
+use nrl_polyhedra::NestSpec;
+
+fn main() {
+    let args = Args::from_env();
+    let steps = args.get_or("steps", 56usize);
+
+    let ranking = Ranking::new(&NestSpec::figure6());
+    // r(i, 0, 0) with N irrelevant (the rank at j = k = 0 doesn't touch N):
+    // evaluate the rank polynomial at (i, 0, 0, N=anything).
+    let rank = ranking.rank_poly();
+
+    let mut header = vec!["i".to_string()];
+    for pc in 1..=10 {
+        header.push(format!("pc={pc}"));
+    }
+    println!("{}", header.join(","));
+
+    for s in 0..=steps {
+        let i = -2.5 + 5.5 * (s as f64) / (steps as f64);
+        let r = rank.eval_f64(&[i, 0.0, 0.0, 0.0]);
+        let mut row = vec![format!("{i:.3}")];
+        for pc in 1..=10 {
+            row.push(format!("{:.4}", r - pc as f64));
+        }
+        println!("{}", row.join(","));
+    }
+    eprintln!("\n(r(i,0,0) = (i^3 + 3i^2 + 2i + 6)/6; all ten curves are vertical");
+    eprintln!(" translates of each other — the §IV-D branch-stability argument)");
+}

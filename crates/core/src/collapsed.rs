@@ -1,0 +1,498 @@
+//! The collapse pipeline: symbolic preparation and parameter binding.
+
+use crate::ranking::Ranking;
+use crate::unrank::{BoundLevel, RecoveryCounters, RecoveryStats, MAX_DEPTH};
+use nrl_poly::{IntPoly, Poly};
+use nrl_polyhedra::{BoundNest, NestSpec};
+use nrl_rational::Rational;
+use nrl_solver::MAX_DEGREE;
+use std::fmt;
+
+/// Errors from symbolic collapse preparation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollapseError {
+    /// The nest is deeper than [`MAX_DEPTH`].
+    TooDeep {
+        /// Requested depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for CollapseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollapseError::TooDeep { depth } => {
+                write!(f, "nest depth {depth} exceeds the supported maximum {MAX_DEPTH}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollapseError {}
+
+/// Errors from binding parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// Wrong number of parameter values.
+    ParamArity {
+        /// Parameters the nest declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A trip count is negative somewhere in the domain, so the ranking
+    /// polynomial does not count this domain correctly.
+    NegativeTripCount {
+        /// Level with the offending trip count.
+        level: usize,
+        /// Outer-iterator prefix exhibiting it.
+        prefix: Vec<i64>,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::ParamArity { expected, got } => {
+                write!(f, "nest declares {expected} parameters but {got} values were supplied")
+            }
+            BindError::NegativeTripCount { level, prefix } => write!(
+                f,
+                "negative trip count at level {level} for prefix {prefix:?}: the affine bounds do not describe a well-formed domain at these parameters"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// The symbolic (parameter-independent) part of collapsing a nest:
+/// ranking polynomial plus the per-level inversion equations.
+#[derive(Clone, Debug)]
+pub struct CollapseSpec {
+    ranking: Ranking,
+    /// Per level `k`: `R_k` — the rank with the lexmin continuation of
+    /// deeper levels substituted (a polynomial in `i_0..i_k` + params).
+    level_polys: Vec<Poly>,
+}
+
+impl CollapseSpec {
+    /// Prepares the collapse of all `nest.depth()` loops.
+    pub fn new(nest: &NestSpec) -> Result<Self, CollapseError> {
+        let d = nest.depth();
+        if d > MAX_DEPTH {
+            return Err(CollapseError::TooDeep { depth: d });
+        }
+        let ranking = Ranking::new(nest);
+        let n = nest.space().len();
+        let mut level_polys = Vec::with_capacity(d);
+        for k in 0..d {
+            // Lexmin continuation: m_q = l_q with earlier continuations
+            // substituted, for q > k. Each m_q only uses i_0..i_k.
+            let mut continuation: Vec<(usize, Poly)> = Vec::with_capacity(d - k - 1);
+            for q in k + 1..d {
+                let mut m_q = nest.lower(q).to_poly();
+                for (p, m_p) in &continuation {
+                    m_q = m_q.substitute(*p, m_p);
+                }
+                debug_assert!(
+                    (k + 1..n.min(d)).all(|v| m_q.degree_in(v) == 0),
+                    "continuation must only use the outer prefix"
+                );
+                continuation.push((q, m_q));
+            }
+            let rk = ranking.rank_poly().substitute_all(&continuation);
+            level_polys.push(rk);
+        }
+        Ok(CollapseSpec {
+            ranking,
+            level_polys,
+        })
+    }
+
+    /// The underlying ranking.
+    pub fn ranking(&self) -> &Ranking {
+        &self.ranking
+    }
+
+    /// The nest being collapsed.
+    pub fn nest(&self) -> &NestSpec {
+        self.ranking.nest()
+    }
+
+    /// `R_k`: the level-`k` inversion polynomial (rank with the lexmin
+    /// continuation substituted).
+    pub fn level_poly(&self, k: usize) -> &Poly {
+        &self.level_polys[k]
+    }
+
+    /// True iff every level can use the closed-form root formulas
+    /// (univariate degree ≤ 4, the paper's §IV-B applicability
+    /// condition). Deeper-degree nests still collapse here via the
+    /// binary-search unranker.
+    pub fn closed_form_available(&self) -> bool {
+        (0..self.nest().depth()).all(|k| self.level_polys[k].degree_in(k) as usize <= MAX_DEGREE)
+    }
+
+    /// Binds the size parameters, validating the domain (non-negative
+    /// trip counts). Validation first attempts an `O(depth)` symbolic
+    /// Fourier–Motzkin proof with the parameters pinned; only if the
+    /// rational relaxation cannot rule out a violation does it fall
+    /// back to the exhaustive prefix walk, so production-sized domains
+    /// bind in microseconds.
+    pub fn bind(&self, params: &[i64]) -> Result<Collapsed, BindError> {
+        let nest = self.nest();
+        if params.len() != nest.nparams() {
+            return Err(BindError::ParamArity {
+                expected: nest.nparams(),
+                got: params.len(),
+            });
+        }
+        if nest.prove_trip_counts_at(params, false) != nrl_polyhedra::TripProof::Proved {
+            if let Err((level, prefix)) = nest.check_trip_counts(params, false) {
+                return Err(BindError::NegativeTripCount { level, prefix });
+            }
+        }
+        Ok(self.bind_unchecked(params))
+    }
+
+    /// Binds without domain validation (for callers that already proved
+    /// trip counts symbolically, or benchmark loops where validation
+    /// cost would pollute measurements). An invalid domain makes
+    /// `unrank` results meaningless but never unsound (no unsafe code
+    /// depends on them).
+    pub fn bind_unchecked(&self, params: &[i64]) -> Collapsed {
+        let nest = self.nest();
+        let d = nest.depth();
+        let bound_nest = nest.bind(params);
+        let total = self.ranking.total_at(params);
+        let levels = (0..d)
+            .map(|k| {
+                let bound = bind_poly(&self.level_polys[k], d, params);
+                let coeffs: Vec<IntPoly> = bound
+                    .univariate_coeffs(k)
+                    .iter()
+                    .map(IntPoly::from_poly)
+                    .collect();
+                let closed_form = coeffs.len() - 1 <= MAX_DEGREE;
+                BoundLevel {
+                    coeffs,
+                    rk: IntPoly::from_poly(&bound),
+                    closed_form,
+                }
+            })
+            .collect();
+        let rank_int = IntPoly::from_poly(&bind_poly(self.ranking.rank_poly(), d, params));
+        Collapsed {
+            nest: bound_nest,
+            depth: d,
+            total,
+            levels,
+            rank_int,
+            counters: RecoveryCounters::default(),
+        }
+    }
+}
+
+/// Folds the parameters of `p` (ring = d iterators + params) to concrete
+/// values and shrinks to the iterator-only ring.
+fn bind_poly(p: &Poly, d: usize, params: &[i64]) -> Poly {
+    let mut out = p.clone();
+    for (offset, &value) in params.iter().enumerate() {
+        out = out.eval_var(d + offset, Rational::from_int(value as i128));
+    }
+    out.shrink_vars(d)
+}
+
+/// A nest collapsed at concrete parameters: the run-time object.
+///
+/// `unrank` is `&self` and thread-safe: collapsed loops are executed by
+/// many threads recovering indices concurrently.
+#[derive(Debug)]
+pub struct Collapsed {
+    nest: BoundNest,
+    depth: usize,
+    total: i128,
+    levels: Vec<BoundLevel>,
+    rank_int: IntPoly,
+    counters: RecoveryCounters,
+}
+
+impl Collapsed {
+    /// Total number of iterations (the collapsed loop runs
+    /// `pc = 1..=total`).
+    pub fn total(&self) -> i128 {
+        self.total
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The bound nest (for odometer advancing between recoveries).
+    pub fn nest(&self) -> &BoundNest {
+        &self.nest
+    }
+
+    /// Exact 1-based rank of a domain point.
+    pub fn rank(&self, point: &[i64]) -> i128 {
+        assert_eq!(point.len(), self.depth, "point arity mismatch");
+        self.rank_int.eval_int(point)
+    }
+
+    /// Recovers the original indices of the iteration with rank `pc`
+    /// (1-based), writing them into `point`.
+    ///
+    /// # Panics
+    /// Panics if `pc` is out of `1..=total` or `point.len() != depth`.
+    pub fn unrank_into(&self, pc: i128, point: &mut [i64]) {
+        assert!(
+            pc >= 1 && pc <= self.total,
+            "pc {pc} outside 1..={}",
+            self.total
+        );
+        assert_eq!(point.len(), self.depth, "point arity mismatch");
+        for k in 0..self.depth {
+            let lb = self.nest.lower(k, point);
+            let ub = self.nest.upper(k, point);
+            let v = self.levels[k].recover(point, k, lb, ub, pc, &self.counters);
+            point[k] = v;
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Self::unrank_into`].
+    pub fn unrank(&self, pc: i128) -> Vec<i64> {
+        let mut point = vec![0i64; self.depth];
+        self.unrank_into(pc, &mut point);
+        point
+    }
+
+    /// Unranks using only the exact binary-search path (no floating
+    /// point at all): the ablation baseline, and the only path for
+    /// ranking degrees above the closed-form limit.
+    pub fn unrank_binary_into(&self, pc: i128, point: &mut [i64]) {
+        assert!(
+            pc >= 1 && pc <= self.total,
+            "pc {pc} outside 1..={}",
+            self.total
+        );
+        assert_eq!(point.len(), self.depth, "point arity mismatch");
+        for k in 0..self.depth {
+            let lb = self.nest.lower(k, point);
+            let ub = self.nest.upper(k, point);
+            let v = self.levels[k].recover_with(point, k, lb, ub, pc, &self.counters, false);
+            point[k] = v;
+        }
+    }
+
+    /// Snapshot of the recovery-path counters accumulated so far.
+    pub fn stats(&self) -> RecoveryStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_polyhedra::Space;
+
+    fn roundtrip(nest: &NestSpec, params: &[i64]) {
+        let spec = CollapseSpec::new(nest).expect("collapse spec");
+        let collapsed = spec.bind(params).expect("bind");
+        let mut pc = 1i128;
+        for point in nest.enumerate(params) {
+            assert_eq!(
+                collapsed.unrank(pc),
+                point,
+                "unrank({pc}) for {nest:?} params {params:?}"
+            );
+            assert_eq!(collapsed.rank(&point), pc, "rank{point:?}");
+            pc += 1;
+        }
+        assert_eq!(pc - 1, collapsed.total(), "total");
+    }
+
+    #[test]
+    fn correlation_roundtrip() {
+        for n in [2i64, 3, 5, 10, 40] {
+            roundtrip(&NestSpec::correlation(), &[n]);
+        }
+    }
+
+    #[test]
+    fn figure6_roundtrip() {
+        for n in [2i64, 3, 6, 12] {
+            roundtrip(&NestSpec::figure6(), &[n]);
+        }
+    }
+
+    #[test]
+    fn rectangular_roundtrip() {
+        roundtrip(&NestSpec::rectangular(&[4, 3, 2]), &[]);
+        roundtrip(&NestSpec::rectangular(&[1, 7]), &[]);
+    }
+
+    #[test]
+    fn rhomboid_roundtrip() {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i"), s.var("i") + 3)],
+        )
+        .unwrap();
+        for n in [1i64, 4, 9] {
+            roundtrip(&nest, &[n]);
+        }
+    }
+
+    #[test]
+    fn trapezoid_roundtrip() {
+        // for i in 0..=3 { for j in 0..=N−1−i }
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.cst(3)),
+                (s.cst(0), s.var("N") - s.var("i") - 1),
+            ],
+        )
+        .unwrap();
+        for n in [4i64, 6, 11] {
+            roundtrip(&nest, &[n]);
+        }
+    }
+
+    #[test]
+    fn four_deep_quartic_roundtrip() {
+        let s = Space::new(&["i", "j", "k", "l"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+            ],
+        )
+        .unwrap();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        assert!(spec.closed_form_available());
+        for n in [2i64, 4, 6] {
+            roundtrip(&nest, &[n]);
+        }
+    }
+
+    #[test]
+    fn five_deep_beyond_closed_form_still_collapses() {
+        // Five loops all bounded by i: degree 5 in i — beyond Abel–
+        // Ruffini, handled by the binary-search unranker (our extension).
+        let s = Space::new(&["i", "j", "k", "l", "m"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+            ],
+        )
+        .unwrap();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        assert!(!spec.closed_form_available());
+        for n in [2i64, 3, 4] {
+            roundtrip(&nest, &[n]);
+        }
+    }
+
+    #[test]
+    fn binary_unranker_matches_closed_form() {
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        let collapsed = spec.bind(&[9]).unwrap();
+        for pc in 1..=collapsed.total() {
+            let mut a = vec![0i64; 3];
+            let mut b = vec![0i64; 3];
+            collapsed.unrank_into(pc, &mut a);
+            collapsed.unrank_binary_into(pc, &mut b);
+            assert_eq!(a, b, "pc={pc}");
+        }
+    }
+
+    #[test]
+    fn bind_rejects_arity_mismatch() {
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        assert!(matches!(
+            spec.bind(&[]),
+            Err(BindError::ParamArity {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn bind_rejects_negative_trips() {
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let err = spec.bind(&[0]).unwrap_err();
+        match err {
+            BindError::NegativeTripCount { level: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_domain_binds_with_zero_total() {
+        // N = 1: zero iterations but non-negative trips at level 0? The
+        // outer trip count is 1 − 1 = 0 → valid, total = 0.
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let collapsed = spec.bind(&[1]).unwrap();
+        assert_eq!(collapsed.total(), 0);
+    }
+
+    #[test]
+    fn unrank_out_of_range_panics() {
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let collapsed = spec.bind(&[5]).unwrap();
+        let result = std::panic::catch_unwind(|| collapsed.unrank(0));
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(|| collapsed.unrank(collapsed.total() + 1));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn closed_form_dominates_recovery_stats() {
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        let collapsed = spec.bind(&[30]).unwrap();
+        for pc in 1..=collapsed.total() {
+            let mut p = vec![0i64; 3];
+            collapsed.unrank_into(pc, &mut p);
+        }
+        let stats = collapsed.stats();
+        assert_eq!(stats.binary_search, 0, "{stats:?}");
+        // The innermost level takes the exact linear path whenever its
+        // range has more than one value (single-value levels shortcut
+        // before any counter), and the outer levels use closed forms.
+        assert!(stats.linear_exact > 0, "{stats:?}");
+        assert!(stats.closed_form_exact > 0, "{stats:?}");
+        // Every pc triggers at most depth recoveries in total.
+        let touched = stats.linear_exact + stats.closed_form_exact + stats.corrected;
+        assert!(touched <= 3 * collapsed.total() as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn level_polys_match_paper_equations() {
+        // For correlation: R_0(x) = r(x, x+1) = −x²/2 + (N − 1/2)x + 1.
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let r0 = spec.level_poly(0);
+        // Evaluate at a few (x, N) pairs: R_0(x) = (2xN − x² − x + 2)/2,
+        // compared with exact rationals to avoid truncation pitfalls.
+        for n in [5i128, 10, 31] {
+            for x in 0..n - 1 {
+                let val = r0.eval_i128(&[x, 0, n]);
+                let expect = nrl_rational::Rational::new(2 * x * n - x * x - x + 2, 2);
+                assert_eq!(val, expect, "x={x} N={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Executing collapsed and non-collapsed nests (§V, §VI).
+//!
+//! Four execution strategies, mirroring the paper's evaluation:
+//!
+//! * [`run_seq`] — the original sequential nest (baseline and
+//!   correctness reference),
+//! * [`run_outer_parallel`] — OpenMP-style parallelization of the
+//!   *outermost* loop only (`schedule(static)` / `schedule(dynamic)`)
+//!   — the pre-collapse state of the art the paper compares against,
+//! * [`run_collapsed`] — the collapsed single loop under any schedule,
+//!   with the recovery-cost strategies of §V/§VI.A selected by
+//!   [`Recovery`],
+//! * [`run_warp_sim`] — the §VI.B GPU scheme: `W` lanes execute
+//!   interleaved ranks, each lane recovering once and then advancing by
+//!   `W` odometer steps.
+
+use crate::collapsed::Collapsed;
+use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats};
+use nrl_polyhedra::BoundNest;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a collapsed executor recovers original indices inside a chunk
+/// (§V of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// Costly recovery at *every* iteration (the paper's worst case,
+    /// unavoidable under dynamic scheduling of single iterations).
+    Naive,
+    /// Costly recovery once per chunk, then odometer incrementation —
+    /// the paper's Fig. 4 / §V scheme.
+    OncePerChunk,
+    /// §VI.A: recover once per chunk, pre-compute tuples into a
+    /// thread-private buffer of this many entries, then run the bodies
+    /// over the buffer (the auto-vectorization-friendly layout).
+    Batched(usize),
+    /// Like [`Recovery::OncePerChunk`] but recovery uses the pure
+    /// binary-search unranker (no floating point) — ablation mode.
+    BinarySearch,
+}
+
+/// Runs the original nest sequentially, invoking `body` on every point
+/// in lexicographic order — with the same tight nested-loop structure
+/// the original program would compile to (the innermost level is a
+/// plain counted loop, not an odometer).
+pub fn run_seq<F: FnMut(&[i64])>(nest: &BoundNest, mut body: F) {
+    let d = nest.depth();
+    let mut point = vec![0i64; d];
+    walk_subtree(nest, &mut point, 0, &mut body);
+}
+
+/// Walks the sub-nest of `nest` rooted at `level` with `point[..level]`
+/// fixed, invoking `body` on every completed point. The innermost level
+/// runs as a tight loop so the walk costs what the original nest costs.
+fn walk_subtree<F: FnMut(&[i64])>(nest: &BoundNest, point: &mut [i64], level: usize, body: &mut F) {
+    let d = nest.depth();
+    if level == d {
+        body(point);
+        return;
+    }
+    let lo = nest.lower(level, point);
+    let hi = nest.upper(level, point);
+    if level == d - 1 {
+        let mut x = lo;
+        while x <= hi {
+            point[level] = x;
+            body(point);
+            x += 1;
+        }
+        return;
+    }
+    let mut x = lo;
+    while x <= hi {
+        point[level] = x;
+        walk_subtree(nest, point, level + 1, body);
+        x += 1;
+    }
+}
+
+/// Parallelizes the **outermost** loop under the given schedule — the
+/// `#pragma omp parallel for schedule(...)` baseline of the paper's
+/// Fig. 1. Inner loops run sequentially inside each outer iteration.
+///
+/// `body(tid, point)` must tolerate concurrent invocation for distinct
+/// outer-iterator values.
+pub fn run_outer_parallel<F>(
+    pool: &ThreadPool,
+    nest: &BoundNest,
+    schedule: Schedule,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let d = nest.depth();
+    assert!(d >= 1, "outer-parallel execution needs at least one loop");
+    let lb0 = nest.lower(0, &[]);
+    let ub0 = nest.upper(0, &[]);
+    let n_outer = (ub0 - lb0 + 1).max(0) as u64;
+    // `parallel_for` counts outer rows; the Fig. 2 imbalance is about
+    // *inner* iterations, so count executed points per thread here.
+    let point_counts: Vec<AtomicU64> = (0..pool.nthreads()).map(|_| AtomicU64::new(0)).collect();
+    let report = pool.parallel_for(n_outer, schedule, &|tid, s, e| {
+        let mut point = vec![0i64; d];
+        let mut local = 0u64;
+        for row in s..e {
+            point[0] = lb0 + row as i64;
+            let mut call = |p: &[i64]| {
+                local += 1;
+                body(tid, p)
+            };
+            walk_subtree(nest, &mut point, 1, &mut call);
+        }
+        point_counts[tid].fetch_add(local, Ordering::Relaxed);
+    });
+    let per_thread: Vec<ThreadStats> = report
+        .per_thread()
+        .iter()
+        .enumerate()
+        .map(|(t, st)| ThreadStats {
+            iterations: point_counts[t].load(Ordering::Relaxed),
+            busy_nanos: st.busy_nanos,
+        })
+        .collect();
+    ImbalanceReport::new(per_thread, report.wall())
+}
+
+/// Runs the collapsed loop `pc = 1..=total` under `schedule`,
+/// distributing **iterations** (not outer rows) across threads, and
+/// recovering original indices per [`Recovery`].
+///
+/// Within each chunk, `body` observes points in the original
+/// lexicographic order.
+pub fn run_collapsed<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let total = collapsed.total();
+    assert!(total >= 0, "invalid domain");
+    let total_u64 = u64::try_from(total).expect("total exceeds u64");
+    let d = collapsed.depth();
+    pool.parallel_for(total_u64, schedule, &|tid, s, e| {
+        debug_assert!(s < e);
+        let mut point = vec![0i64; d.max(1)];
+        let point = &mut point[..d];
+        if d == 0 {
+            // A zero-depth nest has exactly one (empty-tuple) iteration.
+            for _ in s..e {
+                body(tid, point);
+            }
+            return;
+        }
+        match recovery {
+            Recovery::Naive => {
+                for pc in s..e {
+                    collapsed.unrank_into((pc + 1) as i128, point);
+                    body(tid, point);
+                }
+            }
+            Recovery::OncePerChunk | Recovery::BinarySearch => {
+                if recovery == Recovery::BinarySearch {
+                    collapsed.unrank_binary_into((s + 1) as i128, point);
+                } else {
+                    collapsed.unrank_into((s + 1) as i128, point);
+                }
+                // Row-wise walk: the innermost level is a contiguous
+                // run, so iterate it as a tight loop (the `j++` of the
+                // paper's Fig. 4) and pay a full odometer carry only
+                // once per row.
+                let nest = collapsed.nest();
+                let last = d - 1;
+                let mut remaining = e - s;
+                while remaining > 0 {
+                    let row_end = nest.upper(last, point);
+                    let row_left = (row_end - point[last] + 1) as u64;
+                    let take = row_left.min(remaining);
+                    for _ in 0..take {
+                        body(tid, point);
+                        point[last] += 1;
+                    }
+                    remaining -= take;
+                    if remaining > 0 {
+                        // `point[last]` sits one past the last executed
+                        // value; step back and let `advance` carry to
+                        // the next row's first point.
+                        point[last] -= 1;
+                        let more = nest.advance(point);
+                        debug_assert!(more, "domain ended before the chunk");
+                    }
+                }
+            }
+            Recovery::Batched(vlength) => {
+                let vlength = vlength.max(1);
+                collapsed.unrank_into((s + 1) as i128, point);
+                let mut buf = vec![0i64; vlength * d.max(1)];
+                let mut remaining = e - s;
+                while remaining > 0 {
+                    let batch = (vlength as u64).min(remaining) as usize;
+                    for b in 0..batch {
+                        buf[b * d..(b + 1) * d].copy_from_slice(point);
+                        if (b as u64) + 1 < remaining {
+                            let more = collapsed.nest().advance(point);
+                            debug_assert!(more, "domain ended before the chunk");
+                        }
+                    }
+                    for b in 0..batch {
+                        body(tid, &buf[b * d..(b + 1) * d]);
+                    }
+                    remaining -= batch as u64;
+                }
+            }
+        }
+    })
+}
+
+/// Like [`run_outer_parallel`] but with an explicit contiguous
+/// outer-row range per thread (`ranges(tid) → [start, end)` in
+/// outer-index space): the executor for precomputed partitionings such
+/// as [`balanced_outer_cuts`](crate::partition::balanced_outer_cuts).
+pub fn run_outer_parallel_range<F, R>(
+    pool: &ThreadPool,
+    nest: &BoundNest,
+    ranges: R,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64]) + Sync,
+    R: Fn(usize) -> (i64, i64) + Sync,
+{
+    let d = nest.depth();
+    assert!(d >= 1, "outer-parallel execution needs at least one loop");
+    let nthreads = pool.nthreads();
+    let iters: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+    let nanos: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+    let wall_start = std::time::Instant::now();
+    pool.run(&|tid| {
+        let started = std::time::Instant::now();
+        let (lo, hi) = ranges(tid);
+        let mut point = vec![0i64; d];
+        let mut local = 0u64;
+        let mut row = lo;
+        while row < hi {
+            point[0] = row;
+            let mut call = |p: &[i64]| {
+                local += 1;
+                body(tid, p)
+            };
+            walk_subtree(nest, &mut point, 1, &mut call);
+            row += 1;
+        }
+        iters[tid].store(local, Ordering::Relaxed);
+        nanos[tid].store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    });
+    let wall = wall_start.elapsed();
+    let per_thread = (0..nthreads)
+        .map(|t| ThreadStats {
+            iterations: iters[t].load(Ordering::Relaxed),
+            busy_nanos: nanos[t].load(Ordering::Relaxed),
+        })
+        .collect();
+    ImbalanceReport::new(per_thread, wall)
+}
+
+/// Partial collapse (the paper's `collapse(c)` with `c < depth`, used
+/// for `ltmp` where a dependence blocks collapsing the innermost loop):
+/// the flattened index ranges over the **outer `c` loops** only
+/// (`collapsed` must come from
+/// [`NestSpec::prefix`](nrl_polyhedra::NestSpec::prefix)), and the
+/// remaining inner loops of `full` run sequentially inside each
+/// flattened iteration.
+///
+/// `body` receives the complete `full.depth()`-tuple.
+pub fn run_collapsed_prefix<F>(
+    pool: &ThreadPool,
+    full: &BoundNest,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let c = collapsed.depth();
+    let d = full.depth();
+    assert!(c >= 1 && c <= d, "prefix depth out of range");
+    if c == d {
+        return run_collapsed(pool, collapsed, schedule, recovery, body);
+    }
+    run_collapsed(pool, collapsed, schedule, recovery, |tid, prefix| {
+        let mut point = [0i64; crate::unrank::MAX_DEPTH];
+        let point = &mut point[..d];
+        point[..c].copy_from_slice(prefix);
+        let mut call = |p: &[i64]| body(tid, p);
+        walk_subtree(full, point, c, &mut call);
+    })
+}
+
+/// §VI.B: simulates a GPU warp of `warp` lanes over the collapsed loop.
+/// Lane `t` executes ranks `t+1, t+1+W, t+1+2W, …`, recovering indices
+/// once and then advancing `W` odometer steps between iterations —
+/// memory-coalescing-friendly on real GPUs. Lanes are distributed over
+/// the pool's threads.
+pub fn run_warp_sim<F>(pool: &ThreadPool, collapsed: &Collapsed, warp: usize, body: F)
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let warp = warp.max(1);
+    let total = collapsed.total();
+    let d = collapsed.depth();
+    let nthreads = pool.nthreads();
+    pool.run(&|tid| {
+        let mut point = vec![0i64; d.max(1)];
+        let point = &mut point[..d];
+        let mut lane = tid;
+        while lane < warp {
+            let first_pc = (lane + 1) as i128;
+            if first_pc <= total {
+                collapsed.unrank_into(first_pc, point);
+                let mut pc = first_pc;
+                loop {
+                    body(lane, point);
+                    pc += warp as i128;
+                    if pc > total {
+                        break;
+                    }
+                    let ok = collapsed.nest().advance_by(point, warp as u64);
+                    debug_assert!(ok, "strided walk ran off the domain");
+                }
+            }
+            lane += nthreads;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collapsed::CollapseSpec;
+    use nrl_polyhedra::NestSpec;
+    use std::sync::Mutex;
+
+    /// Collects (point) invocations into a sorted multiset for
+    /// order-independent comparison.
+    fn collect_parallel<R>(
+        run: impl FnOnce(&(dyn Fn(usize, &[i64]) + Sync)) -> R,
+    ) -> Vec<Vec<i64>> {
+        let seen = Mutex::new(Vec::new());
+        run(&|_tid, p: &[i64]| {
+            seen.lock().unwrap().push(p.to_vec());
+        });
+        let mut v = seen.into_inner().unwrap();
+        v.sort();
+        v
+    }
+
+    fn reference(nest: &NestSpec, params: &[i64]) -> Vec<Vec<i64>> {
+        let mut v: Vec<Vec<i64>> = nest.enumerate(params).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn run_seq_matches_enumeration() {
+        let nest = NestSpec::figure6();
+        let bound = nest.bind(&[8]);
+        let mut seen = Vec::new();
+        run_seq(&bound, |p| seen.push(p.to_vec()));
+        let expect: Vec<Vec<i64>> = nest.enumerate(&[8]).collect();
+        assert_eq!(seen, expect, "sequential order must be lexicographic");
+    }
+
+    #[test]
+    fn outer_parallel_covers_domain() {
+        let nest = NestSpec::correlation();
+        let pool = ThreadPool::new(4);
+        for schedule in [Schedule::Static, Schedule::Dynamic(2), Schedule::Guided(1)] {
+            let bound = nest.bind(&[20]);
+            let got = collect_parallel(|body| {
+                run_outer_parallel(&pool, &bound, schedule, |t, p| body(t, p))
+            });
+            assert_eq!(got, reference(&nest, &[20]), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn collapsed_covers_domain_under_all_recoveries() {
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[25]).unwrap();
+        let pool = ThreadPool::new(4);
+        for recovery in [
+            Recovery::Naive,
+            Recovery::OncePerChunk,
+            Recovery::Batched(8),
+            Recovery::BinarySearch,
+        ] {
+            let got = collect_parallel(|body| {
+                run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |t, p| {
+                    body(t, p)
+                })
+            });
+            assert_eq!(got, reference(&nest, &[25]), "{recovery:?}");
+        }
+    }
+
+    #[test]
+    fn collapsed_covers_domain_under_all_schedules() {
+        let nest = NestSpec::figure6();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[10]).unwrap();
+        let pool = ThreadPool::new(3);
+        for schedule in [
+            Schedule::Static,
+            Schedule::StaticChunk(7),
+            Schedule::Dynamic(5),
+            Schedule::Guided(2),
+        ] {
+            let got = collect_parallel(|body| {
+                run_collapsed(&pool, &collapsed, schedule, Recovery::OncePerChunk, |t, p| {
+                    body(t, p)
+                })
+            });
+            assert_eq!(got, reference(&nest, &[10]), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn collapsed_static_balances_triangle() {
+        // The headline claim: static scheduling of the collapsed loop
+        // balances the triangular domain that static-outer butchers.
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[200]).unwrap();
+        let pool = ThreadPool::new(5);
+        let outer = run_outer_parallel(&pool, &nest.bind(&[200]), Schedule::Static, |_, _| {});
+        let flat = run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Static,
+            Recovery::OncePerChunk,
+            |_, _| {},
+        );
+        assert!(
+            outer.iteration_imbalance() > 1.5,
+            "outer static should be imbalanced: ×{:.3}",
+            outer.iteration_imbalance()
+        );
+        assert!(
+            flat.iteration_imbalance() < 1.01,
+            "collapsed static should be near-perfectly balanced: ×{:.3}",
+            flat.iteration_imbalance()
+        );
+    }
+
+    #[test]
+    fn partial_collapse_covers_domain() {
+        // The paper's ltmp situation: 3-deep nest, collapse only (i, j).
+        let nest = NestSpec::figure6();
+        let n = 11i64;
+        let full = nest.bind(&[n]);
+        let prefix_spec = CollapseSpec::new(&nest.prefix(2)).unwrap();
+        let collapsed = prefix_spec.bind(&[n]).unwrap();
+        // Flattened total counts (i, j) pairs, not all iterations.
+        assert_eq!(collapsed.total() as u128, nest.prefix(2).count_enumerated(&[n]));
+        let pool = ThreadPool::new(3);
+        for recovery in [Recovery::OncePerChunk, Recovery::Naive] {
+            let got = collect_parallel(|body| {
+                run_collapsed_prefix(&pool, &full, &collapsed, Schedule::Dynamic(4), recovery, |t, p| {
+                    body(t, p)
+                })
+            });
+            assert_eq!(got, reference(&nest, &[n]), "{recovery:?}");
+        }
+    }
+
+    #[test]
+    fn partial_collapse_full_depth_degenerates() {
+        let nest = NestSpec::correlation();
+        let full = nest.bind(&[12]);
+        let spec = CollapseSpec::new(&nest.prefix(2)).unwrap();
+        let collapsed = spec.bind(&[12]).unwrap();
+        let pool = ThreadPool::new(2);
+        let got = collect_parallel(|body| {
+            run_collapsed_prefix(&pool, &full, &collapsed, Schedule::Static, Recovery::OncePerChunk, |t, p| {
+                body(t, p)
+            })
+        });
+        assert_eq!(got, reference(&nest, &[12]));
+    }
+
+    #[test]
+    fn warp_sim_covers_domain() {
+        let nest = NestSpec::figure6();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[7]).unwrap();
+        let pool = ThreadPool::new(2);
+        for warp in [1usize, 3, 32, 1000] {
+            let got = collect_parallel(|body| {
+                run_warp_sim(&pool, &collapsed, warp, |t, p| body(t, p))
+            });
+            assert_eq!(got, reference(&nest, &[7]), "warp={warp}");
+        }
+    }
+
+    #[test]
+    fn empty_domain_runs_nothing() {
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[1]).unwrap();
+        let pool = ThreadPool::new(2);
+        let got = collect_parallel(|body| {
+            run_collapsed(&pool, &collapsed, Schedule::Static, Recovery::OncePerChunk, |t, p| {
+                body(t, p)
+            })
+        });
+        assert!(got.is_empty());
+        run_seq(&nest.bind(&[1]), |_| panic!("no iterations expected"));
+    }
+
+    #[test]
+    fn chunk_order_is_lexicographic() {
+        // Within one chunk, OncePerChunk must deliver points in original
+        // order (the paper's incrementation argument).
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[30]).unwrap();
+        let pool = ThreadPool::new(1); // single chunk ⇒ full order
+        let seen = Mutex::new(Vec::new());
+        run_collapsed(&pool, &collapsed, Schedule::Static, Recovery::OncePerChunk, |_, p| {
+            seen.lock().unwrap().push(p.to_vec());
+        });
+        let seen = seen.into_inner().unwrap();
+        let expect: Vec<Vec<i64>> = nest.enumerate(&[30]).collect();
+        assert_eq!(seen, expect);
+    }
+}

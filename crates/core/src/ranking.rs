@@ -1,0 +1,315 @@
+//! Ranking Ehrhart polynomials (§III of the paper).
+//!
+//! For the nest model `l_k ≤ i_k ≤ u_k` (inclusive, affine in outer
+//! iterators and parameters), the rank of an iteration is one plus the
+//! number of lexicographically smaller iterations:
+//!
+//! ```text
+//! rank(i_0..i_{d−1}) = 1 + Σ_k Σ_{t = l_k}^{i_k − 1} B_k(i_0..i_{k−1}, t)
+//! ```
+//!
+//! where `B_k` counts the sub-nest below level `k` (`B_{d−1} ≡ 1`,
+//! `B_{k−1} = Σ_{t=l_k}^{u_k} B_k[i_k := t]`). All sums are symbolic
+//! Faulhaber sums, so `rank` is a polynomial of degree ≤ d in the
+//! iterators — exactly the polynomial an Ehrhart counter would produce
+//! for the lexicographic-order counting problem.
+
+use nrl_poly::Poly;
+use nrl_polyhedra::NestSpec;
+
+/// The ranking polynomial of a nest plus the companion quantities the
+/// inversion needs: per-level subtree counts and the total count.
+#[derive(Clone, Debug)]
+pub struct Ranking {
+    nest: NestSpec,
+    rank: Poly,
+    total: Poly,
+    subtree: Vec<Poly>,
+}
+
+/// Substitutes variable `var` of `p` by a fresh temporary, sums the
+/// result for the temporary running from `lower` to `upper`, and returns
+/// the (temporary-free) polynomial back in the original ring.
+///
+/// This enables sums whose limits mention `var` itself, e.g.
+/// `Σ_{t=l_k}^{i_k − 1} B_k(…, t)`.
+fn sum_with_self_limit(p: &Poly, var: usize, lower: &Poly, upper: &Poly) -> Poly {
+    let n = p.nvars();
+    let temp = n;
+    // Move `var` to the temporary slot.
+    let mut mapping: Vec<usize> = (0..n).collect();
+    mapping[var] = temp;
+    let p_t = p.remap_vars(n + 1, &mapping);
+    let identity: Vec<usize> = (0..n).collect();
+    let lower_t = lower.remap_vars(n + 1, &identity);
+    let upper_t = upper.remap_vars(n + 1, &identity);
+    let summed = p_t.discrete_sum(temp, &lower_t, &upper_t);
+    summed.shrink_vars(n)
+}
+
+impl Ranking {
+    /// Builds the ranking polynomial of `nest`.
+    ///
+    /// The construction is purely symbolic; its correctness requires the
+    /// domain to have non-negative trip counts (validated at
+    /// [`bind`](crate::CollapseSpec::bind) time for concrete parameters,
+    /// or symbolically via
+    /// [`prove_trip_counts`](nrl_polyhedra::NestSpec::prove_trip_counts)).
+    pub fn new(nest: &NestSpec) -> Self {
+        let d = nest.depth();
+        let n = nest.space().len();
+        // Subtree counts, innermost outward: B_{d−1} ≡ 1.
+        let mut subtree = vec![Poly::zero(n); d];
+        if d > 0 {
+            subtree[d - 1] = Poly::constant_int(n, 1);
+            for k in (0..d.saturating_sub(1)).rev() {
+                let lower = nest.lower(k + 1).to_poly();
+                let upper = nest.upper(k + 1).to_poly();
+                // B_k = Σ_{i_{k+1} = l_{k+1}}^{u_{k+1}} B_{k+1}
+                subtree[k] = sum_with_self_limit(&subtree[k + 1], k + 1, &lower, &upper);
+            }
+        }
+        // rank = 1 + Σ_k Σ_{t=l_k}^{i_k − 1} B_k
+        let mut rank = Poly::constant_int(n, 1);
+        for (k, b_k) in subtree.iter().enumerate() {
+            let lower = nest.lower(k).to_poly();
+            let upper = &Poly::var(n, k) - &Poly::constant_int(n, 1);
+            rank += &sum_with_self_limit(b_k, k, &lower, &upper);
+        }
+        // total = Σ_{i_0 = l_0}^{u_0} B_0 (iterator-free).
+        let total = if d == 0 {
+            Poly::constant_int(n, 1)
+        } else {
+            sum_with_self_limit(
+                &subtree[0],
+                0,
+                &nest.lower(0).to_poly(),
+                &nest.upper(0).to_poly(),
+            )
+        };
+        Ranking {
+            nest: nest.clone(),
+            rank,
+            total,
+            subtree,
+        }
+    }
+
+    /// The nest this ranking belongs to.
+    pub fn nest(&self) -> &NestSpec {
+        &self.nest
+    }
+
+    /// The ranking polynomial over `(iterators…, parameters…)`.
+    pub fn rank_poly(&self) -> &Poly {
+        &self.rank
+    }
+
+    /// The total iteration count as a polynomial in the parameters.
+    pub fn total_poly(&self) -> &Poly {
+        &self.total
+    }
+
+    /// Subtree-count polynomial `B_k` (points of loops `k+1..d` for a
+    /// fixed prefix `i_0..i_k`).
+    pub fn subtree_poly(&self, k: usize) -> &Poly {
+        &self.subtree[k]
+    }
+
+    /// Exact rank of a domain point (1-based) under given parameters.
+    pub fn rank_at(&self, point: &[i64], params: &[i64]) -> i128 {
+        let full: Vec<i128> = point
+            .iter()
+            .chain(params.iter())
+            .map(|&x| x as i128)
+            .collect();
+        self.rank.eval_int(&full)
+    }
+
+    /// Exact total iteration count under given parameters.
+    pub fn total_at(&self, params: &[i64]) -> i128 {
+        let mut full = vec![0i128; self.nest.space().len()];
+        for (slot, &p) in full[self.nest.depth()..].iter_mut().zip(params) {
+            *slot = p as i128;
+        }
+        self.total.eval_int(&full)
+    }
+
+    /// Highest degree any single iterator reaches in the ranking
+    /// polynomial — the paper's closed-form inversion requires ≤ 4
+    /// (§IV-B); larger degrees fall back to binary-search unranking.
+    pub fn max_iterator_degree(&self) -> u32 {
+        (0..self.nest.depth())
+            .map(|v| self.rank.degree_in(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the ranking polynomial with the nest's variable names.
+    pub fn render(&self) -> String {
+        let names: Vec<&str> = self
+            .nest
+            .space()
+            .names()
+            .iter()
+            .map(String::as_str)
+            .collect();
+        self.rank.to_string_with(&names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_polyhedra::Space;
+    use nrl_rational::Rational;
+
+    #[test]
+    fn correlation_matches_paper_formula() {
+        // §III: r(i, j) = (2iN + 2j − i² − 3i)/2
+        let ranking = Ranking::new(&NestSpec::correlation());
+        let n = 3; // ring: (i, j, N)
+        let i = Poly::var(n, 0);
+        let j = Poly::var(n, 1);
+        let nn = Poly::var(n, 2);
+        let expected = (Poly::constant_int(n, 2) * &i * &nn + Poly::constant_int(n, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(n, 3) * &i)
+            .scale(Rational::new(1, 2));
+        assert_eq!(ranking.rank_poly(), &expected, "got {}", ranking.render());
+        // Total = (N−1)N/2.
+        assert_eq!(ranking.total_at(&[100]), 99 * 100 / 2);
+        assert_eq!(ranking.max_iterator_degree(), 2);
+    }
+
+    #[test]
+    fn correlation_paper_spot_values() {
+        let ranking = Ranking::new(&NestSpec::correlation());
+        // §III: r(0,1) = 1, r(0,2) = 2, r(0,3) = 3, r(0, N−1) = N−1,
+        // r(1,2) = N, r(N−2, N−1) = (N−1)N/2.
+        let n = 17i64;
+        assert_eq!(ranking.rank_at(&[0, 1], &[n]), 1);
+        assert_eq!(ranking.rank_at(&[0, 2], &[n]), 2);
+        assert_eq!(ranking.rank_at(&[0, 3], &[n]), 3);
+        assert_eq!(ranking.rank_at(&[0, n - 1], &[n]), (n - 1) as i128);
+        assert_eq!(ranking.rank_at(&[1, 2], &[n]), n as i128);
+        assert_eq!(
+            ranking.rank_at(&[n - 2, n - 1], &[n]),
+            ((n - 1) * n / 2) as i128
+        );
+    }
+
+    #[test]
+    fn figure6_matches_paper_formula() {
+        // §IV-C: r(i,j,k) = (6k − 3j² + 6ij + 3j + i³ + 3i² + 2i + 6)/6
+        let ranking = Ranking::new(&NestSpec::figure6());
+        let n = 4; // ring: (i, j, k, N)
+        let i = Poly::var(n, 0);
+        let j = Poly::var(n, 1);
+        let k = Poly::var(n, 2);
+        let six = |c: i128| Poly::constant_int(n, c);
+        let expected = (six(6) * &k - six(3) * j.pow(2)
+            + six(6) * &i * &j
+            + six(3) * &j
+            + i.pow(3)
+            + six(3) * i.pow(2)
+            + six(2) * &i
+            + six(6))
+        .scale(Rational::new(1, 6));
+        assert_eq!(ranking.rank_poly(), &expected, "got {}", ranking.render());
+        // Total = (N³ − N)/6.
+        for nv in [2i64, 5, 10, 100] {
+            assert_eq!(
+                ranking.total_at(&[nv]),
+                ((nv as i128).pow(3) - nv as i128) / 6
+            );
+        }
+        assert_eq!(ranking.max_iterator_degree(), 3);
+    }
+
+    #[test]
+    fn rank_is_bijective_onto_1_to_total() {
+        for nest in [NestSpec::correlation(), NestSpec::figure6()] {
+            for n in [2i64, 3, 7, 12] {
+                let ranking = Ranking::new(&nest);
+                let total = ranking.total_at(&[n]);
+                let mut expected = 1i128;
+                for point in nest.enumerate(&[n]) {
+                    assert_eq!(
+                        ranking.rank_at(&point, &[n]),
+                        expected,
+                        "nest {nest:?} N={n} point {point:?}"
+                    );
+                    expected += 1;
+                }
+                assert_eq!(expected - 1, total, "total mismatch for N={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_rank_is_row_major() {
+        let nest = NestSpec::rectangular(&[3, 4]);
+        let ranking = Ranking::new(&nest);
+        assert_eq!(ranking.total_at(&[]), 12);
+        assert_eq!(ranking.rank_at(&[0, 0], &[]), 1);
+        assert_eq!(ranking.rank_at(&[1, 0], &[]), 5);
+        assert_eq!(ranking.rank_at(&[2, 3], &[]), 12);
+        assert_eq!(ranking.max_iterator_degree(), 1);
+    }
+
+    #[test]
+    fn depth_one_nest() {
+        let s = Space::new(&["i"], &["N"]);
+        let nest = NestSpec::new(s.clone(), vec![(s.cst(0), s.var("N") - 1)]).unwrap();
+        let ranking = Ranking::new(&nest);
+        assert_eq!(ranking.total_at(&[10]), 10);
+        assert_eq!(ranking.rank_at(&[0], &[10]), 1);
+        assert_eq!(ranking.rank_at(&[9], &[10]), 10);
+    }
+
+    #[test]
+    fn trapezoid_with_parameter_offset() {
+        // for i in 0..=M−1 { for j in i..=i+C−1 } (parallelogram band):
+        // total = M·C.
+        let s = Space::new(&["i", "j"], &["M", "C"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("M") - 1),
+                (s.var("i"), s.var("i") + s.var("C") - 1),
+            ],
+        )
+        .unwrap();
+        let ranking = Ranking::new(&nest);
+        for (m, c) in [(3i64, 4i64), (7, 2), (1, 1), (5, 9)] {
+            assert_eq!(ranking.total_at(&[m, c]), (m * c) as i128);
+            for (expect, p) in (1i128..).zip(nest.enumerate(&[m, c])) {
+                assert_eq!(ranking.rank_at(&p, &[m, c]), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn four_deep_dependent_nest_has_degree_four() {
+        // All four loops bounded by i: i of degree 4 in the ranking.
+        let s = Space::new(&["i", "j", "k", "l"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+            ],
+        )
+        .unwrap();
+        let ranking = Ranking::new(&nest);
+        assert_eq!(ranking.max_iterator_degree(), 4);
+        // Σ_{i=0}^{N−1} (i+1)³ = (N(N+1)/2)²
+        for n in [1i64, 2, 5, 9] {
+            let nn = n as i128;
+            assert_eq!(ranking.total_at(&[n]), (nn * (nn + 1) / 2).pow(2));
+        }
+    }
+}

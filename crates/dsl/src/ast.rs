@@ -1,0 +1,351 @@
+//! AST for the loop-nest mini-language and affine lowering.
+
+use nrl_polyhedra::{Affine, NestError, NestSpec, Space};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An arithmetic expression as parsed (not yet checked for affinity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+/// Errors lowering an [`Expr`] to an affine form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffineError {
+    /// A product of two non-constant sub-expressions.
+    NonAffine,
+    /// A variable not declared as a parameter or surrounding iterator.
+    UnknownVar(String),
+    /// Coefficient arithmetic overflowed.
+    Overflow,
+}
+
+impl fmt::Display for AffineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineError::NonAffine => write!(f, "expression is not affine (product of variables)"),
+            AffineError::UnknownVar(v) => write!(f, "unknown variable {v:?}"),
+            AffineError::Overflow => write!(f, "coefficient overflow"),
+        }
+    }
+}
+
+impl std::error::Error for AffineError {}
+
+/// Linear form accumulated during lowering: variable name → coefficient,
+/// plus a constant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Linear {
+    coeffs: BTreeMap<String, i64>,
+    constant: i64,
+}
+
+impl Linear {
+    fn constant(c: i64) -> Self {
+        Linear {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    fn var(name: &str) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), 1);
+        Linear {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    fn checked_add(mut self, rhs: &Linear, sign: i64) -> Result<Self, AffineError> {
+        for (v, c) in &rhs.coeffs {
+            let entry = self.coeffs.entry(v.clone()).or_insert(0);
+            *entry = entry
+                .checked_add(c.checked_mul(sign).ok_or(AffineError::Overflow)?)
+                .ok_or(AffineError::Overflow)?;
+        }
+        self.constant = self
+            .constant
+            .checked_add(rhs.constant.checked_mul(sign).ok_or(AffineError::Overflow)?)
+            .ok_or(AffineError::Overflow)?;
+        Ok(self)
+    }
+
+    fn checked_scale(mut self, k: i64) -> Result<Self, AffineError> {
+        for c in self.coeffs.values_mut() {
+            *c = c.checked_mul(k).ok_or(AffineError::Overflow)?;
+        }
+        self.constant = self.constant.checked_mul(k).ok_or(AffineError::Overflow)?;
+        Ok(self)
+    }
+
+    fn is_constant(&self) -> bool {
+        self.coeffs.values().all(|&c| c == 0)
+    }
+}
+
+impl Expr {
+    fn linearize(&self) -> Result<Linear, AffineError> {
+        match self {
+            Expr::Int(n) => Ok(Linear::constant(*n)),
+            Expr::Var(v) => Ok(Linear::var(v)),
+            Expr::Add(a, b) => a.linearize()?.checked_add(&b.linearize()?, 1),
+            Expr::Sub(a, b) => a.linearize()?.checked_add(&b.linearize()?, -1),
+            Expr::Neg(a) => a.linearize()?.checked_scale(-1),
+            Expr::Mul(a, b) => {
+                let la = a.linearize()?;
+                let lb = b.linearize()?;
+                if la.is_constant() {
+                    lb.checked_scale(la.constant)
+                } else if lb.is_constant() {
+                    la.checked_scale(lb.constant)
+                } else {
+                    Err(AffineError::NonAffine)
+                }
+            }
+        }
+    }
+
+    /// Lowers the expression to an [`Affine`] over `space`.
+    pub fn to_affine(&self, space: &Space) -> Result<Affine, AffineError> {
+        let linear = self.linearize()?;
+        let mut coeffs = vec![0i64; space.len()];
+        for (name, c) in &linear.coeffs {
+            if *c == 0 {
+                continue;
+            }
+            let v = space
+                .index_of(name)
+                .ok_or_else(|| AffineError::UnknownVar(name.clone()))?;
+            coeffs[v] = *c;
+        }
+        Ok(Affine::from_parts(space.clone(), coeffs, linear.constant))
+    }
+}
+
+/// One parsed `for` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopAst {
+    /// Iterator name.
+    pub var: String,
+    /// Lower bound (inclusive, from `var = expr`).
+    pub lower: Expr,
+    /// Upper bound expression.
+    pub upper: Expr,
+    /// Whether the comparison was `<=` (inclusive) rather than `<`.
+    pub upper_inclusive: bool,
+}
+
+/// A parsed program: parameters, the loop nest, and the raw body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAst {
+    /// Declared size parameters.
+    pub params: Vec<String>,
+    /// The perfectly nested loops, outermost first.
+    pub loops: Vec<LoopAst>,
+    /// Verbatim body source (inside the innermost braces), untouched by
+    /// the collapser and re-emitted by codegen.
+    pub body: String,
+    /// Number of loops a `#pragma omp … collapse(c)` requested (`None`
+    /// means collapse everything — the tool's default).
+    pub collapse: Option<usize>,
+    /// `schedule(...)` clause text from the pragma, if any.
+    pub schedule: Option<String>,
+}
+
+impl Expr {
+    /// Renders as C source (used to re-emit non-collapsed inner loop
+    /// headers verbatim-equivalent).
+    pub fn render(&self) -> String {
+        match self {
+            Expr::Int(n) => n.to_string(),
+            Expr::Var(v) => v.clone(),
+            Expr::Add(a, b) => format!("{} + {}", a.render(), b.render_factor()),
+            Expr::Sub(a, b) => format!("{} - {}", a.render(), b.render_factor()),
+            Expr::Mul(a, b) => format!("{}*{}", a.render_factor(), b.render_factor()),
+            Expr::Neg(a) => format!("-{}", a.render_factor()),
+        }
+    }
+
+    /// Renders with parentheses when the node is an additive compound.
+    fn render_factor(&self) -> String {
+        match self {
+            Expr::Add(..) | Expr::Sub(..) | Expr::Neg(..) => format!("({})", self.render()),
+            _ => self.render(),
+        }
+    }
+}
+
+/// Errors lowering a program to a [`NestSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A bound expression was not affine or used an unknown variable.
+    Bound {
+        /// Loop level of the bad bound.
+        level: usize,
+        /// Underlying reason.
+        cause: AffineError,
+    },
+    /// Structural nest error (forward references etc.).
+    Nest(NestError),
+    /// The same name is used twice (iterator/parameter collision).
+    DuplicateName(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Bound { level, cause } => {
+                write!(f, "bad bound at loop level {level}: {cause}")
+            }
+            LowerError::Nest(e) => write!(f, "{e}"),
+            LowerError::DuplicateName(n) => write!(f, "duplicate variable name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl ProgramAst {
+    /// Lowers the parsed program to a validated [`NestSpec`].
+    pub fn to_nest(&self) -> Result<NestSpec, LowerError> {
+        let iters: Vec<&str> = self.loops.iter().map(|l| l.var.as_str()).collect();
+        let params: Vec<&str> = self.params.iter().map(String::as_str).collect();
+        for name in &iters {
+            if params.contains(name) || iters.iter().filter(|n| *n == name).count() > 1 {
+                return Err(LowerError::DuplicateName(name.to_string()));
+            }
+        }
+        let space = Space::new(&iters, &params);
+        let mut bounds = Vec::with_capacity(self.loops.len());
+        for (level, l) in self.loops.iter().enumerate() {
+            let lo = l
+                .lower
+                .to_affine(&space)
+                .map_err(|cause| LowerError::Bound { level, cause })?;
+            let hi = l
+                .upper
+                .to_affine(&space)
+                .map_err(|cause| LowerError::Bound { level, cause })?;
+            let hi = if l.upper_inclusive { hi } else { hi - 1 };
+            bounds.push((lo, hi));
+        }
+        NestSpec::new(space, bounds).map_err(LowerError::Nest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::new(&["i", "j"], &["N"])
+    }
+
+    #[test]
+    fn linearizes_affine_expressions() {
+        // 2*(N − i) + 3 → −2i + 2N + 3
+        let e = Expr::Add(
+            Box::new(Expr::Mul(
+                Box::new(Expr::Int(2)),
+                Box::new(Expr::Sub(
+                    Box::new(Expr::Var("N".into())),
+                    Box::new(Expr::Var("i".into())),
+                )),
+            )),
+            Box::new(Expr::Int(3)),
+        );
+        let a = e.to_affine(&space()).unwrap();
+        assert_eq!(a.coeff(0), -2);
+        assert_eq!(a.coeff(2), 2);
+        assert_eq!(a.constant_term(), 3);
+    }
+
+    #[test]
+    fn rejects_products_of_variables() {
+        let e = Expr::Mul(
+            Box::new(Expr::Var("i".into())),
+            Box::new(Expr::Var("N".into())),
+        );
+        assert_eq!(e.to_affine(&space()).unwrap_err(), AffineError::NonAffine);
+    }
+
+    #[test]
+    fn rejects_unknown_variables() {
+        let e = Expr::Var("zz".into());
+        assert_eq!(
+            e.to_affine(&space()).unwrap_err(),
+            AffineError::UnknownVar("zz".into())
+        );
+    }
+
+    #[test]
+    fn negation_distributes() {
+        let e = Expr::Neg(Box::new(Expr::Sub(
+            Box::new(Expr::Var("i".into())),
+            Box::new(Expr::Int(4)),
+        )));
+        let a = e.to_affine(&space()).unwrap();
+        assert_eq!(a.coeff(0), -1);
+        assert_eq!(a.constant_term(), 4);
+    }
+
+    #[test]
+    fn lowering_builds_correlation_nest() {
+        let prog = ProgramAst {
+            params: vec!["N".into()],
+            loops: vec![
+                LoopAst {
+                    var: "i".into(),
+                    lower: Expr::Int(0),
+                    upper: Expr::Sub(Box::new(Expr::Var("N".into())), Box::new(Expr::Int(1))),
+                    upper_inclusive: false,
+                },
+                LoopAst {
+                    var: "j".into(),
+                    lower: Expr::Add(Box::new(Expr::Var("i".into())), Box::new(Expr::Int(1))),
+                    upper: Expr::Var("N".into()),
+                    upper_inclusive: false,
+                },
+            ],
+            body: String::new(),
+            collapse: None,
+            schedule: None,
+        };
+        let nest = prog.to_nest().unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.count_enumerated(&[10]), 45);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let prog = ProgramAst {
+            params: vec!["i".into()],
+            loops: vec![LoopAst {
+                var: "i".into(),
+                lower: Expr::Int(0),
+                upper: Expr::Int(5),
+                upper_inclusive: true,
+            }],
+            body: String::new(),
+            collapse: None,
+            schedule: None,
+        };
+        assert!(matches!(
+            prog.to_nest().unwrap_err(),
+            LowerError::DuplicateName(_)
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! `nrlc` — the command-line collapser: C-like loop-nest source in,
+//! collapsed OpenMP C out (the paper's tool as a binary).
+//!
+//! ```text
+//! nrlc input.loop                 # chunked (Fig. 4) style to stdout
+//! nrlc --naive input.loop        # per-iteration recovery (Fig. 3)
+//! nrlc --chunk 256 input.loop    # §V schedule(static,256) scheme
+//! nrlc --simd 8 input.loop       # §VI.A simd-buffered scheme
+//! nrlc --warp 32 input.loop      # §VI.B GPU-warp scheme
+//! nrlc --rust input.loop         # emit Rust instead of C
+//! nrlc --sample 64 input.loop    # branch-selection parameter value
+//! echo '...' | nrlc -             # read from stdin
+//! ```
+
+use nrl_core::CollapseSpec;
+use nrl_dsl::{collapse_source, generate_rust, parse, CodegenOptions, CodegenStyle};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nrlc [--naive | --chunk C | --simd V | --warp W] [--rust] \
+         [--schedule S] [--sample N] <file|->"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut style = CodegenStyle::Chunked;
+    let mut emit_rust = false;
+    let mut schedule = "static".to_string();
+    let mut sample: i64 = 100;
+    let mut input: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--naive" => style = CodegenStyle::Naive,
+            "--chunk" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(c) => style = CodegenStyle::ChunkedBy(c),
+                None => return usage(),
+            },
+            "--simd" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v) => style = CodegenStyle::Simd(v),
+                None => return usage(),
+            },
+            "--warp" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(w) => style = CodegenStyle::GpuWarp(w),
+                None => return usage(),
+            },
+            "--rust" => emit_rust = true,
+            "--schedule" => match it.next() {
+                Some(s) => schedule = s.clone(),
+                None => return usage(),
+            },
+            "--sample" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => sample = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                return usage();
+            }
+            other => {
+                if input.is_some() {
+                    return usage();
+                }
+                input = Some(other.to_string());
+            }
+        }
+    }
+    let Some(path) = input else {
+        return usage();
+    };
+    let src = if path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("nrlc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("nrlc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let opts = CodegenOptions {
+        style,
+        schedule,
+        sample_params: vec![sample],
+    };
+    let result = if emit_rust {
+        // The Rust emitter needs the parsed program and full-collapse spec.
+        parse(&src)
+            .map_err(|e| format!("parse error: {e}"))
+            .and_then(|prog| {
+                let nest = prog.to_nest().map_err(|e| format!("lowering error: {e}"))?;
+                let spec =
+                    CollapseSpec::new(&nest).map_err(|e| format!("collapse error: {e}"))?;
+                generate_rust(&prog, &spec, &opts).map_err(|e| format!("formula error: {e}"))
+            })
+    } else {
+        collapse_source(&src, &opts).map_err(|e| e.to_string())
+    };
+    match result {
+        Ok(code) => {
+            println!("{code}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nrlc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

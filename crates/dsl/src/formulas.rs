@@ -1,0 +1,433 @@
+//! Closed-form recovery formulas as symbolic expressions (§IV).
+//!
+//! For each collapsed level this module constructs the explicit root
+//! expression the generated code will evaluate — the quadratic formula
+//! or Cardano's cubic formula over complex intermediates — and selects
+//! the *convenient branch* the same way the paper does with Maxima: the
+//! branch whose floored evaluation reproduces the first iteration
+//! (§IV-A), validated here against the exact unranker on a sample of
+//! ranks (§IV-D guarantees the branch choice is stable across `pc`).
+
+use crate::sym::SymExpr;
+use nrl_core::CollapseSpec;
+use nrl_poly::Poly;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why symbolic formula construction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaError {
+    /// The level equation has degree 4+: Ferrari's symbolic form is too
+    /// large to print usefully (the paper's examples stop at cubic);
+    /// generated code must call the runtime solver instead.
+    DegreeTooHigh {
+        /// Offending level.
+        level: usize,
+        /// Univariate degree at that level.
+        degree: usize,
+    },
+    /// No root branch reproduced the exact indices on the validation
+    /// sample (indicates an invalid domain for the sample parameters).
+    NoValidBranch {
+        /// Offending level.
+        level: usize,
+    },
+    /// The nest has no iterations at the sample parameters, so branch
+    /// selection has nothing to validate against.
+    EmptySample,
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::DegreeTooHigh { level, degree } => write!(
+                f,
+                "level {level} equation has degree {degree}: symbolic closed forms are emitted up to degree 3 (use the runtime solver for quartics)"
+            ),
+            FormulaError::NoValidBranch { level } => {
+                write!(f, "no symbolic root branch validated at level {level}")
+            }
+            FormulaError::EmptySample => {
+                write!(f, "sample parameters give an empty domain; cannot select root branches")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {}
+
+/// The recovery formula of one level.
+#[derive(Debug, Clone)]
+pub struct LevelFormula {
+    /// Iterator name.
+    pub var: String,
+    /// The full expression (already wrapped in `floor(creal(…))` for
+    /// root-based levels; a plain integer expression for the exact
+    /// innermost level).
+    pub expr: SymExpr,
+    /// True when the expression requires complex arithmetic (§IV-C).
+    pub needs_complex: bool,
+    /// True for the exact (no-floor-needed) innermost formula.
+    pub exact: bool,
+}
+
+fn neg(e: SymExpr) -> SymExpr {
+    SymExpr::Neg(Box::new(e))
+}
+
+fn add(ts: Vec<SymExpr>) -> SymExpr {
+    SymExpr::Add(ts)
+}
+
+fn mul(ts: Vec<SymExpr>) -> SymExpr {
+    SymExpr::Mul(ts)
+}
+
+fn div(a: SymExpr, b: SymExpr) -> SymExpr {
+    SymExpr::Div(Box::new(a), Box::new(b))
+}
+
+fn sqrt(e: SymExpr) -> SymExpr {
+    SymExpr::Sqrt(Box::new(e))
+}
+
+fn cbrt(e: SymExpr) -> SymExpr {
+    SymExpr::Cbrt(Box::new(e))
+}
+
+fn pow(e: SymExpr, k: u32) -> SymExpr {
+    SymExpr::Pow(Box::new(e), k)
+}
+
+fn rat(n: i128, d: i128) -> SymExpr {
+    SymExpr::Rat(nrl_rational::Rational::new(n, d))
+}
+
+/// Recursively checks whether an expression contains a cube root.
+fn contains_cbrt(e: &SymExpr) -> bool {
+    match e {
+        SymExpr::Cbrt(_) => true,
+        SymExpr::Rat(_) | SymExpr::Var(_) => false,
+        SymExpr::Add(ts) | SymExpr::Mul(ts) => ts.iter().any(contains_cbrt),
+        SymExpr::Neg(t) | SymExpr::Pow(t, _) | SymExpr::Re(t) | SymExpr::Floor(t) => {
+            contains_cbrt(t)
+        }
+        SymExpr::Sqrt(t) => contains_cbrt(t),
+        SymExpr::Div(a, b) => contains_cbrt(a) || contains_cbrt(b),
+    }
+}
+
+/// All symbolic roots of `Σ coeffs[j]·x^j = 0` for degrees 1–3, in a
+/// deterministic branch order. Coefficients are arbitrary [`SymExpr`]s.
+pub fn symbolic_roots(coeffs: &[SymExpr]) -> Result<Vec<SymExpr>, usize> {
+    match coeffs.len() - 1 {
+        1 => Ok(vec![div(neg(coeffs[0].clone()), coeffs[1].clone())]),
+        2 => {
+            let (c0, c1, c2) = (coeffs[0].clone(), coeffs[1].clone(), coeffs[2].clone());
+            let disc = add(vec![
+                pow(c1.clone(), 2),
+                mul(vec![rat(-4, 1), c2.clone(), c0]),
+            ]);
+            let two_a = mul(vec![rat(2, 1), c2]);
+            Ok(vec![
+                div(add(vec![neg(c1.clone()), sqrt(disc.clone())]), two_a.clone()),
+                div(add(vec![neg(c1), neg(sqrt(disc))]), two_a),
+            ])
+        }
+        3 => {
+            let (c0, c1, c2, c3) = (
+                coeffs[0].clone(),
+                coeffs[1].clone(),
+                coeffs[2].clone(),
+                coeffs[3].clone(),
+            );
+            // Normalize: x³ + a x² + b x + c.
+            let a = div(c2, c3.clone());
+            let b = div(c1, c3.clone());
+            let c = div(c0, c3);
+            // Depressed: t³ + p t + q, x = t − a/3.
+            let p = add(vec![b.clone(), neg(div(pow(a.clone(), 2), rat(3, 1)))]);
+            let q = add(vec![
+                div(mul(vec![rat(2, 1), pow(a.clone(), 3)]), rat(27, 1)),
+                neg(div(mul(vec![a.clone(), b]), rat(3, 1))),
+                c,
+            ]);
+            // u = cbrt(−q/2 + sqrt(q²/4 + p³/27)).
+            let inner = add(vec![
+                div(pow(q.clone(), 2), rat(4, 1)),
+                div(pow(p.clone(), 3), rat(27, 1)),
+            ]);
+            let u = cbrt(add(vec![neg(div(q, rat(2, 1))), sqrt(inner)]));
+            // ω = (−1 + √−3)/2 as a symbolic complex constant.
+            let omega = div(add(vec![rat(-1, 1), sqrt(rat(-3, 1))]), rat(2, 1));
+            let shift = neg(div(a, rat(3, 1)));
+            let mut roots = Vec::with_capacity(3);
+            for m in 0..3u32 {
+                let uk = if m == 0 {
+                    u.clone()
+                } else {
+                    mul(vec![pow(omega.clone(), m), u.clone()])
+                };
+                let t = add(vec![
+                    uk.clone(),
+                    neg(div(p.clone(), mul(vec![rat(3, 1), uk]))),
+                ]);
+                roots.push(add(vec![t, shift.clone()]));
+            }
+            Ok(roots)
+        }
+        d => Err(d),
+    }
+}
+
+/// Builds the per-level recovery formulas for `spec`, selecting root
+/// branches by validation at `sample_params` (which must give a
+/// non-empty valid domain).
+pub fn build_formulas(
+    spec: &CollapseSpec,
+    sample_params: &[i64],
+) -> Result<Vec<LevelFormula>, FormulaError> {
+    let nest = spec.nest();
+    let d = nest.depth();
+    let names: Vec<&str> = nest.space().names().iter().map(String::as_str).collect();
+    let collapsed = spec
+        .bind(sample_params)
+        .map_err(|_| FormulaError::EmptySample)?;
+    let total = collapsed.total();
+    if total <= 0 {
+        return Err(FormulaError::EmptySample);
+    }
+    // Validation sample: first, last, and a spread of ranks.
+    let mut sample_pcs: Vec<i128> = vec![1, total];
+    for f in 1..20 {
+        sample_pcs.push(1 + (total - 1) * f / 20);
+    }
+    sample_pcs.sort_unstable();
+    sample_pcs.dedup();
+    let sample_points: Vec<(i128, Vec<i64>)> = sample_pcs
+        .iter()
+        .map(|&pc| (pc, collapsed.unrank(pc)))
+        .collect();
+
+    let mut out = Vec::with_capacity(d);
+    for k in 0..d {
+        if k == d - 1 {
+            // Exact innermost formula: x = lb + pc − R(prefix, lb).
+            let lb = nest.lower(k).to_poly();
+            let r_at_lb = spec.level_poly(k).substitute(k, &lb);
+            let expr = add(vec![
+                SymExpr::from_poly(&lb, &names),
+                SymExpr::var("pc"),
+                neg(SymExpr::from_poly(&r_at_lb, &names)),
+            ]);
+            out.push(LevelFormula {
+                var: names[k].to_string(),
+                expr,
+                needs_complex: false,
+                exact: true,
+            });
+            continue;
+        }
+        let coeff_polys: Vec<Poly> = spec.level_poly(k).univariate_coeffs(k);
+        let degree = coeff_polys.len() - 1;
+        let mut coeffs: Vec<SymExpr> = coeff_polys
+            .iter()
+            .map(|p| SymExpr::from_poly(p, &names))
+            .collect();
+        // The equation is R_k(x) − pc = 0.
+        coeffs[0] = add(vec![coeffs[0].clone(), neg(SymExpr::var("pc"))]);
+        let branches = symbolic_roots(&coeffs)
+            .map_err(|deg| FormulaError::DegreeTooHigh { level: k, degree: deg })?;
+        let _ = degree;
+        // Select the branch whose floor matches the exact indices on
+        // every validation sample, tracking whether any intermediate
+        // value was genuinely complex along the way.
+        let mut chosen = None;
+        let mut observed_complex = false;
+        'branches: for branch in &branches {
+            let mut branch_complex = false;
+            for (pc, point) in &sample_points {
+                let mut bindings: HashMap<String, f64> = HashMap::new();
+                bindings.insert("pc".to_string(), *pc as f64);
+                for (v, name) in names.iter().enumerate().take(d) {
+                    bindings.insert((*name).to_string(), point.get(v).copied().unwrap_or(0) as f64);
+                }
+                for (pi, name) in names.iter().enumerate().skip(d) {
+                    bindings.insert((*name).to_string(), sample_params[pi - d] as f64);
+                }
+                let v = branch.eval(&bindings);
+                branch_complex |= v.im.abs() > 1e-9;
+                // Floor with a tiny forgiveness for rounding just below
+                // the integer (the exact verification in nrl-core is the
+                // real safety net; this is only branch selection).
+                let floored = (v.re + 1e-9).floor() as i64;
+                if floored != point[k] {
+                    continue 'branches;
+                }
+            }
+            chosen = Some(branch.clone());
+            observed_complex = branch_complex;
+            break;
+        }
+        let branch = chosen.ok_or(FormulaError::NoValidBranch { level: k })?;
+        // Complex arithmetic is required when a cube root occurs (its
+        // principal branch is complex for negative radicands, §IV-C), or
+        // when a sampled evaluation was complex. For pure square-root
+        // (quadratic) formulas the discriminant is *linear* in pc, so
+        // real values at the sampled endpoints (pc = 1 and pc = total)
+        // prove realness across the whole range — matching the paper's
+        // Fig. 3, which emits plain sqrt for the quadratic case.
+        let has_cbrt = contains_cbrt(&branch);
+        let needs_complex = branch.needs_complex() && (has_cbrt || observed_complex);
+        let expr = SymExpr::Floor(Box::new(if needs_complex {
+            SymExpr::Re(Box::new(branch))
+        } else {
+            branch
+        }));
+        out.push(LevelFormula {
+            var: names[k].to_string(),
+            expr,
+            needs_complex,
+            exact: false,
+        });
+    }
+    Ok(out)
+}
+
+/// The total-iteration-count expression (the collapsed loop's upper
+/// bound), in terms of the parameters.
+pub fn total_expr(spec: &CollapseSpec) -> SymExpr {
+    let names: Vec<&str> = spec
+        .nest()
+        .space()
+        .names()
+        .iter()
+        .map(String::as_str)
+        .collect();
+    SymExpr::from_poly(spec.ranking().total_poly(), &names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_polyhedra::NestSpec;
+
+    fn bindings(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn correlation_formula_matches_paper() {
+        // Paper Fig. 3:
+        //   i = floor(−(sqrt(4N² − 4N − 8pc + 9) − 2N + 1)/2)
+        //   j = floor(−(2iN − 2pc − i² − 3i)/2)
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let formulas = build_formulas(&spec, &[50]).unwrap();
+        assert_eq!(formulas.len(), 2);
+        assert!(!formulas[0].exact);
+        assert!(formulas[1].exact);
+        let n = 50f64;
+        let collapsed = spec.bind(&[50]).unwrap();
+        for pc in 1..=collapsed.total() {
+            let point = collapsed.unrank(pc);
+            // Our symbolic i-formula:
+            let ours = formulas[0]
+                .expr
+                .eval(&bindings(&[("pc", pc as f64), ("N", n)]));
+            // The paper's printed formula:
+            let paper =
+                (-((4.0 * n * n - 4.0 * n - 8.0 * pc as f64 + 9.0).sqrt() - 2.0 * n + 1.0) / 2.0)
+                    .floor();
+            assert_eq!(ours.re as i64, point[0], "pc={pc} (ours)");
+            assert_eq!(paper as i64, point[0], "pc={pc} (paper)");
+            // And the j-formula given i:
+            let j = formulas[1].expr.eval(&bindings(&[
+                ("pc", pc as f64),
+                ("N", n),
+                ("i", point[0] as f64),
+            ]));
+            let paper_j = -(2.0 * point[0] as f64 * n
+                - 2.0 * pc as f64
+                - (point[0] * point[0]) as f64
+                - 3.0 * point[0] as f64)
+                / 2.0;
+            assert_eq!(j.re.round() as i64, point[1], "pc={pc} j (ours)");
+            assert_eq!(paper_j.floor() as i64, point[1], "pc={pc} j (paper)");
+        }
+    }
+
+    #[test]
+    fn figure6_cubic_formula_recovers_indices() {
+        // The §IV-C cubic with complex intermediates.
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        let formulas = build_formulas(&spec, &[20]).unwrap();
+        assert_eq!(formulas.len(), 3);
+        assert!(formulas[0].needs_complex, "cubic root needs complex arithmetic");
+        let collapsed = spec.bind(&[20]).unwrap();
+        for pc in 1..=collapsed.total() {
+            let point = collapsed.unrank(pc);
+            let i = formulas[0]
+                .expr
+                .eval(&bindings(&[("pc", pc as f64), ("N", 20.0)]));
+            assert_eq!(i.re as i64, point[0], "pc={pc} i");
+            let j = formulas[1].expr.eval(&bindings(&[
+                ("pc", pc as f64),
+                ("N", 20.0),
+                ("i", point[0] as f64),
+            ]));
+            assert_eq!(j.re as i64, point[1], "pc={pc} j (i={})", point[0]);
+            let k = formulas[2].expr.eval(&bindings(&[
+                ("pc", pc as f64),
+                ("N", 20.0),
+                ("i", point[0] as f64),
+                ("j", point[1] as f64),
+            ]));
+            assert_eq!(k.re.round() as i64, point[2], "pc={pc} k");
+        }
+    }
+
+    #[test]
+    fn figure6_formula_at_pc1_passes_through_complex_zero() {
+        // §IV-C: at pc = 1 the discriminant is negative (√−1) yet the
+        // root evaluates to 0 + 0i.
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        let formulas = build_formulas(&spec, &[10]).unwrap();
+        let v = formulas[0]
+            .expr
+            .eval(&bindings(&[("pc", 1.0), ("N", 10.0)]));
+        assert_eq!(v.re as i64, 0);
+    }
+
+    #[test]
+    fn total_expr_matches_total_poly() {
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let e = total_expr(&spec);
+        let v = e.eval(&bindings(&[("N", 100.0)]));
+        assert_eq!(v.re as i64, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn quartic_reports_degree_error() {
+        use nrl_polyhedra::Space;
+        let s = Space::new(&["i", "j", "k", "l"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+                (s.cst(0), s.var("i")),
+            ],
+        )
+        .unwrap();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let err = build_formulas(&spec, &[6]).unwrap_err();
+        assert!(matches!(err, FormulaError::DegreeTooHigh { level: 0, degree: 4 }));
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        assert_eq!(build_formulas(&spec, &[1]).unwrap_err(), FormulaError::EmptySample);
+    }
+}

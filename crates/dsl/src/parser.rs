@@ -1,0 +1,426 @@
+//! Recursive-descent parser for the loop-nest mini-language.
+//!
+//! Grammar (whitespace/comments ignored):
+//!
+//! ```text
+//! program := "params" ident ("," ident)* ";" loop+ body?
+//! loop    := "for" "(" ident "=" expr ";" ident ("<" | "<=") expr ";"
+//!            ident "++" ")"
+//! body    := "{" raw source "}"       (captured verbatim)
+//! expr    := term (("+" | "-") term)*
+//! term    := factor ("*" factor)*
+//! factor  := int | ident | "(" expr ")" | "-" factor
+//! ```
+
+use crate::ast::{Expr, LoopAst, ProgramAst};
+use crate::token::{lex, LexError, Spanned, Token};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Unexpected token (expected, found, offset).
+    Unexpected {
+        /// What the parser needed.
+        expected: String,
+        /// What it found (`None` = end of input).
+        found: Option<Token>,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// The loop header's three iterator occurrences disagree.
+    InconsistentIterator {
+        /// The loop variable from the init clause.
+        declared: String,
+        /// The mismatching occurrence.
+        found: String,
+    },
+    /// No loops in the program.
+    NoLoops,
+    /// Unbalanced braces in the body.
+    UnbalancedBody,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                expected,
+                found,
+                offset,
+            } => match found {
+                Some(t) => write!(f, "expected {expected}, found {t:?} at offset {offset}"),
+                None => write!(f, "expected {expected}, found end of input"),
+            },
+            ParseError::InconsistentIterator { declared, found } => write!(
+                f,
+                "loop header mixes iterators: declared {declared:?}, found {found:?}"
+            ),
+            ParseError::NoLoops => write!(f, "program contains no loops"),
+            ParseError::UnbalancedBody => write!(f, "unbalanced braces in loop body"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(t) if &t == want => Ok(()),
+            found => Err(ParseError::Unexpected {
+                expected: what.to_string(),
+                found,
+                offset,
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            found => Err(ParseError::Unexpected {
+                expected: what.to_string(),
+                found,
+                offset,
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            found => Err(ParseError::Unexpected {
+                expected: format!("keyword {kw:?}"),
+                found,
+                offset,
+            }),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.bump();
+                    acc = Expr::Add(Box::new(acc), Box::new(self.parse_term()?));
+                }
+                Some(Token::Minus) => {
+                    self.bump();
+                    acc = Expr::Sub(Box::new(acc), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_factor()?;
+        while self.peek() == Some(&Token::Star) {
+            self.bump();
+            acc = Expr::Mul(Box::new(acc), Box::new(self.parse_factor()?));
+        }
+        Ok(acc)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::Ident(s)) => Ok(Expr::Var(s)),
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.parse_factor()?))),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen, "closing parenthesis")?;
+                Ok(e)
+            }
+            found => Err(ParseError::Unexpected {
+                expected: "expression".to_string(),
+                found,
+                offset,
+            }),
+        }
+    }
+
+    fn parse_loop(&mut self) -> Result<LoopAst, ParseError> {
+        self.expect_keyword("for")?;
+        self.expect(&Token::LParen, "'('")?;
+        let var = self.expect_ident("loop iterator")?;
+        self.expect(&Token::Assign, "'='")?;
+        let lower = self.parse_expr()?;
+        self.expect(&Token::Semi, "';'")?;
+        let cmp_var = self.expect_ident("loop iterator in condition")?;
+        if cmp_var != var {
+            return Err(ParseError::InconsistentIterator {
+                declared: var,
+                found: cmp_var,
+            });
+        }
+        let offset = self.offset();
+        let upper_inclusive = match self.bump() {
+            Some(Token::Lt) => false,
+            Some(Token::Le) => true,
+            found => {
+                return Err(ParseError::Unexpected {
+                    expected: "'<' or '<='".to_string(),
+                    found,
+                    offset,
+                })
+            }
+        };
+        let upper = self.parse_expr()?;
+        self.expect(&Token::Semi, "';'")?;
+        let inc_var = self.expect_ident("loop iterator in increment")?;
+        if inc_var != var {
+            return Err(ParseError::InconsistentIterator {
+                declared: var,
+                found: inc_var,
+            });
+        }
+        self.expect(&Token::PlusPlus, "'++'")?;
+        self.expect(&Token::RParen, "')'")?;
+        Ok(LoopAst {
+            var,
+            lower,
+            upper,
+            upper_inclusive,
+        })
+    }
+}
+
+/// Parses a full program. The body (if present) is captured verbatim
+/// from the source between the outermost braces following the loops.
+pub fn parse(src: &str) -> Result<ProgramAst, ParseError> {
+    // Split off the body first: everything from the first '{' after the
+    // last loop header. We find it by scanning the raw text (the lexer
+    // would otherwise need to understand arbitrary C).
+    let (head, body) = match src.find('{') {
+        Some(open) => {
+            let mut depth = 0usize;
+            let mut close = None;
+            for (k, c) in src[open..].char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(open + k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let close = close.ok_or(ParseError::UnbalancedBody)?;
+            (
+                &src[..open],
+                src[open + 1..close].trim().to_string(),
+            )
+        }
+        None => (src, String::new()),
+    };
+
+    // Extract an optional OpenMP pragma (the paper's tool input format:
+    // loops annotated with `#pragma omp parallel for collapse(c)`).
+    let mut collapse: Option<usize> = None;
+    let mut schedule: Option<String> = None;
+    let mut stripped = String::with_capacity(head.len());
+    for line in head.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#pragma") {
+            if let Some(pos) = trimmed.find("collapse(") {
+                let rest = &trimmed[pos + "collapse(".len()..];
+                if let Some(end) = rest.find(')') {
+                    collapse = rest[..end].trim().parse().ok();
+                }
+            }
+            if let Some(pos) = trimmed.find("schedule(") {
+                let rest = &trimmed[pos + "schedule(".len()..];
+                if let Some(end) = rest.find(')') {
+                    schedule = Some(rest[..end].trim().to_string());
+                }
+            }
+            continue; // the pragma line itself is not lexed
+        }
+        stripped.push_str(line);
+        stripped.push('\n');
+    }
+
+    let tokens = lex(&stripped).map_err(ParseError::Lex)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    let mut params = Vec::new();
+    if p.peek() == Some(&Token::Ident("params".into())) {
+        p.bump();
+        params.push(p.expect_ident("parameter name")?);
+        while p.peek() == Some(&Token::Comma) {
+            p.bump();
+            params.push(p.expect_ident("parameter name")?);
+        }
+        p.expect(&Token::Semi, "';'")?;
+    }
+
+    let mut loops = Vec::new();
+    while p.peek().is_some() {
+        loops.push(p.parse_loop()?);
+    }
+    if loops.is_empty() {
+        return Err(ParseError::NoLoops);
+    }
+    if let Some(c) = collapse {
+        if c == 0 || c > loops.len() {
+            return Err(ParseError::Unexpected {
+                expected: format!("collapse depth within 1..={}", loops.len()),
+                found: None,
+                offset: 0,
+            });
+        }
+    }
+    Ok(ProgramAst {
+        params,
+        loops,
+        body,
+        collapse,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORRELATION: &str = r#"
+        params N;
+        for (i = 0; i < N - 1; i++)
+          for (j = i + 1; j < N; j++)
+          {
+            for (k = 0; k < N; k++)
+              a[i][j] += b[k][i] * c[k][j];
+            a[j][i] = a[i][j];
+          }
+    "#;
+
+    #[test]
+    fn parses_correlation_source() {
+        let prog = parse(CORRELATION).unwrap();
+        assert_eq!(prog.params, vec!["N"]);
+        assert_eq!(prog.loops.len(), 2);
+        assert_eq!(prog.loops[0].var, "i");
+        assert_eq!(prog.loops[1].var, "j");
+        assert!(!prog.loops[0].upper_inclusive);
+        assert!(prog.body.contains("a[j][i] = a[i][j];"));
+        // End-to-end into a nest:
+        let nest = prog.to_nest().unwrap();
+        assert_eq!(nest.count_enumerated(&[10]), 45);
+    }
+
+    #[test]
+    fn parses_figure6_source() {
+        let src = "params N;
+            for (i = 0; i < N - 1; i++)
+              for (j = 0; j < i + 1; j++)
+                for (k = j; k < i + 1; k++)
+                  { S(i, j, k); }";
+        let prog = parse(src).unwrap();
+        let nest = prog.to_nest().unwrap();
+        assert_eq!(nest.count_enumerated(&[10]), (1000 - 10) / 6);
+    }
+
+    #[test]
+    fn parses_inclusive_bounds() {
+        let prog = parse("for (i = 1; i <= 10; i++)").unwrap();
+        assert!(prog.loops[0].upper_inclusive);
+        let nest = prog.to_nest().unwrap();
+        assert_eq!(nest.count_enumerated(&[]), 10);
+    }
+
+    #[test]
+    fn rejects_iterator_mismatch() {
+        let err = parse("for (i = 0; j < 5; i++)").unwrap_err();
+        assert!(matches!(err, ParseError::InconsistentIterator { .. }));
+        let err = parse("for (i = 0; i < 5; j++)").unwrap_err();
+        assert!(matches!(err, ParseError::InconsistentIterator { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        assert_eq!(parse("params N;").unwrap_err(), ParseError::NoLoops);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("for (i = 0; i < 5; i--)").is_err());
+        assert!(matches!(parse("for (i = 0; i < @; i++)").unwrap_err(), ParseError::Lex(_)));
+    }
+
+    #[test]
+    fn pragma_collapse_and_schedule_extracted() {
+        let src = "params N;
+            #pragma omp parallel for collapse(2) schedule(static, 64)
+            for (i = 0; i < N - 1; i++)
+              for (j = 0; j < i + 1; j++)
+                for (k = j; k < i + 1; k++)
+                { S(i, j, k); }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.collapse, Some(2));
+        assert_eq!(prog.schedule.as_deref(), Some("static, 64"));
+        assert_eq!(prog.loops.len(), 3);
+    }
+
+    #[test]
+    fn pragma_collapse_out_of_range_rejected() {
+        let src = "#pragma omp parallel for collapse(5)
+            for (i = 0; i < 9; i++) { b; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn no_pragma_means_collapse_everything() {
+        let prog = parse("for (i = 0; i < 9; i++) { b; }").unwrap();
+        assert_eq!(prog.collapse, None);
+        assert_eq!(prog.schedule, None);
+    }
+
+    #[test]
+    fn nested_braces_in_body() {
+        let prog = parse("for (i = 0; i < 5; i++) { if (x) { y(); } }").unwrap();
+        assert_eq!(prog.body, "if (x) { y(); }");
+    }
+
+    #[test]
+    fn unbalanced_body_rejected() {
+        assert_eq!(
+            parse("for (i = 0; i < 5; i++) { oops(").unwrap_err(),
+            ParseError::UnbalancedBody
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Lexer for the loop-nest mini-language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `++`
+    PlusPlus,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Assign => write!(f, "="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::PlusPlus => write!(f, "++"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+        }
+    }
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending byte offset.
+    pub offset: usize,
+    /// The unexpected character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at offset {}", self.ch, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` up to (but not including) the loop body: the caller
+/// stops consuming at the brace depth it cares about. Comments (`//` to
+/// end of line) and whitespace are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Assign, offset: i });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, offset: i });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, offset: i });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'+') {
+                    out.push(Spanned { token: Token::PlusPlus, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Plus, offset: i });
+                    i += 1;
+                }
+            }
+            '-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().expect("digits parse");
+                out.push(Spanned { token: Token::Int(n), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => return Err(LexError { offset: i, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_for_header() {
+        assert_eq!(
+            tokens("for (i = 0; i < N - 1; i++)"),
+            vec![
+                Token::Ident("for".into()),
+                Token::LParen,
+                Token::Ident("i".into()),
+                Token::Assign,
+                Token::Int(0),
+                Token::Semi,
+                Token::Ident("i".into()),
+                Token::Lt,
+                Token::Ident("N".into()),
+                Token::Minus,
+                Token::Int(1),
+                Token::Semi,
+                Token::Ident("i".into()),
+                Token::PlusPlus,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_lt_le() {
+        assert_eq!(tokens("< <="), vec![Token::Lt, Token::Le]);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        assert_eq!(
+            tokens("a // comment\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("i @ j").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn multi_digit_and_underscored_idents() {
+        assert_eq!(
+            tokens("x_1 12345"),
+            vec![Token::Ident("x_1".into()), Token::Int(12345)]
+        );
+    }
+}

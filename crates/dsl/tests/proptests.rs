@@ -1,0 +1,132 @@
+//! Property tests for the DSL: parser round-trips and formula
+//! equivalence on randomly generated nest sources.
+
+use nrl_core::CollapseSpec;
+use nrl_dsl::{build_formulas, generate_c, parse, CodegenOptions, CodegenStyle};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Generates a random valid 2-deep source (triangular-ish family) plus
+/// a parameter value giving a non-empty valid domain.
+fn arb_source() -> impl Strategy<Value = (String, i64)> {
+    (
+        0i64..3,   // outer lower
+        4i64..9,   // outer extent beyond lower
+        0i64..2,   // inner lower slope on i
+        0i64..3,   // inner lower offset
+        1i64..3,   // inner upper slope numerator (j < slope*i + N…)
+        10i64..25, // N
+    )
+        .prop_map(|(a, ext, c, e, d, n)| {
+            let src = format!(
+                "params N;\n\
+                 for (i = {a}; i < {b}; i++)\n\
+                   for (j = {c}*i + {e}; j < {d}*i + N; j++)\n\
+                   {{ body; }}",
+                a = a,
+                b = a + ext,
+                c = c,
+                e = e,
+                d = d,
+            );
+            (src, n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: arbitrary input produces `Ok` or `Err`,
+    /// never a panic (robustness against malformed tool input).
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,120}") {
+        let _ = parse(&src);
+    }
+
+    /// Same for near-miss inputs built from the language's own tokens.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "for", "(", ")", ";", "i", "j", "N", "=", "<", "<=", "++",
+                "+", "-", "*", "{", "}", "0", "1", "42", "params", ",",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parse_lower_enumerate_roundtrip((src, n) in arb_source()) {
+        let prog = parse(&src).expect("generated source parses");
+        let nest = prog.to_nest().expect("generated source lowers");
+        // Domain sanity + enumerability.
+        prop_assume!(nest.check_trip_counts(&[n], false).is_ok());
+        let count = nest.count_enumerated(&[n]);
+        let spec = CollapseSpec::new(&nest).expect("collapsible");
+        let collapsed = spec.bind(&[n]).expect("bind");
+        prop_assert_eq!(collapsed.total() as u128, count);
+    }
+
+    /// Every emission style generates for every valid source, and the
+    /// emitted text carries that style's structural landmarks.
+    #[test]
+    fn all_codegen_styles_emit((src, n) in arb_source(), vlen in 1usize..16, warp in 1usize..64) {
+        let prog = parse(&src).expect("parses");
+        let nest = prog.to_nest().expect("lowers");
+        prop_assume!(nest.check_trip_counts(&[n], false).is_ok());
+        let spec = CollapseSpec::new(&nest).expect("collapsible");
+        prop_assume!(spec.bind(&[n]).map(|c| c.total() > 0).unwrap_or(false));
+        for style in [
+            CodegenStyle::Naive,
+            CodegenStyle::Chunked,
+            CodegenStyle::ChunkedBy(vlen as u64 * 17),
+            CodegenStyle::Simd(vlen),
+            CodegenStyle::GpuWarp(warp),
+        ] {
+            let opts = CodegenOptions { style, sample_params: vec![n], ..CodegenOptions::default() };
+            let code = generate_c(&prog, &spec, &opts).expect("emits");
+            prop_assert!(code.contains("for (pc"), "{style:?}: {code}");
+            let landmark = match style {
+                CodegenStyle::Naive => None,
+                CodegenStyle::Chunked => Some("firstprivate(first_iteration)".to_string()),
+                CodegenStyle::ChunkedBy(c) => Some(format!("% {c} == 0")),
+                CodegenStyle::Simd(v) => Some(format!("pc += {}", v.max(1))),
+                CodegenStyle::GpuWarp(w) => Some(format!("pc += {}", w.max(1))),
+            };
+            if let Some(mark) = landmark {
+                prop_assert!(code.contains(&mark), "missing landmark in {style:?}");
+            } else {
+                prop_assert!(!code.contains("first_iteration"));
+            }
+            if let CodegenStyle::Simd(_) = style {
+                prop_assert!(code.contains("#pragma omp simd"));
+            }
+        }
+    }
+
+    #[test]
+    fn formulas_recover_all_indices((src, n) in arb_source()) {
+        let prog = parse(&src).expect("parses");
+        let nest = prog.to_nest().expect("lowers");
+        prop_assume!(nest.check_trip_counts(&[n], false).is_ok());
+        let spec = CollapseSpec::new(&nest).expect("collapsible");
+        let collapsed = spec.bind(&[n]).expect("bind");
+        prop_assume!(collapsed.total() > 0);
+        let formulas = build_formulas(&spec, &[n]).expect("formulas");
+        // Validate the emitted formulas on every rank of the domain.
+        for pc in 1..=collapsed.total() {
+            let point = collapsed.unrank(pc);
+            let mut bind: HashMap<String, f64> = HashMap::new();
+            bind.insert("pc".into(), pc as f64);
+            bind.insert("N".into(), n as f64);
+            let i = formulas[0].expr.eval(&bind);
+            prop_assert_eq!((i.re + 1e-9).floor() as i64, point[0], "pc={} i", pc);
+            bind.insert("i".into(), point[0] as f64);
+            let j = formulas[1].expr.eval(&bind);
+            prop_assert_eq!((j.re + 1e-9).floor() as i64, point[1], "pc={} j", pc);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Dense row-major matrices with deterministic pseudo-random content.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with reproducible pseudo-random entries in `[0, 1)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen::<f64>()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Flat index of `(i, j)` (for [`SyncSlice`](crate::SyncSlice)
+    /// writers).
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        i * self.cols + j
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing storage, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every element to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// A position-weighted checksum: catches value *and* placement
+    /// errors (a plain sum would miss transposed writes).
+    pub fn checksum(&self) -> f64 {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * ((k % 97) as f64 + 1.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        *m.at_mut(2, 3) = 7.5;
+        assert_eq!(m.at(2, 3), 7.5);
+        assert_eq!(m.idx(2, 3), 11);
+        assert_eq!(m.row(2)[3], 7.5);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Matrix::random(5, 5, 42);
+        let b = Matrix::random(5, 5, 42);
+        let c = Matrix::random(5, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn checksum_detects_transposition() {
+        let mut a = Matrix::zeros(4, 4);
+        *a.at_mut(1, 2) = 1.0;
+        let mut b = Matrix::zeros(4, 4);
+        *b.at_mut(2, 1) = 1.0;
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut m = Matrix::random(3, 3, 7);
+        m.clear();
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! `cholupd`: the right-looking Cholesky trailing-submatrix update — a
+//! triangular space with a **parametric offset** (`i, j ≥ K0+1`),
+//! standing in for the paper's Pluto-transformed kernels whose
+//! non-rectangular spaces carry symbolic offsets.
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// One trailing update step of right-looking Cholesky at pivot `k0`:
+/// `A[i][j] −= L[i][k0]·L[j][k0]` for `k0 < j ≤ i < N`. O(1) body —
+/// scheduling overhead dominates, the opposite regime from the
+/// reduction-heavy kernels.
+pub struct CholUpd {
+    n: usize,
+    k0: usize,
+    a: Matrix,
+    a0: Matrix,
+    l: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl CholUpd {
+    /// Builds the kernel with `N = n` and pivot `k0 = n/8`.
+    pub fn new(n: usize) -> Self {
+        let k0 = n / 8;
+        let s = Space::new(&["i", "j"], &["N", "K0"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.var("K0") + 1, s.var("N") - 1),
+                (s.var("K0") + 1, s.var("i")),
+            ],
+        )
+        .expect("cholupd nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64, k0 as i64]);
+        let a0 = Matrix::random(n, n, 0xC401);
+        CholUpd {
+            n,
+            k0,
+            a: a0.clone(),
+            a0,
+            l: Matrix::random(n, n, 0xC402),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for CholUpd {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "cholupd",
+            shape: "triangular, parametric offset".into(),
+            size: format!("N={} K0={}", self.n, self.k0),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.a.as_mut_slice().copy_from_slice(self.a0.as_slice());
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let k0 = self.k0;
+        let cols = self.a.cols();
+        let out = SyncSlice::new(self.a.as_mut_slice());
+        let l = &self.l;
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            // SAFETY: (i, j) with k0 < j ≤ i owns exactly cell (i, j).
+            unsafe { out.add(i * cols + j, -(l.at(i, k0) * l.at(j, k0))) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.a.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = CholUpd::new(64);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference);
+    }
+
+    #[test]
+    fn untouched_region_preserved() {
+        let mut k = CholUpd::new(32);
+        k.execute(&Mode::Seq);
+        let k0 = k.k0;
+        for i in 0..32 {
+            for j in 0..32 {
+                let touched = i > k0 && j > k0 && j <= i;
+                if !touched {
+                    assert_eq!(k.a.at(i, j), k.a0.at(i, j), "({i},{j})");
+                } else {
+                    let expect = k.a0.at(i, j) - k.l.at(i, k0) * k.l.at(j, k0);
+                    assert_eq!(k.a.at(i, j), expect, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut k = CholUpd::new(24);
+        let before = k.checksum();
+        k.execute(&Mode::Seq);
+        assert_ne!(k.checksum(), before);
+        k.reset();
+        assert_eq!(k.checksum(), before);
+    }
+}

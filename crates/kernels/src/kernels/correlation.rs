@@ -1,0 +1,255 @@
+//! The paper's motivating kernel (Fig. 1) and its tiled variant.
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// Fig. 1 verbatim: for `0 ≤ i < N−1`, `i+1 ≤ j < N`:
+/// `a[i][j] += Σ_k b[k][i]·c[k][j]; a[j][i] = a[i][j]`.
+///
+/// The `(i, j)` pair loops are dependence-free (each pair owns the two
+/// mirror cells it writes) and triangular — the classic imbalance case.
+pub struct Correlation {
+    n: usize,
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Correlation {
+    /// Builds the kernel with `N = n`.
+    pub fn new(n: usize) -> Self {
+        let nest = NestSpec::correlation();
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64]);
+        Correlation {
+            n,
+            a: Matrix::zeros(n, n),
+            b: Matrix::random(n, n, 0xC0_FFEE),
+            c: Matrix::random(n, n, 0xBEEF),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Correlation {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "correlation",
+            shape: "triangular".into(),
+            size: format!("N={}", self.n),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.a.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let n = self.n;
+        let cols = self.a.cols();
+        let out = SyncSlice::new(self.a.as_mut_slice());
+        let (b, c) = (&self.b, &self.c);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut acc = 0.0f64;
+            for k in 0..n {
+                acc += b.at(k, i) * c.at(k, j);
+            }
+            // SAFETY: iteration (i, j) with i < j exclusively owns cells
+            // (i, j) and (j, i); no other pair maps to either.
+            unsafe {
+                out.add(i * cols + j, acc);
+                out.write(j * cols + i, acc);
+            }
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.a.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+/// Correlation with the `(i, j)` space tiled by `ts × ts` blocks, as
+/// Pluto's `--tile` would produce: the **tile loops** `(it, jt)` form a
+/// triangular (non-rectangular) space that OpenMP cannot collapse, and
+/// the diagonal tiles carry roughly half the work of full tiles — the
+/// incomplete-tile imbalance the paper calls out. The intra-tile loops
+/// (with `min`/`max` bounds) stay inside the body, matching the model's
+/// requirement that only the *collapsed* loops have affine bounds.
+pub struct CorrelationTiled {
+    n: usize,
+    ts: usize,
+    nt: usize,
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl CorrelationTiled {
+    /// Builds the kernel with `N = n` and tile size `ts`.
+    pub fn new(n: usize, ts: usize) -> Self {
+        assert!(ts >= 1, "tile size must be positive");
+        let nt = n.div_ceil(ts).max(1);
+        // Tile space: it in 0..=NT−1, jt in it..=NT−1.
+        let s = Space::new(&["it", "jt"], &["NT"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("NT") - 1), (s.var("it"), s.var("NT") - 1)],
+        )
+        .expect("tile nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[nt as i64]);
+        CorrelationTiled {
+            n,
+            ts,
+            nt,
+            a: Matrix::zeros(n, n),
+            b: Matrix::random(n, n, 0xC0_FFEE),
+            c: Matrix::random(n, n, 0xBEEF),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for CorrelationTiled {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "correlation_tiled",
+            shape: "triangular tile space".into(),
+            size: format!("N={} ts={} ({}×{} tiles)", self.n, self.ts, self.nt, self.nt),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.a.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let (n, ts) = (self.n, self.ts);
+        let cols = self.a.cols();
+        let out = SyncSlice::new(self.a.as_mut_slice());
+        let (b, c) = (&self.b, &self.c);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (it, jt) = (p[0] as usize, p[1] as usize);
+            // Intra-tile bounds with clamping (min/max bounds stay in
+            // the body — not collapsed).
+            let i_end = ((it + 1) * ts).min(n.saturating_sub(1));
+            for i in it * ts..i_end {
+                let j_start = (jt * ts).max(i + 1);
+                let j_end = ((jt + 1) * ts).min(n);
+                for j in j_start..j_end {
+                    let mut acc = 0.0f64;
+                    for k in 0..n {
+                        acc += b.at(k, i) * c.at(k, j);
+                    }
+                    // SAFETY: tiles partition the (i, j) triangle, so the
+                    // (i, j)/(j, i) ownership argument of `Correlation`
+                    // carries over.
+                    unsafe {
+                        out.add(i * cols + j, acc);
+                        out.write(j * cols + i, acc);
+                    }
+                }
+            }
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.a.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Correlation::new(40);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        assert!(reference != 0.0);
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference, "bitwise-identical expected");
+    }
+
+    #[test]
+    fn tiled_matches_untiled() {
+        let pool = ThreadPool::new(3);
+        let mut plain = Correlation::new(50);
+        plain.execute(&Mode::Seq);
+        let expect = plain.checksum();
+        for ts in [1usize, 7, 16, 64, 100] {
+            let mut tiled = CorrelationTiled::new(50, ts);
+            tiled.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule: Schedule::Dynamic(1),
+                recovery: Recovery::OncePerChunk,
+            });
+            assert_eq!(tiled.checksum(), expect, "ts={ts}");
+        }
+    }
+
+    #[test]
+    fn outer_parallel_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Correlation::new(35);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        for schedule in [Schedule::Static, Schedule::Dynamic(1)] {
+            k.reset();
+            k.execute(&Mode::Outer {
+                pool: &pool,
+                schedule,
+            });
+            assert_eq!(k.checksum(), reference, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn symmetry_of_output() {
+        let mut k = Correlation::new(20);
+        k.execute(&Mode::Seq);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(k.a.at(i, j), k.a.at(j, i), "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Extension kernels covering the shape classes the paper's §I lists
+//! but §VII does not exercise: a **rhomboid** band and a 3-D sheared
+//! **parallelepiped** (the space loop skewing produces).
+//!
+//! Both shapes have constant trip counts per level, so outer-static is
+//! *not* imbalanced — these kernels instead demonstrate the paper's
+//! other motivation (§I): collapsing *exposes more concurrency*. Their
+//! default sizes are deliberately "short-fat" (few outer rows, long
+//! inner extent): parallelizing the outer loop alone caps the usable
+//! parallelism at the row count, while the collapsed loop spreads
+//! `rows × width` iterations over every thread.
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// Rhomboid band triad: `c[i][j−i] = α·a[i][j−i] + b[i][j−i]` over
+/// `{0 ≤ i < R, i ≤ j ≤ i + W}` — a sheared band of `R` rows, each
+/// exactly `W + 1` wide.
+pub struct Banded {
+    rows: usize,
+    width: usize,
+    alpha: f64,
+    c: Matrix,
+    a: Matrix,
+    b: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Banded {
+    /// Builds the kernel with `R = rows` band rows of width `W + 1 =
+    /// width + 1`.
+    pub fn new(rows: usize, width: usize) -> Self {
+        let s = Space::new(&["i", "j"], &["R", "W"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("R") - 1),
+                (s.var("i"), s.var("i") + s.var("W")),
+            ],
+        )
+        .expect("banded nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[rows as i64, width as i64]);
+        Banded {
+            rows,
+            width,
+            alpha: 1.5,
+            c: Matrix::zeros(rows, width + 1),
+            a: Matrix::random(rows, width + 1, 0xBA4D),
+            b: Matrix::random(rows, width + 1, 0xBA4E),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Banded {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "banded",
+            shape: "rhomboid (sheared band)".into(),
+            size: format!("R={} W={}", self.rows, self.width),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let (a, b, alpha) = (&self.a, &self.b, self.alpha);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, d) = (p[0] as usize, (p[1] - p[0]) as usize);
+            // SAFETY: each (i, j) owns exactly the band cell (i, j−i).
+            unsafe { out.write(i * cols + d, alpha * a.at(i, d) + b.at(i, d)) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+/// 3-D sheared box (parallelepiped): `{0 ≤ i < P, i ≤ j < i + Q,
+/// j ≤ k < j + R}` — the iteration-space signature of doubly skewed
+/// loops. Each point writes its own cell of a `P × (Q·R)` store.
+pub struct Sheared3d {
+    p: usize,
+    q: usize,
+    r: usize,
+    c: Matrix,
+    a: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Sheared3d {
+    /// Builds the kernel over the `P × Q × R` sheared box.
+    pub fn new(p: usize, q: usize, r: usize) -> Self {
+        let s = Space::new(&["i", "j", "k"], &["P", "Q", "R"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("P") - 1),
+                (s.var("i"), s.var("i") + s.var("Q") - 1),
+                (s.var("j"), s.var("j") + s.var("R") - 1),
+            ],
+        )
+        .expect("sheared nest is well-formed");
+        let (bound, collapsed) =
+            super::build_collapse(&nest, &[p as i64, q as i64, r as i64]);
+        Sheared3d {
+            p,
+            q,
+            r,
+            c: Matrix::zeros(p, q * r),
+            a: Matrix::random(p, q * r, 0x5EA4),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Sheared3d {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "sheared3d",
+            shape: "parallelepiped (doubly skewed box)".into(),
+            size: format!("P={} Q={} R={}", self.p, self.q, self.r),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 3,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let r = self.r;
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let a = &self.a;
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let i = p[0] as usize;
+            let dj = (p[1] - p[0]) as usize;
+            let dk = (p[2] - p[1]) as usize;
+            let cell = dj * r + dk;
+            // SAFETY: (i, j, k) owns exactly cell (i, (j−i)·R + (k−j)).
+            unsafe { out.write(i * cols + cell, 2.0 * a.at(i, cell) + 1.0) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn banded_total_and_shape() {
+        let k = Banded::new(10, 7);
+        assert_eq!(k.info().total_iterations, 10 * 8);
+        assert_eq!(k.info().shape, "rhomboid (sheared band)");
+    }
+
+    #[test]
+    fn shapes_classify_as_parallelepiped() {
+        // Both extension nests have iterator-shifted bounds with
+        // constant trip counts — the classifier's Parallelepiped class.
+        use nrl_polyhedra::Shape;
+        let s = Space::new(&["i", "j"], &["R", "W"]);
+        let banded = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("R") - 1),
+                (s.var("i"), s.var("i") + s.var("W")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(banded.shape(), Shape::Parallelepiped);
+        let s = Space::new(&["i", "j", "k"], &["P", "Q", "R"]);
+        let sheared = NestSpec::new(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("P") - 1),
+                (s.var("i"), s.var("i") + s.var("Q") - 1),
+                (s.var("j"), s.var("j") + s.var("R") - 1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(sheared.shape(), Shape::Parallelepiped);
+    }
+
+    #[test]
+    fn banded_collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Banded::new(13, 50);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        assert!(reference != 0.0);
+        for schedule in [Schedule::Static, Schedule::Dynamic(16)] {
+            k.reset();
+            k.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule,
+                recovery: Recovery::OncePerChunk,
+            });
+            assert_eq!(k.checksum(), reference, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn banded_values_are_exact() {
+        let mut k = Banded::new(6, 4);
+        k.execute(&Mode::Seq);
+        for i in 0..6 {
+            for d in 0..5 {
+                assert_eq!(k.c.at(i, d), 1.5 * k.a.at(i, d) + k.b.at(i, d));
+            }
+        }
+    }
+
+    #[test]
+    fn sheared_total_is_box_volume() {
+        let k = Sheared3d::new(5, 4, 3);
+        assert_eq!(k.info().total_iterations, 5 * 4 * 3);
+    }
+
+    #[test]
+    fn sheared_collapsed_matches_sequential() {
+        let pool = ThreadPool::new(3);
+        let mut k = Sheared3d::new(4, 9, 11);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        assert!(reference != 0.0);
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference);
+        // Warp-sim too (§VI.B executes strided lanes over the box).
+        k.reset();
+        k.execute(&Mode::Warp {
+            pool: &pool,
+            warp: 16,
+        });
+        assert_eq!(k.checksum(), reference);
+    }
+
+    #[test]
+    fn short_fat_band_exposes_concurrency() {
+        // 3 rows, 12 threads: outer-parallel can use at most 3 threads;
+        // the collapsed loop spreads 3·(W+1) iterations over all 12.
+        let pool = ThreadPool::new(12);
+        let mut k = Banded::new(3, 1199);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference);
+        // Distribution check straight from the executor.
+        let report = nrl_core::run_collapsed(
+            &pool,
+            k.collapsed(),
+            Schedule::Static,
+            Recovery::OncePerChunk,
+            |_, _| {},
+        );
+        let busy = report
+            .per_thread()
+            .iter()
+            .filter(|t| t.iterations > 0)
+            .count();
+        assert_eq!(busy, 12, "collapsed must use every thread");
+        let outer = nrl_core::run_outer_parallel(
+            &pool,
+            k.bound_nest(),
+            Schedule::Static,
+            |_, _| {},
+        );
+        let outer_busy = outer
+            .per_thread()
+            .iter()
+            .filter(|t| t.iterations > 0)
+            .count();
+        assert_eq!(outer_busy, 3, "outer-parallel is capped at the row count");
+    }
+}

@@ -1,0 +1,149 @@
+//! `ltmp`: lower-triangular matrix product — the paper's heavy
+//! triangular program (4000×4000 in the paper). Per the paper's §VII
+//! note, only the two outer loops are collapsed; the `k` reduction with
+//! non-constant bounds stays inside the body.
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// `C[i][j] = Σ_{k=j}^{i} A[i][k]·B[k][j]` for `j ≤ i` (the product of
+/// two lower-triangular matrices is lower-triangular).
+pub struct Ltmp {
+    n: usize,
+    c: Matrix,
+    a: Matrix,
+    b: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Ltmp {
+    /// Builds the kernel with `N = n`.
+    pub fn new(n: usize) -> Self {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.cst(0), s.var("i"))],
+        )
+        .expect("ltmp nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64]);
+        let mut a = Matrix::random(n, n, 0x17A1);
+        let mut b = Matrix::random(n, n, 0x17A2);
+        for i in 0..n {
+            for j in i + 1..n {
+                *a.at_mut(i, j) = 0.0;
+                *b.at_mut(i, j) = 0.0;
+            }
+        }
+        Ltmp {
+            n,
+            c: Matrix::zeros(n, n),
+            a,
+            b,
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Ltmp {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "ltmp",
+            shape: "triangular, band reduction".into(),
+            size: format!("N={}", self.n),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let (a, b) = (&self.a, &self.b);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut acc = 0.0f64;
+            for k in j..=i {
+                acc += a.at(i, k) * b.at(k, j);
+            }
+            // SAFETY: (i, j) with j ≤ i owns exactly cell (i, j).
+            unsafe { out.write(i * cols + j, acc) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Ltmp::new(40);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference);
+    }
+
+    #[test]
+    fn matches_dense_matmul_on_triangular_inputs() {
+        let mut k = Ltmp::new(16);
+        k.execute(&Mode::Seq);
+        for i in 0..16 {
+            for j in 0..16 {
+                let mut acc = 0.0;
+                for kk in 0..16 {
+                    acc += k.a.at(i, kk) * k.b.at(kk, j);
+                }
+                if j <= i {
+                    assert!((k.c.at(i, j) - acc).abs() < 1e-12, "({i},{j})");
+                } else {
+                    assert_eq!(k.c.at(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warp_mode_matches_sequential() {
+        let pool = ThreadPool::new(2);
+        let mut k = Ltmp::new(24);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        k.reset();
+        k.execute(&Mode::Warp {
+            pool: &pool,
+            warp: 32,
+        });
+        assert_eq!(k.checksum(), reference);
+    }
+}

@@ -1,0 +1,35 @@
+//! The individual evaluation programs.
+
+mod cholupd;
+mod extended;
+mod correlation;
+mod covariance;
+mod ltmp;
+mod symm;
+mod syr2k;
+mod syrk;
+mod trmm;
+mod utma;
+
+pub use cholupd::CholUpd;
+pub use extended::{Banded, Sheared3d};
+pub use correlation::{Correlation, CorrelationTiled};
+pub use covariance::{Covariance, CovarianceTiled};
+pub use ltmp::Ltmp;
+pub use symm::Symm;
+pub use syr2k::Syr2k;
+pub use syrk::Syrk;
+pub use trmm::Trmm;
+pub use utma::Utma;
+
+use nrl_core::{Collapsed, CollapseSpec};
+use nrl_polyhedra::{BoundNest, NestSpec};
+
+/// Builds the run-time collapse objects for a kernel's nest.
+pub(crate) fn build_collapse(nest: &NestSpec, params: &[i64]) -> (BoundNest, Collapsed) {
+    let spec = CollapseSpec::new(nest).expect("kernel nest within supported depth");
+    let collapsed = spec
+        .bind(params)
+        .expect("kernel domain must have non-negative trip counts");
+    (nest.bind(params), collapsed)
+}

@@ -1,0 +1,141 @@
+//! `symm`-style triangular kernel: `j ≤ i` with an `(i, j)`-dependent
+//! inner reduction (`k ∈ j..=i`) — a tetrahedral total workload.
+//!
+//! Polybench's in-place `symm` carries a dependence on the outer loop;
+//! this is the dependence-free reformulation the collapse model requires
+//! (DESIGN.md lists the substitution): each `(i, j)` with `j ≤ i` writes
+//! its own lower-triangle cell of `C`.
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+const ALPHA: f64 = 1.5;
+const BETA: f64 = 1.2;
+
+/// `C[i][j] = β·C₀[i][j] + α·Σ_{k=j}^{i} A[i][k]·B[k][j]` for `j ≤ i`.
+pub struct Symm {
+    n: usize,
+    c: Matrix,
+    c0: Matrix,
+    a: Matrix,
+    b: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Symm {
+    /// Builds the kernel with `N = n`.
+    pub fn new(n: usize) -> Self {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.cst(0), s.var("i"))],
+        )
+        .expect("symm nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64]);
+        Symm {
+            n,
+            c: Matrix::zeros(n, n),
+            c0: Matrix::random(n, n, 0x51_3141),
+            a: Matrix::random(n, n, 0xA11CE),
+            b: Matrix::random(n, n, 0xB0B),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Symm {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "symm",
+            shape: "triangular, i-dependent reduction".into(),
+            size: format!("N={}", self.n),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let (a, b, c0) = (&self.a, &self.b, &self.c0);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut acc = 0.0f64;
+            for k in j..=i {
+                acc += a.at(i, k) * b.at(k, j);
+            }
+            // SAFETY: (i, j) with j ≤ i owns exactly cell (i, j).
+            unsafe { out.write(i * cols + j, BETA * c0.at(i, j) + ALPHA * acc) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Symm::new(40);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        for recovery in [Recovery::Naive, Recovery::OncePerChunk, Recovery::BinarySearch] {
+            k.reset();
+            k.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule: Schedule::Static,
+                recovery,
+            });
+            assert_eq!(k.checksum(), reference, "{recovery:?}");
+        }
+    }
+
+    #[test]
+    fn strictly_lower_triangle_untouched() {
+        let mut k = Symm::new(15);
+        k.execute(&Mode::Seq);
+        for i in 0..15 {
+            for j in i + 1..15 {
+                assert_eq!(k.c.at(i, j), 0.0, "({i},{j}) should stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_cell() {
+        let mut k = Symm::new(6);
+        k.execute(&Mode::Seq);
+        let (i, j) = (4usize, 2usize);
+        let mut acc = 0.0;
+        for kk in j..=i {
+            acc += k.a.at(i, kk) * k.b.at(kk, j);
+        }
+        let expect = BETA * k.c0.at(i, j) + ALPHA * acc;
+        assert_eq!(k.c.at(i, j), expect);
+    }
+}

@@ -1,0 +1,142 @@
+//! `trmm`: upper-triangular × upper-triangular product — triangular
+//! `(i, j)` space (`j ≥ i`) with a `(j − i + 1)`-length reduction.
+//!
+//! The Polybench in-place `trmm` reads rows it later overwrites (a
+//! loop-carried dependence that forbids collapsing); this out-of-place
+//! formulation computes the same product into a fresh matrix, which is
+//! the standard dependence-free restructuring (see DESIGN.md).
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// `C[i][j] = Σ_{k=i}^{j} U1[i][k]·U2[k][j]` for `i ≤ j` (the product of
+/// two upper-triangular matrices is upper-triangular).
+pub struct Trmm {
+    n: usize,
+    c: Matrix,
+    u1: Matrix,
+    u2: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Trmm {
+    /// Builds the kernel with `N = n`.
+    pub fn new(n: usize) -> Self {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i"), s.var("N") - 1)],
+        )
+        .expect("trmm nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64]);
+        // Zero the strictly-lower parts so the inputs really are
+        // upper-triangular.
+        let mut u1 = Matrix::random(n, n, 0x7121);
+        let mut u2 = Matrix::random(n, n, 0x7122);
+        for i in 0..n {
+            for j in 0..i {
+                *u1.at_mut(i, j) = 0.0;
+                *u2.at_mut(i, j) = 0.0;
+            }
+        }
+        Trmm {
+            n,
+            c: Matrix::zeros(n, n),
+            u1,
+            u2,
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Trmm {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "trmm",
+            shape: "triangular, band reduction".into(),
+            size: format!("N={}", self.n),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let (u1, u2) = (&self.u1, &self.u2);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut acc = 0.0f64;
+            for k in i..=j {
+                acc += u1.at(i, k) * u2.at(k, j);
+            }
+            // SAFETY: (i, j) with i ≤ j owns exactly cell (i, j).
+            unsafe { out.write(i * cols + j, acc) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Trmm::new(40);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        k.reset();
+        k.execute(&Mode::Collapsed {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+        });
+        assert_eq!(k.checksum(), reference);
+    }
+
+    #[test]
+    fn matches_dense_matmul_on_triangular_inputs() {
+        let mut k = Trmm::new(18);
+        k.execute(&Mode::Seq);
+        // Dense O(n³) reference using the full (zero-padded) matrices.
+        for i in 0..18 {
+            for j in 0..18 {
+                let mut acc = 0.0;
+                for kk in 0..18 {
+                    acc += k.u1.at(i, kk) * k.u2.at(kk, j);
+                }
+                if j >= i {
+                    assert!((k.c.at(i, j) - acc).abs() < 1e-12, "({i},{j})");
+                } else {
+                    assert!(acc.abs() < 1e-12, "lower part should be zero");
+                    assert_eq!(k.c.at(i, j), 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! `utma`: upper-triangular matrix add — the paper's memory-bound
+//! program (5000×5000 in the paper; default scaled for desktop runs).
+
+use crate::data::Matrix;
+use crate::mode::{execute_mode, Mode};
+use crate::registry::{Kernel, KernelInfo};
+use crate::shared::SyncSlice;
+use nrl_core::Collapsed;
+use nrl_polyhedra::{BoundNest, NestSpec, Space};
+use std::time::Duration;
+
+/// `C[i][j] = A[i][j] + B[i][j]` for `j ≥ i`: one add per iteration, so
+/// the schedule's distribution quality is all that matters.
+pub struct Utma {
+    n: usize,
+    c: Matrix,
+    a: Matrix,
+    b: Matrix,
+    bound: BoundNest,
+    collapsed: Collapsed,
+}
+
+impl Utma {
+    /// Builds the kernel with `N = n`.
+    pub fn new(n: usize) -> Self {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i"), s.var("N") - 1)],
+        )
+        .expect("utma nest is well-formed");
+        let (bound, collapsed) = super::build_collapse(&nest, &[n as i64]);
+        Utma {
+            n,
+            c: Matrix::zeros(n, n),
+            a: Matrix::random(n, n, 0x07A1),
+            b: Matrix::random(n, n, 0x07A2),
+            bound,
+            collapsed,
+        }
+    }
+}
+
+impl Kernel for Utma {
+    fn info(&self) -> KernelInfo {
+        KernelInfo {
+            name: "utma",
+            shape: "triangular, O(1) body".into(),
+            size: format!("N={}", self.n),
+            total_iterations: self.collapsed.total() as u128,
+            collapsed_loops: 2,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.c.clear();
+    }
+
+    fn execute(&mut self, mode: &Mode) -> Duration {
+        let cols = self.c.cols();
+        let out = SyncSlice::new(self.c.as_mut_slice());
+        let (a, b) = (&self.a, &self.b);
+        execute_mode(&self.bound, &self.collapsed, mode, |_t, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            // SAFETY: (i, j) with i ≤ j owns exactly cell (i, j).
+            unsafe { out.write(i * cols + j, a.at(i, j) + b.at(i, j)) };
+        })
+    }
+
+    fn checksum(&self) -> f64 {
+        self.c.checksum()
+    }
+
+    fn collapsed(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    fn bound_nest(&self) -> &BoundNest {
+        &self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{Recovery, Schedule, ThreadPool};
+
+    #[test]
+    fn collapsed_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let mut k = Utma::new(100);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        for schedule in [Schedule::Static, Schedule::Dynamic(256)] {
+            k.reset();
+            k.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule,
+                recovery: Recovery::OncePerChunk,
+            });
+            assert_eq!(k.checksum(), reference, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn adds_are_exact() {
+        let mut k = Utma::new(30);
+        k.execute(&Mode::Seq);
+        for i in 0..30 {
+            for j in 0..30 {
+                if j >= i {
+                    assert_eq!(k.c.at(i, j), k.a.at(i, j) + k.b.at(i, j));
+                } else {
+                    assert_eq!(k.c.at(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_is_triangular_number() {
+        let k = Utma::new(100);
+        assert_eq!(k.info().total_iterations, 100 * 101 / 2);
+    }
+}

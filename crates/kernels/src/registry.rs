@@ -1,0 +1,127 @@
+//! The [`Kernel`] trait and the registry of all evaluation programs.
+
+use crate::mode::Mode;
+use nrl_core::Collapsed;
+use nrl_polyhedra::BoundNest;
+use std::time::Duration;
+
+/// Static facts about a kernel, for harness tables.
+#[derive(Clone, Debug)]
+pub struct KernelInfo {
+    /// Program name as used in the paper's figures.
+    pub name: &'static str,
+    /// Iteration-space shape label (triangular, tetrahedral, …).
+    pub shape: String,
+    /// Human-readable problem size.
+    pub size: String,
+    /// Total iterations of the collapsed loops.
+    pub total_iterations: u128,
+    /// How many loops are collapsed (always the outer parallel ones).
+    pub collapsed_loops: usize,
+}
+
+/// A benchmark program with a collapsible non-rectangular nest.
+pub trait Kernel: Send {
+    /// Static description.
+    fn info(&self) -> KernelInfo;
+    /// Clears the output array(s) so a fresh run starts from the same
+    /// state (inputs are immutable).
+    fn reset(&mut self);
+    /// Runs under the given mode, returning elapsed wall time.
+    fn execute(&mut self, mode: &Mode) -> Duration;
+    /// Output fingerprint for correctness comparison across modes.
+    fn checksum(&self) -> f64;
+    /// The collapsed-loop object (for unranking cost probes).
+    fn collapsed(&self) -> &Collapsed;
+    /// The bound nest of the collapsed loops.
+    fn bound_nest(&self) -> &BoundNest;
+}
+
+/// Instantiates every evaluation program at its default size scaled by
+/// `scale` (linear dimension multiplier; `1.0` = harness defaults,
+/// sized for desktop-class machines — the paper's EXTRALARGE sizes are
+/// roughly `scale = 6`).
+pub fn all_kernels(scale: f64) -> Vec<Box<dyn Kernel>> {
+    use crate::kernels::*;
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+    vec![
+        Box::new(Correlation::new(s(500))),
+        Box::new(CorrelationTiled::new(s(500), 64)),
+        Box::new(Covariance::new(s(500))),
+        Box::new(CovarianceTiled::new(s(500), 64)),
+        Box::new(Symm::new(s(600))),
+        Box::new(Syrk::new(s(600))),
+        Box::new(Syr2k::new(s(500))),
+        Box::new(Trmm::new(s(600))),
+        Box::new(CholUpd::new(s(4000))),
+        Box::new(Utma::new(s(3000))),
+        Box::new(Ltmp::new(s(700))),
+    ]
+}
+
+/// The extension kernels (not part of the paper's §VII set): the
+/// rhomboid and parallelepiped shape classes of §I, sized "short-fat"
+/// so they exercise the concurrency-exposure benefit of collapsing
+/// (outer-loop parallelism is capped at the small row count, while the
+/// collapsed loop spreads the full volume over every thread).
+pub fn extended_kernels(scale: f64) -> Vec<Box<dyn Kernel>> {
+    use crate::kernels::*;
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    vec![
+        Box::new(Banded::new(s(8), s(200_000))),
+        Box::new(Sheared3d::new(s(6), s(300), s(400))),
+    ]
+}
+
+/// Looks a kernel up by its paper name, at the given scale (searching
+/// the paper set first, then the extension set).
+pub fn kernel_by_name(name: &str, scale: f64) -> Option<Box<dyn Kernel>> {
+    all_kernels(scale)
+        .into_iter()
+        .chain(extended_kernels(scale))
+        .find(|k| k.info().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eleven_programs() {
+        let kernels = all_kernels(0.05);
+        assert_eq!(kernels.len(), 11);
+        let names: Vec<&str> = kernels.iter().map(|k| k.info().name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "correlation",
+                "correlation_tiled",
+                "covariance",
+                "covariance_tiled",
+                "symm",
+                "syrk",
+                "syr2k",
+                "trmm",
+                "cholupd",
+                "utma",
+                "ltmp"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(kernel_by_name("utma", 0.05).is_some());
+        assert!(kernel_by_name("nonexistent", 0.05).is_none());
+    }
+
+    #[test]
+    fn extended_registry_has_two_shapes() {
+        let kernels = extended_kernels(0.02);
+        let names: Vec<&str> = kernels.iter().map(|k| k.info().name).collect();
+        assert_eq!(names, vec!["banded", "sheared3d"]);
+        // Extension kernels are reachable through the by-name lookup too.
+        assert!(kernel_by_name("banded", 0.02).is_some());
+        assert!(kernel_by_name("sheared3d", 0.02).is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! [`SyncSlice`]: shared mutable output arrays for dependence-free
+//! parallel loops.
+//!
+//! OpenMP programs freely let all threads write into one array because
+//! the programmer asserts iterations touch disjoint cells. Rust needs
+//! that assertion spelled out: `SyncSlice` wraps a `&mut [T]` and hands
+//! out unsafe indexed writes, with the disjointness contract documented
+//! at the single unsafe boundary (and checked bitwise in the kernel
+//! tests by comparing against sequential execution).
+
+use std::marker::PhantomData;
+
+/// A writable view of a slice that may be shared across threads.
+///
+/// # Safety contract
+/// Callers of [`SyncSlice::write`] / [`SyncSlice::add`] must guarantee
+/// that no two concurrent calls target the same index, and that nobody
+/// reads an index that another thread may be writing. The collapsed-loop
+/// kernels satisfy this structurally: iteration `(i, j)` writes only
+/// cells derived injectively from `(i, j)`.
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only adds indexed raw-pointer writes; sharing is
+// sound under the documented disjointness contract.
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wraps an exclusive slice borrow.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `idx`.
+    ///
+    /// # Safety
+    /// See the type-level contract: `idx` must not be written or read
+    /// concurrently by another thread for the duration of this call.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len, "SyncSlice write out of bounds");
+        unsafe { *self.ptr.add(idx) = value };
+    }
+
+    /// Returns a mutable reference to the element at `idx`.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::write`]; additionally the returned
+    /// reference must not outlive the disjointness guarantee.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, idx: usize) -> &mut T {
+        debug_assert!(idx < self.len, "SyncSlice access out of bounds");
+        unsafe { &mut *self.ptr.add(idx) }
+    }
+}
+
+impl<T: std::ops::AddAssign + Copy> SyncSlice<'_, T> {
+    /// Accumulates `value` into `idx`.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::write`].
+    #[inline]
+    pub unsafe fn add(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len, "SyncSlice add out of bounds");
+        unsafe { *self.ptr.add(idx) += value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_parfor::{Schedule, ThreadPool};
+
+    #[test]
+    fn sequential_writes() {
+        let mut v = vec![0u64; 10];
+        {
+            let s = SyncSlice::new(&mut v);
+            assert_eq!(s.len(), 10);
+            assert!(!s.is_empty());
+            for i in 0..10 {
+                unsafe { s.write(i, i as u64 * 2) };
+            }
+            unsafe { s.add(3, 1) };
+        }
+        assert_eq!(v[3], 7);
+        assert_eq!(v[9], 18);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_are_exact() {
+        let n = 10_000usize;
+        let mut v = vec![0u64; n];
+        let pool = ThreadPool::new(4);
+        {
+            let s = SyncSlice::new(&mut v);
+            pool.parallel_for(n as u64, Schedule::Dynamic(64), &|_t, lo, hi| {
+                for i in lo..hi {
+                    // SAFETY: each index is covered by exactly one chunk.
+                    unsafe { s.write(i as usize, i * 3 + 1) };
+                }
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3 + 1);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Rank-based packed data layouts.
+//!
+//! The ranking polynomial was introduced (Clauss–Meister, the paper's
+//! reference [8]) to *relocate array elements in memory in the same
+//! order as they are accessed*. This module implements that
+//! application: a [`PackedLayout`] stores one slot per iteration of a
+//! nest, at the position given by the iteration's rank. A loop nest
+//! traversing the domain in lexicographic order then touches the packed
+//! array strictly sequentially — perfect spatial locality — and the
+//! array occupies exactly `total` elements instead of the bounding
+//! box's worth.
+//!
+//! For the upper-triangular nest `{0 ≤ i < j < N}` this reproduces
+//! row-major packed triangular storage (one of BLAS's `TP` formats,
+//! shifted by the excluded diagonal).
+
+use nrl_core::{CollapseSpec, Collapsed, NestSpec};
+use std::sync::Arc;
+
+/// A bijection between the points of a nest's domain and the slots
+/// `0..total` of a contiguous allocation, in lexicographic visit order.
+#[derive(Clone, Debug)]
+pub struct PackedLayout {
+    collapsed: Arc<Collapsed>,
+}
+
+impl PackedLayout {
+    /// Builds the layout for a bound domain.
+    pub fn new(collapsed: Collapsed) -> Self {
+        PackedLayout {
+            collapsed: Arc::new(collapsed),
+        }
+    }
+
+    /// Convenience constructor from a nest and parameter values.
+    ///
+    /// # Panics
+    /// Panics if the nest cannot be collapsed or the parameters make
+    /// the domain ill-formed.
+    pub fn for_nest(nest: &NestSpec, params: &[i64]) -> Self {
+        let collapsed = CollapseSpec::new(nest)
+            .expect("nest must be collapsible")
+            .bind(params)
+            .expect("parameters must give a well-formed domain");
+        Self::new(collapsed)
+    }
+
+    /// Number of slots (= points in the domain).
+    pub fn len(&self) -> usize {
+        usize::try_from(self.collapsed.total().max(0)).expect("domain exceeds usize")
+    }
+
+    /// True iff the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.collapsed.total() <= 0
+    }
+
+    /// Domain depth (arity of the multi-indices).
+    pub fn depth(&self) -> usize {
+        self.collapsed.depth()
+    }
+
+    /// The underlying collapsed domain.
+    pub fn domain(&self) -> &Collapsed {
+        &self.collapsed
+    }
+
+    /// Slot of a domain point (its 0-based rank).
+    ///
+    /// # Panics
+    /// Panics if `point` is outside the domain.
+    pub fn slot(&self, point: &[i64]) -> usize {
+        assert!(
+            self.collapsed.nest().contains(point),
+            "point {point:?} is outside the packed domain"
+        );
+        (self.collapsed.rank(point) - 1) as usize
+    }
+
+    /// The domain point stored at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot >= len()`.
+    pub fn point_of_slot(&self, slot: usize) -> Vec<i64> {
+        self.collapsed.unrank(slot as i128 + 1)
+    }
+}
+
+/// A contiguous array indexed by the multi-indices of a non-rectangular
+/// domain, stored in visit order.
+///
+/// # Example
+///
+/// ```
+/// use nrl_core::NestSpec;
+/// use nrl_morph::{PackedArray, PackedLayout};
+///
+/// // Pack the strict upper triangle of a 6×6 matrix: 15 elements
+/// // instead of 36.
+/// let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[6]);
+/// let mut a = PackedArray::new(layout, 0.0f64);
+/// assert_eq!(a.len(), 15);
+/// *a.get_mut(&[0, 1]) = 2.5;
+/// assert_eq!(*a.get(&[0, 1]), 2.5);
+/// // Slot 0 is the first iteration (0, 1).
+/// assert_eq!(a.as_slice()[0], 2.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedArray<T> {
+    layout: PackedLayout,
+    data: Vec<T>,
+}
+
+impl<T: Clone> PackedArray<T> {
+    /// Allocates the array with every slot set to `fill`.
+    pub fn new(layout: PackedLayout, fill: T) -> Self {
+        let data = vec![fill; layout.len()];
+        PackedArray { layout, data }
+    }
+}
+
+impl<T> PackedArray<T> {
+    /// Builds the array by evaluating `f` on every domain point, in
+    /// slot (= visit) order.
+    pub fn from_fn(layout: PackedLayout, mut f: impl FnMut(&[i64]) -> T) -> Self {
+        let total = layout.len();
+        let mut data = Vec::with_capacity(total);
+        let d = layout.depth();
+        if total > 0 {
+            let collapsed = layout.domain();
+            let mut point = vec![0i64; d.max(1)];
+            let point = &mut point[..d];
+            collapsed.unrank_into(1, point);
+            for slot in 0..total {
+                data.push(f(point));
+                if slot + 1 < total {
+                    let more = collapsed.nest().advance(point);
+                    debug_assert!(more, "domain ended early");
+                }
+            }
+        }
+        PackedArray { layout, data }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &PackedLayout {
+        &self.layout
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, point: &[i64]) -> &T {
+        &self.data[self.layout.slot(point)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn get_mut(&mut self, point: &[i64]) -> &mut T {
+        let slot = self.layout.slot(point);
+        &mut self.data[slot]
+    }
+
+    /// The backing storage in slot order (the order the nest visits
+    /// points).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage in slot order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterates `(point, &value)` in visit order without unranking more
+    /// than once.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<i64>, &T)> + '_ {
+        let collapsed = self.layout.domain();
+        let d = self.layout.depth();
+        let mut point = vec![0i64; d.max(1)];
+        let mut started = false;
+        self.data.iter().map(move |v| {
+            if !started {
+                collapsed.unrank_into(1, &mut point[..d]);
+                started = true;
+            } else {
+                let more = collapsed.nest().advance(&mut point[..d]);
+                debug_assert!(more, "domain ended early");
+            }
+            (point[..d].to_vec(), v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_polyhedra::Space;
+
+    #[test]
+    fn upper_triangle_matches_packed_formula() {
+        // Row-major packed strict-upper-triangular storage of side N:
+        // slot(i, j) = i·N − i(i+3)/2 + j − 1. Verify against the
+        // rank-based layout.
+        let n = 7i64;
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[n]);
+        for p in NestSpec::correlation().enumerate(&[n]) {
+            let (i, j) = (p[0], p[1]);
+            let expect = (i * n - i * (i + 3) / 2 + j - 1) as usize;
+            assert_eq!(layout.slot(&p), expect, "(i,j)=({i},{j})");
+        }
+    }
+
+    #[test]
+    fn slot_point_roundtrip() {
+        let layout = PackedLayout::for_nest(&NestSpec::figure6(), &[6]);
+        for slot in 0..layout.len() {
+            let p = layout.point_of_slot(slot);
+            assert_eq!(layout.slot(&p), slot);
+        }
+    }
+
+    #[test]
+    fn slot_rejects_outside_point() {
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[5]);
+        let result = std::panic::catch_unwind(|| layout.slot(&[3, 3]));
+        assert!(result.is_err(), "diagonal is outside the strict triangle");
+    }
+
+    #[test]
+    fn from_fn_fills_in_visit_order() {
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[6]);
+        let a = PackedArray::from_fn(layout, |p| (p[0], p[1]));
+        for (slot, &(i, j)) in a.as_slice().iter().enumerate() {
+            assert_eq!(a.layout().point_of_slot(slot), vec![i, j]);
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let layout = PackedLayout::for_nest(&NestSpec::figure6(), &[5]);
+        let mut a = PackedArray::new(layout, 0i64);
+        for p in NestSpec::figure6().enumerate(&[5]) {
+            *a.get_mut(&p) = 100 * p[0] + 10 * p[1] + p[2];
+        }
+        for p in NestSpec::figure6().enumerate(&[5]) {
+            assert_eq!(*a.get(&p), 100 * p[0] + 10 * p[1] + p[2]);
+        }
+    }
+
+    #[test]
+    fn iter_agrees_with_enumeration() {
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[8]);
+        let a = PackedArray::from_fn(layout, |p| p.to_vec());
+        let got: Vec<Vec<i64>> = a.iter().map(|(p, v)| {
+            assert_eq!(&p, v, "stored value must match its own point");
+            p
+        })
+        .collect();
+        let expect: Vec<Vec<i64>> = NestSpec::correlation().enumerate(&[8]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_domain_layout() {
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[1]);
+        assert!(layout.is_empty());
+        let a = PackedArray::new(layout, 0u8);
+        assert!(a.is_empty());
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn packed_saves_memory_vs_bounding_box() {
+        // The point of packing: a side-N strict triangle stores
+        // N(N−1)/2 elements, not N².
+        let n = 100i64;
+        let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[n]);
+        assert_eq!(layout.len() as i64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn rhomboid_layout_is_dense() {
+        // A skewed band {0 ≤ i < N, i ≤ j ≤ i+2}: rank packing stores
+        // the 3N band elements contiguously.
+        let s = Space::new(&["i", "j"], &["N"]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i"), s.var("i") + 2)],
+        )
+        .unwrap();
+        let n = 10i64;
+        let layout = PackedLayout::for_nest(&nest, &[n]);
+        assert_eq!(layout.len() as i64, 3 * n);
+        // Band rows are consecutive triples.
+        for i in 0..n {
+            for (off, j) in (i..=i + 2).enumerate() {
+                assert_eq!(layout.slot(&[i, j]), (3 * i) as usize + off);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Shape morphing on top of ranking/unranking — the applications the
+//! paper's conclusion announces as future work.
+//!
+//! The IPDPS'17 paper closes with: *"Other applications will also be
+//! investigated, as the computation of a loop nest from another loop
+//! nest of a different shape, or the fusion of loop nests of different
+//! shapes."* Both are direct corollaries of having exact rank and
+//! unrank functions, and this crate provides them:
+//!
+//! * [`RankRemap`] — a bijection between two iteration domains of equal
+//!   cardinality, built by composing `rank` in one nest with `unrank`
+//!   in the other. This "computes a loop nest from another loop nest of
+//!   a different shape": a triangular traversal can drive a linear one
+//!   (packed storage), a tetrahedral one can drive a rectangular one,
+//!   and so on — with the same once-per-chunk recovery cost model as
+//!   ordinary collapsing, because both sides advance by odometer steps
+//!   inside a chunk.
+//!
+//! * [`FusedLoop`] — several collapsed nests of *different* shapes
+//!   concatenated into one flat index space `1..=Σ totals`, scheduled
+//!   as a single parallel loop. This is load-balanced fusion: threads
+//!   receive equal slices of the combined work regardless of how
+//!   lopsided the individual shapes are, where running the nests one
+//!   after another would pay one imbalance (or one barrier) per nest.
+//!
+//! * [`PackedLayout`] / [`PackedArray`] — the memory-layout application
+//!   of ranking polynomials from Clauss–Meister (the paper's reference
+//!   [8]): array elements are stored in the exact order the nest visits
+//!   them, so a non-rectangular traversal becomes a contiguous sweep.
+//!   For an upper-triangular nest this reproduces packed triangular
+//!   storage.
+//!
+//! All three reuse the exactness guarantees of `nrl-core`: ranks are
+//! evaluated in exact integer arithmetic, and unranking is verified
+//! (and corrected) against the ranking polynomial, so the morphisms
+//! here are true bijections, not floating-point approximations.
+
+#![warn(missing_docs)]
+
+pub mod fuse;
+pub mod layout;
+pub mod remap;
+
+pub use fuse::FusedLoop;
+pub use layout::{PackedArray, PackedLayout};
+pub use remap::RankRemap;
+
+use std::fmt;
+
+/// Errors constructing morphisms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MorphError {
+    /// The two domains of a [`RankRemap`] do not contain the same
+    /// number of points, so no rank-preserving bijection exists.
+    CardinalityMismatch {
+        /// Point count of the source domain.
+        from_total: i128,
+        /// Point count of the target domain.
+        to_total: i128,
+    },
+    /// A [`FusedLoop`] needs at least one part.
+    NoParts,
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::CardinalityMismatch {
+                from_total,
+                to_total,
+            } => write!(
+                f,
+                "domains have different cardinalities ({from_total} vs {to_total}); \
+                 a rank-preserving bijection requires equal point counts"
+            ),
+            MorphError::NoParts => write!(f, "fusion requires at least one nest"),
+        }
+    }
+}
+
+impl std::error::Error for MorphError {}

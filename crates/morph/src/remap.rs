@@ -1,0 +1,350 @@
+//! Rank-preserving bijections between iteration domains of different
+//! shapes.
+
+use crate::MorphError;
+use nrl_core::Collapsed;
+use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool};
+
+/// A bijection between two iteration domains of equal cardinality.
+///
+/// The map sends the iteration of rank `pc` in the source domain to the
+/// iteration of the same rank in the target domain — i.e. it is
+/// `unrank_to ∘ rank_from`. Because ranks are computed exactly (integer
+/// Horner evaluation of the ranking polynomial) and unranking is
+/// verified against the ranking polynomial, the composition is an exact
+/// bijection for any pair of supported nests.
+///
+/// # Example
+///
+/// Map the upper-triangular domain `{0 ≤ i < j < N}` onto a flat
+/// interval — the packed-storage map:
+///
+/// ```
+/// use nrl_core::{CollapseSpec, NestSpec};
+/// use nrl_morph::RankRemap;
+///
+/// let n = 6i64;
+/// let tri = CollapseSpec::new(&NestSpec::correlation())
+///     .unwrap()
+///     .bind(&[n])
+///     .unwrap();
+/// let total = tri.total();
+/// let flat = CollapseSpec::new(&NestSpec::rectangular(&[total as i64]))
+///     .unwrap()
+///     .bind(&[])
+///     .unwrap();
+/// let remap = RankRemap::new(tri, flat).unwrap();
+/// // (0, 1) is the first iteration of the triangle → slot 0.
+/// assert_eq!(remap.map(&[0, 1]), vec![0]);
+/// // The last iteration lands in the last slot.
+/// assert_eq!(remap.map(&[n - 2, n - 1]), vec![total as i64 - 1]);
+/// ```
+#[derive(Debug)]
+pub struct RankRemap {
+    from: Collapsed,
+    to: Collapsed,
+}
+
+impl RankRemap {
+    /// Builds the bijection. Fails if the domains have different point
+    /// counts.
+    pub fn new(from: Collapsed, to: Collapsed) -> Result<Self, MorphError> {
+        if from.total() != to.total() {
+            return Err(MorphError::CardinalityMismatch {
+                from_total: from.total(),
+                to_total: to.total(),
+            });
+        }
+        Ok(RankRemap { from, to })
+    }
+
+    /// Number of points in either domain.
+    pub fn total(&self) -> i128 {
+        self.from.total()
+    }
+
+    /// The source domain.
+    pub fn source(&self) -> &Collapsed {
+        &self.from
+    }
+
+    /// The target domain.
+    pub fn target(&self) -> &Collapsed {
+        &self.to
+    }
+
+    /// The inverse bijection (target → source). Consumes `self` since
+    /// [`Collapsed`] owns per-object recovery counters.
+    pub fn invert(self) -> RankRemap {
+        RankRemap {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// Maps a source point to its target point, writing into `dst`, and
+    /// returns the shared rank.
+    ///
+    /// # Panics
+    /// Panics if `src` is not in the source domain or `dst` has the
+    /// wrong arity.
+    pub fn map_into(&self, src: &[i64], dst: &mut [i64]) -> i128 {
+        // Containment must be checked explicitly: a point outside the
+        // domain can still produce an in-range polynomial rank, which
+        // would silently alias a legitimate point.
+        assert!(
+            self.from.nest().contains(src),
+            "source point {src:?} is outside the domain"
+        );
+        let pc = self.from.rank(src);
+        self.to.unrank_into(pc, dst);
+        pc
+    }
+
+    /// Allocating convenience wrapper around [`Self::map_into`].
+    pub fn map(&self, src: &[i64]) -> Vec<i64> {
+        let mut dst = vec![0i64; self.to.depth()];
+        self.map_into(src, &mut dst);
+        dst
+    }
+
+    /// Iterates `(source_point, target_point)` pairs in rank order.
+    ///
+    /// Both sides advance by odometer steps, so the whole traversal
+    /// costs two unrankings (rank 1 on each side) plus `2·total`
+    /// odometer increments — no per-pair root solving.
+    pub fn pairs(&self) -> Pairs<'_> {
+        Pairs {
+            remap: self,
+            next_pc: 1,
+        }
+    }
+
+    /// Runs `body(tid, src_point, dst_point)` for every rank, in
+    /// parallel under `schedule`, with once-per-chunk recovery on both
+    /// sides (the §V cost model applied to the remap).
+    ///
+    /// Within a chunk, pairs are visited in increasing rank order.
+    pub fn par_for_each<F>(
+        &self,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        body: F,
+    ) -> ImbalanceReport
+    where
+        F: Fn(usize, &[i64], &[i64]) + Sync,
+    {
+        let total = self.total();
+        let total_u64 = u64::try_from(total.max(0)).expect("total exceeds u64");
+        let df = self.from.depth();
+        let dt = self.to.depth();
+        pool.parallel_for(total_u64, schedule, &|tid, s, e| {
+            debug_assert!(s < e);
+            let mut src = vec![0i64; df.max(1)];
+            let mut dst = vec![0i64; dt.max(1)];
+            let src = &mut src[..df];
+            let dst = &mut dst[..dt];
+            self.from.unrank_into((s + 1) as i128, src);
+            self.to.unrank_into((s + 1) as i128, dst);
+            for pc in s..e {
+                body(tid, src, dst);
+                if pc + 1 < e {
+                    let a = self.from.nest().advance(src);
+                    let b = self.to.nest().advance(dst);
+                    debug_assert!(a && b, "domains ended before the chunk");
+                }
+            }
+        })
+    }
+}
+
+/// Iterator over the `(source, target)` point pairs of a [`RankRemap`]
+/// in rank order. See [`RankRemap::pairs`].
+pub struct Pairs<'a> {
+    remap: &'a RankRemap,
+    next_pc: i128,
+}
+
+impl Iterator for Pairs<'_> {
+    type Item = (Vec<i64>, Vec<i64>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_pc > self.remap.total() {
+            return None;
+        }
+        let pc = self.next_pc;
+        self.next_pc += 1;
+        let mut src = vec![0i64; self.remap.from.depth()];
+        let mut dst = vec![0i64; self.remap.to.depth()];
+        self.remap.from.unrank_into(pc, &mut src);
+        self.remap.to.unrank_into(pc, &mut dst);
+        Some((src, dst))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.remap.total() - self.next_pc + 1).max(0) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Pairs<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_core::{CollapseSpec, NestSpec, Schedule, ThreadPool};
+    use nrl_polyhedra::Space;
+    use std::sync::Mutex;
+
+    fn collapse(nest: &NestSpec, params: &[i64]) -> Collapsed {
+        CollapseSpec::new(nest).unwrap().bind(params).unwrap()
+    }
+
+    fn linear(total: i128) -> Collapsed {
+        collapse(&NestSpec::rectangular(&[total as i64]), &[])
+    }
+
+    #[test]
+    fn cardinality_mismatch_is_rejected() {
+        let tri = collapse(&NestSpec::correlation(), &[6]);
+        let err = RankRemap::new(tri, linear(3)).unwrap_err();
+        assert_eq!(
+            err,
+            MorphError::CardinalityMismatch {
+                from_total: 15,
+                to_total: 3
+            }
+        );
+    }
+
+    #[test]
+    fn triangle_to_linear_is_bijective() {
+        let n = 9i64;
+        let tri = collapse(&NestSpec::correlation(), &[n]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        let mut seen = vec![false; total as usize];
+        for point in NestSpec::correlation().enumerate(&[n]) {
+            let slot = remap.map(&point)[0] as usize;
+            assert!(!seen[slot], "slot {slot} hit twice");
+            seen[slot] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not surjective");
+    }
+
+    #[test]
+    fn triangle_to_transposed_triangle() {
+        // Map the upper triangle {i < j} onto the lower triangle
+        // {j < i} of the same size: shape-to-shape, both
+        // non-rectangular.
+        let n = 8i64;
+        let upper = collapse(&NestSpec::correlation(), &[n]);
+        let s = Space::new(&["i", "j"], &["N"]);
+        let lower_nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(1), s.var("N") - 1), (s.cst(0), s.var("i") - 1)],
+        )
+        .unwrap();
+        let lower = collapse(&lower_nest, &[n]);
+        let remap = RankRemap::new(upper, lower).unwrap();
+        let mut images: Vec<Vec<i64>> = NestSpec::correlation()
+            .enumerate(&[n])
+            .map(|p| remap.map(&p))
+            .collect();
+        images.sort();
+        let mut expect: Vec<Vec<i64>> = lower_nest.enumerate(&[n]).collect();
+        expect.sort();
+        assert_eq!(images, expect);
+    }
+
+    #[test]
+    fn pairs_iterates_in_rank_order() {
+        let n = 7i64;
+        let tri = collapse(&NestSpec::correlation(), &[n]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        let pairs: Vec<_> = remap.pairs().collect();
+        assert_eq!(pairs.len() as i128, total);
+        for (idx, (src, dst)) in pairs.iter().enumerate() {
+            assert_eq!(dst[0] as usize, idx, "target side is the rank line");
+            assert_eq!(remap.source().rank(src), idx as i128 + 1);
+        }
+    }
+
+    #[test]
+    fn invert_swaps_directions() {
+        let n = 6i64;
+        let tri = collapse(&NestSpec::correlation(), &[n]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        let fwd: Vec<_> = remap.pairs().collect();
+        let inv = remap.invert();
+        for (src, dst) in fwd {
+            assert_eq!(inv.map(&dst), src);
+        }
+    }
+
+    #[test]
+    fn par_for_each_covers_all_pairs() {
+        let n = 20i64;
+        let tri = collapse(&NestSpec::correlation(), &[n]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        let pool = ThreadPool::new(4);
+        for schedule in [Schedule::Static, Schedule::Dynamic(7), Schedule::Guided(3)] {
+            let seen = Mutex::new(Vec::new());
+            remap.par_for_each(&pool, schedule, |_tid, src, dst| {
+                seen.lock().unwrap().push((src.to_vec(), dst.to_vec()));
+            });
+            let mut got = seen.into_inner().unwrap();
+            got.sort();
+            let mut expect: Vec<_> = remap.pairs().collect();
+            expect.sort();
+            assert_eq!(got, expect, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn tetrahedron_to_triangle() {
+        // Different depths: the 3-deep Figure 6 tetrahedron onto a
+        // 2-deep triangle with a matching point count. figure6 total is
+        // (N³−N)/6; choose N = 4 → 10 points = triangle side 5
+        // ((5−1)·5/2 = 10).
+        let tetra = collapse(&NestSpec::figure6(), &[4]);
+        assert_eq!(tetra.total(), 10);
+        let tri = collapse(&NestSpec::correlation(), &[5]);
+        assert_eq!(tri.total(), 10);
+        let remap = RankRemap::new(tetra, tri).unwrap();
+        let mut images: Vec<Vec<i64>> = NestSpec::figure6()
+            .enumerate(&[4])
+            .map(|p| remap.map(&p))
+            .collect();
+        images.sort();
+        let mut expect: Vec<Vec<i64>> = NestSpec::correlation().enumerate(&[5]).collect();
+        expect.sort();
+        assert_eq!(images, expect);
+    }
+
+    #[test]
+    fn map_rejects_outside_point() {
+        let tri = collapse(&NestSpec::correlation(), &[5]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        // (4, 4) violates j > i — its polynomial rank falls outside
+        // 1..=total or collides, and map must refuse rather than alias.
+        let result = std::panic::catch_unwind(|| remap.map(&[4, 4]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_domains_remap_trivially() {
+        let tri = collapse(&NestSpec::correlation(), &[1]);
+        assert_eq!(tri.total(), 0);
+        let remap = RankRemap::new(tri, linear(0)).unwrap();
+        assert_eq!(remap.pairs().count(), 0);
+        let pool = ThreadPool::new(2);
+        remap.par_for_each(&pool, Schedule::Static, |_, _, _| {
+            panic!("no pairs expected")
+        });
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests: morphisms built from rank/unrank must be exact
+//! bijections for arbitrary supported shapes and sizes.
+
+use nrl_core::{CollapseSpec, Collapsed, NestSpec, Schedule, ThreadPool};
+use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
+use nrl_polyhedra::Space;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// A small menagerie of non-rectangular shapes with one size parameter.
+#[derive(Clone, Debug)]
+enum ShapeCase {
+    UpperTriangle(i64),
+    Tetrahedron(i64),
+    Rect2(i64, i64),
+    Rhomboid(i64, i64),
+    Trapezoid(i64),
+}
+
+impl ShapeCase {
+    fn build(&self) -> (NestSpec, Vec<i64>) {
+        match *self {
+            ShapeCase::UpperTriangle(n) => (NestSpec::correlation(), vec![n]),
+            ShapeCase::Tetrahedron(n) => (NestSpec::figure6(), vec![n]),
+            ShapeCase::Rect2(a, b) => (NestSpec::rectangular(&[a, b]), vec![]),
+            ShapeCase::Rhomboid(n, w) => {
+                let s = Space::new(&["i", "j"], &["N"]);
+                let nest = NestSpec::new(
+                    s.clone(),
+                    vec![(s.cst(0), s.var("N") - 1), (s.var("i"), s.var("i") + w)],
+                )
+                .unwrap();
+                (nest, vec![n])
+            }
+            ShapeCase::Trapezoid(n) => {
+                let s = Space::new(&["i", "j"], &["N"]);
+                let nest = NestSpec::new(
+                    s.clone(),
+                    vec![(s.cst(0), s.cst(3)), (s.cst(0), s.var("N") - s.var("i") - 1)],
+                )
+                .unwrap();
+                (nest, vec![n])
+            }
+        }
+    }
+
+    fn collapse(&self) -> Collapsed {
+        let (nest, params) = self.build();
+        CollapseSpec::new(&nest).unwrap().bind(&params).unwrap()
+    }
+
+    fn points(&self) -> Vec<Vec<i64>> {
+        let (nest, params) = self.build();
+        nest.enumerate(&params).collect()
+    }
+}
+
+fn shape_strategy() -> impl Strategy<Value = ShapeCase> {
+    prop_oneof![
+        (2i64..30).prop_map(ShapeCase::UpperTriangle),
+        (2i64..12).prop_map(ShapeCase::Tetrahedron),
+        ((1i64..12), (1i64..12)).prop_map(|(a, b)| ShapeCase::Rect2(a, b)),
+        ((1i64..20), (0i64..4)).prop_map(|(n, w)| ShapeCase::Rhomboid(n, w)),
+        (5i64..25).prop_map(ShapeCase::Trapezoid),
+    ]
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1u64..16).prop_map(Schedule::StaticChunk),
+        (1u64..16).prop_map(Schedule::Dynamic),
+        (1u64..8).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any shape remaps bijectively onto the rank line.
+    #[test]
+    fn remap_to_line_is_bijective(shape in shape_strategy()) {
+        let collapsed = shape.collapse();
+        let total = collapsed.total();
+        prop_assume!(total > 0);
+        let line = CollapseSpec::new(&NestSpec::rectangular(&[total as i64]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let remap = RankRemap::new(collapsed, line).unwrap();
+        let mut seen = vec![false; total as usize];
+        for p in shape.points() {
+            let slot = remap.map(&p)[0] as usize;
+            prop_assert!(!seen[slot], "slot {slot} hit twice");
+            seen[slot] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Shape→shape remapping between same-cardinality domains is a
+    /// bijection, and the inverse composes to the identity.
+    #[test]
+    fn remap_roundtrips_through_inverse(shape in shape_strategy()) {
+        let a = shape.collapse();
+        let total = a.total();
+        prop_assume!(total > 0);
+        let b = CollapseSpec::new(&NestSpec::rectangular(&[total as i64]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let fwd = RankRemap::new(a, b).unwrap();
+        let images: Vec<(Vec<i64>, Vec<i64>)> = shape
+            .points()
+            .iter()
+            .map(|p| (p.clone(), fwd.map(p)))
+            .collect();
+        let inv = fwd.invert();
+        for (src, dst) in images {
+            prop_assert_eq!(inv.map(&dst), src);
+        }
+    }
+
+    /// Parallel remap traversal visits exactly the rank-ordered pairs,
+    /// under any schedule and pool width.
+    #[test]
+    fn remap_parallel_equals_pairs(
+        shape in shape_strategy(),
+        schedule in schedule_strategy(),
+        nthreads in 1usize..5,
+    ) {
+        let a = shape.collapse();
+        let total = a.total();
+        prop_assume!(total > 0);
+        let line = CollapseSpec::new(&NestSpec::rectangular(&[total as i64]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let remap = RankRemap::new(a, line).unwrap();
+        let pool = ThreadPool::new(nthreads);
+        let seen = Mutex::new(Vec::new());
+        remap.par_for_each(&pool, schedule, |_t, s, d| {
+            seen.lock().unwrap().push((s.to_vec(), d.to_vec()));
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort();
+        let mut expect: Vec<_> = remap.pairs().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Fusing arbitrary shapes covers exactly the disjoint union of the
+    /// domains, under any schedule.
+    #[test]
+    fn fusion_covers_disjoint_union(
+        shapes in prop::collection::vec(shape_strategy(), 1..4),
+        schedule in schedule_strategy(),
+        nthreads in 1usize..5,
+    ) {
+        let parts: Vec<Collapsed> = shapes.iter().map(|s| s.collapse()).collect();
+        let fused = FusedLoop::new(parts).unwrap();
+        let mut expect = Vec::new();
+        for (idx, shape) in shapes.iter().enumerate() {
+            for p in shape.points() {
+                expect.push((idx, p));
+            }
+        }
+        expect.sort();
+        let pool = ThreadPool::new(nthreads);
+        let seen = Mutex::new(Vec::new());
+        fused.par_for_each(&pool, schedule, |_t, part, p| {
+            seen.lock().unwrap().push((part, p.to_vec()));
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Global rank ↔ (part, point) round-trips.
+    #[test]
+    fn fusion_rank_unrank_roundtrip(
+        shapes in prop::collection::vec(shape_strategy(), 1..4),
+    ) {
+        let parts: Vec<Collapsed> = shapes.iter().map(|s| s.collapse()).collect();
+        let fused = FusedLoop::new(parts).unwrap();
+        let mut buf = vec![0i64; fused.max_depth().max(1)];
+        for pc in 1..=fused.total() {
+            let part = fused.unrank_into(pc, &mut buf);
+            let d = fused.parts()[part].depth();
+            prop_assert_eq!(fused.rank(part, &buf[..d]), pc);
+        }
+    }
+
+    /// Packed layouts are slot bijections and `from_fn` fills in visit
+    /// order.
+    #[test]
+    fn packed_layout_is_bijective(shape in shape_strategy()) {
+        let layout = PackedLayout::new(shape.collapse());
+        let points = shape.points();
+        prop_assert_eq!(layout.len(), points.len());
+        for (expected_slot, p) in points.iter().enumerate() {
+            prop_assert_eq!(layout.slot(p), expected_slot);
+            prop_assert_eq!(&layout.point_of_slot(expected_slot), p);
+        }
+        let arr = PackedArray::from_fn(layout, |p| p.to_vec());
+        for (got, expect) in arr.iter().zip(points.iter()) {
+            prop_assert_eq!(&got.0, expect);
+            prop_assert_eq!(got.1, expect);
+        }
+    }
+
+    /// The fused static schedule never does worse than `nthreads×`
+    /// imbalance, and for big-enough totals stays near 1.
+    #[test]
+    fn fused_static_imbalance_bounded(
+        shapes in prop::collection::vec(shape_strategy(), 1..4),
+        nthreads in 2usize..5,
+    ) {
+        let parts: Vec<Collapsed> = shapes.iter().map(|s| s.collapse()).collect();
+        let fused = FusedLoop::new(parts).unwrap();
+        prop_assume!(fused.total() >= nthreads as i128 * 4);
+        let pool = ThreadPool::new(nthreads);
+        let report = fused.par_for_each(&pool, Schedule::Static, |_, _, _| {});
+        // Static block partition of T iterations over t threads has
+        // max/mean ≤ ceil(T/t)/(T/t) ≤ 1 + t/T.
+        let bound = 1.0 + nthreads as f64 / fused.total() as f64 + 1e-9;
+        prop_assert!(
+            report.iteration_imbalance() <= bound,
+            "imbalance ×{:.4} exceeds bound ×{:.4}",
+            report.iteration_imbalance(),
+            bound
+        );
+    }
+}

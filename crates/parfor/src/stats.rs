@@ -1,0 +1,156 @@
+//! Per-thread execution statistics and load-imbalance metrics.
+//!
+//! The paper's Fig. 2 illustrates how `schedule(static)` on a triangular
+//! domain gives thread 0 far more iterations than the last thread; the
+//! experiment harness reproduces that figure from these reports.
+
+use std::time::Duration;
+
+/// What one thread did during a `parallel_for`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Number of iterations the thread executed.
+    pub iterations: u64,
+    /// Time the thread spent inside the loop (nanoseconds).
+    pub busy_nanos: u64,
+}
+
+/// The outcome of one `parallel_for`: per-thread stats plus wall time.
+#[derive(Clone, Debug)]
+pub struct ImbalanceReport {
+    per_thread: Vec<ThreadStats>,
+    wall: Duration,
+}
+
+impl ImbalanceReport {
+    /// Assembles a report.
+    pub fn new(per_thread: Vec<ThreadStats>, wall: Duration) -> Self {
+        ImbalanceReport { per_thread, wall }
+    }
+
+    /// Per-thread statistics, indexed by thread id.
+    pub fn per_thread(&self) -> &[ThreadStats] {
+        &self.per_thread
+    }
+
+    /// Wall-clock duration of the whole loop.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Total iterations across threads.
+    pub fn total_iterations(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.iterations).sum()
+    }
+
+    /// Ratio of the busiest thread's iteration count to the mean —
+    /// 1.0 is perfectly balanced; the static-on-triangle pathology of
+    /// Fig. 2 gives ≈ 2·t/(t+1) → ~2 for large thread counts.
+    pub fn iteration_imbalance(&self) -> f64 {
+        let n = self.per_thread.len() as f64;
+        let total: u64 = self.total_iterations();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .per_thread
+            .iter()
+            .map(|t| t.iterations)
+            .max()
+            .unwrap_or(0) as f64;
+        max / (total as f64 / n)
+    }
+
+    /// Ratio of the busiest thread's busy time to the mean busy time.
+    pub fn time_imbalance(&self) -> f64 {
+        let n = self.per_thread.len() as f64;
+        let total: u64 = self.per_thread.iter().map(|t| t.busy_nanos).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .per_thread
+            .iter()
+            .map(|t| t.busy_nanos)
+            .max()
+            .unwrap_or(0) as f64;
+        max / (total as f64 / n)
+    }
+
+    /// A compact textual rendering (one line per thread) used by the
+    /// figure harnesses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_iterations().max(1);
+        for (tid, t) in self.per_thread.iter().enumerate() {
+            let pct = 100.0 * t.iterations as f64 / total as f64;
+            out.push_str(&format!(
+                "thread {tid:>2}: {:>12} iterations ({pct:5.1}%), busy {:>9.3} ms\n",
+                t.iterations,
+                t.busy_nanos as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!(
+            "imbalance: iterations ×{:.3}, time ×{:.3}, wall {:.3} ms\n",
+            self.iteration_imbalance(),
+            self.time_imbalance(),
+            self.wall.as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(iters: &[u64]) -> ImbalanceReport {
+        ImbalanceReport::new(
+            iters
+                .iter()
+                .map(|&n| ThreadStats {
+                    iterations: n,
+                    busy_nanos: n * 10,
+                })
+                .collect(),
+            Duration::from_millis(5),
+        )
+    }
+
+    #[test]
+    fn balanced_report() {
+        let r = report(&[100, 100, 100, 100]);
+        assert_eq!(r.total_iterations(), 400);
+        assert!((r.iteration_imbalance() - 1.0).abs() < 1e-12);
+        assert!((r.time_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_static_imbalance() {
+        // 5 threads on the N = 100 triangle, like Fig. 2: thread t gets
+        // rows [20t, 20t+20) of row-length (99 − i).
+        let rows: Vec<u64> = (0..5)
+            .map(|t| (20 * t..20 * (t + 1)).map(|i| 99 - i as u64).sum())
+            .collect();
+        let r = report(&rows);
+        // Thread 0 does far more than thread 4.
+        assert!(rows[0] > 4 * rows[4]);
+        assert!(r.iteration_imbalance() > 1.5);
+    }
+
+    #[test]
+    fn empty_report_is_balanced() {
+        let r = report(&[0, 0]);
+        assert_eq!(r.iteration_imbalance(), 1.0);
+        assert_eq!(r.time_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn render_contains_all_threads() {
+        let r = report(&[10, 20]);
+        let text = r.render();
+        assert!(text.contains("thread  0"));
+        assert!(text.contains("thread  1"));
+        assert!(text.contains("imbalance"));
+    }
+}

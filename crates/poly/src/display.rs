@@ -1,0 +1,108 @@
+//! Human-readable rendering of polynomials with named variables.
+
+use crate::poly::Poly;
+use std::fmt;
+
+impl Poly {
+    /// Renders the polynomial with the given variable names, highest
+    /// total degree first, in a Maxima/C-like syntax:
+    /// `(2*i*N + 2*j - i^2 - 3*i)/2` style fractions are *not* factored —
+    /// each coefficient is shown as `a/b` when non-integer.
+    pub fn to_string_with(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.nvars(), "name arity mismatch");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut parts: Vec<(bool, String)> = Vec::new(); // (negative, magnitude text)
+        let mut terms: Vec<_> = self.terms().collect();
+        terms.sort_by(|a, b| b.0.cmp(a.0)); // graded-lex descending
+        for (m, c) in terms {
+            let neg = c.signum() < 0;
+            let mag = c.abs();
+            let mut factors: Vec<String> = Vec::new();
+            let coeff_is_one = mag == nrl_rational::Rational::ONE;
+            if !coeff_is_one || m.is_constant() {
+                factors.push(mag.to_string());
+            }
+            for (v, &e) in m.0.iter().enumerate() {
+                match e {
+                    0 => {}
+                    1 => factors.push(names[v].to_string()),
+                    _ => factors.push(format!("{}^{}", names[v], e)),
+                }
+            }
+            parts.push((neg, factors.join("*")));
+        }
+        let mut out = String::new();
+        for (idx, (neg, text)) in parts.iter().enumerate() {
+            if idx == 0 {
+                if *neg {
+                    out.push('-');
+                }
+            } else if *neg {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            out.push_str(text);
+        }
+        out
+    }
+
+    /// Convenience rendering with `x0, x1, …` variable names.
+    pub fn to_string_default(&self) -> String {
+        let names: Vec<String> = (0..self.nvars()).map(|v| format!("x{v}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.to_string_with(&refs)
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_string_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_rational::Rational;
+
+    #[test]
+    fn renders_the_paper_ranking_polynomial() {
+        // r(i, j) = i*N − 1/2*i² − 3/2*i + j (the expanded correlation rank
+        // minus nothing; coefficients shown as fractions).
+        let i = Poly::var(3, 0);
+        let j = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        let r = &i * &n + &j
+            - i.pow(2).scale(Rational::new(1, 2))
+            - i.scale(Rational::new(3, 2));
+        let s = r.to_string_with(&["i", "j", "N"]);
+        assert_eq!(s, "-1/2*i^2 + i*N - 3/2*i + j");
+    }
+
+    #[test]
+    fn renders_zero_and_constants() {
+        assert_eq!(Poly::zero(2).to_string_with(&["a", "b"]), "0");
+        assert_eq!(
+            Poly::constant(2, Rational::new(-5, 3)).to_string_with(&["a", "b"]),
+            "-5/3"
+        );
+    }
+
+    #[test]
+    fn renders_leading_negative() {
+        let x = Poly::var(1, 0);
+        let p = -x.pow(2) + &x;
+        assert_eq!(p.to_string_with(&["x"]), "-x^2 + x");
+    }
+
+    #[test]
+    fn renders_unit_coefficients_without_one() {
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let p = &x * &y + Poly::constant_int(2, 1);
+        assert_eq!(p.to_string_with(&["x", "y"]), "x*y + 1");
+    }
+}

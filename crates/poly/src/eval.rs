@@ -1,0 +1,157 @@
+//! Evaluation of polynomials at rational, integer and floating points.
+
+use crate::poly::Poly;
+use nrl_rational::{checked_pow_i128, Rational};
+
+impl Poly {
+    /// Exact evaluation at a rational point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != nvars`.
+    pub fn eval_rational(&self, point: &[Rational]) -> Rational {
+        assert_eq!(point.len(), self.nvars(), "evaluation arity mismatch");
+        let mut acc = Rational::ZERO;
+        for (m, c) in self.terms() {
+            let mut term = *c;
+            for (v, &e) in m.0.iter().enumerate() {
+                if e > 0 {
+                    term *= point[v].pow(e as i32);
+                }
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Exact evaluation at an integer point; the result is rational in
+    /// general (ranking polynomials evaluate to integers *on domain
+    /// points*, which callers assert via [`Poly::eval_int`]).
+    pub fn eval_i128(&self, point: &[i128]) -> Rational {
+        assert_eq!(point.len(), self.nvars(), "evaluation arity mismatch");
+        let mut acc = Rational::ZERO;
+        for (m, c) in self.terms() {
+            let mut mono: i128 = 1;
+            for (v, &e) in m.0.iter().enumerate() {
+                if e > 0 {
+                    mono = mono
+                        .checked_mul(checked_pow_i128(point[v], e))
+                        .expect("integer evaluation overflow");
+                }
+            }
+            acc += *c * Rational::from_int(mono);
+        }
+        acc
+    }
+
+    /// Exact integer evaluation.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer — for ranking polynomials
+    /// this indicates the point is outside the iteration domain or the
+    /// polynomial was constructed incorrectly, both programming errors.
+    pub fn eval_int(&self, point: &[i128]) -> i128 {
+        self.eval_i128(point)
+            .to_integer()
+            .expect("polynomial did not evaluate to an integer")
+    }
+
+    /// Approximate evaluation at a floating-point vector (used by the
+    /// closed-form recovery path; exactness is restored afterwards by the
+    /// integer verification step).
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars(), "evaluation arity mismatch");
+        let mut acc = 0.0;
+        for (m, c) in self.terms() {
+            let mut term = c.to_f64();
+            for (v, &e) in m.0.iter().enumerate() {
+                for _ in 0..e {
+                    term *= point[v];
+                }
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Partially evaluates variable `var` at the rational `value`,
+    /// returning a polynomial over the same ambient ring with `var`
+    /// eliminated (degree 0 in `var`).
+    pub fn eval_var(&self, var: usize, value: Rational) -> Poly {
+        let mut out = Poly::zero(self.nvars());
+        for (m, c) in self.terms() {
+            let e = m.exp(var);
+            let coeff = if e > 0 { *c * value.pow(e as i32) } else { *c };
+            out.add_term(m.without_var(var), coeff);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// r(i, j) = (2iN + 2j − i² − 3i)/2 — the paper's correlation ranking
+    /// polynomial with N = 10, used as a realistic evaluation target.
+    fn correlation_rank(n_val: i128) -> Poly {
+        // vars: (i, j)
+        let i = Poly::var(2, 0);
+        let j = Poly::var(2, 1);
+        let n = Poly::constant_int(2, n_val);
+        (Poly::constant_int(2, 2) * &i * &n + Poly::constant_int(2, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(2, 3) * &i)
+            .scale(r(1, 2))
+    }
+
+    #[test]
+    fn eval_matches_paper_values() {
+        let rank = correlation_rank(10);
+        // r(0, 1) = 1, r(0, 2) = 2, r(1, 2) = N = 10, r(N-2, N-1) = 45
+        assert_eq!(rank.eval_int(&[0, 1]), 1);
+        assert_eq!(rank.eval_int(&[0, 2]), 2);
+        assert_eq!(rank.eval_int(&[1, 2]), 10);
+        assert_eq!(rank.eval_int(&[8, 9]), 45);
+    }
+
+    #[test]
+    fn eval_rational_point() {
+        let p = Poly::affine(2, &[2, -3], 1); // 2x - 3y + 1
+        assert_eq!(p.eval_rational(&[r(1, 2), r(1, 3)]), r(1, 1));
+    }
+
+    #[test]
+    fn eval_f64_close_to_exact() {
+        let rank = correlation_rank(1000);
+        let exact = rank.eval_i128(&[977, 999]).to_f64();
+        let approx = rank.eval_f64(&[977.0, 999.0]);
+        assert!((exact - approx).abs() < 1e-6 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn eval_var_eliminates() {
+        let rank = correlation_rank(10);
+        let at_i3 = rank.eval_var(0, r(3, 1));
+        assert_eq!(at_i3.degree_in(0), 0);
+        for j in 4..10 {
+            assert_eq!(at_i3.eval_int(&[0, j]), rank.eval_int(&[3, j]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not evaluate to an integer")]
+    fn eval_int_rejects_fractions() {
+        let p = Poly::constant(1, r(1, 2));
+        let _ = p.eval_int(&[0]);
+    }
+
+    #[test]
+    fn zero_poly_evaluates_to_zero() {
+        assert_eq!(Poly::zero(3).eval_int(&[5, 6, 7]), 0);
+        assert_eq!(Poly::zero(0).eval_int(&[]), 0);
+    }
+}

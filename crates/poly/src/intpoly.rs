@@ -1,0 +1,162 @@
+//! [`IntPoly`]: denominator-cleared polynomials for the fast exact
+//! run-time evaluation path.
+//!
+//! The index-recovery verification step evaluates ranking polynomials a
+//! handful of times per chunk. Doing that through `Rational` would drag a
+//! gcd through every term; instead we clear denominators once at
+//! construction (`p = q / den` with `q` integer-coefficient) and evaluate
+//! `q` in pure `i128`, dividing by `den` at the end with an exactness
+//! check.
+
+use crate::poly::Poly;
+use nrl_rational::checked_pow_i128;
+
+/// An integer-coefficient polynomial plus a positive denominator:
+/// represents `(Σ c·monomial) / den` exactly.
+#[derive(Clone, Debug)]
+pub struct IntPoly {
+    nvars: usize,
+    den: i128,
+    /// Flattened terms: (exponent vector, integer coefficient).
+    terms: Vec<(Vec<u32>, i128)>,
+}
+
+impl IntPoly {
+    /// Clears denominators of `p`.
+    pub fn from_poly(p: &Poly) -> Self {
+        let den = p.denominator_lcm();
+        let mut terms = Vec::with_capacity(p.num_terms());
+        for (m, c) in p.terms() {
+            let scaled = c.numer().checked_mul(den / c.denom()).expect("IntPoly scale overflow");
+            terms.push((m.0.clone(), scaled));
+        }
+        IntPoly {
+            nvars: p.nvars(),
+            den,
+            terms,
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The common denominator (always ≥ 1).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Evaluates the numerator polynomial at an integer point.
+    pub fn eval_numer(&self, point: &[i64]) -> i128 {
+        assert_eq!(point.len(), self.nvars, "evaluation arity mismatch");
+        let mut acc: i128 = 0;
+        for (exps, c) in &self.terms {
+            let mut term = *c;
+            for (v, &e) in exps.iter().enumerate() {
+                if e > 0 {
+                    term = term
+                        .checked_mul(checked_pow_i128(point[v] as i128, e))
+                        .expect("IntPoly evaluation overflow");
+                }
+            }
+            acc = acc.checked_add(term).expect("IntPoly evaluation overflow");
+        }
+        acc
+    }
+
+    /// Exact integer evaluation of the full fraction.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer at this point (indicates a
+    /// point outside the lattice the polynomial was built for).
+    pub fn eval_int(&self, point: &[i64]) -> i128 {
+        let numer = self.eval_numer(point);
+        debug_assert_eq!(
+            numer % self.den,
+            0,
+            "IntPoly evaluated to a non-integer at {point:?}"
+        );
+        numer / self.den
+    }
+
+    /// Floating-point evaluation (for the closed-form recovery path).
+    pub fn eval_f64(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars, "evaluation arity mismatch");
+        let mut acc = 0.0f64;
+        for (exps, c) in &self.terms {
+            let mut term = *c as f64;
+            for (v, &e) in exps.iter().enumerate() {
+                for _ in 0..e {
+                    term *= point[v];
+                }
+            }
+            acc += term;
+        }
+        acc / self.den as f64
+    }
+}
+
+impl From<&Poly> for IntPoly {
+    fn from(p: &Poly) -> Self {
+        IntPoly::from_poly(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_rational::Rational;
+
+    fn correlation_rank() -> Poly {
+        // r(i, j) over vars (i, j, N) = (2iN + 2j − i² − 3i)/2
+        let i = Poly::var(3, 0);
+        let j = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        (Poly::constant_int(3, 2) * &i * &n + Poly::constant_int(3, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(3, 3) * &i)
+            .scale(Rational::new(1, 2))
+    }
+
+    #[test]
+    fn matches_rational_evaluation() {
+        let p = correlation_rank();
+        let ip = IntPoly::from_poly(&p);
+        assert_eq!(ip.denominator(), 2);
+        for n in 2..20i64 {
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    assert_eq!(
+                        ip.eval_int(&[i, j, n]),
+                        p.eval_int(&[i as i128, j as i128, n as i128])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_poly() {
+        let ip = IntPoly::from_poly(&Poly::zero(2));
+        assert_eq!(ip.denominator(), 1);
+        assert_eq!(ip.eval_int(&[3, 4]), 0);
+    }
+
+    #[test]
+    fn f64_eval_tracks_exact() {
+        let p = correlation_rank();
+        let ip = IntPoly::from_poly(&p);
+        let exact = ip.eval_int(&[500, 900, 1000]) as f64;
+        let approx = ip.eval_f64(&[500.0, 900.0, 1000.0]);
+        assert!((exact - approx).abs() <= 1e-6 * exact.abs());
+    }
+
+    #[test]
+    fn integer_poly_has_denominator_one() {
+        let p = Poly::affine(2, &[3, -4], 7);
+        let ip = IntPoly::from_poly(&p);
+        assert_eq!(ip.denominator(), 1);
+        assert_eq!(ip.eval_int(&[2, 1]), 3 * 2 - 4 + 7);
+    }
+}

@@ -1,0 +1,154 @@
+//! Monomials: exponent vectors with a fixed number of variables.
+
+use std::fmt;
+
+/// A monomial over `nvars` variables, stored as an exponent vector.
+///
+/// The `Ord` implementation is graded lexicographic (total degree first,
+/// then lexicographic on exponents), which gives deterministic term
+/// ordering in maps and printers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Monomial(pub Vec<u32>);
+
+impl Monomial {
+    /// The constant monomial (all exponents zero) over `nvars` variables.
+    pub fn one(nvars: usize) -> Self {
+        Monomial(vec![0; nvars])
+    }
+
+    /// The monomial `x_var` over `nvars` variables.
+    pub fn var(nvars: usize, var: usize) -> Self {
+        assert!(var < nvars, "variable index {var} out of range {nvars}");
+        let mut e = vec![0; nvars];
+        e[var] = 1;
+        Monomial(e)
+    }
+
+    /// Number of variables of the ambient ring.
+    pub fn nvars(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn total_degree(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Exponent of variable `var`.
+    pub fn exp(&self, var: usize) -> u32 {
+        self.0[var]
+    }
+
+    /// Product of two monomials (exponent-wise sum).
+    pub fn mul(&self, rhs: &Monomial) -> Monomial {
+        debug_assert_eq!(self.0.len(), rhs.0.len());
+        Monomial(
+            self.0
+                .iter()
+                .zip(&rhs.0)
+                .map(|(a, b)| a.checked_add(*b).expect("monomial degree overflow"))
+                .collect(),
+        )
+    }
+
+    /// Copy of this monomial with the exponent of `var` set to zero.
+    pub fn without_var(&self, var: usize) -> Monomial {
+        let mut e = self.0.clone();
+        e[var] = 0;
+        Monomial(e)
+    }
+
+    /// True iff every exponent is zero.
+    pub fn is_constant(&self) -> bool {
+        self.0.iter().all(|&e| e == 0)
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_degree()
+            .cmp(&other.total_degree())
+            .then_with(|| self.0.cmp(&other.0))
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > 0)
+            .map(|(v, &e)| {
+                if e == 1 {
+                    format!("x{v}")
+                } else {
+                    format!("x{v}^{e}")
+                }
+            })
+            .collect();
+        if parts.is_empty() {
+            write!(f, "1")
+        } else {
+            write!(f, "{}", parts.join("*"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let m = Monomial::one(3);
+        assert!(m.is_constant());
+        assert_eq!(m.total_degree(), 0);
+        let x1 = Monomial::var(3, 1);
+        assert_eq!(x1.exp(1), 1);
+        assert_eq!(x1.exp(0), 0);
+        assert_eq!(x1.total_degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range() {
+        let _ = Monomial::var(2, 2);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Monomial(vec![1, 2, 0]);
+        let b = Monomial(vec![0, 1, 3]);
+        assert_eq!(a.mul(&b), Monomial(vec![1, 3, 3]));
+    }
+
+    #[test]
+    fn ordering_is_graded() {
+        let low = Monomial(vec![1, 0]); // degree 1
+        let high = Monomial(vec![0, 2]); // degree 2
+        assert!(low < high);
+        // same degree: lexicographic on exponents
+        let a = Monomial(vec![0, 2]);
+        let b = Monomial(vec![1, 1]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn without_var() {
+        let a = Monomial(vec![1, 2, 3]);
+        assert_eq!(a.without_var(1), Monomial(vec![1, 0, 3]));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", Monomial(vec![0, 0])), "1");
+        assert_eq!(format!("{:?}", Monomial(vec![1, 2])), "x0*x1^2");
+    }
+}

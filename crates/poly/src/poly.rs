@@ -1,0 +1,410 @@
+//! The [`Poly`] type: exact multivariate polynomials and ring arithmetic.
+
+use crate::monomial::Monomial;
+use nrl_rational::Rational;
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A multivariate polynomial with [`Rational`] coefficients over a fixed
+/// number of variables.
+///
+/// The invariant is that `terms` never stores a zero coefficient, so the
+/// zero polynomial has an empty term map and structural equality is
+/// mathematical equality.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Poly {
+    nvars: usize,
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        Poly {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(nvars: usize, c: Rational) -> Self {
+        let mut p = Poly::zero(nvars);
+        if !c.is_zero() {
+            p.terms.insert(Monomial::one(nvars), c);
+        }
+        p
+    }
+
+    /// The constant polynomial from an integer.
+    pub fn constant_int(nvars: usize, c: i128) -> Self {
+        Poly::constant(nvars, Rational::from_int(c))
+    }
+
+    /// The polynomial `x_var`.
+    pub fn var(nvars: usize, var: usize) -> Self {
+        let mut p = Poly::zero(nvars);
+        p.terms.insert(Monomial::var(nvars, var), Rational::ONE);
+        p
+    }
+
+    /// Builds a polynomial from `(monomial, coefficient)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any monomial has a different variable count.
+    pub fn from_terms(nvars: usize, terms: impl IntoIterator<Item = (Monomial, Rational)>) -> Self {
+        let mut p = Poly::zero(nvars);
+        for (m, c) in terms {
+            assert_eq!(m.nvars(), nvars, "monomial arity mismatch");
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    /// An affine polynomial `Σ coeffs[v]·x_v + constant`.
+    pub fn affine(nvars: usize, coeffs: &[i128], constant: i128) -> Self {
+        assert!(coeffs.len() <= nvars, "too many affine coefficients");
+        let mut p = Poly::constant_int(nvars, constant);
+        for (v, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                p.add_term(Monomial::var(nvars, v), Rational::from_int(c));
+            }
+        }
+        p
+    }
+
+    /// Number of variables of the ambient ring.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Iterator over `(monomial, coefficient)` pairs in graded-lex order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Number of non-zero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the polynomial is constant, returns the constant.
+    pub fn as_constant(&self) -> Option<Rational> {
+        match self.terms.len() {
+            0 => Some(Rational::ZERO),
+            1 => {
+                let (m, c) = self.terms.iter().next().unwrap();
+                m.is_constant().then_some(*c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(Monomial::total_degree)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Degree in a single variable (0 for the zero polynomial).
+    pub fn degree_in(&self, var: usize) -> u32 {
+        self.terms.keys().map(|m| m.exp(var)).max().unwrap_or(0)
+    }
+
+    /// Coefficient of the given monomial (zero if absent).
+    pub fn coeff(&self, m: &Monomial) -> Rational {
+        self.terms.get(m).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Adds `c·m` into the polynomial, maintaining the no-zero invariant.
+    pub fn add_term(&mut self, m: Monomial, c: Rational) {
+        if c.is_zero() {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(m) {
+            Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            Entry::Occupied(mut e) => {
+                let sum = *e.get() + c;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Multiplies every coefficient by `c`.
+    pub fn scale(&self, c: Rational) -> Poly {
+        if c.is_zero() {
+            return Poly::zero(self.nvars);
+        }
+        Poly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(m, k)| (m.clone(), *k * c)).collect(),
+        }
+    }
+
+    /// `self^exp` by repeated multiplication (degrees stay small here).
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut acc = Poly::constant(self.nvars, Rational::ONE);
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Extracts the polynomial as univariate in `var`: returns the
+    /// coefficient polynomials of `var^0, var^1, …, var^d`, each free of
+    /// `var`.
+    pub fn univariate_coeffs(&self, var: usize) -> Vec<Poly> {
+        let d = self.degree_in(var) as usize;
+        let mut out = vec![Poly::zero(self.nvars); d + 1];
+        for (m, c) in &self.terms {
+            let k = m.exp(var) as usize;
+            out[k].add_term(m.without_var(var), *c);
+        }
+        out
+    }
+
+    /// Least common multiple of all coefficient denominators
+    /// (1 for the zero polynomial).
+    pub fn denominator_lcm(&self) -> i128 {
+        self.terms
+            .values()
+            .fold(1i128, |acc, c| nrl_rational::lcm_i128(acc, c.denom()))
+    }
+
+    /// Formal derivative with respect to `var`.
+    pub fn derivative(&self, var: usize) -> Poly {
+        let mut out = Poly::zero(self.nvars);
+        for (m, c) in &self.terms {
+            let e = m.exp(var);
+            if e == 0 {
+                continue;
+            }
+            let mut exps = m.0.clone();
+            exps[var] -= 1;
+            out.add_term(Monomial(exps), *c * Rational::from_int(e as i128));
+        }
+        out
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), *c);
+        }
+        out
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), -*c);
+        }
+        out
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        let mut out = Poly::zero(self.nvars);
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                out.add_term(ma.mul(mb), *ca * *cb);
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(-Rational::ONE)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Poly> for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: &Poly) -> Poly {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Poly> for &Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        -&self
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        for (m, c) in &rhs.terms {
+            self.add_term(m.clone(), *c);
+        }
+    }
+}
+
+impl SubAssign<&Poly> for Poly {
+    fn sub_assign(&mut self, rhs: &Poly) {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        for (m, c) in &rhs.terms {
+            self.add_term(m.clone(), -*c);
+        }
+    }
+}
+
+impl MulAssign<&Poly> for Poly {
+    fn mul_assign(&mut self, rhs: &Poly) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn zero_and_constant() {
+        let z = Poly::zero(2);
+        assert!(z.is_zero());
+        assert_eq!(z.as_constant(), Some(Rational::ZERO));
+        let c = Poly::constant(2, r(3, 4));
+        assert_eq!(c.as_constant(), Some(r(3, 4)));
+        assert_eq!(c.total_degree(), 0);
+        assert!(Poly::constant(2, Rational::ZERO).is_zero());
+    }
+
+    #[test]
+    fn affine_construction() {
+        // 2x - 3y + 5 over (x, y)
+        let p = Poly::affine(2, &[2, -3], 5);
+        assert_eq!(p.num_terms(), 3);
+        assert_eq!(p.degree_in(0), 1);
+        assert_eq!(p.degree_in(1), 1);
+        assert_eq!(p.coeff(&Monomial::one(2)), r(5, 1));
+    }
+
+    #[test]
+    fn add_cancels() {
+        let x = Poly::var(2, 0);
+        let p = &x + &x;
+        assert_eq!(p.coeff(&Monomial::var(2, 0)), r(2, 1));
+        let q = &p - &p;
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn multiplication_expands() {
+        // (x + y)^2 = x^2 + 2xy + y^2
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let s = &x + &y;
+        let sq = s.pow(2);
+        assert_eq!(sq.coeff(&Monomial(vec![2, 0])), r(1, 1));
+        assert_eq!(sq.coeff(&Monomial(vec![1, 1])), r(2, 1));
+        assert_eq!(sq.coeff(&Monomial(vec![0, 2])), r(1, 1));
+        assert_eq!(sq.num_terms(), 3);
+        assert_eq!(sq.total_degree(), 2);
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        let x = Poly::var(1, 0);
+        assert_eq!(x.pow(0).as_constant(), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn univariate_coeffs_roundtrip() {
+        // p = 3x^2 y + x y + 7y^2 + 2, as univariate in x:
+        // [7y^2 + 2, y, 3y]
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let p = Poly::constant_int(2, 3) * x.pow(2) * &y
+            + &x * &y
+            + Poly::constant_int(2, 7) * y.pow(2)
+            + Poly::constant_int(2, 2);
+        let coeffs = p.univariate_coeffs(0);
+        assert_eq!(coeffs.len(), 3);
+        assert_eq!(coeffs[1], y.clone());
+        assert_eq!(coeffs[2], Poly::constant_int(2, 3) * &y);
+        // reassemble Σ c_k x^k
+        let mut back = Poly::zero(2);
+        for (k, c) in coeffs.iter().enumerate() {
+            back += &(c * &x.pow(k as u32));
+        }
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derivative_power_rule() {
+        // d/dx (x^3 + 2x y) = 3x^2 + 2y
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let p = x.pow(3) + Poly::constant_int(2, 2) * &x * &y;
+        let d = p.derivative(0);
+        let expect = Poly::constant_int(2, 3) * x.pow(2) + Poly::constant_int(2, 2) * &y;
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn denominator_lcm() {
+        let p = Poly::constant(1, r(1, 6)) * Poly::var(1, 0) + Poly::constant(1, r(1, 4));
+        assert_eq!(p.denominator_lcm(), 12);
+        assert_eq!(Poly::zero(3).denominator_lcm(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = Poly::var(2, 0) + Poly::var(3, 0);
+    }
+}

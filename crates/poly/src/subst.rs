@@ -1,0 +1,178 @@
+//! Substitution of variables by polynomials.
+//!
+//! Loop collapsing substitutes affine bounds and lexicographic-minimum
+//! continuations into ranking polynomials; both are instances of the
+//! general polynomial substitution implemented here (via Horner's rule on
+//! the univariate coefficient decomposition).
+
+use crate::poly::Poly;
+
+impl Poly {
+    /// Replaces variable `var` by the polynomial `replacement` (over the
+    /// same ambient ring).
+    ///
+    /// Uses Horner's scheme on the univariate decomposition:
+    /// `p = Σ c_k·var^k  ⇒  p[var := q] = (…(c_d·q + c_{d-1})·q + …)·q + c_0`.
+    pub fn substitute(&self, var: usize, replacement: &Poly) -> Poly {
+        assert_eq!(
+            self.nvars(),
+            replacement.nvars(),
+            "substitution arity mismatch"
+        );
+        let coeffs = self.univariate_coeffs(var);
+        let mut acc = Poly::zero(self.nvars());
+        for c in coeffs.iter().rev() {
+            acc = &(&acc * replacement) + c;
+        }
+        acc
+    }
+
+    /// Substitutes several variables simultaneously.
+    ///
+    /// `subs` maps variable indices to replacement polynomials. The
+    /// substitution is *simultaneous*: replacements are not re-substituted
+    /// into each other. Implemented by expanding each term directly.
+    pub fn substitute_all(&self, subs: &[(usize, Poly)]) -> Poly {
+        for (v, q) in subs {
+            assert!(*v < self.nvars(), "substitution variable out of range");
+            assert_eq!(q.nvars(), self.nvars(), "substitution arity mismatch");
+        }
+        let mut out = Poly::zero(self.nvars());
+        for (m, c) in self.terms() {
+            // term = c · Π x_v^{e_v}; replace the substituted factors.
+            let mut term = Poly::constant(self.nvars(), *c);
+            let mut residual = m.0.clone();
+            for (v, q) in subs {
+                let e = residual[*v];
+                if e > 0 {
+                    residual[*v] = 0;
+                    term = &term * &q.pow(e);
+                }
+            }
+            let residual_mono = crate::monomial::Monomial(residual);
+            let mut residual_poly = Poly::zero(self.nvars());
+            residual_poly.add_term(residual_mono, nrl_rational::Rational::ONE);
+            out += &(&term * &residual_poly);
+        }
+        out
+    }
+
+    /// Shrinks the ambient ring to `new_nvars`, dropping trailing
+    /// variables.
+    ///
+    /// # Panics
+    /// Panics if any dropped variable is actually used.
+    pub fn shrink_vars(&self, new_nvars: usize) -> Poly {
+        assert!(new_nvars <= self.nvars(), "shrink cannot grow the ring");
+        let mut out = Poly::zero(new_nvars);
+        for (m, c) in self.terms() {
+            assert!(
+                m.0[new_nvars..].iter().all(|&e| e == 0),
+                "shrink_vars would drop a used variable"
+            );
+            out.add_term(crate::monomial::Monomial(m.0[..new_nvars].to_vec()), *c);
+        }
+        out
+    }
+
+    /// Renumbers variables into a (possibly larger) ring. `mapping[v]`
+    /// gives the new index of old variable `v`.
+    ///
+    /// # Panics
+    /// Panics if the mapping is not injective on used variables or maps
+    /// out of range.
+    pub fn remap_vars(&self, new_nvars: usize, mapping: &[usize]) -> Poly {
+        assert_eq!(mapping.len(), self.nvars(), "mapping arity mismatch");
+        let mut out = Poly::zero(new_nvars);
+        for (m, c) in self.terms() {
+            let mut exps = vec![0u32; new_nvars];
+            for (v, &e) in m.0.iter().enumerate() {
+                if e > 0 {
+                    let nv = mapping[v];
+                    assert!(nv < new_nvars, "remap target out of range");
+                    assert_eq!(exps[nv], 0, "remap not injective on used variables");
+                    exps[nv] = e;
+                }
+            }
+            out.add_term(crate::monomial::Monomial(exps), *c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_rational::Rational;
+
+    #[test]
+    fn substitute_affine_into_quadratic() {
+        // p(x, y) = x² + y; x := y + 1  ⇒  y² + 2y + 1 + y = y² + 3y + 1
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let p = x.pow(2) + &y;
+        let q = &y + Poly::constant_int(2, 1);
+        let s = p.substitute(0, &q);
+        let expect = y.pow(2) + Poly::constant_int(2, 3) * &y + Poly::constant_int(2, 1);
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn substitute_matches_pointwise_eval() {
+        let x = Poly::var(3, 0);
+        let y = Poly::var(3, 1);
+        let z = Poly::var(3, 2);
+        let p = x.pow(3) + &x * &y + z.pow(2);
+        let q = &y - &z + Poly::constant_int(3, 2);
+        let s = p.substitute(0, &q);
+        for yv in -3..3i128 {
+            for zv in -3..3i128 {
+                let xv = yv - zv + 2;
+                assert_eq!(
+                    s.eval_int(&[0, yv, zv]),
+                    p.eval_int(&[xv, yv, zv]),
+                    "y={yv} z={zv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_substitution_is_simultaneous() {
+        // p = x·y with x := y, y := x simultaneously gives y·x (swap), not x².
+        let x = Poly::var(2, 0);
+        let y = Poly::var(2, 1);
+        let p = &x * &y;
+        let s = p.substitute_all(&[(0, y.clone()), (1, x.clone())]);
+        assert_eq!(s, p);
+        // and a genuinely asymmetric check: p = x² + y
+        let p2 = x.pow(2) + &y;
+        let s2 = p2.substitute_all(&[(0, y.clone()), (1, x.clone())]);
+        assert_eq!(s2, y.pow(2) + &x);
+    }
+
+    #[test]
+    fn substitute_into_constant_is_identity() {
+        let p = Poly::constant(2, Rational::new(7, 3));
+        let q = Poly::var(2, 1);
+        assert_eq!(p.substitute(0, &q), p);
+    }
+
+    #[test]
+    fn remap_vars_extends_ring() {
+        // p(i, j) over 2 vars → p over 4 vars with i→2, j→0.
+        let i = Poly::var(2, 0);
+        let j = Poly::var(2, 1);
+        let p = i.pow(2) + Poly::constant_int(2, 5) * &j;
+        let q = p.remap_vars(4, &[2, 0]);
+        assert_eq!(q.nvars(), 4);
+        assert_eq!(q.eval_int(&[9, 0, 4, 0]), p.eval_int(&[4, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn remap_rejects_collisions() {
+        let p = Poly::var(2, 0) * Poly::var(2, 1);
+        let _ = p.remap_vars(2, &[0, 0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Discrete (Faulhaber) summation with polynomial limits — the
+//! Ehrhart-counting engine.
+//!
+//! For the loop model of the paper (affine bounds in the surrounding
+//! iterators), the number of points of a sub-nest is the iterated sum of
+//! polynomial trip counts over affine ranges. Each such sum is computed
+//! symbolically here:
+//!
+//! `Σ_{t=lo}^{hi} p(t, ·) = P(hi, ·) − P(lo − 1, ·)`
+//!
+//! where `P` is the discrete antiderivative of `p` in `t`, assembled from
+//! Faulhaber's formula (`Σ_{t=0}^{n} t^k` is a degree-`k+1` polynomial in
+//! `n` with Bernoulli-number coefficients).
+
+use crate::poly::Poly;
+use nrl_rational::{faulhaber_coefficients, Rational};
+
+impl Poly {
+    /// The discrete antiderivative evaluated at the polynomial `arg`:
+    /// returns `Σ_{t=0}^{arg} self(t, ·)` as a polynomial, where `self`
+    /// is read as univariate in `var` and `arg` must be free of `var`.
+    fn faulhaber_at(&self, var: usize, arg: &Poly) -> Poly {
+        debug_assert_eq!(arg.degree_in(var), 0, "summation limit uses the summed variable");
+        let coeffs = self.univariate_coeffs(var);
+        let mut out = Poly::zero(self.nvars());
+        for (k, c_k) in coeffs.iter().enumerate() {
+            if c_k.is_zero() {
+                continue;
+            }
+            // S_k(arg) via Horner on the Faulhaber coefficients.
+            let fh = faulhaber_coefficients(k as u32);
+            let mut s = Poly::zero(self.nvars());
+            for f in fh.iter().rev() {
+                s = &(&s * arg) + &Poly::constant(self.nvars(), *f);
+            }
+            out += &(c_k * &s);
+        }
+        out
+    }
+
+    /// Symbolic discrete sum `Σ_{t=lower}^{upper} self(t, ·)`.
+    ///
+    /// `self` may use variable `var`; `lower` and `upper` must be free of
+    /// `var` (they may use any other variable, e.g. outer iterators and
+    /// parameters). The result is free of `var`.
+    ///
+    /// The identity holds *formally*: when `upper = lower − 1` the result
+    /// is the zero polynomial, and for `upper ≥ lower − 1` it equals the
+    /// literal sum. (Domains with `upper < lower − 1` — negative trip
+    /// counts — are rejected upstream by domain validation.)
+    ///
+    /// # Panics
+    /// Panics (debug) if a limit mentions `var`.
+    pub fn discrete_sum(&self, var: usize, lower: &Poly, upper: &Poly) -> Poly {
+        assert_eq!(self.nvars(), lower.nvars(), "summation arity mismatch");
+        assert_eq!(self.nvars(), upper.nvars(), "summation arity mismatch");
+        assert_eq!(lower.degree_in(var), 0, "lower limit uses summed variable");
+        assert_eq!(upper.degree_in(var), 0, "upper limit uses summed variable");
+        let lo_minus_1 = lower - &Poly::constant(self.nvars(), Rational::ONE);
+        let hi_part = self.faulhaber_at(var, upper);
+        let lo_part = self.faulhaber_at(var, &lo_minus_1);
+        &hi_part - &lo_part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: Σ_{t=lo}^{hi} p with everything numeric.
+    fn brute_sum(p: &Poly, var: usize, point: &mut [i128], lo: i128, hi: i128) -> i128 {
+        let mut acc = 0i128;
+        for t in lo..=hi {
+            point[var] = t;
+            acc += p.eval_i128(point).to_integer().expect("integer");
+        }
+        acc
+    }
+
+    #[test]
+    fn sum_of_ones_is_trip_count() {
+        // Σ_{t=l}^{u} 1 = u − l + 1; vars: (t, l, u)
+        let one = Poly::constant_int(3, 1);
+        let l = Poly::var(3, 1);
+        let u = Poly::var(3, 2);
+        let s = one.discrete_sum(0, &l, &u);
+        let expect = &u - &l + Poly::constant_int(3, 1);
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn sum_of_t_matches_gauss() {
+        // Σ_{t=0}^{n} t = n(n+1)/2; vars: (t, n)
+        let t = Poly::var(2, 0);
+        let n = Poly::var(2, 1);
+        let s = t.discrete_sum(0, &Poly::zero(2), &n);
+        for nv in 0..30i128 {
+            assert_eq!(s.eval_int(&[0, nv]), nv * (nv + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn correlation_inner_count() {
+        // The paper's §III computation: Σ_{t=0}^{i−1} (N − t − 1)
+        // = (2iN − i² − 3i)/2 + i  … precisely i(2N − i − 1)/2.
+        // vars: (t, i, N)
+        let t = Poly::var(3, 0);
+        let i = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        let body = &n - &t - Poly::constant_int(3, 1);
+        let upper = &i - &Poly::constant_int(3, 1);
+        let s = body.discrete_sum(0, &Poly::zero(3), &upper);
+        for nv in 2..12i128 {
+            for iv in 0..nv - 1 {
+                assert_eq!(
+                    s.eval_int(&[0, iv, nv]),
+                    iv * (2 * nv - iv - 1) / 2,
+                    "i={iv} N={nv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_sums_to_zero() {
+        // Σ_{t=l}^{l−1} p = 0 formally, for any p.
+        let t = Poly::var(2, 0);
+        let l = Poly::var(2, 1);
+        let p = t.pow(3) + Poly::constant_int(2, 4) * &t + Poly::constant_int(2, 9);
+        let s = p.discrete_sum(0, &l, &(&l - &Poly::constant_int(2, 1)));
+        assert!(s.is_zero(), "got {:?}", s.num_terms());
+    }
+
+    #[test]
+    fn polynomial_body_with_affine_limits() {
+        // Σ_{t=a+1}^{2b} (t² + a·t + 3) checked against brute force.
+        // vars: (t, a, b)
+        let t = Poly::var(3, 0);
+        let a = Poly::var(3, 1);
+        let body = t.pow(2) + &a * &t + Poly::constant_int(3, 3);
+        let lo = &a + &Poly::constant_int(3, 1);
+        let hi = Poly::affine(3, &[0, 0, 2], 0);
+        let s = body.discrete_sum(0, &lo, &hi);
+        assert_eq!(s.degree_in(0), 0);
+        let mut point = [0i128, 0, 0];
+        for av in -4..5i128 {
+            for bv in 0..6i128 {
+                if 2 * bv < av {
+                    continue; // only validate non-degenerate ranges
+                }
+                point[1] = av;
+                point[2] = bv;
+                let brute = brute_sum(&body, 0, &mut point.clone(), av + 1, 2 * bv);
+                assert_eq!(s.eval_int(&[0, av, bv]), brute, "a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterated_sum_counts_triangle() {
+        // #{(i, j) | 0 ≤ i ≤ N−2, i+1 ≤ j ≤ N−1} = N(N−1)/2
+        // vars: (i, j, N)
+        let one = Poly::constant_int(3, 1);
+        let i = Poly::var(3, 0);
+        let n = Poly::var(3, 2);
+        let inner = one.discrete_sum(
+            1,
+            &(&i + &Poly::constant_int(3, 1)),
+            &(&n - &Poly::constant_int(3, 1)),
+        );
+        let total = inner.discrete_sum(0, &Poly::zero(3), &(&n - &Poly::constant_int(3, 2)));
+        for nv in 1..50i128 {
+            assert_eq!(total.eval_int(&[0, 0, nv]), nv * (nv - 1) / 2, "N={nv}");
+        }
+    }
+
+    #[test]
+    fn tetrahedral_count_matches_figure6() {
+        // Paper Fig. 6: i in 0..N−1, j in 0..i+1, k in j..i+1 (strict <).
+        // Total = (N³ − N)/6. vars: (i, j, k, N)
+        let one = Poly::constant_int(4, 1);
+        let i = Poly::var(4, 0);
+        let j = Poly::var(4, 1);
+        let n = Poly::var(4, 3);
+        // k from j to i (inclusive)
+        let ck = one.discrete_sum(2, &j, &i);
+        // j from 0 to i (inclusive)
+        let cj = ck.discrete_sum(1, &Poly::zero(4), &i);
+        // i from 0 to N−2 (inclusive)
+        let total = cj.discrete_sum(0, &Poly::zero(4), &(&n - &Poly::constant_int(4, 2)));
+        for nv in 1..30i128 {
+            assert_eq!(
+                total.eval_int(&[0, 0, 0, nv]),
+                (nv * nv * nv - nv) / 6,
+                "N={nv}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uses summed variable")]
+    fn limit_using_summed_variable_rejected() {
+        let t = Poly::var(2, 0);
+        let _ = t.discrete_sum(0, &Poly::zero(2), &Poly::var(2, 0));
+    }
+}

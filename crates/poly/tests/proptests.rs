@@ -1,0 +1,126 @@
+//! Property-based tests for the polynomial ring and discrete summation.
+
+use nrl_poly::{IntPoly, Monomial, Poly};
+use nrl_rational::Rational;
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+
+/// Random polynomial over 3 variables, small degrees and coefficients.
+fn arb_poly() -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..4, NVARS),
+            -20i128..20,
+            1i128..6,
+        ),
+        0..8,
+    )
+    .prop_map(|terms| {
+        Poly::from_terms(
+            NVARS,
+            terms
+                .into_iter()
+                .map(|(exps, n, d)| (Monomial(exps), Rational::new(n, d))),
+        )
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = Vec<Rational>> {
+    proptest::collection::vec((-9i128..9, 1i128..4).prop_map(|(n, d)| Rational::new(n, d)), NVARS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutes_pointwise(a in arb_poly(), b in arb_poly(), p in arb_point()) {
+        let lhs = (&a + &b).eval_rational(&p);
+        let rhs = a.eval_rational(&p) + b.eval_rational(&p);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mul_matches_pointwise(a in arb_poly(), b in arb_poly(), p in arb_point()) {
+        let lhs = (&a * &b).eval_rational(&p);
+        let rhs = a.eval_rational(&p) * b.eval_rational(&p);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn substitution_matches_eval(a in arb_poly(), q in arb_poly(), p in arb_point()) {
+        // a[x0 := q] evaluated at p equals a evaluated at (q(p), p1, p2).
+        let s = a.substitute(0, &q);
+        let mut p2 = p.clone();
+        p2[0] = q.eval_rational(&p);
+        prop_assert_eq!(s.eval_rational(&p), a.eval_rational(&p2));
+    }
+
+    #[test]
+    fn univariate_coeffs_reassemble(a in arb_poly()) {
+        let coeffs = a.univariate_coeffs(1);
+        let x = Poly::var(NVARS, 1);
+        let mut back = Poly::zero(NVARS);
+        for (k, c) in coeffs.iter().enumerate() {
+            back += &(c * &x.pow(k as u32));
+        }
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn discrete_sum_matches_brute_force(
+        a in arb_poly(),
+        lo in -5i128..5,
+        len in 0i128..8,
+        y in -5i128..5,
+        z in -5i128..5,
+    ) {
+        // Sum over var 0 from lo to lo+len-1 with vars 1, 2 fixed.
+        let hi = lo + len - 1;
+        let lo_p = Poly::constant_int(NVARS, lo);
+        let hi_p = Poly::constant_int(NVARS, hi);
+        let s = a.discrete_sum(0, &lo_p, &hi_p);
+        let mut brute = Rational::ZERO;
+        for t in lo..=hi {
+            brute += a.eval_rational(&[
+                Rational::from_int(t),
+                Rational::from_int(y),
+                Rational::from_int(z),
+            ]);
+        }
+        let sym = s.eval_rational(&[
+            Rational::ZERO,
+            Rational::from_int(y),
+            Rational::from_int(z),
+        ]);
+        prop_assert_eq!(sym, brute);
+    }
+
+    #[test]
+    fn intpoly_agrees_with_poly(a in arb_poly(), y in -9i64..9, z in -9i64..9, x in -9i64..9) {
+        let ip = IntPoly::from_poly(&a);
+        let exact = a.eval_i128(&[x as i128, y as i128, z as i128]);
+        let numer = ip.eval_numer(&[x, y, z]);
+        prop_assert_eq!(Rational::new(numer, ip.denominator()), exact);
+    }
+
+    #[test]
+    fn derivative_of_sum_is_sum_of_derivatives(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(
+            (&a + &b).derivative(0),
+            &a.derivative(0) + &b.derivative(0)
+        );
+    }
+
+    #[test]
+    fn derivative_product_rule(a in arb_poly(), b in arb_poly()) {
+        let lhs = (&a * &b).derivative(2);
+        let rhs = &(&a.derivative(2) * &b) + &(&a * &b.derivative(2));
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,408 @@
+//! Affine forms `Σ c_v·x_v + k` over a shared [`Space`].
+
+use crate::space::Space;
+use nrl_poly::Poly;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression with `i64` coefficients over the variables of a
+/// [`Space`] (iterators and parameters) plus an integer constant.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Affine {
+    space: Space,
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl Affine {
+    /// The zero form.
+    pub fn zero(space: Space) -> Self {
+        let n = space.len();
+        Affine {
+            space,
+            coeffs: vec![0; n],
+            constant: 0,
+        }
+    }
+
+    /// The constant form `c`.
+    pub fn constant(space: Space, c: i64) -> Self {
+        let mut a = Affine::zero(space);
+        a.constant = c;
+        a
+    }
+
+    /// The unit form `x_v`.
+    pub fn unit(space: Space, v: usize) -> Self {
+        let mut a = Affine::zero(space);
+        a.coeffs[v] = 1;
+        a
+    }
+
+    /// Builds from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != space.len()`.
+    pub fn from_parts(space: Space, coeffs: Vec<i64>, constant: i64) -> Self {
+        assert_eq!(coeffs.len(), space.len(), "affine arity mismatch");
+        Affine {
+            space,
+            coeffs,
+            constant,
+        }
+    }
+
+    /// The ambient space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Coefficient of variable `v`.
+    pub fn coeff(&self, v: usize) -> i64 {
+        self.coeffs[v]
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// True iff no variable occurs.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True iff variable `v` occurs with a non-zero coefficient.
+    pub fn uses_var(&self, v: usize) -> bool {
+        self.coeffs[v] != 0
+    }
+
+    /// Largest iterator index used, if any.
+    pub fn max_iter_used(&self) -> Option<usize> {
+        (0..self.space.niters())
+            .filter(|&v| self.coeffs[v] != 0)
+            .max()
+    }
+
+    /// Evaluates at a full point (iterators followed by parameters).
+    ///
+    /// # Panics
+    /// Panics if `point.len() != space.len()` or on overflow.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        assert_eq!(point.len(), self.space.len(), "affine eval arity mismatch");
+        let mut acc = self.constant;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            acc = acc
+                .checked_add(c.checked_mul(*x).expect("affine eval overflow"))
+                .expect("affine eval overflow");
+        }
+        acc
+    }
+
+    /// Folds the parameters to fixed values, producing an affine form over
+    /// the iterators only (coefficients of length `niters`).
+    pub fn bind_params(&self, params: &[i64]) -> BoundAffine {
+        assert_eq!(
+            params.len(),
+            self.space.nparams(),
+            "parameter arity mismatch"
+        );
+        let ni = self.space.niters();
+        let mut constant = self.constant;
+        for (p, c) in params.iter().zip(&self.coeffs[ni..]) {
+            constant = constant
+                .checked_add(c.checked_mul(*p).expect("parameter binding overflow"))
+                .expect("parameter binding overflow");
+        }
+        BoundAffine {
+            coeffs: self.coeffs[..ni].to_vec(),
+            constant,
+        }
+    }
+
+    /// Converts to a polynomial over the same variable ordering.
+    pub fn to_poly(&self) -> Poly {
+        let coeffs: Vec<i128> = self.coeffs.iter().map(|&c| c as i128).collect();
+        Poly::affine(self.space.len(), &coeffs, self.constant as i128)
+    }
+
+    /// Renders with the space's variable names (e.g. `i + 2*N - 1`).
+    pub fn render(&self) -> String {
+        let mut parts: Vec<(bool, String)> = Vec::new();
+        for (v, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mag = c.unsigned_abs();
+            let name = self.space.name(v);
+            let text = if mag == 1 {
+                name.to_string()
+            } else {
+                format!("{mag}*{name}")
+            };
+            parts.push((c < 0, text));
+        }
+        if self.constant != 0 || parts.is_empty() {
+            parts.push((self.constant < 0, self.constant.unsigned_abs().to_string()));
+        }
+        let mut out = String::new();
+        for (idx, (neg, text)) in parts.iter().enumerate() {
+            if idx == 0 {
+                if *neg {
+                    out.push('-');
+                }
+            } else if *neg {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            out.push_str(text);
+        }
+        out
+    }
+}
+
+impl Add for &Affine {
+    type Output = Affine;
+    fn add(self, rhs: &Affine) -> Affine {
+        assert_eq!(self.space, rhs.space, "affine space mismatch");
+        Affine {
+            space: self.space.clone(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(a, b)| a.checked_add(*b).expect("affine add overflow"))
+                .collect(),
+            constant: self
+                .constant
+                .checked_add(rhs.constant)
+                .expect("affine add overflow"),
+        }
+    }
+}
+
+impl Sub for &Affine {
+    type Output = Affine;
+    fn sub(self, rhs: &Affine) -> Affine {
+        self + &(-rhs)
+    }
+}
+
+impl Neg for &Affine {
+    type Output = Affine;
+    fn neg(self) -> Affine {
+        Affine {
+            space: self.space.clone(),
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl Mul<i64> for &Affine {
+    type Output = Affine;
+    fn mul(self, k: i64) -> Affine {
+        Affine {
+            space: self.space.clone(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|c| c.checked_mul(k).expect("affine scale overflow"))
+                .collect(),
+            constant: self.constant.checked_mul(k).expect("affine scale overflow"),
+        }
+    }
+}
+
+macro_rules! forward_affine_binop {
+    ($trait:ident, $method:ident, $rhs:ty) => {
+        impl $trait<$rhs> for Affine {
+            type Output = Affine;
+            fn $method(self, rhs: $rhs) -> Affine {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&$rhs> for Affine {
+            type Output = Affine;
+            fn $method(self, rhs: &$rhs) -> Affine {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<$rhs> for &Affine {
+            type Output = Affine;
+            fn $method(self, rhs: $rhs) -> Affine {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_affine_binop!(Add, add, Affine);
+forward_affine_binop!(Sub, sub, Affine);
+
+impl Neg for Affine {
+    type Output = Affine;
+    fn neg(self) -> Affine {
+        -&self
+    }
+}
+
+impl Mul<i64> for Affine {
+    type Output = Affine;
+    fn mul(self, k: i64) -> Affine {
+        &self * k
+    }
+}
+
+impl Add<i64> for Affine {
+    type Output = Affine;
+    fn add(self, k: i64) -> Affine {
+        let c = self.space.cst(k);
+        &self + &c
+    }
+}
+
+impl Sub<i64> for Affine {
+    type Output = Affine;
+    fn sub(self, k: i64) -> Affine {
+        let c = self.space.cst(k);
+        &self - &c
+    }
+}
+
+impl Add<i64> for &Affine {
+    type Output = Affine;
+    fn add(self, k: i64) -> Affine {
+        let c = self.space().cst(k);
+        self + &c
+    }
+}
+
+impl Sub<i64> for &Affine {
+    type Output = Affine;
+    fn sub(self, k: i64) -> Affine {
+        let c = self.space().cst(k);
+        self - &c
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// An affine form whose parameters have been folded away: coefficients
+/// range over the iterators only. This is the run-time representation
+/// used by the odometer (two dot products per loop level).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundAffine {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl BoundAffine {
+    /// Constant-only bound form.
+    pub fn constant(niters: usize, c: i64) -> Self {
+        BoundAffine {
+            coeffs: vec![0; niters],
+            constant: c,
+        }
+    }
+
+    /// Evaluates using an iterator *prefix*: entries beyond
+    /// `prefix.len()` are treated as absent (their coefficients must be
+    /// zero for a well-formed nest — enforced by `NestSpec`).
+    #[inline]
+    pub fn eval_prefix(&self, prefix: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        let n = prefix.len().min(self.coeffs.len());
+        for (c, x) in self.coeffs[..n].iter().zip(prefix) {
+            acc += c * x;
+        }
+        acc
+    }
+
+    /// Coefficients over the iterators.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Constant term (with parameters folded in).
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::new(&["i", "j"], &["N"])
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let s = space();
+        // 2i − j + 3N − 4
+        let a = s.var("i") * 2 - s.var("j") + s.var("N") * 3 - 4;
+        assert_eq!(a.eval(&[5, 1, 10]), 10 - 1 + 30 - 4);
+        assert_eq!(a.coeff(0), 2);
+        assert_eq!(a.coeff(1), -1);
+        assert_eq!(a.coeff(2), 3);
+        assert_eq!(a.constant_term(), -4);
+    }
+
+    #[test]
+    fn bind_params_folds_constants() {
+        let s = space();
+        let a = s.var("i") + s.var("N") * 2 - 1;
+        let b = a.bind_params(&[10]);
+        assert_eq!(b.constant_term(), 19);
+        assert_eq!(b.eval_prefix(&[7]), 26);
+        assert_eq!(b.eval_prefix(&[7, 99]), 26); // j coefficient is zero
+    }
+
+    #[test]
+    fn to_poly_matches_eval() {
+        let s = space();
+        let a = s.var("i") * 3 - s.var("j") + 7;
+        let p = a.to_poly();
+        for i in -3..3i64 {
+            for j in -3..3i64 {
+                assert_eq!(
+                    p.eval_int(&[i as i128, j as i128, 0]),
+                    a.eval(&[i, j, 0]) as i128
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_names() {
+        let s = space();
+        assert_eq!((s.var("i") + 1).render(), "i + 1");
+        assert_eq!((s.var("N") - s.var("i") * 2).render(), "-2*i + N");
+        assert_eq!(s.cst(0).render(), "0");
+        assert_eq!((-s.var("j")).render(), "-j");
+    }
+
+    #[test]
+    fn max_iter_used() {
+        let s = space();
+        assert_eq!(s.cst(5).max_iter_used(), None);
+        assert_eq!(s.var("N").max_iter_used(), None);
+        assert_eq!((s.var("i") + s.var("N")).max_iter_used(), Some(0));
+        assert_eq!((s.var("j") - s.var("i")).max_iter_used(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "space mismatch")]
+    fn cross_space_add_rejected() {
+        let a = space().var("i");
+        let b = Space::new(&["i"], &["N"]).var("i");
+        let _ = a + b;
+    }
+}

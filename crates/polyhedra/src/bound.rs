@@ -1,0 +1,275 @@
+//! [`BoundNest`]: a nest with parameters bound — the run-time odometer.
+//!
+//! After collapsing, each thread recovers its starting tuple once (the
+//! costly step) and then advances through its chunk with the same cheap
+//! incrementation the original nest would perform (§V of the paper).
+//! `BoundNest` provides exactly those operations: bound evaluation from an
+//! iterator prefix, `first_point`, and `advance`.
+
+use crate::affine::BoundAffine;
+
+/// A loop nest whose parameters are fixed: bounds are affine in the
+/// iterator prefix only.
+#[derive(Clone, Debug)]
+pub struct BoundNest {
+    bounds: Vec<(BoundAffine, BoundAffine)>,
+}
+
+impl BoundNest {
+    /// Builds from per-level `(lower, upper)` inclusive bound pairs.
+    pub fn new(bounds: Vec<(BoundAffine, BoundAffine)>) -> Self {
+        BoundNest { bounds }
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Inclusive lower bound of level `k` given the values of the outer
+    /// iterators (`prefix.len() ≥ k`; extra entries are ignored).
+    #[inline]
+    pub fn lower(&self, k: usize, prefix: &[i64]) -> i64 {
+        self.bounds[k].0.eval_prefix(&prefix[..k.min(prefix.len())])
+    }
+
+    /// Inclusive upper bound of level `k` given the outer iterators.
+    #[inline]
+    pub fn upper(&self, k: usize, prefix: &[i64]) -> i64 {
+        self.bounds[k].1.eval_prefix(&prefix[..k.min(prefix.len())])
+    }
+
+    /// Trip count of level `k` (may be zero; negative values indicate a
+    /// malformed domain and are clamped by callers that tolerate them).
+    #[inline]
+    pub fn trip_count(&self, k: usize, prefix: &[i64]) -> i64 {
+        self.upper(k, prefix) - self.lower(k, prefix) + 1
+    }
+
+    /// Membership test.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.depth(), "point arity mismatch");
+        (0..self.depth()).all(|k| {
+            let x = point[k];
+            self.lower(k, point) <= x && x <= self.upper(k, point)
+        })
+    }
+
+    /// The lexicographically first point of the domain, or `None` when
+    /// the domain is empty.
+    ///
+    /// Handles empty inner sub-nests by carrying: if descending the
+    /// lower-bound chain hits an empty level, the deepest non-exhausted
+    /// outer iterator is incremented and the descent retried.
+    pub fn first_point(&self) -> Option<Vec<i64>> {
+        let d = self.depth();
+        let mut point = vec![0i64; d];
+        if d == 0 {
+            return Some(point);
+        }
+        point[0] = self.lower(0, &point);
+        if point[0] > self.upper(0, &point) {
+            return None;
+        }
+        let mut k = 1;
+        while k < d {
+            point[k] = self.lower(k, &point);
+            if point[k] > self.upper(k, &point) {
+                // Empty sub-nest: advance the parent level(s).
+                let mut level = k as isize - 1;
+                loop {
+                    if level < 0 {
+                        return None;
+                    }
+                    point[level as usize] += 1;
+                    if point[level as usize] <= self.upper(level as usize, &point) {
+                        break;
+                    }
+                    level -= 1;
+                }
+                k = level as usize + 1;
+            } else {
+                k += 1;
+            }
+        }
+        Some(point)
+    }
+
+    /// Advances `point` to the lexicographically next domain point.
+    /// Returns `false` (leaving `point` unspecified) when the current
+    /// point was the last one.
+    ///
+    /// This is the per-iteration cost of a collapsed loop between costly
+    /// recoveries: at most one bound evaluation per carried level.
+    #[inline]
+    pub fn advance(&self, point: &mut [i64]) -> bool {
+        let d = self.depth();
+        debug_assert_eq!(point.len(), d);
+        if d == 0 {
+            return false; // the single empty tuple has no successor
+        }
+        // Try to increment the innermost level; carry outwards on
+        // exhaustion, then re-descend the lower-bound chain (skipping
+        // empty sub-nests, which bounce the carry back up).
+        let mut k = d - 1;
+        loop {
+            point[k] += 1;
+            if point[k] <= self.upper(k, point) {
+                // Descend: set all inner levels to their lower bounds.
+                let mut level = k + 1;
+                while level < d {
+                    point[level] = self.lower(level, point);
+                    if point[level] > self.upper(level, point) {
+                        // Empty sub-nest — resume carrying at `level − 1`,
+                        // which means incrementing it again.
+                        break;
+                    }
+                    level += 1;
+                }
+                if level == d {
+                    return true;
+                }
+                k = level - 1;
+                continue;
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+    }
+
+    /// Advances by `steps` points (used by the warp-style executor where
+    /// each lane strides by the warp width). Returns `false` if the walk
+    /// ran off the end of the domain.
+    pub fn advance_by(&self, point: &mut [i64], steps: u64) -> bool {
+        for _ in 0..steps {
+            if !self.advance(point) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Brute-force point count (reference for tests; the symbolic count
+    /// comes from the ranking polynomial).
+    pub fn count_brute(&self) -> u128 {
+        let mut count = 0u128;
+        let Some(mut p) = self.first_point() else {
+            return 0;
+        };
+        loop {
+            count += 1;
+            if !self.advance(&mut p) {
+                return count;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::NestSpec;
+    use crate::space::Space;
+
+    #[test]
+    fn correlation_walk() {
+        let nest = NestSpec::correlation().bind(&[4]); // N = 4
+        // points: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3)
+        let mut p = nest.first_point().unwrap();
+        assert_eq!(p, vec![0, 1]);
+        let mut seen = vec![p.clone()];
+        while nest.advance(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert_eq!(nest.count_brute(), 6);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let nest = NestSpec::correlation().bind(&[1]); // N = 1: no points
+        assert!(nest.first_point().is_none());
+        assert_eq!(nest.count_brute(), 0);
+    }
+
+    #[test]
+    fn figure6_count() {
+        for n in 1..12i64 {
+            let nest = NestSpec::figure6().bind(&[n]);
+            assert_eq!(
+                nest.count_brute() as i64,
+                (n * n * n - n) / 6,
+                "N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_point_skips_empty_subnests() {
+        // for i in 0..=3 { for j in 3..=i }  — empty until i = 3.
+        let s = Space::new(&["i", "j"], &[]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(3)), (s.cst(3), s.var("i"))],
+        )
+        .unwrap()
+        .bind(&[]);
+        assert_eq!(nest.first_point(), Some(vec![3, 3]));
+        assert_eq!(nest.count_brute(), 1);
+    }
+
+    #[test]
+    fn advance_skips_empty_subnests() {
+        // for i in 0..=2 { for j in i..=1 } — i=0:(0,0),(0,1); i=1:(1,1); i=2: empty
+        let s = Space::new(&["i", "j"], &[]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(2)), (s.var("i"), s.cst(1))],
+        )
+        .unwrap()
+        .bind(&[]);
+        let mut p = nest.first_point().unwrap();
+        let mut pts = vec![p.clone()];
+        while nest.advance(&mut p) {
+            pts.push(p.clone());
+        }
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn advance_by_strides() {
+        let nest = NestSpec::correlation().bind(&[5]);
+        let mut p = nest.first_point().unwrap();
+        assert!(nest.advance_by(&mut p, 3));
+        // 4th point of (0,1)(0,2)(0,3)(0,4)(1,2)... is (0,4)
+        assert_eq!(p, vec![0, 4]);
+        assert!(!nest.advance_by(&mut p, 100));
+    }
+
+    #[test]
+    fn zero_depth_nest() {
+        let nest = BoundNest::new(vec![]);
+        assert_eq!(nest.first_point(), Some(vec![]));
+        assert_eq!(nest.count_brute(), 1);
+    }
+
+    #[test]
+    fn membership() {
+        let nest = NestSpec::figure6().bind(&[6]);
+        assert!(nest.contains(&[2, 1, 2]));
+        assert!(!nest.contains(&[2, 1, 4])); // k ≤ i
+        assert!(!nest.contains(&[5, 0, 0])); // i ≤ N−2
+    }
+}

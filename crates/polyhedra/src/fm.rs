@@ -1,0 +1,295 @@
+//! Fourier–Motzkin elimination over rationals.
+//!
+//! A small exact implementation standing in for ISL in the places the
+//! paper uses polyhedral machinery beyond counting: proving that a nest's
+//! trip counts can never be negative under parameter assumptions (the
+//! well-formedness precondition of the ranking construction) and deriving
+//! variable intervals.
+//!
+//! Rational infeasibility is sound for integer points (no rational point
+//! ⇒ no integer point), which is the direction validation needs.
+
+use nrl_rational::Rational;
+
+/// A linear constraint `Σ coeffs[v]·x_v + constant ≥ 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    coeffs: Vec<Rational>,
+    constant: Rational,
+}
+
+impl Constraint {
+    /// Builds a constraint from integer coefficients.
+    pub fn from_ints(coeffs: &[i64], constant: i64) -> Self {
+        Constraint {
+            coeffs: coeffs.iter().map(|&c| Rational::from_int(c as i128)).collect(),
+            constant: Rational::from_int(constant as i128),
+        }
+    }
+
+    /// Builds from rational parts.
+    pub fn new(coeffs: Vec<Rational>, constant: Rational) -> Self {
+        Constraint { coeffs, constant }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Normalizes so the largest absolute coefficient is 1 (improves
+    /// dedup and keeps numbers small across eliminations).
+    fn normalized(mut self) -> Self {
+        let max = self
+            .coeffs
+            .iter()
+            .chain(std::iter::once(&self.constant))
+            .map(|c| c.abs())
+            .max()
+            .unwrap_or(Rational::ZERO);
+        if max > Rational::ZERO {
+            for c in &mut self.coeffs {
+                *c /= max;
+            }
+            self.constant /= max;
+        }
+        self
+    }
+
+    /// True iff no variable occurs.
+    fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(Rational::is_zero)
+    }
+}
+
+/// A conjunction of linear inequalities over `nvars` variables.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    nvars: usize,
+    rows: Vec<Constraint>,
+}
+
+impl System {
+    /// An empty (trivially feasible) system.
+    pub fn new(nvars: usize) -> Self {
+        System {
+            nvars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of constraints currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the system has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds `expr ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.nvars(), self.nvars, "constraint arity mismatch");
+        let c = c.normalized();
+        if !self.rows.contains(&c) {
+            self.rows.push(c);
+        }
+    }
+
+    /// Adds the pair of constraints for `lo ≤ x_v ≤ hi` with integer
+    /// bounds.
+    pub fn add_range(&mut self, v: usize, lo: i64, hi: i64) {
+        let mut lower = vec![0i64; self.nvars];
+        lower[v] = 1;
+        self.add(Constraint::from_ints(&lower, -lo)); // x − lo ≥ 0
+        let mut upper = vec![0i64; self.nvars];
+        upper[v] = -1;
+        self.add(Constraint::from_ints(&upper, hi)); // hi − x ≥ 0
+    }
+
+    /// Eliminates variable `v`, returning the projected system.
+    pub fn project_out(&self, v: usize) -> System {
+        assert!(v < self.nvars, "projection variable out of range");
+        let mut out = System::new(self.nvars);
+        let mut pos: Vec<&Constraint> = Vec::new();
+        let mut neg: Vec<&Constraint> = Vec::new();
+        for row in &self.rows {
+            match row.coeffs[v].signum() {
+                0 => out.add(row.clone()),
+                1 => pos.push(row),
+                _ => neg.push(row),
+            }
+        }
+        // For a·x + p ≥ 0 (a > 0) and −b·x + q ≥ 0 (b > 0):
+        // combine b·(first) + a·(second) to cancel x.
+        for p in &pos {
+            for n in &neg {
+                let a = p.coeffs[v];
+                let b = -n.coeffs[v];
+                let coeffs: Vec<Rational> = p
+                    .coeffs
+                    .iter()
+                    .zip(&n.coeffs)
+                    .map(|(cp, cn)| *cp * b + *cn * a)
+                    .collect();
+                let constant = p.constant * b + n.constant * a;
+                out.add(Constraint::new(coeffs, constant));
+            }
+        }
+        out
+    }
+
+    /// Rational feasibility by full elimination.
+    ///
+    /// Returns `false` only when the system has **no rational solution**
+    /// (and therefore no integer solution).
+    pub fn is_rationally_feasible(&self) -> bool {
+        let mut sys = self.clone();
+        for v in 0..self.nvars {
+            // Early exit: constant contradiction already present.
+            if sys
+                .rows
+                .iter()
+                .any(|r| r.is_constant() && r.constant < Rational::ZERO)
+            {
+                return false;
+            }
+            sys = sys.project_out(v);
+        }
+        sys.rows
+            .iter()
+            .all(|r| r.constant >= Rational::ZERO)
+    }
+
+    /// The rational interval implied for variable `v` after projecting
+    /// out every other variable: `(max lower bound, min upper bound)`,
+    /// `None` meaning unbounded on that side.
+    ///
+    /// Returns `None` overall when the system is rationally infeasible.
+    pub fn interval_of(&self, v: usize) -> Option<(Option<Rational>, Option<Rational>)> {
+        let mut sys = self.clone();
+        for u in 0..self.nvars {
+            if u != v {
+                sys = sys.project_out(u);
+            }
+        }
+        // Constant rows decide feasibility; rows in v give bounds.
+        let mut lo: Option<Rational> = None;
+        let mut hi: Option<Rational> = None;
+        for row in &sys.rows {
+            let a = row.coeffs[v];
+            if a.is_zero() {
+                if row.constant < Rational::ZERO {
+                    return None;
+                }
+                continue;
+            }
+            let bound = -row.constant / a;
+            if a.signum() > 0 {
+                // x ≥ −c/a
+                lo = Some(match lo {
+                    Some(cur) => cur.max(bound),
+                    None => bound,
+                });
+            } else {
+                hi = Some(match hi {
+                    Some(cur) => cur.min(bound),
+                    None => bound,
+                });
+            }
+        }
+        if let (Some(l), Some(h)) = (&lo, &hi) {
+            if l > h {
+                return None;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn triangle_feasible() {
+        // {0 ≤ i, i ≤ j − 1, j ≤ 9}: feasible.
+        let mut sys = System::new(2);
+        sys.add(Constraint::from_ints(&[1, 0], 0)); // i ≥ 0
+        sys.add(Constraint::from_ints(&[-1, 1], -1)); // j − i − 1 ≥ 0
+        sys.add(Constraint::from_ints(&[0, -1], 9)); // 9 − j ≥ 0
+        assert!(sys.is_rationally_feasible());
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        // {i ≥ 3, i ≤ 1}
+        let mut sys = System::new(1);
+        sys.add(Constraint::from_ints(&[1], -3));
+        sys.add(Constraint::from_ints(&[-1], 1));
+        assert!(!sys.is_rationally_feasible());
+    }
+
+    #[test]
+    fn projection_preserves_shadow() {
+        // {0 ≤ i ≤ 4, i ≤ j ≤ i + 2}: projecting out i gives 0 ≤ j ≤ 6.
+        let mut sys = System::new(2);
+        sys.add_range(0, 0, 4);
+        sys.add(Constraint::from_ints(&[-1, 1], 0)); // j − i ≥ 0
+        sys.add(Constraint::from_ints(&[1, -1], 2)); // i + 2 − j ≥ 0
+        let (lo, hi) = sys.interval_of(1).expect("feasible");
+        assert_eq!(lo, Some(Rational::ZERO));
+        assert_eq!(hi, Some(Rational::from_int(6)));
+    }
+
+    #[test]
+    fn interval_with_rational_endpoints() {
+        // {2x ≥ 1, 3x ≤ 2} ⇒ x ∈ [1/2, 2/3]
+        let mut sys = System::new(1);
+        sys.add(Constraint::from_ints(&[2], -1));
+        sys.add(Constraint::from_ints(&[-3], 2));
+        let (lo, hi) = sys.interval_of(0).expect("feasible");
+        assert_eq!(lo, Some(r(1, 2)));
+        assert_eq!(hi, Some(r(2, 3)));
+    }
+
+    #[test]
+    fn unbounded_interval() {
+        let mut sys = System::new(2);
+        sys.add(Constraint::from_ints(&[1, 0], 0)); // x ≥ 0, y free
+        let (lo, hi) = sys.interval_of(0).expect("feasible");
+        assert_eq!(lo, Some(Rational::ZERO));
+        assert_eq!(hi, None);
+        let (ylo, yhi) = sys.interval_of(1).expect("feasible");
+        assert_eq!(ylo, None);
+        assert_eq!(yhi, None);
+    }
+
+    #[test]
+    fn infeasible_after_projection() {
+        // {j ≥ i + 1, j ≤ i} is infeasible in any dimension order.
+        let mut sys = System::new(2);
+        sys.add(Constraint::from_ints(&[-1, 1], -1));
+        sys.add(Constraint::from_ints(&[1, -1], 0));
+        assert!(!sys.is_rationally_feasible());
+        assert_eq!(sys.interval_of(0), None);
+    }
+
+    #[test]
+    fn empty_system_feasible() {
+        assert!(System::new(3).is_rationally_feasible());
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Affine loop-nest domains for the collapsing transformation.
+//!
+//! The paper's loop model (Fig. 5) is a perfect nest of `d` loops where
+//! each bound is an **affine** combination of the surrounding iterators
+//! and integer size parameters. This crate provides:
+//!
+//! * [`Space`]/[`Affine`] — named variable spaces and affine forms,
+//! * [`NestSpec`] — the symbolic nest (validated: bounds at depth `k` only
+//!   use iterators `< k` and parameters),
+//! * [`BoundNest`] — a nest with parameters bound to concrete values, with
+//!   the cheap odometer operations (`first_point`, `advance`) that the
+//!   collapsed executors use between costly recoveries,
+//! * a reference lexicographic [`enumerate`](NestSpec::enumerate)
+//!   iterator used as the ground truth in tests,
+//! * [`fm`] — Fourier–Motzkin elimination over rationals, standing in for
+//!   ISL in domain validation (proving trip counts can never be negative
+//!   under parameter assumptions),
+//! * [`shape`] — shape classification (rectangular, triangular, …)
+//!   mirroring the paper's taxonomy.
+//!
+//! # Examples
+//!
+//! ```
+//! use nrl_polyhedra::{NestSpec, Space};
+//!
+//! // for i in 0..=N-2 { for j in i+1..=N-1 { ... } } (the paper\'s Fig. 1)
+//! let s = Space::new(&["i", "j"], &["N"]);
+//! let nest = NestSpec::new(
+//!     s.clone(),
+//!     vec![(s.cst(0), s.var("N") - 2), (s.var("i") + 1, s.var("N") - 1)],
+//! ).unwrap();
+//! assert_eq!(nest.count_enumerated(&[5]), 10); // (N-1)N/2 for N = 5
+//! let first: Vec<Vec<i64>> = nest.enumerate(&[5]).take(3).collect();
+//! assert_eq!(first, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+//! ```
+
+pub mod affine;
+pub mod bound;
+pub mod enumerate;
+pub mod fm;
+pub mod nest;
+pub mod shape;
+pub mod space;
+pub mod validate;
+
+pub use affine::Affine;
+pub use bound::BoundNest;
+pub use enumerate::Points;
+pub use nest::{NestError, NestSpec};
+pub use shape::Shape;
+pub use space::Space;
+pub use validate::TripProof;

@@ -1,0 +1,349 @@
+//! [`NestSpec`]: the symbolic perfectly-nested affine loop nest.
+
+use crate::affine::Affine;
+use crate::bound::BoundNest;
+use crate::space::Space;
+use std::fmt;
+
+/// Errors detected while assembling a [`NestSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// The number of bound pairs differs from the number of iterators in
+    /// the space.
+    DepthMismatch {
+        /// Iterators declared in the space.
+        expected: usize,
+        /// Bound pairs supplied.
+        got: usize,
+    },
+    /// A bound at `level` references iterator `used`, which is not
+    /// lexically outside it (the model requires bounds of loop `k` to use
+    /// only iterators `1..k` and parameters).
+    ForwardReference {
+        /// Level whose bound is invalid.
+        level: usize,
+        /// The offending iterator index.
+        used: usize,
+    },
+    /// A bound belongs to a different space than the nest.
+    SpaceMismatch {
+        /// Level whose bound uses a foreign space.
+        level: usize,
+    },
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestError::DepthMismatch { expected, got } => {
+                write!(f, "nest depth mismatch: space has {expected} iterators, got {got} bound pairs")
+            }
+            NestError::ForwardReference { level, used } => write!(
+                f,
+                "bound of loop at level {level} references iterator {used} which is not a surrounding loop"
+            ),
+            NestError::SpaceMismatch { level } => {
+                write!(f, "bound at level {level} uses a different variable space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NestError {}
+
+/// A perfect nest of `d` loops with **inclusive** affine bounds
+/// `l_k ≤ i_k ≤ u_k` where `l_k, u_k` are affine in `i_1..i_{k-1}` and the
+/// parameters — exactly the model of the paper's Fig. 5 (which uses a
+/// strict `<` upper bound; use [`NestSpec::with_exclusive_upper`] helpers
+/// to convert).
+#[derive(Clone, PartialEq)]
+pub struct NestSpec {
+    space: Space,
+    /// Per level: (lower, upper), both inclusive.
+    bounds: Vec<(Affine, Affine)>,
+}
+
+impl NestSpec {
+    /// Builds a nest from inclusive bound pairs, outermost first.
+    pub fn new(space: Space, bounds: Vec<(Affine, Affine)>) -> Result<Self, NestError> {
+        if bounds.len() != space.niters() {
+            return Err(NestError::DepthMismatch {
+                expected: space.niters(),
+                got: bounds.len(),
+            });
+        }
+        for (level, (lo, hi)) in bounds.iter().enumerate() {
+            for b in [lo, hi] {
+                if b.space() != &space {
+                    return Err(NestError::SpaceMismatch { level });
+                }
+                if let Some(used) = b.max_iter_used() {
+                    if used >= level {
+                        return Err(NestError::ForwardReference { level, used });
+                    }
+                }
+            }
+        }
+        Ok(NestSpec { space, bounds })
+    }
+
+    /// Builds a nest whose upper bounds are *exclusive* (C-style
+    /// `i < u`), converting them to the inclusive internal form.
+    pub fn with_exclusive_upper(
+        space: Space,
+        bounds: Vec<(Affine, Affine)>,
+    ) -> Result<Self, NestError> {
+        let inclusive = bounds
+            .into_iter()
+            .map(|(lo, hi)| {
+                let hi_inc = &hi - 1;
+                (lo, hi_inc)
+            })
+            .collect();
+        NestSpec::new(space, inclusive)
+    }
+
+    /// The variable space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Nest depth (number of loops).
+    pub fn depth(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of parameters.
+    pub fn nparams(&self) -> usize {
+        self.space.nparams()
+    }
+
+    /// Inclusive lower bound of level `k`.
+    pub fn lower(&self, k: usize) -> &Affine {
+        &self.bounds[k].0
+    }
+
+    /// Inclusive upper bound of level `k`.
+    pub fn upper(&self, k: usize) -> &Affine {
+        &self.bounds[k].1
+    }
+
+    /// Binds the parameters, yielding the runtime representation.
+    pub fn bind(&self, params: &[i64]) -> BoundNest {
+        assert_eq!(
+            params.len(),
+            self.nparams(),
+            "parameter arity mismatch: nest has {} parameters",
+            self.nparams()
+        );
+        BoundNest::new(
+            self.bounds
+                .iter()
+                .map(|(lo, hi)| (lo.bind_params(params), hi.bind_params(params)))
+                .collect(),
+        )
+    }
+
+    /// Membership test for a full iterator point under given parameters.
+    pub fn contains(&self, point: &[i64], params: &[i64]) -> bool {
+        assert_eq!(point.len(), self.depth(), "point arity mismatch");
+        let full: Vec<i64> = point.iter().chain(params.iter()).copied().collect();
+        self.bounds.iter().enumerate().all(|(k, (lo, hi))| {
+            let x = point[k];
+            lo.eval(&full) <= x && x <= hi.eval(&full)
+        })
+    }
+
+    /// The sub-nest made of the outermost `c` loops — the domain that a
+    /// `collapse(c)` clause flattens. Bounds of those loops only use
+    /// iterators `< c` (guaranteed by construction), so the prefix nest
+    /// lives in a reduced space with the same parameters.
+    ///
+    /// # Panics
+    /// Panics if `c` is zero or exceeds the depth.
+    pub fn prefix(&self, c: usize) -> NestSpec {
+        assert!(c >= 1 && c <= self.depth(), "prefix depth out of range");
+        let iters: Vec<&str> = self.space.names()[..c].iter().map(String::as_str).collect();
+        let params: Vec<&str> = self.space.names()[self.space.niters()..]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let sub = Space::new(&iters, &params);
+        let remap = |a: &Affine| -> Affine {
+            let mut coeffs = vec![0i64; sub.len()];
+            for (v, slot) in coeffs.iter_mut().enumerate().take(c) {
+                *slot = a.coeff(v);
+            }
+            for p in 0..params.len() {
+                coeffs[c + p] = a.coeff(self.space.niters() + p);
+            }
+            Affine::from_parts(sub.clone(), coeffs, a.constant_term())
+        };
+        let bounds = self.bounds[..c]
+            .iter()
+            .map(|(lo, hi)| (remap(lo), remap(hi)))
+            .collect();
+        NestSpec::new(sub, bounds).expect("prefix of a valid nest is valid")
+    }
+
+    /// Renders the nest as C-like pseudocode.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, (lo, hi)) in self.bounds.iter().enumerate() {
+            let name = self.space.name(k);
+            out.push_str(&"  ".repeat(k));
+            out.push_str(&format!(
+                "for ({name} = {}; {name} <= {}; {name}++)\n",
+                lo.render(),
+                hi.render()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for NestSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Convenience constructors for the nest shapes the paper names.
+impl NestSpec {
+    /// The paper's motivating correlation nest (Fig. 1):
+    /// `for i in 0..N−1 { for j in i+1..N }` (exclusive uppers).
+    pub fn correlation() -> NestSpec {
+        let s = Space::new(&["i", "j"], &["N"]);
+        NestSpec::with_exclusive_upper(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.var("i") + 1, s.var("N")),
+            ],
+        )
+        .expect("correlation nest is well-formed")
+    }
+
+    /// The paper's 3-deep example (Fig. 6):
+    /// `for i in 0..N−1 { for j in 0..i+1 { for k in j..i+1 }}`.
+    pub fn figure6() -> NestSpec {
+        let s = Space::new(&["i", "j", "k"], &["N"]);
+        NestSpec::with_exclusive_upper(
+            s.clone(),
+            vec![
+                (s.cst(0), s.var("N") - 1),
+                (s.cst(0), s.var("i") + 1),
+                (s.var("j"), s.var("i") + 1),
+            ],
+        )
+        .expect("figure 6 nest is well-formed")
+    }
+
+    /// Rectangular `d`-dimensional box `0 ≤ i_k < n_k` with constant
+    /// extents — the case OpenMP `collapse` already handles.
+    pub fn rectangular(extents: &[i64]) -> NestSpec {
+        let names: Vec<String> = (0..extents.len()).map(|k| format!("i{k}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let s = Space::new(&refs, &[]);
+        let bounds = extents
+            .iter()
+            .map(|&n| (s.cst(0), s.cst(n - 1)))
+            .collect();
+        NestSpec::new(s, bounds).expect("rectangular nest is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_structure() {
+        let nest = NestSpec::correlation();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.nparams(), 1);
+        // inclusive bounds: i ≤ N−2, j ≤ N−1
+        assert_eq!(nest.upper(0).render(), "N - 2");
+        assert_eq!(nest.lower(1).render(), "i + 1");
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let s = Space::new(&["i", "j"], &[]);
+        // j's bound using j itself
+        let err = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(9)), (s.cst(0), s.var("j"))],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::ForwardReference { level: 1, used: 1 });
+        // i's bound using j (inner iterator)
+        let err = NestSpec::new(
+            s.clone(),
+            vec![(s.var("j"), s.cst(9)), (s.cst(0), s.cst(5))],
+        )
+        .unwrap_err();
+        assert_eq!(err, NestError::ForwardReference { level: 0, used: 1 });
+    }
+
+    #[test]
+    fn depth_mismatch_rejected() {
+        let s = Space::new(&["i", "j"], &[]);
+        let err = NestSpec::new(s.clone(), vec![(s.cst(0), s.cst(3))]).unwrap_err();
+        assert_eq!(err, NestError::DepthMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn contains_checks_all_levels() {
+        let nest = NestSpec::correlation();
+        assert!(nest.contains(&[0, 1], &[5]));
+        assert!(nest.contains(&[3, 4], &[5]));
+        assert!(!nest.contains(&[3, 3], &[5])); // j must exceed i
+        assert!(!nest.contains(&[4, 5], &[5])); // i ≤ N−2
+        assert!(!nest.contains(&[0, 5], &[5])); // j ≤ N−1
+    }
+
+    #[test]
+    fn render_shows_c_like_loops() {
+        let nest = NestSpec::correlation();
+        let text = nest.render();
+        assert!(text.contains("for (i = 0; i <= N - 2; i++)"));
+        assert!(text.contains("for (j = i + 1; j <= N - 1; j++)"));
+    }
+
+    #[test]
+    fn prefix_of_figure6() {
+        let nest = NestSpec::figure6();
+        let prefix = nest.prefix(2);
+        assert_eq!(prefix.depth(), 2);
+        assert_eq!(prefix.nparams(), 1);
+        // Prefix domain: i in 0..=N−2, j in 0..=i — triangular count.
+        for n in [2i64, 5, 9] {
+            assert_eq!(
+                prefix.count_enumerated(&[n]),
+                ((n - 1) * n / 2) as u128,
+                "N={n}"
+            );
+        }
+        // Full-depth prefix is the nest itself (same counts).
+        assert_eq!(
+            nest.prefix(3).count_enumerated(&[7]),
+            nest.count_enumerated(&[7])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix depth out of range")]
+    fn prefix_zero_rejected() {
+        let _ = NestSpec::correlation().prefix(0);
+    }
+
+    #[test]
+    fn rectangular_helper() {
+        let nest = NestSpec::rectangular(&[3, 4, 5]);
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.nparams(), 0);
+        assert!(nest.contains(&[2, 3, 4], &[]));
+        assert!(!nest.contains(&[3, 0, 0], &[]));
+    }
+}

@@ -1,0 +1,147 @@
+//! Shape classification of iteration spaces.
+//!
+//! The paper motivates collapsing for "triangular, tetrahedral,
+//! trapezoidal, rhomboidal or parallelepiped" spaces. The classifier here
+//! is intentionally coarse — it drives documentation, diagnostics and the
+//! experiment harness's labels, not correctness:
+//!
+//! * [`Shape::Rectangular`] — no bound references an iterator (the only
+//!   case OpenMP's `collapse` accepts).
+//! * [`Shape::Parallelepiped`] — bounds shift with outer iterators but
+//!   every trip count is iterator-independent (skewed bands /
+//!   rhomboids): load is already balanced, collapsing only adds
+//!   parallelism.
+//! * [`Shape::Simplicial`] — at least one trip count varies with an outer
+//!   iterator with unit slope (triangles for depth 2, tetrahedra deeper):
+//!   the classic imbalance case.
+//! * [`Shape::General`] — anything else affine (e.g. trapezoids with
+//!   non-unit slopes, multi-iterator bounds).
+
+use crate::nest::NestSpec;
+
+/// Coarse shape taxonomy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Constant bounds everywhere.
+    Rectangular,
+    /// Iterator-shifted bounds with constant trip counts.
+    Parallelepiped,
+    /// Unit-slope varying trip counts; `depth` is the nest depth.
+    Simplicial {
+        /// Total nest depth.
+        depth: usize,
+    },
+    /// Affine but none of the above.
+    General,
+}
+
+impl Shape {
+    /// Human-readable label used in harness output.
+    pub fn label(&self) -> String {
+        match self {
+            Shape::Rectangular => "rectangular".into(),
+            Shape::Parallelepiped => "parallelepiped".into(),
+            Shape::Simplicial { depth: 2 } => "triangular".into(),
+            Shape::Simplicial { depth: 3 } => "tetrahedral".into(),
+            Shape::Simplicial { depth } => format!("simplicial(depth {depth})"),
+            Shape::General => "general affine".into(),
+        }
+    }
+}
+
+impl NestSpec {
+    /// Classifies the nest's iteration-space shape (see [`Shape`]).
+    pub fn shape(&self) -> Shape {
+        let ni = self.space().niters();
+        let mut any_iter_bound = false;
+        let mut any_varying_trip = false;
+        let mut all_unit_slope = true;
+        for k in 0..self.depth() {
+            let lo = self.lower(k);
+            let hi = self.upper(k);
+            let uses_iter =
+                (0..ni).any(|v| lo.coeff(v) != 0) || (0..ni).any(|v| hi.coeff(v) != 0);
+            any_iter_bound |= uses_iter;
+            // Trip count slope per outer iterator: hi − lo coefficient.
+            for v in 0..ni {
+                let slope = hi.coeff(v) - lo.coeff(v);
+                if slope != 0 {
+                    any_varying_trip = true;
+                    if slope.abs() != 1 {
+                        all_unit_slope = false;
+                    }
+                }
+            }
+        }
+        if !any_iter_bound {
+            Shape::Rectangular
+        } else if !any_varying_trip {
+            Shape::Parallelepiped
+        } else if all_unit_slope {
+            Shape::Simplicial {
+                depth: self.depth(),
+            }
+        } else {
+            Shape::General
+        }
+    }
+
+    /// True for every shape except [`Shape::Rectangular`] — the nests the
+    /// paper's technique targets and OpenMP `collapse` rejects.
+    pub fn is_non_rectangular(&self) -> bool {
+        self.shape() != Shape::Rectangular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Space;
+
+    #[test]
+    fn rectangular() {
+        let nest = NestSpec::rectangular(&[4, 5]);
+        assert_eq!(nest.shape(), Shape::Rectangular);
+        assert!(!nest.is_non_rectangular());
+    }
+
+    #[test]
+    fn correlation_is_triangular() {
+        let nest = NestSpec::correlation();
+        assert_eq!(nest.shape(), Shape::Simplicial { depth: 2 });
+        assert_eq!(nest.shape().label(), "triangular");
+        assert!(nest.is_non_rectangular());
+    }
+
+    #[test]
+    fn figure6_is_tetrahedral() {
+        let nest = NestSpec::figure6();
+        assert_eq!(nest.shape(), Shape::Simplicial { depth: 3 });
+        assert_eq!(nest.shape().label(), "tetrahedral");
+    }
+
+    #[test]
+    fn skewed_band_is_parallelepiped() {
+        // for i in 0..=9 { for j in i..=i+3 }
+        let s = Space::new(&["i", "j"], &[]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(9)), (s.var("i"), s.var("i") + 3)],
+        )
+        .unwrap();
+        assert_eq!(nest.shape(), Shape::Parallelepiped);
+        assert_eq!(nest.shape().label(), "parallelepiped");
+    }
+
+    #[test]
+    fn steep_slope_is_general() {
+        // for i in 0..=9 { for j in 0..=2i }
+        let s = Space::new(&["i", "j"], &[]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(9)), (s.cst(0), s.var("i") * 2)],
+        )
+        .unwrap();
+        assert_eq!(nest.shape(), Shape::General);
+    }
+}

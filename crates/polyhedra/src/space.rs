@@ -1,0 +1,143 @@
+//! Named variable spaces: iterators first, then parameters.
+
+use crate::affine::Affine;
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable space shared by all affine forms of a nest: the first
+/// `niters` names are loop iterators (outermost first), the rest are
+/// integer size parameters.
+///
+/// `Space` is cheap to clone (the name table is behind an `Arc`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Space {
+    names: Arc<Vec<String>>,
+    niters: usize,
+}
+
+impl Space {
+    /// Builds a space from iterator and parameter names.
+    ///
+    /// # Panics
+    /// Panics on duplicate or empty names.
+    pub fn new(iters: &[&str], params: &[&str]) -> Self {
+        let mut names: Vec<String> = Vec::with_capacity(iters.len() + params.len());
+        for n in iters.iter().chain(params.iter()) {
+            assert!(!n.is_empty(), "empty variable name");
+            assert!(
+                !names.iter().any(|e| e == n),
+                "duplicate variable name {n:?}"
+            );
+            names.push((*n).to_string());
+        }
+        Space {
+            names: Arc::new(names),
+            niters: iters.len(),
+        }
+    }
+
+    /// Total number of variables (iterators + parameters).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff the space has no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of iterators.
+    pub fn niters(&self) -> usize {
+        self.niters
+    }
+
+    /// Number of parameters.
+    pub fn nparams(&self) -> usize {
+        self.names.len() - self.niters
+    }
+
+    /// All variable names, iterators first.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of variable `v`.
+    pub fn name(&self, v: usize) -> &str {
+        &self.names[v]
+    }
+
+    /// Index of a variable by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// True iff variable `v` is an iterator.
+    pub fn is_iter(&self, v: usize) -> bool {
+        v < self.niters
+    }
+
+    /// The affine form `x_name`.
+    ///
+    /// # Panics
+    /// Panics if the name is unknown.
+    pub fn var(&self, name: &str) -> Affine {
+        let v = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown variable {name:?}"));
+        Affine::unit(self.clone(), v)
+    }
+
+    /// The constant affine form `c`.
+    pub fn cst(&self, c: i64) -> Affine {
+        Affine::constant(self.clone(), c)
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Space[iters: {:?}, params: {:?}]",
+            &self.names[..self.niters],
+            &self.names[self.niters..]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_layout() {
+        let s = Space::new(&["i", "j"], &["N", "M"]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.niters(), 2);
+        assert_eq!(s.nparams(), 2);
+        assert_eq!(s.index_of("N"), Some(2));
+        assert_eq!(s.index_of("q"), None);
+        assert!(s.is_iter(1));
+        assert!(!s.is_iter(2));
+        assert_eq!(s.name(3), "M");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable name")]
+    fn duplicate_names_rejected() {
+        let _ = Space::new(&["i", "j"], &["i"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_var_panics() {
+        let s = Space::new(&["i"], &[]);
+        let _ = s.var("z");
+    }
+
+    #[test]
+    fn clone_is_shallow_equal() {
+        let s = Space::new(&["i"], &["N"]);
+        let t = s.clone();
+        assert_eq!(s, t);
+    }
+}

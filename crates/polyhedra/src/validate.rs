@@ -1,0 +1,258 @@
+//! Domain validation: the well-formedness preconditions of ranking.
+//!
+//! The ranking construction (symbolic Faulhaber counting) is correct when
+//! every trip count `u_k − l_k + 1` is **non-negative** for every prefix
+//! in the domain; the closed-form recovery additionally expects them to
+//! be *positive* (a nest with occasionally-empty inner loops still
+//! collapses correctly, but recovery then relies on the exact-correction
+//! step rather than the raw floating root — see `nrl-core`).
+//!
+//! Two validators are provided:
+//! * a **symbolic proof** via Fourier–Motzkin under affine parameter
+//!   assumptions (sound: "proved" means no parameter value allowed by the
+//!   assumptions can produce a negative trip count), and
+//! * an **exhaustive check** for bound nests (ground truth on small
+//!   domains, used by the property tests).
+
+use crate::affine::Affine;
+use crate::fm::{Constraint, System};
+use crate::nest::NestSpec;
+use nrl_rational::Rational;
+
+/// Outcome of the symbolic trip-count proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripProof {
+    /// No prefix allowed by the assumptions can yield a negative
+    /// (resp. non-positive, for `strict`) trip count.
+    Proved,
+    /// The rational relaxation admits a potential violation at `level`.
+    /// This is conservative: integer infeasibility may still hold.
+    Unproved {
+        /// Level whose trip count could not be proven non-negative.
+        level: usize,
+    },
+}
+
+impl NestSpec {
+    fn affine_to_constraint(&self, coeffs: Vec<i64>, constant: i64) -> Constraint {
+        Constraint::from_ints(&coeffs, constant)
+    }
+
+    /// Attempts to prove that every trip count is non-negative
+    /// (`strict = false`) or strictly positive (`strict = true`) for all
+    /// parameter values satisfying `assumptions ≥ 0`.
+    ///
+    /// Variables of the Fourier–Motzkin system are the iterators followed
+    /// by the parameters, in the nest's own [`Space`](crate::Space)
+    /// ordering.
+    pub fn prove_trip_counts(
+        &self,
+        assumptions: &[crate::affine::Affine],
+        strict: bool,
+    ) -> TripProof {
+        let n = self.space().len();
+        for level in 0..self.depth() {
+            let mut sys = System::new(n);
+            // Prefix domain: l_q ≤ i_q ≤ u_q for q < level.
+            for q in 0..level {
+                let lo = self.lower(q);
+                let hi = self.upper(q);
+                // i_q − lo ≥ 0
+                let mut c: Vec<i64> = (0..n).map(|v| -lo.coeff(v)).collect();
+                c[q] += 1;
+                sys.add(self.affine_to_constraint(c, -lo.constant_term()));
+                // hi − i_q ≥ 0
+                let mut c: Vec<i64> = (0..n).map(|v| hi.coeff(v)).collect();
+                c[q] -= 1;
+                sys.add(self.affine_to_constraint(c, hi.constant_term()));
+            }
+            // Parameter assumptions.
+            for a in assumptions {
+                assert_eq!(a.space(), self.space(), "assumption space mismatch");
+                let coeffs: Vec<i64> = (0..n).map(|v| a.coeff(v)).collect();
+                sys.add(self.affine_to_constraint(coeffs, a.constant_term()));
+            }
+            // Violation: trip < 0 ⟺ lo − hi − 2 ≥ 0 (integers);
+            // trip ≤ 0 (strict mode) ⟺ lo − hi − 1 ≥ 0.
+            let lo = self.lower(level);
+            let hi = self.upper(level);
+            let slack = if strict { -1 } else { -2 };
+            let coeffs: Vec<i64> = (0..n).map(|v| lo.coeff(v) - hi.coeff(v)).collect();
+            let constant = lo.constant_term() - hi.constant_term() + slack;
+            sys.add(self.affine_to_constraint(coeffs, constant));
+            if sys.is_rationally_feasible() {
+                return TripProof::Unproved { level };
+            }
+        }
+        TripProof::Proved
+    }
+
+    /// [`prove_trip_counts`](Self::prove_trip_counts) with every
+    /// parameter pinned to a concrete value (`p = v` expressed as the
+    /// assumption pair `p − v ≥ 0 ∧ v − p ≥ 0`).
+    ///
+    /// Cost is `O(depth)` Fourier–Motzkin eliminations, independent of
+    /// the domain size — the fast path for validating production-sized
+    /// domains where [`check_trip_counts`](Self::check_trip_counts)
+    /// would have to walk billions of prefixes. `Proved` is definitive;
+    /// `Unproved` is conservative (the rational relaxation admits a
+    /// violation that integers may avoid) and callers should fall back
+    /// to the exhaustive check.
+    pub fn prove_trip_counts_at(&self, params: &[i64], strict: bool) -> TripProof {
+        assert_eq!(params.len(), self.nparams(), "parameter arity mismatch");
+        let s = self.space();
+        let d = self.depth();
+        let mut assumptions = Vec::with_capacity(2 * params.len());
+        for (m, &v) in params.iter().enumerate() {
+            let p = Affine::unit(s.clone(), d + m);
+            assumptions.push(&p - v); // p − v ≥ 0
+            assumptions.push(-(&p - v)); // v − p ≥ 0
+        }
+        self.prove_trip_counts(&assumptions, strict)
+    }
+
+    /// Exhaustively checks trip counts for fixed parameters. Returns the
+    /// first offending `(level, prefix)` if any trip count is negative
+    /// (or non-positive in `strict` mode).
+    ///
+    /// Cost is the number of *proper prefixes* (length < depth), NOT the
+    /// domain size: the innermost trip count is a function of the
+    /// surrounding prefix only, so the last level is checked without
+    /// being enumerated. A depth-2 triangular nest of side `N` costs
+    /// `O(N)`, not `O(N²)`.
+    pub fn check_trip_counts(
+        &self,
+        params: &[i64],
+        strict: bool,
+    ) -> Result<(), (usize, Vec<i64>)> {
+        let bound = self.bind(params);
+        let d = self.depth();
+        // Walk prefixes level by level, stopping at the last level: its
+        // trip count is determined by the prefix, so checking it does
+        // not require iterating it.
+        fn recurse(
+            bound: &crate::bound::BoundNest,
+            d: usize,
+            prefix: &mut Vec<i64>,
+            strict: bool,
+        ) -> Result<(), (usize, Vec<i64>)> {
+            let level = prefix.len();
+            let lo = bound.lower(level, prefix);
+            let hi = bound.upper(level, prefix);
+            let trip = hi - lo + 1;
+            if trip < 0 || (strict && trip == 0) {
+                return Err((level, prefix.clone()));
+            }
+            if level + 1 == d {
+                return Ok(());
+            }
+            for x in lo..=hi {
+                prefix.push(x);
+                recurse(bound, d, prefix, strict)?;
+                prefix.pop();
+            }
+            Ok(())
+        }
+        if d == 0 {
+            return Ok(());
+        }
+        recurse(&bound, d, &mut Vec::new(), strict)
+    }
+
+    /// Symbolic total-count sanity bound: the rational interval of each
+    /// iterator over the whole domain under assumptions (used by code
+    /// generators to document index ranges). `None` = unbounded side.
+    pub fn iterator_interval(
+        &self,
+        level: usize,
+        assumptions: &[crate::affine::Affine],
+    ) -> Option<(Option<Rational>, Option<Rational>)> {
+        let n = self.space().len();
+        let mut sys = System::new(n);
+        for q in 0..self.depth() {
+            let lo = self.lower(q);
+            let hi = self.upper(q);
+            let mut c: Vec<i64> = (0..n).map(|v| -lo.coeff(v)).collect();
+            c[q] += 1;
+            sys.add(self.affine_to_constraint(c, -lo.constant_term()));
+            let mut c: Vec<i64> = (0..n).map(|v| hi.coeff(v)).collect();
+            c[q] -= 1;
+            sys.add(self.affine_to_constraint(c, hi.constant_term()));
+        }
+        for a in assumptions {
+            let coeffs: Vec<i64> = (0..n).map(|v| a.coeff(v)).collect();
+            sys.add(self.affine_to_constraint(coeffs, a.constant_term()));
+        }
+        sys.interval_of(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Space;
+
+    #[test]
+    fn correlation_proved_under_assumption() {
+        let nest = NestSpec::correlation();
+        let s = nest.space().clone();
+        // Assume N ≥ 2 (the nest is empty below that, and the j-loop trip
+        // count N − 1 − i ≥ 1 holds for i ≤ N − 2).
+        let assumptions = vec![s.var("N") - 2];
+        assert_eq!(nest.prove_trip_counts(&assumptions, true), TripProof::Proved);
+    }
+
+    #[test]
+    fn figure6_proved() {
+        let nest = NestSpec::figure6();
+        let s = nest.space().clone();
+        let assumptions = vec![s.var("N") - 2];
+        assert_eq!(nest.prove_trip_counts(&assumptions, true), TripProof::Proved);
+    }
+
+    #[test]
+    fn violation_not_provable() {
+        // for i in 0..=4 { for j in 3..=i }: empty for i < 3, so the
+        // strict proof must fail (and even non-strict trip counts go
+        // negative: e.g. i = 0 gives trip = 0 − 3 + 1 = −2).
+        let s = Space::new(&["i", "j"], &[]);
+        let nest = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.cst(4)), (s.cst(3), s.var("i"))],
+        )
+        .unwrap();
+        assert_eq!(
+            nest.prove_trip_counts(&[], false),
+            TripProof::Unproved { level: 1 }
+        );
+        let err = nest.check_trip_counts(&[], false).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn exhaustive_check_agrees() {
+        let nest = NestSpec::correlation();
+        assert!(nest.check_trip_counts(&[10], true).is_ok());
+        // N = 1: the outer loop itself is empty (trip = 0) — strict
+        // fails, but non-strict passes since a zero trip count is sound
+        // for counting (the inner loop is simply never reached).
+        assert!(nest.check_trip_counts(&[1], true).is_err());
+        assert!(nest.check_trip_counts(&[1], false).is_ok());
+        // N = 0: the outer trip count is −1 — even non-strict fails.
+        assert!(nest.check_trip_counts(&[0], false).is_err());
+    }
+
+    #[test]
+    fn iterator_intervals() {
+        let nest = NestSpec::correlation();
+        let s = nest.space().clone();
+        // With N = 10 pinned via two assumptions N − 10 ≥ 0 and 10 − N ≥ 0.
+        let assum = vec![s.var("N") - 10, -(s.var("N")) + 10];
+        let (lo, hi) = nest.iterator_interval(0, &assum).expect("feasible");
+        assert_eq!(lo, Some(Rational::ZERO));
+        assert_eq!(hi, Some(Rational::from_int(8)));
+        let (jlo, jhi) = nest.iterator_interval(1, &assum).expect("feasible");
+        assert_eq!(jlo, Some(Rational::from_int(1)));
+        assert_eq!(jhi, Some(Rational::from_int(9)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Bernoulli numbers and Faulhaber power-sum coefficients.
+//!
+//! Faulhaber's formula turns the discrete sum `Σ_{t=0}^{n} t^k` into a
+//! polynomial of degree `k+1` in `n`. This is the engine behind symbolic
+//! Ehrhart-style counting of loop-nest iteration spaces: summing a
+//! polynomial trip count over an affine range yields another polynomial.
+
+use crate::gcd::binomial;
+use crate::rational::Rational;
+
+/// The first `n + 1` Bernoulli numbers `B_0 .. B_n` in the classical
+/// ("minus") convention where `B_1 = -1/2`.
+///
+/// Computed by the defining recurrence
+/// `Σ_{j=0}^{m} C(m+1, j) B_j = 0` for `m ≥ 1`, `B_0 = 1`.
+pub fn bernoulli_numbers(n: usize) -> Vec<Rational> {
+    let mut b = Vec::with_capacity(n + 1);
+    b.push(Rational::ONE);
+    for m in 1..=n {
+        // C(m+1, m) B_m = -Σ_{j<m} C(m+1, j) B_j
+        let mut acc = Rational::ZERO;
+        for (j, bj) in b.iter().enumerate() {
+            acc += Rational::from_int(binomial(m as u32 + 1, j as u32)) * *bj;
+        }
+        let coeff = Rational::from_int(binomial(m as u32 + 1, m as u32));
+        b.push(-acc / coeff);
+    }
+    b
+}
+
+/// Coefficients of the Faulhaber polynomial
+/// `S_k(n) = Σ_{t=0}^{n} t^k` (degree `k + 1`), lowest power first.
+///
+/// `faulhaber_coefficients(k)[p]` is the coefficient of `n^p`.
+/// The `t = 0` term only matters for `k = 0` (where `0^0 = 1`).
+///
+/// Used by the polynomial layer to compute symbolic discrete sums with
+/// polynomial limits: `Σ_{t=a}^{b} p(t) = P(b) − P(a−1)` where `P` is the
+/// discrete antiderivative assembled from these coefficients.
+pub fn faulhaber_coefficients(k: u32) -> Vec<Rational> {
+    // Σ_{t=1}^{n} t^k = (1/(k+1)) Σ_{j=0}^{k} C(k+1, j) B⁺_j n^{k+1−j}
+    // with the "plus" convention B⁺_1 = +1/2.
+    let bern = bernoulli_numbers(k as usize);
+    let mut coeffs = vec![Rational::ZERO; k as usize + 2];
+    let scale = Rational::new(1, (k + 1) as i128);
+    for j in 0..=k {
+        let mut bj = bern[j as usize];
+        if j == 1 {
+            bj = -bj; // switch to the B⁺ convention
+        }
+        let power = (k + 1 - j) as usize;
+        coeffs[power] += scale * Rational::from_int(binomial(k + 1, j)) * bj;
+    }
+    if k == 0 {
+        // Σ_{t=0}^{n} t^0 = n + 1: account for the t = 0 term.
+        coeffs[0] += Rational::ONE;
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn bernoulli_known_values() {
+        let b = bernoulli_numbers(12);
+        assert_eq!(b[0], Rational::ONE);
+        assert_eq!(b[1], r(-1, 2));
+        assert_eq!(b[2], r(1, 6));
+        assert_eq!(b[3], Rational::ZERO);
+        assert_eq!(b[4], r(-1, 30));
+        assert_eq!(b[5], Rational::ZERO);
+        assert_eq!(b[6], r(1, 42));
+        assert_eq!(b[8], r(-1, 30));
+        assert_eq!(b[10], r(5, 66));
+        assert_eq!(b[12], r(-691, 2730));
+    }
+
+    /// Evaluates the Faulhaber polynomial at integer `n`.
+    fn eval(coeffs: &[Rational], n: i128) -> Rational {
+        let mut acc = Rational::ZERO;
+        let mut power = Rational::ONE;
+        for c in coeffs {
+            acc += *c * power;
+            power *= Rational::from_int(n);
+        }
+        acc
+    }
+
+    #[test]
+    fn faulhaber_matches_brute_force() {
+        for k in 0..=8u32 {
+            let coeffs = faulhaber_coefficients(k);
+            assert_eq!(coeffs.len(), k as usize + 2);
+            for n in 0..=20i128 {
+                let brute: i128 = (0..=n)
+                    .map(|t| crate::gcd::checked_pow_i128(t, k))
+                    .sum();
+                assert_eq!(
+                    eval(&coeffs, n),
+                    Rational::from_int(brute),
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulhaber_classic_formulas() {
+        // S_1(n) = n(n+1)/2
+        assert_eq!(
+            faulhaber_coefficients(1),
+            vec![Rational::ZERO, r(1, 2), r(1, 2)]
+        );
+        // S_2(n) = n(n+1)(2n+1)/6 = (2n³ + 3n² + n)/6
+        assert_eq!(
+            faulhaber_coefficients(2),
+            vec![Rational::ZERO, r(1, 6), r(1, 2), r(1, 3)]
+        );
+        // S_3(n) = (n(n+1)/2)²
+        assert_eq!(
+            faulhaber_coefficients(3),
+            vec![Rational::ZERO, Rational::ZERO, r(1, 4), r(1, 2), r(1, 4)]
+        );
+    }
+
+    #[test]
+    fn faulhaber_at_negative_arguments() {
+        // The discrete antiderivative identity Σ_{t=a}^{b} = S(b) − S(a−1)
+        // relies on S_k(-1) = 0 for k ≥ 1 and S_0(-1) = 0.
+        for k in 0..=6u32 {
+            let coeffs = faulhaber_coefficients(k);
+            assert_eq!(eval(&coeffs, -1), Rational::ZERO, "S_{k}(-1)");
+        }
+    }
+}

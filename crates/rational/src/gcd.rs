@@ -1,0 +1,138 @@
+//! Integer helpers: gcd, lcm, factorials, binomials, checked powers.
+
+/// Greatest common divisor of two `i128`s, always non-negative.
+///
+/// `gcd(0, 0) = 0` by convention.
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    i128::try_from(a).expect("gcd overflow: |i128::MIN| has no i128 representation")
+}
+
+/// Least common multiple, non-negative. Panics on overflow.
+pub fn lcm_i128(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd_i128(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// `n!` as an `i128`. Panics if the result overflows (n ≥ 34).
+pub fn factorial(n: u32) -> i128 {
+    let mut acc: i128 = 1;
+    for k in 2..=n as i128 {
+        acc = acc.checked_mul(k).expect("factorial overflow");
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` with exact integer arithmetic.
+///
+/// Uses the multiplicative formula with interleaved division so that the
+/// intermediate values stay as small as possible.
+pub fn binomial(n: u32, k: u32) -> i128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: i128 = 1;
+    for j in 0..k {
+        acc = acc
+            .checked_mul((n - j) as i128)
+            .expect("binomial overflow");
+        acc /= (j + 1) as i128; // exact: C(n, j+1) is an integer
+    }
+    acc
+}
+
+/// `base^exp` with overflow checking.
+pub fn checked_pow_i128(base: i128, exp: u32) -> i128 {
+    let mut acc: i128 = 1;
+    let mut b = base;
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc.checked_mul(b).expect("pow overflow");
+        }
+        e >>= 1;
+        if e > 0 {
+            b = b.checked_mul(b).expect("pow overflow");
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_i128(12, 18), 6);
+        assert_eq!(gcd_i128(-12, 18), 6);
+        assert_eq!(gcd_i128(12, -18), 6);
+        assert_eq!(gcd_i128(0, 5), 5);
+        assert_eq!(gcd_i128(5, 0), 5);
+        assert_eq!(gcd_i128(0, 0), 0);
+        assert_eq!(gcd_i128(1, 1), 1);
+        assert_eq!(gcd_i128(17, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_i128(4, 6), 12);
+        assert_eq!(lcm_i128(-4, 6), 12);
+        assert_eq!(lcm_i128(0, 3), 0);
+        assert_eq!(lcm_i128(7, 13), 91);
+    }
+
+    #[test]
+    fn factorial_small() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    fn binomial_pascal_triangle() {
+        for n in 0..20u32 {
+            assert_eq!(binomial(n, 0), 1);
+            assert_eq!(binomial(n, n), 1);
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "Pascal identity failed at n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_out_of_range() {
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn pow_checked() {
+        assert_eq!(checked_pow_i128(2, 10), 1024);
+        assert_eq!(checked_pow_i128(-3, 3), -27);
+        assert_eq!(checked_pow_i128(7, 0), 1);
+        assert_eq!(checked_pow_i128(0, 0), 1);
+        assert_eq!(checked_pow_i128(0, 5), 0);
+        assert_eq!(checked_pow_i128(10, 15), 1_000_000_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "pow overflow")]
+    fn pow_overflow_panics() {
+        checked_pow_i128(10, 50);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Exact rational arithmetic for the `nrl` polyhedral stack.
+//!
+//! Ranking Ehrhart polynomials have rational coefficients (denominators are
+//! products of small factorials coming from Faulhaber summation), and the
+//! collapsing transformation is only correct if those coefficients are kept
+//! *exact*. This crate provides a compact [`Rational`] over `i128` with
+//! overflow-checked operations, plus the number-theoretic helpers the
+//! polynomial layer needs: gcd/lcm, factorials, binomial coefficients and
+//! [Bernoulli numbers](bernoulli) (the ingredients of Faulhaber's formula).
+//!
+//! # Design notes
+//!
+//! * Numerators and denominators are `i128`. The ranking polynomials
+//!   produced by loop collapsing have degree ≤ 4 and coefficients with
+//!   denominators dividing `4! = 24`; evaluating them at parameters up to
+//!   `10^6` stays far below `2^127`. All arithmetic is overflow-checked and
+//!   panics with a descriptive message instead of wrapping silently.
+//! * The representation is always canonical: `den > 0` and
+//!   `gcd(|num|, den) = 1`, so `==` and `hash` are structural.
+//!
+//! # Examples
+//!
+//! ```
+//! use nrl_rational::{bernoulli_numbers, Rational};
+//!
+//! // Canonical representation: 6/-4 normalizes to -3/2.
+//! let r = Rational::new(6, -4);
+//! assert_eq!(r, Rational::new(-3, 2));
+//! assert_eq!((r + Rational::new(1, 2)) * Rational::from_int(2), Rational::from_int(-2));
+//! assert_eq!(r.floor(), -2);
+//!
+//! // Bernoulli numbers (B1 = -1/2 convention), the Faulhaber inputs:
+//! let b = bernoulli_numbers(4);
+//! assert_eq!(b[2], Rational::new(1, 6));
+//! assert_eq!(b[3], Rational::ZERO);
+//! ```
+
+pub mod bernoulli;
+pub mod gcd;
+pub mod rational;
+
+pub use bernoulli::{bernoulli_numbers, faulhaber_coefficients};
+pub use gcd::{binomial, checked_pow_i128, factorial, gcd_i128, lcm_i128};
+pub use rational::Rational;

@@ -1,0 +1,420 @@
+//! The [`Rational`] type: exact `i128` fractions in canonical form.
+
+use crate::gcd::{checked_pow_i128, gcd_i128};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) = 1`.
+///
+/// All arithmetic is overflow-checked; a panic indicates that the symbolic
+/// computation left the supported range (degree ≤ 4 ranking polynomials
+/// with parameters ≲ 10^6 never get close).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let g = gcd_i128(num, den);
+        if g == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = num.checked_neg().expect("rational negate overflow");
+            den = den.checked_neg().expect("rational negate overflow");
+        }
+        Rational { num, den }
+    }
+
+    /// The integer `n` as a rational.
+    pub const fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub const fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub const fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub const fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns the value as an `i128` if it is an integer.
+    pub fn to_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Nearest `f64` (may lose precision for huge numerators — used only
+    /// for the floating-point recovery path, which is then corrected with
+    /// exact arithmetic).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling of the rational as an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.checked_abs().expect("rational abs overflow"),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics when the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// `self^exp` with negative exponents going through [`Self::recip`].
+    pub fn pow(&self, exp: i32) -> Self {
+        if exp < 0 {
+            return self.recip().pow(-exp);
+        }
+        Rational {
+            num: checked_pow_i128(self.num, exp as u32),
+            den: checked_pow_i128(self.den, exp as u32),
+        }
+    }
+
+    /// Sign: -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        match self.num.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        }
+    }
+
+    fn add_impl(self, rhs: Self) -> Self {
+        // a/b + c/d = (ad + cb) / bd, computed with a gcd pre-reduction to
+        // keep intermediates small.
+        let g = gcd_i128(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|x| rhs.num.checked_mul(rhs_scale).and_then(|y| x.checked_add(y)))
+            .expect("rational add overflow");
+        let den = self.den.checked_mul(lhs_scale).expect("rational add overflow");
+        Rational::new(num, den)
+    }
+
+    fn mul_impl(self, rhs: Self) -> Self {
+        // Cross-reduce before multiplying to avoid needless overflow.
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational mul overflow");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational mul overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        self.add_impl(rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self.add_impl(-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_impl(rhs)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        self.mul_impl(rhs.recip())
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            num: self.num.checked_neg().expect("rational negate overflow"),
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b <=> c/d compares ad <=> cb (b, d > 0). Use a gcd reduction
+        // to avoid overflow in the cross products.
+        let g = gcd_i128(self.den, other.den);
+        let lhs = self.num.checked_mul(other.den / g).expect("rational cmp overflow");
+        let rhs = other.num.checked_mul(self.den / g).expect("rational cmp overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error produced when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"` or `"a/b"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: i128 = n.trim().parse().map_err(|_| ParseRationalError(s.into()))?;
+            let den: i128 = d.trim().parse().map_err(|_| ParseRationalError(s.into()))?;
+            if den == 0 {
+                return Err(ParseRationalError(s.into()));
+            }
+            Ok(Rational::new(num, den))
+        } else {
+            let num: i128 = s.parse().map_err(|_| ParseRationalError(s.into()))?;
+            Ok(Rational::from_int(num))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7).denom(), 1);
+        assert_eq!(r(6, 3), Rational::from_int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rational::from_int(2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 3);
+        assert_eq!(x, r(5, 6));
+        x -= r(1, 2);
+        assert_eq!(x, r(1, 3));
+        x *= r(3, 1);
+        assert_eq!(x, Rational::ONE);
+        x /= r(1, 7);
+        assert_eq!(x, Rational::from_int(7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::ONE);
+        let mut v = vec![r(3, 2), r(-1, 2), Rational::ZERO, r(1, 3)];
+        v.sort();
+        assert_eq!(v, vec![r(-1, 2), Rational::ZERO, r(1, 3), r(3, 2)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(4, 2).floor(), 2);
+        assert_eq!(r(4, 2).ceil(), 2);
+        assert_eq!(Rational::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Rational::ONE);
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(r(9, 3).to_integer(), Some(3));
+        assert_eq!(r(9, 4).to_integer(), None);
+        assert!((r(1, 2).to_f64() - 0.5).abs() < 1e-15);
+        assert!(r(5, 1).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert!(Rational::ZERO.is_zero());
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), r(3, 4));
+        assert_eq!("-6/8".parse::<Rational>().unwrap(), r(-3, 4));
+        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from_int(42));
+        assert_eq!(" 1 / 2 ".parse::<Rational>().unwrap(), r(1, 2));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(r(-3, 4).to_string(), "-3/4");
+        assert_eq!(Rational::from_int(5).to_string(), "5");
+    }
+
+    #[test]
+    fn signum() {
+        assert_eq!(r(3, 4).signum(), 1);
+        assert_eq!(r(-3, 4).signum(), -1);
+        assert_eq!(Rational::ZERO.signum(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for exact rational arithmetic.
+
+use nrl_rational::{binomial, gcd_i128, lcm_i128, Rational};
+use proptest::prelude::*;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn div_roundtrip(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn canonical_invariant(a in small_rational()) {
+        prop_assert!(a.denom() > 0);
+        if a.is_zero() {
+            prop_assert_eq!(a.denom(), 1);
+        } else {
+            prop_assert_eq!(gcd_i128(a.numer(), a.denom()), 1);
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_f64(a in small_rational(), b in small_rational()) {
+        // For values this small f64 comparison is exact enough to agree in
+        // the strict cases.
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let fl = Rational::from_int(a.floor());
+        let ce = Rational::from_int(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(ce - fl <= Rational::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip(a in small_rational()) {
+        let s = a.to_string();
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in -100_000i128..100_000, b in -100_000i128..100_000) {
+        let g = gcd_i128(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1i128..1000, b in 1i128..1000) {
+        let l = lcm_i128(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert_eq!(l, a * b / gcd_i128(a, b));
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 0u32..30, k in 0u32..30) {
+        prop_assume!(k <= n);
+        prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal `f64` complex number type.
+//!
+//! Only the operations needed by the Cardano/Ferrari closed forms are
+//! implemented: field arithmetic, modulus/argument, principal square and
+//! cube roots. The principal cube root follows the same branch
+//! (`arg/3`) a C `cpow(z, 1.0/3)` call uses, matching the generated code
+//! in the paper's Fig. 7.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Builds `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Squared modulus.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in `(-π, π]`.
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Principal square root (branch cut on the negative real axis).
+    pub fn sqrt(&self) -> Self {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                return Complex64::real(self.re.sqrt());
+            }
+            return Complex64::new(0.0, (-self.re).sqrt());
+        }
+        let r = self.abs();
+        let theta = self.arg() / 2.0;
+        let m = r.sqrt();
+        Complex64::new(m * theta.cos(), m * theta.sin())
+    }
+
+    /// Principal cube root (`r^{1/3}·e^{i·arg/3}`), matching C's
+    /// `cpow(z, 1.0/3.0)`.
+    pub fn cbrt(&self) -> Self {
+        if self.im == 0.0 && self.re >= 0.0 {
+            return Complex64::real(self.re.cbrt());
+        }
+        let r = self.abs();
+        let theta = self.arg() / 3.0;
+        let m = r.cbrt();
+        Complex64::new(m * theta.cos(), m * theta.sin())
+    }
+
+    /// `z^n` for small integer exponents.
+    pub fn powi(&self, n: i32) -> Self {
+        if n < 0 {
+            return Complex64::ONE / self.powi(-n);
+        }
+        let mut acc = Complex64::ONE;
+        for _ in 0..n {
+            acc = acc * *self;
+        }
+        acc
+    }
+
+    /// True iff either component is NaN.
+    pub fn is_nan(&self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True iff both components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Self) -> Self {
+        // Smith's algorithm for robustness against overflow.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Self {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Self {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: f64) -> Self {
+        Complex64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: f64) -> Self {
+        Complex64::new(self.re - rhs, self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert!(close(a + b, Complex64::new(4.0, 1.0)));
+        assert!(close(a - b, Complex64::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex64::new(5.0, 5.0)));
+        assert!(close((a / b) * b, a));
+    }
+
+    #[test]
+    fn sqrt_of_negative_real() {
+        // The §IV-C case: √(−1) must be i, not NaN.
+        let z = Complex64::real(-1.0).sqrt();
+        assert!(close(z, Complex64::I));
+        assert!(!z.is_nan());
+        let w = Complex64::real(-4.0).sqrt();
+        assert!(close(w, Complex64::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(3.0, 4.0), (-2.0, 5.0), (0.0, -7.0), (1e8, -1e-3)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z), "sqrt({z:?})² = {:?}", s * s);
+        }
+    }
+
+    #[test]
+    fn cbrt_cubes_back() {
+        for &(re, im) in &[(8.0, 0.0), (-8.0, 0.0), (1.0, 1.0), (-3.0, -4.0)] {
+            let z = Complex64::new(re, im);
+            let c = z.cbrt();
+            assert!(close(c * c * c, z), "cbrt({z:?})³ = {:?}", c.powi(3));
+        }
+    }
+
+    #[test]
+    fn principal_cbrt_of_negative_real_is_complex() {
+        // cpow(−8, 1/3) = 2·e^{iπ/3} = 1 + √3·i (NOT −2): the generated
+        // collapsed code relies on this branch choice.
+        let z = Complex64::real(-8.0).cbrt();
+        assert!((z.re - 1.0).abs() < EPS);
+        assert!((z.im - 3.0_f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let z = Complex64::new(0.3, -1.7);
+        assert!(close(z.powi(0), Complex64::ONE));
+        assert!(close(z.powi(3), z * z * z));
+        assert!(close(z.powi(-2) * z.powi(2), Complex64::ONE));
+    }
+
+    #[test]
+    fn division_by_tiny_imaginary() {
+        let a = Complex64::new(1.0, 0.0);
+        let b = Complex64::new(0.0, 1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q * b, a));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = Complex64::new(0.0, 2.0);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert_eq!(Complex64::ZERO.abs(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Closed-form polynomial root solvers over complex arithmetic.
+//!
+//! The paper inverts ranking polynomials by solving univariate equations
+//! of degree ≤ 4 symbolically (with Maxima) and evaluating the chosen
+//! root at run time. Crucially (§IV-C), the *symbolic* root expressions
+//! pass through complex intermediate values whose imaginary parts cancel
+//! — so the run-time evaluation must use complex arithmetic, not `f64`
+//! (`sqrt` of a negative would yield `NaN`).
+//!
+//! This crate provides:
+//! * [`Complex64`] — a self-contained complex type with the `sqrt`,
+//!   `cbrt` and power operations the closed forms need (kept local
+//!   instead of pulling `num-complex`, per the dependency policy),
+//! * [`roots`] — closed-form solvers: linear, quadratic, cubic
+//!   (Cardano), quartic (Ferrari), all returning every complex root,
+//! * Newton polishing to tighten roots before flooring.
+//!
+//! # Examples
+//!
+//! ```
+//! use nrl_solver::solve;
+//!
+//! // x^2 - 5x + 6 = 0 -> {2, 3}; roots come back complex with zero
+//! // imaginary part.
+//! let roots = solve(&[6.0, -5.0, 1.0]);
+//! let mut re: Vec<f64> = roots.iter().map(|r| r.re).collect();
+//! re.sort_by(f64::total_cmp);
+//! assert!((re[0] - 2.0).abs() < 1e-9 && (re[1] - 3.0).abs() < 1e-9);
+//! assert!(roots.iter().all(|r| r.im.abs() < 1e-9));
+//! ```
+
+pub mod complex;
+pub mod newton;
+pub mod roots;
+
+pub use complex::Complex64;
+pub use newton::polish_real_root;
+pub use roots::{solve, solve_cubic, solve_linear, solve_quadratic, solve_quartic, MAX_DEGREE};

@@ -1,0 +1,83 @@
+//! Newton polishing of near-real roots.
+//!
+//! The closed-form roots of large-coefficient ranking equations can carry
+//! a few ulps of error — enough to push `floor()` across an integer
+//! boundary. `nrl-core` fixes that *exactly* with integer verification,
+//! but polishing first makes the verification's ±1 search window hit on
+//! the first probe almost always, which matters in the per-chunk
+//! recovery path.
+
+/// One-dimensional Newton refinement of a real root of the dense
+/// polynomial `coeffs` (lowest degree first). Returns the refined root;
+/// gives up (returning the best iterate) after `max_iter` steps or when
+/// the derivative vanishes.
+pub fn polish_real_root(coeffs: &[f64], x0: f64, max_iter: usize) -> f64 {
+    let mut x = x0;
+    for _ in 0..max_iter {
+        let (mut f, mut df) = (0.0f64, 0.0f64);
+        // Horner for value and derivative simultaneously.
+        for &c in coeffs.iter().rev() {
+            df = df * x + f;
+            f = f * x + c;
+        }
+        if !f.is_finite() || df == 0.0 {
+            break;
+        }
+        let step = f / df;
+        let next = x - step;
+        if !next.is_finite() {
+            break;
+        }
+        if (next - x).abs() <= f64::EPSILON * x.abs().max(1.0) {
+            return next;
+        }
+        x = next;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_quadratically_near_root() {
+        // x² − 2: root √2, perturbed start.
+        let coeffs = [-2.0, 0.0, 1.0];
+        let x = polish_real_root(&coeffs, 1.4, 20);
+        assert!((x - 2.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn polishes_large_ranking_root() {
+        // The correlation inversion at N = 100_000, pc near the middle:
+        // −x²/2 + (N − 1/2)x + (1 − pc) = 0.
+        let n = 100_000.0;
+        let pc = 2.0e9;
+        let coeffs = [1.0 - pc, n - 0.5, -0.5f64];
+        // Crude start from the quadratic formula, then polish.
+        let disc = (coeffs[1] * coeffs[1] - 4.0 * coeffs[2] * coeffs[0]).sqrt();
+        let x0 = (-coeffs[1] + disc) / (2.0 * coeffs[2]);
+        let x = polish_real_root(&coeffs, x0, 8);
+        let residual = coeffs[0] + coeffs[1] * x + coeffs[2] * x * x;
+        assert!(residual.abs() < 1e-3, "residual {residual}");
+    }
+
+    #[test]
+    fn stationary_start_does_not_diverge() {
+        // x² with start at the stationary point 0: derivative is zero,
+        // polishing must bail out gracefully.
+        let coeffs = [0.0, 0.0, 1.0];
+        let x = polish_real_root(&coeffs, 0.0, 10);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn already_exact_root_is_fixed_point() {
+        let coeffs = [-6.0, 11.0, -6.0, 1.0]; // roots 1, 2, 3
+        for r in [1.0, 2.0, 3.0] {
+            let x = polish_real_root(&coeffs, r, 5);
+            assert!((x - r).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Closed-form root formulas for degrees 1–4.
+//!
+//! Coefficients are given lowest-degree first: `c[0] + c[1]x + … + c[d]x^d`.
+//! Every solver returns *all* complex roots (with multiplicity), in a
+//! deterministic branch order — the inversion layer in `nrl-core` relies
+//! on trying each branch and verifying exactly, so root ordering only
+//! affects performance, never correctness.
+
+use crate::complex::Complex64;
+
+/// Highest degree with an exact closed form (Abel–Ruffini).
+pub const MAX_DEGREE: usize = 4;
+
+/// Solves `c0 + c1·x = 0`.
+///
+/// # Panics
+/// Panics if `c1 == 0` (not an equation of degree 1).
+pub fn solve_linear(c0: f64, c1: f64) -> [Complex64; 1] {
+    assert!(c1 != 0.0, "degenerate linear equation");
+    [Complex64::real(-c0 / c1)]
+}
+
+/// Solves `c0 + c1·x + c2·x² = 0` (both roots, complex allowed).
+///
+/// # Panics
+/// Panics if `c2 == 0`.
+pub fn solve_quadratic(c0: f64, c1: f64, c2: f64) -> [Complex64; 2] {
+    assert!(c2 != 0.0, "degenerate quadratic equation");
+    let disc = Complex64::real(c1 * c1 - 4.0 * c2 * c0).sqrt();
+    let two_a = 2.0 * c2;
+    [
+        (Complex64::real(-c1) + disc) / two_a,
+        (Complex64::real(-c1) - disc) / two_a,
+    ]
+}
+
+/// Solves the cubic `c0 + c1·x + c2·x² + c3·x³ = 0` by Cardano's method
+/// with the three cube-root branches.
+///
+/// # Panics
+/// Panics if `c3 == 0`.
+pub fn solve_cubic(c0: f64, c1: f64, c2: f64, c3: f64) -> [Complex64; 3] {
+    assert!(c3 != 0.0, "degenerate cubic equation");
+    // Normalize to x³ + a·x² + b·x + c = 0.
+    let a = c2 / c3;
+    let b = c1 / c3;
+    let c = c0 / c3;
+    // Depressed cubic t³ + p·t + q = 0 with x = t − a/3.
+    let p = b - a * a / 3.0;
+    let q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c;
+    // Cardano: t = u + v with u³ = −q/2 + √(q²/4 + p³/27).
+    let disc = Complex64::real(q * q / 4.0 + p * p * p / 27.0).sqrt();
+    let mut u3 = Complex64::real(-q / 2.0) + disc;
+    if u3.abs() < 1e-300 {
+        // Degenerate branch: pick the other sign to avoid 0/0 below.
+        u3 = Complex64::real(-q / 2.0) - disc;
+    }
+    let shift = Complex64::real(-a / 3.0);
+    if u3.abs() < 1e-300 {
+        // p = q = 0: triple root t = 0.
+        return [shift; 3];
+    }
+    let u = u3.cbrt();
+    // The three cube roots of u³ via the primitive root of unity.
+    let omega = Complex64::new(-0.5, 3.0_f64.sqrt() / 2.0);
+    let mut out = [Complex64::ZERO; 3];
+    let mut uk = u;
+    for root in &mut out {
+        let t = uk - Complex64::real(p / 3.0) / uk;
+        *root = t + shift;
+        uk = uk * omega;
+    }
+    out
+}
+
+/// Solves the quartic `c0 + c1·x + c2·x² + c3·x³ + c4·x⁴ = 0` by
+/// Ferrari's method (resolvent cubic + two quadratics).
+///
+/// # Panics
+/// Panics if `c4 == 0`.
+pub fn solve_quartic(c0: f64, c1: f64, c2: f64, c3: f64, c4: f64) -> [Complex64; 4] {
+    assert!(c4 != 0.0, "degenerate quartic equation");
+    // Normalize: x⁴ + a·x³ + b·x² + c·x + d = 0.
+    let a = c3 / c4;
+    let b = c2 / c4;
+    let c = c1 / c4;
+    let d = c0 / c4;
+    // Depressed quartic y⁴ + p·y² + q·y + r = 0 with x = y − a/4.
+    let a2 = a * a;
+    let p = b - 3.0 * a2 / 8.0;
+    let q = c - a * b / 2.0 + a2 * a / 8.0;
+    let r = d - a * c / 4.0 + a2 * b / 16.0 - 3.0 * a2 * a2 / 256.0;
+    let shift = Complex64::real(-a / 4.0);
+
+    if q.abs() < 1e-12 * (1.0 + p.abs() + r.abs()) {
+        // Biquadratic: y⁴ + p·y² + r = 0.
+        let zs = solve_quadratic(r, p, 1.0);
+        let mut out = [Complex64::ZERO; 4];
+        for (k, z) in zs.iter().enumerate() {
+            let s = z.sqrt();
+            out[2 * k] = s + shift;
+            out[2 * k + 1] = -s + shift;
+        }
+        return out;
+    }
+
+    // Resolvent cubic: 8m³ + 8pm² + (2p² − 8r)m − q² = 0. Completing the
+    // square with any root m turns the depressed quartic into
+    // (y² + p/2 + m)² = (s·y − q/(2s))² with s = √(2m); pick the root of
+    // largest modulus so s is well away from zero (m = 0 happens only in
+    // the biquadratic case handled above).
+    let resolvent = solve_cubic(-q * q, 2.0 * p * p - 8.0 * r, 8.0 * p, 8.0);
+    let mut m = resolvent[0];
+    for cand in &resolvent[1..] {
+        if cand.abs() > m.abs() {
+            m = *cand;
+        }
+    }
+    let s = (m * 2.0).sqrt();
+    // Factorization: (y² + s·y + m + p/2 − q/(2s))(y² − s·y + m + p/2 + q/(2s)).
+    let q_over_2s = Complex64::real(q) / (s * 2.0);
+    let t1 = m + Complex64::real(p / 2.0) - q_over_2s;
+    let t2 = m + Complex64::real(p / 2.0) + q_over_2s;
+    let mut out = [Complex64::ZERO; 4];
+    // y² + s·y + t1 = 0
+    let d1 = (s * s - t1 * 4.0).sqrt();
+    out[0] = (-s + d1) / 2.0 + shift;
+    out[1] = (-s - d1) / 2.0 + shift;
+    // y² − s·y + t2 = 0
+    let d2 = (s * s - t2 * 4.0).sqrt();
+    out[2] = (s + d2) / 2.0 + shift;
+    out[3] = (s - d2) / 2.0 + shift;
+    out
+}
+
+/// Evaluates `Σ coeffs[k]·z^k` and its derivative by Horner's scheme.
+fn eval_with_derivative(coeffs: &[f64], z: Complex64) -> (Complex64, Complex64) {
+    let mut f = Complex64::ZERO;
+    let mut df = Complex64::ZERO;
+    for &c in coeffs.iter().rev() {
+        df = df * z + f;
+        f = f * z + Complex64::real(c);
+    }
+    (f, df)
+}
+
+/// A few complex Newton steps to squeeze closed-form rounding error out
+/// of a root; returns the iterate with the smallest residual (the
+/// original root if Newton failed to improve, e.g. at multiple roots).
+fn polish_complex(coeffs: &[f64], root: Complex64, steps: usize) -> Complex64 {
+    let (f0, _) = eval_with_derivative(coeffs, root);
+    let mut best = root;
+    let mut best_res = f0.abs();
+    let mut z = root;
+    for _ in 0..steps {
+        let (f, df) = eval_with_derivative(coeffs, z);
+        if df.abs() == 0.0 || !f.is_finite() {
+            break;
+        }
+        z = z - f / df;
+        if !z.is_finite() {
+            break;
+        }
+        let (f2, _) = eval_with_derivative(coeffs, z);
+        if f2.abs() < best_res {
+            best_res = f2.abs();
+            best = z;
+        }
+    }
+    best
+}
+
+/// Solves a polynomial of degree 1–4 given dense coefficients (lowest
+/// first). Leading coefficients that are **exactly zero** are trimmed,
+/// so callers can pass fixed-size arrays. (The trim must not be
+/// magnitude-relative: ranking equations legitimately combine a tiny
+/// leading coefficient like `1/6` with a constant term of order
+/// `pc ≈ 10¹⁸`, and trimming the lead would misread the degree. A
+/// genuinely ill-conditioned tiny-but-nonzero lead merely produces
+/// far-away roots that the caller's exact verification rejects.)
+/// Closed-form roots are refined with complex Newton steps.
+///
+/// Returns all complex roots (`degree` of them).
+///
+/// # Panics
+/// Panics when the effective degree is 0 or exceeds [`MAX_DEGREE`].
+pub fn solve(coeffs: &[f64]) -> Vec<Complex64> {
+    let max_mag = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    assert!(max_mag > 0.0, "zero polynomial has no well-defined roots");
+    let mut deg = coeffs.len() - 1;
+    while deg > 0 && coeffs[deg] == 0.0 {
+        deg -= 1;
+    }
+    let raw = match deg {
+        0 => panic!("constant polynomial has no roots"),
+        1 => solve_linear(coeffs[0], coeffs[1]).to_vec(),
+        2 => solve_quadratic(coeffs[0], coeffs[1], coeffs[2]).to_vec(),
+        3 => solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]).to_vec(),
+        4 => solve_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]).to_vec(),
+        d => panic!("degree {d} exceeds the closed-form limit {MAX_DEGREE} (Abel–Ruffini)"),
+    };
+    raw.into_iter()
+        .map(|z| polish_complex(&coeffs[..=deg], z, 3))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates Σ c_k x^k at a complex point.
+    fn eval(coeffs: &[f64], x: Complex64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for &c in coeffs.iter().rev() {
+            acc = acc * x + Complex64::real(c);
+        }
+        acc
+    }
+
+    fn assert_all_roots(coeffs: &[f64], roots: &[Complex64]) {
+        let scale = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        for r in roots {
+            let v = eval(coeffs, *r).abs();
+            assert!(
+                v < 1e-6 * scale.max(1.0) * (1.0 + r.abs().powi(coeffs.len() as i32 - 1)),
+                "residual {v:e} at root {r:?} for {coeffs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear() {
+        let roots = solve_linear(-6.0, 2.0);
+        assert!((roots[0].re - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (x − 2)(x + 5) = x² + 3x − 10
+        let roots = solve_quadratic(-10.0, 3.0, 1.0);
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(f64::total_cmp);
+        assert!((res[0] + 5.0).abs() < 1e-12);
+        assert!((res[1] - 2.0).abs() < 1e-12);
+        assert!(roots.iter().all(|r| r.im.abs() < 1e-12));
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        // x² + 1 = 0 → ±i
+        let roots = solve_quadratic(1.0, 0.0, 1.0);
+        assert_all_roots(&[1.0, 0.0, 1.0], &roots);
+        assert!(roots.iter().any(|r| (r.im - 1.0).abs() < 1e-12));
+        assert!(roots.iter().any(|r| (r.im + 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        // (x − 1)(x − 2)(x − 3) = x³ − 6x² + 11x − 6
+        let coeffs = [-6.0, 11.0, -6.0, 1.0];
+        let roots = solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+        assert_all_roots(&coeffs, &roots);
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(f64::total_cmp);
+        for (got, want) in res.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-9, "{got} ≠ {want}");
+        }
+    }
+
+    #[test]
+    fn cubic_with_complex_pair() {
+        // (x − 2)(x² + x + 1) = x³ − x² − x − 2
+        let coeffs = [-2.0, -1.0, -1.0, 1.0];
+        let roots = solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+        assert_all_roots(&coeffs, &roots);
+        assert!(roots.iter().any(|r| (r.re - 2.0).abs() < 1e-9 && r.im.abs() < 1e-9));
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x − 1)³ = x³ − 3x² + 3x − 1
+        let coeffs = [-1.0, 3.0, -3.0, 1.0];
+        let roots = solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+        for r in roots {
+            assert!((r.re - 1.0).abs() < 1e-4 && r.im.abs() < 1e-4, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn quartic_four_real_roots() {
+        // (x−1)(x−2)(x−3)(x−4) = x⁴ −10x³ +35x² −50x +24
+        let coeffs = [24.0, -50.0, 35.0, -10.0, 1.0];
+        let roots = solve_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]);
+        assert_all_roots(&coeffs, &roots);
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(f64::total_cmp);
+        for (got, want) in res.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert!((got - want).abs() < 1e-7, "{got} ≠ {want}");
+        }
+    }
+
+    #[test]
+    fn quartic_biquadratic() {
+        // x⁴ − 5x² + 4 = (x²−1)(x²−4)
+        let coeffs = [4.0, 0.0, -5.0, 0.0, 1.0];
+        let roots = solve_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]);
+        assert_all_roots(&coeffs, &roots);
+        let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        res.sort_by(f64::total_cmp);
+        for (got, want) in res.iter().zip([-2.0, -1.0, 1.0, 2.0]) {
+            assert!((got - want).abs() < 1e-8, "{got} ≠ {want}");
+        }
+    }
+
+    #[test]
+    fn quartic_complex_pairs() {
+        // (x² + 1)(x² + 4) = x⁴ + 5x² + 4 — all roots imaginary.
+        let coeffs = [4.0, 0.0, 5.0, 0.0, 1.0];
+        let roots = solve_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]);
+        assert_all_roots(&coeffs, &roots);
+        assert!(roots.iter().all(|r| r.re.abs() < 1e-8));
+    }
+
+    #[test]
+    fn generic_solve_trims_leading_zeros() {
+        // Passed as degree-4 array but actually quadratic.
+        let roots = solve(&[-10.0, 3.0, 1.0, 0.0, 0.0]);
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant polynomial")]
+    fn constant_rejected() {
+        let _ = solve(&[5.0]);
+    }
+
+    #[test]
+    fn paper_correlation_equation() {
+        // §IV: r(i, i+1) − pc = 0 for the correlation nest with N = 10 is
+        // −i²/2 + i(N − 3/2) + ... expanded: (2iN + 2(i+1) − i² − 3i)/2 − pc
+        // = −i²/2 + i(N − 1/2) + 1 − pc.
+        // At pc = 10 (first iteration of i = 1 when N = 10) the correct
+        // root is exactly 1.
+        let n = 10.0;
+        let pc = 10.0;
+        let coeffs = [1.0 - pc, n - 0.5, -0.5];
+        let roots = solve_quadratic(coeffs[0], coeffs[1], coeffs[2]);
+        let hit = roots
+            .iter()
+            .any(|r| (r.re - 1.0).abs() < 1e-9 && r.im.abs() < 1e-12);
+        assert!(hit, "roots {roots:?}");
+    }
+
+    #[test]
+    fn paper_figure6_cubic_at_pc1_is_complex_but_zero() {
+        // §IV-C: r(i,0,0) − pc = (i³ + 3i² + 2i + 6)/6 − pc; at pc = 1 the
+        // convenient root is 0 and intermediate values are complex.
+        let pc = 1.0;
+        let coeffs = [1.0 - pc, 2.0 / 6.0, 3.0 / 6.0, 1.0 / 6.0];
+        let roots = solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
+        let hit = roots.iter().any(|r| r.abs() < 1e-9);
+        assert!(hit, "expected a zero root, got {roots:?}");
+    }
+}

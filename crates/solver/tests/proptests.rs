@@ -1,0 +1,153 @@
+//! Property tests: reconstruct polynomials from random roots and verify
+//! the closed-form solvers recover the root multiset.
+
+use nrl_solver::{solve, Complex64};
+use proptest::prelude::*;
+
+/// Expands Π (x − r_k) into dense real coefficients (roots are real).
+fn poly_from_real_roots(roots: &[f64]) -> Vec<f64> {
+    let mut coeffs = vec![1.0];
+    for &r in roots {
+        let mut next = vec![0.0; coeffs.len() + 1];
+        for (k, &c) in coeffs.iter().enumerate() {
+            next[k + 1] += c;
+            next[k] -= c * r;
+        }
+        coeffs = next;
+    }
+    coeffs.reverse(); // highest first → lowest first
+    coeffs.reverse();
+    coeffs
+}
+
+/// Expands with a conjugate complex pair (a ± bi) and optional real roots.
+fn poly_with_complex_pair(a: f64, b: f64, reals: &[f64]) -> Vec<f64> {
+    // (x² − 2a·x + a² + b²) · Π (x − r)
+    let mut coeffs = vec![a * a + b * b, -2.0 * a, 1.0];
+    for &r in reals {
+        let mut next = vec![0.0; coeffs.len() + 1];
+        for (k, &c) in coeffs.iter().enumerate() {
+            next[k + 1] += c;
+            next[k] -= c * r;
+        }
+        coeffs = next;
+    }
+    coeffs
+}
+
+fn matches_multiset(found: &[Complex64], expected: &[Complex64], tol: f64) -> bool {
+    if found.len() != expected.len() {
+        return false;
+    }
+    let mut used = vec![false; expected.len()];
+    'outer: for f in found {
+        for (k, e) in expected.iter().enumerate() {
+            if !used[k] && (*f - *e).abs() < tol {
+                used[k] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn recovers_real_roots_deg2(r1 in -50.0..50.0f64, r2 in -50.0..50.0f64) {
+        prop_assume!((r1 - r2).abs() > 0.5);
+        let coeffs = poly_from_real_roots(&[r1, r2]);
+        let roots = solve(&coeffs);
+        let expected: Vec<Complex64> = [r1, r2].iter().map(|&r| Complex64::real(r)).collect();
+        prop_assert!(matches_multiset(&roots, &expected, 1e-6), "{roots:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn recovers_real_roots_deg3(
+        r1 in -20.0..20.0f64,
+        r2 in -20.0..20.0f64,
+        r3 in -20.0..20.0f64,
+    ) {
+        prop_assume!((r1 - r2).abs() > 0.5 && (r1 - r3).abs() > 0.5 && (r2 - r3).abs() > 0.5);
+        let coeffs = poly_from_real_roots(&[r1, r2, r3]);
+        let roots = solve(&coeffs);
+        let expected: Vec<Complex64> = [r1, r2, r3].iter().map(|&r| Complex64::real(r)).collect();
+        prop_assert!(matches_multiset(&roots, &expected, 1e-5), "{roots:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn recovers_real_roots_deg4(
+        r1 in -10.0..10.0f64,
+        r2 in -10.0..10.0f64,
+        r3 in -10.0..10.0f64,
+        r4 in -10.0..10.0f64,
+    ) {
+        prop_assume!(
+            (r1 - r2).abs() > 0.5 && (r1 - r3).abs() > 0.5 && (r1 - r4).abs() > 0.5
+                && (r2 - r3).abs() > 0.5 && (r2 - r4).abs() > 0.5 && (r3 - r4).abs() > 0.5
+        );
+        let coeffs = poly_from_real_roots(&[r1, r2, r3, r4]);
+        let roots = solve(&coeffs);
+        let expected: Vec<Complex64> =
+            [r1, r2, r3, r4].iter().map(|&r| Complex64::real(r)).collect();
+        prop_assert!(matches_multiset(&roots, &expected, 1e-4), "{roots:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn recovers_complex_pair_deg3(
+        a in -10.0..10.0f64,
+        b in 0.5..10.0f64,
+        r in -10.0..10.0f64,
+    ) {
+        let coeffs = poly_with_complex_pair(a, b, &[r]);
+        let roots = solve(&coeffs);
+        let expected = vec![
+            Complex64::new(a, b),
+            Complex64::new(a, -b),
+            Complex64::real(r),
+        ];
+        prop_assert!(matches_multiset(&roots, &expected, 1e-5), "{roots:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn recovers_complex_pair_deg4(
+        a in -8.0..8.0f64,
+        b in 0.5..8.0f64,
+        r1 in -8.0..8.0f64,
+        r2 in -8.0..8.0f64,
+    ) {
+        prop_assume!((r1 - r2).abs() > 0.5);
+        let coeffs = poly_with_complex_pair(a, b, &[r1, r2]);
+        let roots = solve(&coeffs);
+        let expected = vec![
+            Complex64::new(a, b),
+            Complex64::new(a, -b),
+            Complex64::real(r1),
+            Complex64::real(r2),
+        ];
+        prop_assert!(matches_multiset(&roots, &expected, 1e-4), "{roots:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn residuals_vanish_for_random_coefficients(
+        c0 in -100.0..100.0f64,
+        c1 in -100.0..100.0f64,
+        c2 in -100.0..100.0f64,
+        c3 in -100.0..100.0f64,
+        c4 in 1.0..100.0f64,
+    ) {
+        let coeffs = [c0, c1, c2, c3, c4];
+        let roots = solve(&coeffs);
+        prop_assert_eq!(roots.len(), 4);
+        for root in roots {
+            let mut acc = Complex64::ZERO;
+            for &c in coeffs.iter().rev() {
+                acc = acc * root + Complex64::real(c);
+            }
+            let scale = (1.0 + root.abs().powi(4)) * 100.0;
+            prop_assert!(acc.abs() < 1e-6 * scale, "residual {:?} at {root:?}", acc.abs());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! §VI.B in action: warp-style execution of a collapsed tetrahedral
+//! nest, where each lane recovers its indices once and then strides by
+//! the warp width via cheap incrementation.
+//!
+//! ```text
+//! cargo run --release --example gpu_warp
+//! ```
+
+use nrl::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let nest = NestSpec::figure6(); // the paper's 3-deep example
+    let n = 150i64;
+    let collapsed = CollapseSpec::new(&nest)
+        .expect("spec")
+        .bind(&[n])
+        .expect("bind");
+    println!(
+        "figure-6 nest, N = {n}: {} iterations",
+        collapsed.total()
+    );
+
+    // Note: on a CPU each lane *simulates* its W-strided walk, so cost
+    // grows with the warp width; a real GPU runs the W lanes in lockstep
+    // for free. Keep widths GPU-realistic.
+    let pool = ThreadPool::new(4);
+    for warp in [32usize, 64, 128] {
+        let sum = AtomicU64::new(0);
+        let t0 = std::time::Instant::now();
+        run_warp_sim(&pool, &collapsed, warp, |_lane, p| {
+            // Consecutive pc values live in adjacent lanes → on a real
+            // GPU the (i, j, k)-derived accesses coalesce.
+            sum.fetch_add((p[0] + p[1] + p[2]) as u64, Ordering::Relaxed);
+        });
+        println!(
+            "warp {warp:>5}: {:8.2} ms  (Σ indices = {})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            sum.load(Ordering::Relaxed)
+        );
+    }
+    println!("\n(each lane paid exactly one costly recovery; all other steps were");
+    println!(" W-fold odometer increments — the paper's memory-coalescing scheme)");
+}

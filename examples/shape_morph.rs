@@ -1,0 +1,127 @@
+//! Shape morphing — the applications the paper's conclusion announces
+//! as future work, built from rank/unrank.
+//!
+//! Three demonstrations:
+//!  1. **Packed layout** (Clauss–Meister, the paper's ref. [8]): store
+//!     a strict upper-triangular matrix in rank order — N(N−1)/2
+//!     contiguous elements instead of an N×N bounding box — and run a
+//!     triangular kernel over it as a pure sequential sweep.
+//!  2. **Shape→shape remapping**: drive a lower-triangular traversal
+//!     from an upper-triangular one (a transpose-copy without index
+//!     arithmetic in user code).
+//!  3. **Fusion of different shapes**: run a triangle and a tetrahedron
+//!     as ONE load-balanced parallel loop.
+//!
+//! ```text
+//! cargo run --release --example shape_morph
+//! ```
+
+use nrl::prelude::*;
+
+fn main() {
+    packed_triangle();
+    transpose_remap();
+    fused_shapes();
+}
+
+/// 1. Rank-order packed storage for a triangular domain.
+fn packed_triangle() {
+    println!("== packed triangular storage ==");
+    let n = 2000i64;
+    let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[n]);
+    println!(
+        "strict upper triangle of a {n}x{n} matrix: {} packed elements \
+         (dense bounding box would be {})",
+        layout.len(),
+        n * n
+    );
+
+    // Fill A[i][j] = 1/(i+j+1) in visit order (one contiguous write
+    // stream), then sum it with a collapsed parallel loop reading the
+    // SAME contiguous order — perfect spatial locality.
+    let a = PackedArray::from_fn(layout.clone(), |p| 1.0f64 / ((p[0] + p[1]) as f64 + 1.0));
+    let serial: f64 = a.as_slice().iter().sum();
+
+    let pool = ThreadPool::with_available_parallelism();
+    // Threads accumulate into per-thread cells — the packed array needs
+    // no (i, j) arithmetic at all inside the loop.
+    let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+    let collapsed = spec.bind(&[n]).unwrap();
+    let partial = std::sync::Mutex::new(vec![0.0f64; pool.nthreads()]);
+    nrl::core::run_collapsed(
+        &pool,
+        &collapsed,
+        Schedule::Static,
+        Recovery::OncePerChunk,
+        |tid, point| {
+            let v = *a.get(point);
+            // Cheap per-thread accumulation for the demo.
+            let mut guard = partial.lock().unwrap();
+            guard[tid] += v;
+        },
+    );
+    let parallel: f64 = partial.into_inner().unwrap().iter().sum();
+    println!("serial sum   = {serial:.9}");
+    println!("parallel sum = {parallel:.9} (same up to fp reassociation)\n");
+}
+
+/// 2. Upper triangle → lower triangle, by shared rank.
+fn transpose_remap() {
+    println!("== shape-to-shape remap (transpose copy) ==");
+    let n = 6i64;
+    let upper = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[n])
+        .unwrap();
+    // Lower triangle {1 ≤ i < N, 0 ≤ j < i}.
+    let s = Space::new(&["i", "j"], &["N"]);
+    let lower_nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(1), s.var("N") - 1), (s.cst(0), s.var("i") - 1)],
+    )
+    .unwrap();
+    let lower = CollapseSpec::new(&lower_nest).unwrap().bind(&[n]).unwrap();
+    let remap = RankRemap::new(upper, lower).unwrap();
+    println!("rank-aligned pairs (upper → lower), N = {n}:");
+    for (src, dst) in remap.pairs().take(8) {
+        println!("  ({}, {})  ->  ({}, {})", src[0], src[1], dst[0], dst[1]);
+    }
+    println!("  ... {} pairs total\n", remap.total());
+}
+
+/// 3. One balanced parallel loop over a triangle ∪ tetrahedron.
+fn fused_shapes() {
+    println!("== fusion of different shapes ==");
+    let tri = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[1200])
+        .unwrap();
+    let tetra = CollapseSpec::new(&NestSpec::figure6())
+        .unwrap()
+        .bind(&[150])
+        .unwrap();
+    println!(
+        "part 0: triangle, {} iters; part 1: tetrahedron, {} iters",
+        tri.total(),
+        tetra.total()
+    );
+    let fused = FusedLoop::new(vec![tri, tetra]).unwrap();
+    let pool = ThreadPool::with_available_parallelism();
+    let report = fused.par_for_each(&pool, Schedule::Static, |_tid, part, point| {
+        // A stand-in body: both shapes get real work.
+        let x = match part {
+            0 => point[0] * point[1],
+            _ => point[0] * point[1] * point[2],
+        };
+        std::hint::black_box(x);
+    });
+    println!(
+        "fused static over {} combined iterations:",
+        fused.total()
+    );
+    print!("{}", report.render());
+    println!(
+        "iteration imbalance x{:.4} — one schedule, two shapes, no barrier",
+        report.iteration_imbalance()
+    );
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # nrl — automatic collapsing of non-rectangular loops
+//!
+//! A Rust reproduction of *Clauss, Altıntaş, Kuhn — "Automatic
+//! Collapsing of Non-Rectangular Loops" (IPDPS 2017)*: flatten any
+//! perfect nest of parallel loops with affine bounds (triangular,
+//! tetrahedral, trapezoidal, rhomboidal, parallelepiped iteration
+//! spaces) into a single loop whose iterations can be divided evenly
+//! across threads — the load-balanced schedule OpenMP's `collapse`
+//! clause only offers for rectangular nests.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | exact arithmetic | [`rational`] | rationals, Bernoulli numbers |
+//! | symbolic algebra | [`poly`] | multivariate polynomials, Faulhaber sums |
+//! | domains | [`polyhedra`] | affine nests, lexmin, Fourier–Motzkin |
+//! | closed forms | [`solver`] | complex arithmetic, Cardano/Ferrari |
+//! | runtime | [`parfor`] | OpenMP-like schedules on a thread pool |
+//! | **the paper** | [`core`] | ranking polynomials, unranking, executors |
+//! | extensions | [`morph`] | shape remapping, fusion, packed layouts (§IX future work) |
+//! | tooling | [`dsl`] | C-like parser, collapsed-code generation |
+//! | evaluation | [`kernels`] | the paper's 11 benchmark programs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nrl::prelude::*;
+//!
+//! // The paper's Fig. 1 nest: i in 0..N−1, j in i+1..N (triangular).
+//! let nest = NestSpec::correlation();
+//! let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[1000]).unwrap();
+//!
+//! // 499500 iterations, distributed perfectly evenly:
+//! let pool = ThreadPool::new(4);
+//! let report = run_collapsed(
+//!     &pool, &collapsed, Schedule::Static, Recovery::OncePerChunk,
+//!     |_tid, point| { let (_i, _j) = (point[0], point[1]); },
+//! );
+//! assert_eq!(report.total_iterations(), 499_500);
+//! assert!(report.iteration_imbalance() < 1.01);
+//! ```
+
+pub use nrl_core as core;
+pub use nrl_dsl as dsl;
+pub use nrl_kernels as kernels;
+pub use nrl_morph as morph;
+pub use nrl_parfor as parfor;
+pub use nrl_poly as poly;
+pub use nrl_polyhedra as polyhedra;
+pub use nrl_rational as rational;
+pub use nrl_solver as solver;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use nrl_core::{
+        balanced_outer_cuts, run_collapsed, run_collapsed_guarded, run_collapsed_prefix,
+        run_outer_parallel, run_outer_partitioned, run_seq, run_seq_guarded, run_warp_sim,
+        CollapseSpec, Collapsed, NestPosition, OuterCuts, Ranking, Recovery,
+    };
+    pub use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
+    pub use nrl_parfor::{Schedule, ThreadPool};
+    pub use nrl_polyhedra::{Affine, NestSpec, Space};
+}

@@ -1,0 +1,127 @@
+//! Source-to-source pipeline: text → nest → collapse → execution, plus
+//! generated-code structure checks.
+
+use nrl::core::CollapseSpec;
+use nrl::dsl::{generate_c, generate_rust, parse, CodegenOptions, CodegenStyle};
+use nrl::prelude::*;
+use std::sync::Mutex;
+
+const SOURCES: &[(&str, &str, &[i64])] = &[
+    (
+        "correlation",
+        "params N;
+         for (i = 0; i < N - 1; i++)
+           for (j = i + 1; j < N; j++)
+           { work(i, j); }",
+        &[31],
+    ),
+    (
+        "figure6",
+        "params N;
+         for (i = 0; i < N - 1; i++)
+           for (j = 0; j < i + 1; j++)
+             for (k = j; k < i + 1; k++)
+             { work(i, j, k); }",
+        &[13],
+    ),
+    (
+        "trapezoid",
+        "params M, N;
+         for (i = 0; i < M; i++)
+           for (j = 2 * i; j <= N + i; j++)
+           { work(i, j); }",
+        &[6, 20],
+    ),
+];
+
+#[test]
+fn parsed_nests_execute_like_their_enumeration() {
+    let pool = ThreadPool::new(3);
+    for (name, src, params) in SOURCES {
+        let prog = parse(src).expect(name);
+        let nest = prog.to_nest().expect(name);
+        let spec = CollapseSpec::new(&nest).expect(name);
+        let collapsed = spec.bind(params).expect(name);
+
+        let mut expected: Vec<Vec<i64>> = nest.enumerate(params).collect();
+        expected.sort();
+        let seen = Mutex::new(Vec::new());
+        run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Dynamic(4),
+            Recovery::OncePerChunk,
+            |_t, p| seen.lock().unwrap().push(p.to_vec()),
+        );
+        let mut got = seen.into_inner().unwrap();
+        got.sort();
+        assert_eq!(got, expected, "{name}");
+    }
+}
+
+#[test]
+fn generated_c_has_all_structural_elements() {
+    for (name, src, params) in SOURCES {
+        let prog = parse(src).expect(name);
+        let nest = prog.to_nest().expect(name);
+        let spec = CollapseSpec::new(&nest).expect(name);
+        let opts = CodegenOptions {
+            style: CodegenStyle::Chunked,
+            schedule: "static".into(),
+            sample_params: params.to_vec(),
+        };
+        let code = generate_c(&prog, &spec, &opts).expect(name);
+        assert!(code.contains("#pragma omp parallel for"), "{name}: {code}");
+        assert!(code.contains("firstprivate(first_iteration)"), "{name}");
+        assert!(code.contains("for (pc = 1; pc <="), "{name}");
+        assert!(code.contains(&prog.body), "{name}: body must survive verbatim");
+        // Every iterator must be assigned in the recovery block.
+        for l in &prog.loops {
+            assert!(
+                code.contains(&format!("{} = ", l.var)),
+                "{name}: missing recovery for {}",
+                l.var
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_rust_has_all_structural_elements() {
+    for (name, src, params) in SOURCES {
+        let prog = parse(src).expect(name);
+        let nest = prog.to_nest().expect(name);
+        let spec = CollapseSpec::new(&nest).expect(name);
+        let opts = CodegenOptions {
+            sample_params: params.to_vec(),
+            ..CodegenOptions::default()
+        };
+        let code = generate_rust(&prog, &spec, &opts).expect(name);
+        assert!(code.contains("pub fn collapsed_nest"), "{name}");
+        assert!(code.contains("for pc in 1..=total"), "{name}");
+    }
+}
+
+#[test]
+fn error_paths_are_reported() {
+    // Non-affine bound.
+    let prog = parse(
+        "params N;
+         for (i = 0; i < N; i++)
+           for (j = 0; j < i * i; j++) { b; }",
+    )
+    .unwrap();
+    assert!(prog.to_nest().is_err());
+
+    // Syntax error.
+    assert!(parse("for i in 0..N { }").is_err());
+
+    // Inner loop bound referencing an inner iterator.
+    let prog = parse(
+        "params N;
+         for (i = k; i < N; i++)
+           for (k = 0; k < N; k++) { b; }",
+    )
+    .unwrap();
+    assert!(prog.to_nest().is_err());
+}

@@ -1,0 +1,241 @@
+//! Edge cases: negative coordinates, multiple parameters, large
+//! parameters, single-point domains, and deep rectangular nests.
+
+use nrl::core::CollapseSpec;
+use nrl::prelude::*;
+
+/// Domains living entirely in negative coordinates must rank/unrank
+/// exactly (the paper's model never requires non-negative indices).
+#[test]
+fn negative_coordinate_triangle() {
+    // for i in −N..=−1 { for j in i..=−1 }
+    let s = Space::new(&["i", "j"], &["N"]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(-s.var("N"), s.cst(-1)), (s.var("i"), s.cst(-1))],
+    )
+    .unwrap();
+    for n in [1i64, 3, 10, 40] {
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[n]).unwrap();
+        assert_eq!(collapsed.total(), (n as i128) * (n as i128 + 1) / 2);
+        let mut pc = 1i128;
+        for p in nest.enumerate(&[n]) {
+            assert!(p[0] < 0 && p[1] < 0);
+            assert_eq!(collapsed.unrank(pc), p, "N={n} pc={pc}");
+            pc += 1;
+        }
+    }
+}
+
+/// Mixed-sign rhomboid crossing the origin.
+#[test]
+fn origin_crossing_band() {
+    let s = Space::new(&["i", "j"], &[]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(-5), s.cst(5)), (s.var("i") - 2, s.var("i") + 2)],
+    )
+    .unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[]).unwrap();
+    assert_eq!(collapsed.total(), 11 * 5);
+    let mut pc = 1i128;
+    for p in nest.enumerate(&[]) {
+        assert_eq!(collapsed.unrank(pc), p, "pc={pc}");
+        pc += 1;
+    }
+}
+
+/// Several parameters interacting in one bound.
+#[test]
+fn multi_parameter_trapezoid() {
+    // for i in 0..=M−1 { for j in K..=N−i }
+    let s = Space::new(&["i", "j"], &["M", "N", "K"]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![
+            (s.cst(0), s.var("M") - 1),
+            (s.var("K"), s.var("N") - s.var("i")),
+        ],
+    )
+    .unwrap();
+    for (m, n, k) in [(4i64, 10i64, 2i64), (7, 20, 0), (3, 9, 5)] {
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[m, n, k]).unwrap();
+        let mut pc = 1i128;
+        for p in nest.enumerate(&[m, n, k]) {
+            assert_eq!(collapsed.unrank(pc), p, "({m},{n},{k}) pc={pc}");
+            pc += 1;
+        }
+        assert_eq!(pc - 1, collapsed.total());
+    }
+}
+
+/// Large parameters: ranks near 2^39 still recover exactly.
+#[test]
+fn large_parameter_exactness() {
+    let nest = NestSpec::correlation();
+    let n = 1i64 << 20;
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind_unchecked(&[n]);
+    let total = collapsed.total();
+    assert_eq!(total, ((n - 1) as i128) * (n as i128) / 2);
+    // Probe first/last plus row boundaries around several i values.
+    for i in [0i64, 1, 1000, 777_777, n - 3, n - 2] {
+        let first_of_row = collapsed.rank(&[i, i + 1]);
+        for pc in [first_of_row, first_of_row - 1, first_of_row + 1] {
+            if pc < 1 || pc > total {
+                continue;
+            }
+            let p = collapsed.unrank(pc);
+            assert_eq!(collapsed.rank(&p), pc, "roundtrip at pc={pc}");
+            assert!(nest.contains(&p, &[n]), "{p:?} outside domain");
+        }
+    }
+    // The closed form never needed the bisection fallback.
+    assert_eq!(collapsed.stats().binary_search, 0);
+}
+
+/// A domain with exactly one point.
+#[test]
+fn single_point_domain() {
+    let s = Space::new(&["i", "j"], &[]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(7), s.cst(7)), (s.var("i"), s.var("i"))],
+    )
+    .unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[]).unwrap();
+    assert_eq!(collapsed.total(), 1);
+    assert_eq!(collapsed.unrank(1), vec![7, 7]);
+}
+
+/// Deep rectangular nest: the degenerate case OpenMP already handles
+/// must still work (rank = row-major order).
+#[test]
+fn deep_rectangular_row_major() {
+    let nest = NestSpec::rectangular(&[2, 3, 2, 2, 3]);
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[]).unwrap();
+    assert_eq!(collapsed.total(), 2 * 3 * 2 * 2 * 3);
+    let mut pc = 1i128;
+    for p in nest.enumerate(&[]) {
+        assert_eq!(collapsed.unrank(pc), p);
+        pc += 1;
+    }
+}
+
+/// Zero-trip inner rows (valid non-strict domains) still unrank
+/// correctly thanks to the exact verification.
+#[test]
+fn zero_trip_rows_are_skipped() {
+    // for i in 0..=5 { for j in 3..=i }: empty rows for i < 3.
+    let s = Space::new(&["i", "j"], &[]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(0), s.cst(5)), (s.cst(3), s.var("i"))],
+    )
+    .unwrap();
+    // Trip counts are negative for i < 2 (3..=0 is −2), so `bind`
+    // rejects this domain — the ranking polynomial would over-count.
+    let spec = CollapseSpec::new(&nest).unwrap();
+    assert!(spec.bind(&[]).is_err());
+    // Clamp the lower bound instead: for j in max(3, 0)=3..=i via a
+    // shifted outer loop, the *valid* formulation:
+    let nest2 = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(3), s.cst(5)), (s.cst(3), s.var("i"))],
+    )
+    .unwrap();
+    let collapsed = CollapseSpec::new(&nest2).unwrap().bind(&[]).unwrap();
+    assert_eq!(collapsed.total(), 1 + 2 + 3);
+    let mut pc = 1i128;
+    for p in nest2.enumerate(&[]) {
+        assert_eq!(collapsed.unrank(pc), p);
+        pc += 1;
+    }
+}
+
+/// Partitioning a rectangular nest degenerates to the plain static
+/// block split (every row has equal mass).
+#[test]
+fn outer_cuts_on_rectangular_match_static_blocks() {
+    use nrl::core::balanced_outer_cuts;
+    let nest = NestSpec::rectangular(&[12, 9]);
+    let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[]).unwrap();
+    let cuts = balanced_outer_cuts(&collapsed, 4);
+    assert_eq!(cuts.cuts, vec![0, 3, 6, 9, 12]);
+}
+
+/// Guarded execution of a depth-1 nest: no prologue/epilogue slots
+/// exist and the body runs exactly once per point.
+#[test]
+fn guarded_depth_one() {
+    use nrl::core::run_seq_guarded;
+    let nest = NestSpec::rectangular(&[7]).bind(&[]);
+    let mut visits = 0usize;
+    run_seq_guarded(&nest, |p, pos| {
+        assert_eq!(pos.prologues().count(), 0);
+        assert_eq!(pos.epilogues().count(), 0);
+        assert_eq!(p.len(), 1);
+        visits += 1;
+    });
+    assert_eq!(visits, 7);
+}
+
+/// A single-point domain remaps onto a single-slot line, fuses into
+/// any position, and packs into a 1-element array.
+#[test]
+fn singleton_domain_morphs() {
+    let s = Space::new(&["i", "j"], &[]);
+    let nest = NestSpec::new(s.clone(), vec![(s.cst(5), s.cst(5)), (s.cst(-3), s.cst(-3))]).unwrap();
+    let single = CollapseSpec::new(&nest).unwrap().bind(&[]).unwrap();
+    assert_eq!(single.total(), 1);
+    let line = CollapseSpec::new(&NestSpec::rectangular(&[1])).unwrap().bind(&[]).unwrap();
+    let remap = RankRemap::new(single, line).unwrap();
+    assert_eq!(remap.map(&[5, -3]), vec![0]);
+
+    let layout = PackedLayout::for_nest(&nest, &[]);
+    assert_eq!(layout.len(), 1);
+    assert_eq!(layout.point_of_slot(0), vec![5, -3]);
+
+    let a = CollapseSpec::new(&nest).unwrap().bind(&[]).unwrap();
+    let b = CollapseSpec::new(&NestSpec::correlation()).unwrap().bind(&[4]).unwrap();
+    let fused = FusedLoop::new(vec![a, b]).unwrap();
+    assert_eq!(fused.total(), 1 + 6);
+    assert_eq!(fused.locate(1), (0, 1));
+    assert_eq!(fused.locate(2), (1, 1));
+}
+
+/// Schedules parsed from OMP_SCHEDULE strings drive real executors.
+#[test]
+fn parsed_schedule_drives_execution() {
+    let collapsed = CollapseSpec::new(&NestSpec::correlation()).unwrap().bind(&[30]).unwrap();
+    let pool = ThreadPool::new(3);
+    for text in ["static", "static,5", "dynamic,7", "guided"] {
+        let schedule: Schedule = text.parse().unwrap();
+        let count = std::sync::atomic::AtomicU64::new(0);
+        nrl::core::run_collapsed(&pool, &collapsed, schedule, Recovery::OncePerChunk, |_t, _p| {
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed) as i128, collapsed.total(), "{text}");
+    }
+}
+
+/// Packed layouts on a 3-deep tetrahedron store (N³−N)/6 elements and
+/// keep slot order consistent with the guarded walk.
+#[test]
+fn packed_tetrahedron_matches_guarded_walk() {
+    use nrl::core::run_seq_guarded;
+    let n = 9i64;
+    let layout = PackedLayout::for_nest(&NestSpec::figure6(), &[n]);
+    assert_eq!(layout.len() as i128, ((n as i128).pow(3) - n as i128) / 6);
+    let mut slot = 0usize;
+    run_seq_guarded(&NestSpec::figure6().bind(&[n]), |p, _pos| {
+        assert_eq!(layout.slot(p), slot);
+        slot += 1;
+    });
+    assert_eq!(slot, layout.len());
+}

@@ -1,0 +1,163 @@
+//! Pins every concrete number and formula printed in the paper.
+
+use nrl::core::{CollapseSpec, Ranking};
+use nrl::dsl::{build_formulas, parse};
+use nrl::prelude::*;
+use std::collections::HashMap;
+
+/// §III: the correlation ranking polynomial's spot values.
+#[test]
+fn section3_rank_values() {
+    let nest = NestSpec::correlation();
+    let ranking = Ranking::new(&nest);
+    let n = 100i64;
+    // "the rank of the first iteration (0,1), r(0,1), is equal to 1"
+    assert_eq!(ranking.rank_at(&[0, 1], &[n]), 1);
+    // "r(0,2) = 2, the rank of the third iteration r(0,3) = 3"
+    assert_eq!(ranking.rank_at(&[0, 2], &[n]), 2);
+    assert_eq!(ranking.rank_at(&[0, 3], &[n]), 3);
+    // "the rank of the last j-iteration when i = 0, r(0, N−1) = N−1"
+    assert_eq!(ranking.rank_at(&[0, n - 1], &[n]), (n - 1) as i128);
+    // "the rank of the first iteration when i = 1, r(1,2) = N"
+    assert_eq!(ranking.rank_at(&[1, 2], &[n]), n as i128);
+    // "The total number of iterations is r(N−2, N−1) = (N−1)N/2"
+    assert_eq!(
+        ranking.rank_at(&[n - 2, n - 1], &[n]),
+        ((n - 1) * n / 2) as i128
+    );
+}
+
+/// §II / Fig. 3: the collapsed correlation bound and recovery formulas.
+#[test]
+fn figure3_formulas_agree_with_paper() {
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    for n in [10i64, 50, 137] {
+        let collapsed = spec.bind(&[n]).unwrap();
+        // Loop bound (N−1)·N/2.
+        assert_eq!(collapsed.total(), ((n - 1) * n / 2) as i128);
+        let nf = n as f64;
+        for pc in 1..=collapsed.total() {
+            let pcf = pc as f64;
+            // Paper Fig. 3: i = ⌊−(√(4N²−4N−8pc+9) − 2N + 1)/2⌋
+            let i = (-((4.0 * nf * nf - 4.0 * nf - 8.0 * pcf + 9.0).sqrt() - 2.0 * nf + 1.0)
+                / 2.0)
+                .floor() as i64;
+            // j = ⌊−(2iN − 2pc − i² − 3i)/2⌋
+            let ifl = i as f64;
+            let j = (-(2.0 * ifl * nf - 2.0 * pcf - ifl * ifl - 3.0 * ifl) / 2.0).floor() as i64;
+            assert_eq!(collapsed.unrank(pc), vec![i, j], "N={n} pc={pc}");
+        }
+    }
+}
+
+/// §IV-C: the 3-deep nest — totals, complex-root behaviour at pc = 1.
+#[test]
+fn section4c_figure6_nest() {
+    let nest = NestSpec::figure6();
+    let ranking = Ranking::new(&nest);
+    // "the total number of iterations is (N³ − N)/6"
+    for n in [2i64, 10, 100] {
+        let nn = n as i128;
+        assert_eq!(ranking.total_at(&[n]), (nn * nn * nn - nn) / 6);
+    }
+    // The discriminant at pc = 1: 243·1 − 486 + 242 = −1 (the paper's √−1
+    // example) — and the root still recovers i = 0.
+    assert_eq!(243 - 486 + 242, -1);
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[10]).unwrap();
+    assert_eq!(collapsed.unrank(1), vec![0, 0, 0]);
+    // "the root becomes real for any value of pc strictly above 1":
+    // 243·pc² − 486·pc + 242 > 0 for pc ≥ 2.
+    for pc in 2..100i64 {
+        assert!(243 * pc * pc - 486 * pc + 242 > 0, "pc={pc}");
+    }
+}
+
+/// §IV-C: the j and k recovery formulas of the 3-deep nest, as printed.
+#[test]
+fn section4c_inner_formulas() {
+    let nest = NestSpec::figure6();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[15]).unwrap();
+    for pc in 1..=collapsed.total() {
+        let point = collapsed.unrank(pc);
+        let (i, j, k) = (point[0] as f64, point[1] as f64, point[2] as f64);
+        let pcf = pc as f64;
+        // j = ⌊−(√3·√(−24pc + 4i³ + 24i² + 44i + 51) − 6i − 9)/6⌋
+        let j_paper = (-((3.0f64).sqrt()
+            * (-24.0 * pcf + 4.0 * i.powi(3) + 24.0 * i.powi(2) + 44.0 * i + 51.0).sqrt()
+            - 6.0 * i
+            - 9.0)
+            / 6.0)
+            .floor();
+        assert_eq!(j_paper as i64, point[1], "pc={pc} j");
+        // k = (6pc + 3j² − (6i + 3)j − i³ − 3i² − 2i − 6)/6
+        let k_paper = ((6.0 * pcf + 3.0 * j * j - (6.0 * i + 3.0) * j
+            - i.powi(3)
+            - 3.0 * i.powi(2)
+            - 2.0 * i
+            - 6.0)
+            / 6.0)
+            .floor();
+        assert_eq!(k_paper as i64, point[2], "pc={pc} k");
+        let _ = k;
+    }
+}
+
+/// §IV-B: the degree limitation — and our binary-search extension
+/// beyond it.
+#[test]
+fn section4b_degree_limit() {
+    // "the number of nested loops that all depend on a given index is
+    // less than or equal to 4" for closed forms; deeper chains still
+    // work through the exact fallback.
+    let s = Space::new(&["i", "j", "k", "l", "m"], &["N"]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![
+            (s.cst(0), s.var("N") - 1),
+            (s.cst(0), s.var("i")),
+            (s.cst(0), s.var("i")),
+            (s.cst(0), s.var("i")),
+            (s.cst(0), s.var("i")),
+        ],
+    )
+    .unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    assert!(!spec.closed_form_available());
+    let collapsed = spec.bind(&[3]).unwrap();
+    for (pc, p) in (1i128..).zip(nest.enumerate(&[3])) {
+        assert_eq!(collapsed.unrank(pc), p);
+    }
+}
+
+/// §IV: transitivity of index dependence — Fig. 6's ranking has i at
+/// power 3 and j at power 2, exactly as the paper says.
+#[test]
+fn section4_degree_structure() {
+    let ranking = Ranking::new(&NestSpec::figure6());
+    assert_eq!(ranking.rank_poly().degree_in(0), 3, "i power");
+    assert_eq!(ranking.rank_poly().degree_in(1), 2, "j power");
+    assert_eq!(ranking.rank_poly().degree_in(2), 1, "k power");
+}
+
+/// The DSL reproduces the §IV Maxima session outputs numerically.
+#[test]
+fn maxima_session_equivalence() {
+    // (%o2): the two symbolic roots of r(i, i+1) − pc. Our branch
+    // selection must land on the first one (x1 with ⌊x1(1)⌋ = 0, the
+    // other gives 2N−1).
+    let src = "params N;
+        for (i = 0; i < N - 1; i++)
+          for (j = i + 1; j < N; j++) { body; }";
+    let prog = parse(src).unwrap();
+    let nest = prog.to_nest().unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let formulas = build_formulas(&spec, &[40]).unwrap();
+    let mut bind = HashMap::new();
+    bind.insert("N".to_string(), 40.0);
+    bind.insert("pc".to_string(), 1.0);
+    // ⌊x1(1)⌋ = 0 (the "convenient" root).
+    assert_eq!(formulas[0].expr.eval(&bind).re as i64, 0);
+}
