@@ -20,6 +20,7 @@ fn bench_recoveries(c: &mut Criterion) {
         ("batched64", Recovery::Batched(64)),
         ("naive", Recovery::Naive),
         ("binary_search", Recovery::BinarySearch),
+        ("reference", Recovery::Reference),
     ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(label),
@@ -29,6 +30,34 @@ fn bench_recoveries(c: &mut Criterion) {
                     run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |_t, p| {
                         sink.fetch_add(p[1] as u64, Ordering::Relaxed);
                     })
+                });
+            },
+        );
+    }
+    group.finish();
+    // Recovery-bound regime: small dynamic chunks force one recovery
+    // per 32 iterations, so the compiled-vs-reference engine difference
+    // shows up end-to-end in `run_collapsed` (not just in microbenches).
+    let mut group = c.benchmark_group("collapsed_recovery_bound");
+    group.sample_size(20);
+    for (label, recovery) in [
+        ("once_per_chunk", Recovery::OncePerChunk),
+        ("reference", Recovery::Reference),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &recovery,
+            |b, &recovery| {
+                b.iter(|| {
+                    run_collapsed(
+                        &pool,
+                        &collapsed,
+                        Schedule::Dynamic(32),
+                        recovery,
+                        |_t, p| {
+                            sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                        },
+                    )
                 });
             },
         );
@@ -48,7 +77,6 @@ fn bench_spec_construction(c: &mut Criterion) {
         b.iter(|| spec.bind_unchecked(black_box(&[1000])));
     });
 }
-
 
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.

@@ -53,7 +53,6 @@ fn benches(c: &mut Criterion) {
     bench_kernel(c, "ltmp", 0.3);
 }
 
-
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.
 fn config() -> Criterion {

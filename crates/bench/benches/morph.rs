@@ -106,12 +106,24 @@ fn bench_fusion(c: &mut Criterion) {
         let tri = collapse(&NestSpec::correlation(), &[tri_n]);
         let tetra = collapse(&NestSpec::figure6(), &[tetra_n]);
         b.iter(|| {
-            run_collapsed(&pool, &tri, Schedule::Static, Recovery::OncePerChunk, |_t, p| {
-                black_box((0usize, p[0]));
-            });
-            run_collapsed(&pool, &tetra, Schedule::Static, Recovery::OncePerChunk, |_t, p| {
-                black_box((1usize, p[0]));
-            });
+            run_collapsed(
+                &pool,
+                &tri,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p| {
+                    black_box((0usize, p[0]));
+                },
+            );
+            run_collapsed(
+                &pool,
+                &tetra,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p| {
+                    black_box((1usize, p[0]));
+                },
+            );
         })
     });
     group.finish();

@@ -49,7 +49,6 @@ fn bench_region_dispatch(c: &mut Criterion) {
     });
 }
 
-
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.
 fn config() -> Criterion {

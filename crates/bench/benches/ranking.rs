@@ -47,7 +47,6 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.
 fn config() -> Criterion {

@@ -1,5 +1,10 @@
 //! Criterion: index-recovery cost — closed-form vs. binary-search
 //! unranking, across nest depths and sizes (the §V "costly recovery").
+//!
+//! The `reference/*` series runs the pre-compilation engine (every
+//! probe re-evaluates the multivariate `R_k` term-by-term); comparing
+//! `binary_search/*` against `reference/*` measures the compiled
+//! Horner ladder's speedup on the same search.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nrl_core::CollapseSpec;
@@ -18,16 +23,12 @@ fn bench_unrank(c: &mut Criterion) {
         let total = collapsed.total();
         let probe = total / 2 + 1;
         let mut point = vec![0i64; nest.depth()];
-        group.bench_with_input(
-            BenchmarkId::new("closed_form", label),
-            &probe,
-            |b, &pc| {
-                b.iter(|| {
-                    collapsed.unrank_into(black_box(pc), &mut point);
-                    black_box(point[0])
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("closed_form", label), &probe, |b, &pc| {
+            b.iter(|| {
+                collapsed.unrank_into(black_box(pc), &mut point);
+                black_box(point[0])
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("binary_search", label),
             &probe,
@@ -38,6 +39,24 @@ fn bench_unrank(c: &mut Criterion) {
                 });
             },
         );
+        group.bench_with_input(BenchmarkId::new("reference", label), &probe, |b, &pc| {
+            b.iter(|| {
+                collapsed.unrank_reference_into(black_box(pc), &mut point);
+                black_box(point[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached_sweep", label), &probe, |b, &pc| {
+            // 64 consecutive ranks through one cache-carrying
+            // unranker: the Recovery::Naive inner-loop shape.
+            let mut unranker = collapsed.unranker();
+            let last = pc.min(total - 63);
+            b.iter(|| {
+                for offset in 0..64 {
+                    unranker.unrank_into(black_box(last + offset), &mut point);
+                }
+                black_box(point[0])
+            });
+        });
     }
     group.finish();
 }
@@ -56,7 +75,6 @@ fn bench_odometer(c: &mut Criterion) {
         });
     });
 }
-
 
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.

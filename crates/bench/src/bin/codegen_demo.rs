@@ -31,10 +31,7 @@ fn show(title: &str, src: &str, style: CodegenStyle) {
     let prog = parse(src).expect("parse");
     let nest = prog.to_nest().expect("lower");
     let spec = CollapseSpec::new(&nest).expect("collapse");
-    println!(
-        "ranking polynomial: r = {}\n",
-        spec.ranking().render()
-    );
+    println!("ranking polynomial: r = {}\n", spec.ranking().render());
     let opts = CodegenOptions {
         style,
         ..CodegenOptions::default()

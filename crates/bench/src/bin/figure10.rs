@@ -20,12 +20,7 @@ fn main() {
     println!(
         "Figure 10 reproduction: serial original vs serial collapsed with {recoveries} root evaluations ({reps} reps, scale {scale})\n"
     );
-    let mut table = Table::new(&[
-        "program",
-        "original serial",
-        "collapsed serial",
-        "overhead",
-    ]);
+    let mut table = Table::new(&["program", "original serial", "collapsed serial", "overhead"]);
 
     for mut kernel in all_kernels(scale) {
         let info = kernel.info();
@@ -48,8 +43,7 @@ fn main() {
         });
         assert_eq!(kernel.checksum(), reference, "{} wrong output", info.name);
 
-        let overhead =
-            100.0 * (t_coll.as_secs_f64() - t_orig.as_secs_f64()) / t_orig.as_secs_f64();
+        let overhead = 100.0 * (t_coll.as_secs_f64() - t_orig.as_secs_f64()) / t_orig.as_secs_f64();
         table.row(vec![
             info.name.to_string(),
             fmt_duration(t_orig),

@@ -23,7 +23,9 @@ fn main() {
     let args = Args::from_env();
     let threads = args.get_or(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let reps = args.get_or("reps", 5usize);
     let scale = if args.has("paper") {

@@ -17,7 +17,9 @@ fn main() {
     let reps = args.get_or("reps", 3usize);
     let max_threads = args.get_or(
         "max-threads",
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(4),
     );
 
     let mut kernel = kernel_by_name(&name, scale)

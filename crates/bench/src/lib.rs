@@ -23,10 +23,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(key) = raw[i].strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 let consumed = value.is_some();
                 pairs.push((key.to_string(), value));
                 i += if consumed { 2 } else { 1 };

@@ -2,7 +2,7 @@
 
 use crate::ranking::Ranking;
 use crate::unrank::{BoundLevel, RecoveryCounters, RecoveryStats, MAX_DEPTH};
-use nrl_poly::{IntPoly, Poly};
+use nrl_poly::{CompiledPoly, IntPoly, Poly, SpecializedPoly};
 use nrl_polyhedra::{BoundNest, NestSpec};
 use nrl_rational::Rational;
 use nrl_solver::MAX_DEGREE;
@@ -22,7 +22,10 @@ impl fmt::Display for CollapseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollapseError::TooDeep { depth } => {
-                write!(f, "nest depth {depth} exceeds the supported maximum {MAX_DEPTH}")
+                write!(
+                    f,
+                    "nest depth {depth} exceeds the supported maximum {MAX_DEPTH}"
+                )
             }
         }
     }
@@ -166,19 +169,27 @@ impl CollapseSpec {
         let d = nest.depth();
         let bound_nest = nest.bind(params);
         let total = self.ranking.total_at(params);
+        // Over-approximate per-iterator value intervals once: the
+        // magnitude analysis below proves, per level, whether the
+        // specialized Horner sweeps can use unchecked i64 arithmetic.
+        let var_box = iterator_box(nest, params);
         let levels = (0..d)
             .map(|k| {
                 let bound = bind_poly(&self.level_polys[k], d, params);
-                let coeffs: Vec<IntPoly> = bound
-                    .univariate_coeffs(k)
-                    .iter()
-                    .map(IntPoly::from_poly)
-                    .collect();
-                let closed_form = coeffs.len() - 1 <= MAX_DEGREE;
+                let compiled = CompiledPoly::lower(&bound, k)
+                    .expect("collapsible nests stay within the compiled-ladder capacity");
+                let closed_form = compiled.degree() <= MAX_DEGREE;
+                let i64_safe = var_box
+                    .as_ref()
+                    .and_then(|abs| {
+                        compiled.magnitude_bound(&abs[..], abs.get(k).copied().unwrap_or(i64::MAX))
+                    })
+                    .is_some_and(|b| b <= i64::MAX as i128);
                 BoundLevel {
-                    coeffs,
+                    compiled,
                     rk: IntPoly::from_poly(&bound),
                     closed_form,
+                    i64_safe,
                 }
             })
             .collect();
@@ -192,6 +203,55 @@ impl CollapseSpec {
             counters: RecoveryCounters::default(),
         }
     }
+}
+
+/// Over-approximates `max(|i_k|) + 1` per iterator by interval-evaluating
+/// the affine bounds outward-in (the `+1` covers the `R_k(v+1)`
+/// verification probe). Returns `None` when the intervals overflow —
+/// callers then simply keep the checked `i128` evaluation path.
+fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<Vec<i64>> {
+    let d = nest.depth();
+    let mut lo = Vec::with_capacity(d);
+    let mut hi = Vec::with_capacity(d);
+    let mut abs = Vec::with_capacity(d);
+    for k in 0..d {
+        let lower = nest.lower(k).bind_params(params);
+        let upper = nest.upper(k).bind_params(params);
+        let (ll, lh) = interval_eval(lower.coeffs(), lower.constant_term(), &lo, &hi)?;
+        let (ul, uh) = interval_eval(upper.coeffs(), upper.constant_term(), &lo, &hi)?;
+        // Widen across both bound forms: sound even for prefixes whose
+        // level is empty (the probe clamp keeps x within [lb, ub] + 1).
+        let k_lo = ll.min(ul);
+        let k_hi = lh.max(uh);
+        lo.push(k_lo);
+        hi.push(k_hi);
+        abs.push(
+            k_lo.checked_abs()?
+                .max(k_hi.checked_abs()?)
+                .checked_add(1)?,
+        );
+    }
+    Some(abs)
+}
+
+/// Interval arithmetic for `Σ c_v·x_v + constant` over per-variable
+/// boxes; `None` on overflow.
+fn interval_eval(coeffs: &[i64], constant: i64, lo: &[i64], hi: &[i64]) -> Option<(i64, i64)> {
+    let mut min = constant;
+    let mut max = constant;
+    for (v, &c) in coeffs.iter().enumerate() {
+        if c == 0 || v >= lo.len() {
+            continue;
+        }
+        let (a, b) = if c >= 0 {
+            (c.checked_mul(lo[v])?, c.checked_mul(hi[v])?)
+        } else {
+            (c.checked_mul(hi[v])?, c.checked_mul(lo[v])?)
+        };
+        min = min.checked_add(a)?;
+        max = max.checked_add(b)?;
+    }
+    Some((min, max))
 }
 
 /// Folds the parameters of `p` (ring = d iterators + params) to concrete
@@ -286,9 +346,102 @@ impl Collapsed {
         }
     }
 
+    /// Unranks through the **uncompiled** reference path: every probe
+    /// re-evaluates the multivariate `R_k` term-by-term, exactly as the
+    /// pre-compilation engine did. Ground truth for differential tests
+    /// and the ablation baseline benches.
+    pub fn unrank_reference_into(&self, pc: i128, point: &mut [i64]) {
+        assert!(
+            pc >= 1 && pc <= self.total,
+            "pc {pc} outside 1..={}",
+            self.total
+        );
+        assert_eq!(point.len(), self.depth, "point arity mismatch");
+        for k in 0..self.depth {
+            let lb = self.nest.lower(k, point);
+            let ub = self.nest.upper(k, point);
+            let v = self.levels[k].recover_reference(point, k, lb, ub, pc);
+            point[k] = v;
+        }
+    }
+
     /// Snapshot of the recovery-path counters accumulated so far.
     pub fn stats(&self) -> RecoveryStats {
         self.counters.snapshot()
+    }
+
+    /// A recovery handle with a per-level specialization cache.
+    ///
+    /// Executors create one per worker: successive `unrank_into` calls
+    /// whose outer prefix has not moved (the common case under
+    /// consecutive or nearby ranks) reuse the already-folded Horner
+    /// ladders instead of re-specializing every level.
+    pub fn unranker(&self) -> Unranker<'_> {
+        Unranker {
+            collapsed: self,
+            cache: vec![LevelCache::default(); self.depth],
+        }
+    }
+}
+
+/// Cached specialization of one level at one prefix.
+#[derive(Clone, Copy, Default)]
+struct LevelCache {
+    valid: bool,
+    prefix: [i64; MAX_DEPTH],
+    spec: Option<SpecializedPoly>,
+}
+
+/// A stateful recovery handle over a [`Collapsed`] loop: caches each
+/// level's [`SpecializedPoly`] keyed by the outer prefix it was folded
+/// at (see [`Collapsed::unranker`]). Cheap to create; not `Sync` —
+/// one per worker thread.
+pub struct Unranker<'a> {
+    collapsed: &'a Collapsed,
+    cache: Vec<LevelCache>,
+}
+
+impl Unranker<'_> {
+    /// The underlying collapsed loop.
+    pub fn collapsed(&self) -> &Collapsed {
+        self.collapsed
+    }
+
+    /// Cache-aware [`Collapsed::unrank_into`].
+    pub fn unrank_into(&mut self, pc: i128, point: &mut [i64]) {
+        self.unrank_with(pc, point, true);
+    }
+
+    /// Cache-aware [`Collapsed::unrank_binary_into`] (no floating
+    /// point; ablation mode and degrees beyond the closed forms).
+    pub fn unrank_binary_into(&mut self, pc: i128, point: &mut [i64]) {
+        self.unrank_with(pc, point, false);
+    }
+
+    fn unrank_with(&mut self, pc: i128, point: &mut [i64], allow_closed_form: bool) {
+        let c = self.collapsed;
+        assert!(pc >= 1 && pc <= c.total, "pc {pc} outside 1..={}", c.total);
+        assert_eq!(point.len(), c.depth, "point arity mismatch");
+        for k in 0..c.depth {
+            let lb = c.nest.lower(k, point);
+            let ub = c.nest.upper(k, point);
+            // Single-valued level: no probe will read the ladder, so
+            // don't specialize (or touch the cache) for it.
+            if lb == ub {
+                point[k] = lb;
+                continue;
+            }
+            let level = &c.levels[k];
+            let entry = &mut self.cache[k];
+            let hit = entry.valid && entry.prefix[..k] == point[..k];
+            if !hit {
+                entry.spec = Some(level.specialize(point));
+                entry.prefix[..k].copy_from_slice(&point[..k]);
+                entry.valid = true;
+            }
+            let spec = entry.spec.as_ref().expect("cache entry just filled");
+            point[k] = level.recover_spec(spec, lb, ub, pc, &c.counters, allow_closed_form);
+        }
     }
 }
 

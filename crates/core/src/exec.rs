@@ -36,6 +36,11 @@ pub enum Recovery {
     /// Like [`Recovery::OncePerChunk`] but recovery uses the pure
     /// binary-search unranker (no floating point) — ablation mode.
     BinarySearch,
+    /// Like [`Recovery::OncePerChunk`] but recovery runs through the
+    /// pre-compilation reference engine (term-by-term multivariate
+    /// evaluation per probe) — the ablation baseline that quantifies
+    /// what the compiled Horner ladders buy end-to-end.
+    Reference,
 }
 
 /// Runs the original nest sequentially, invoking `body` on every point
@@ -144,6 +149,18 @@ where
     assert!(total >= 0, "invalid domain");
     let total_u64 = u64::try_from(total).expect("total exceeds u64");
     let d = collapsed.depth();
+    // Per-worker unrankers (Naive only — the other modes recover once
+    // per chunk), allocated once and reused across chunks so the
+    // specialization cache survives chunk boundaries (each slot is
+    // only ever locked by its own thread — the lock is uncontended).
+    let unrankers: Vec<std::sync::Mutex<crate::collapsed::Unranker<'_>>> =
+        if recovery == Recovery::Naive {
+            (0..pool.nthreads())
+                .map(|_| std::sync::Mutex::new(collapsed.unranker()))
+                .collect()
+        } else {
+            Vec::new()
+        };
     pool.parallel_for(total_u64, schedule, &|tid, s, e| {
         debug_assert!(s < e);
         let mut point = vec![0i64; d.max(1)];
@@ -157,16 +174,22 @@ where
         }
         match recovery {
             Recovery::Naive => {
+                // Per-iteration recovery, but through this worker's
+                // cache-carrying unranker: consecutive ranks share
+                // their outer prefix most of the time, so the per-level
+                // specialized Horner ladders are reused instead of
+                // re-folded — across chunk boundaries too.
+                let mut unranker = unrankers[tid].lock().expect("unranker slot poisoned");
                 for pc in s..e {
-                    collapsed.unrank_into((pc + 1) as i128, point);
+                    unranker.unrank_into((pc + 1) as i128, point);
                     body(tid, point);
                 }
             }
-            Recovery::OncePerChunk | Recovery::BinarySearch => {
-                if recovery == Recovery::BinarySearch {
-                    collapsed.unrank_binary_into((s + 1) as i128, point);
-                } else {
-                    collapsed.unrank_into((s + 1) as i128, point);
+            Recovery::OncePerChunk | Recovery::BinarySearch | Recovery::Reference => {
+                match recovery {
+                    Recovery::BinarySearch => collapsed.unrank_binary_into((s + 1) as i128, point),
+                    Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
+                    _ => collapsed.unrank_into((s + 1) as i128, point),
                 }
                 // Row-wise walk: the innermost level is a contiguous
                 // run, so iterate it as a tight loop (the `j++` of the
@@ -317,11 +340,15 @@ where
     pool.run(&|tid| {
         let mut point = vec![0i64; d.max(1)];
         let point = &mut point[..d];
+        // One cache-carrying unranker per thread: a thread's lanes start
+        // at adjacent ranks, so their outer prefixes usually coincide
+        // and the specialized ladders are reused across lanes.
+        let mut unranker = collapsed.unranker();
         let mut lane = tid;
         while lane < warp {
             let first_pc = (lane + 1) as i128;
             if first_pc <= total {
-                collapsed.unrank_into(first_pc, point);
+                unranker.unrank_into(first_pc, point);
                 let mut pc = first_pc;
                 loop {
                     body(lane, point);
@@ -399,6 +426,7 @@ mod tests {
             Recovery::OncePerChunk,
             Recovery::Batched(8),
             Recovery::BinarySearch,
+            Recovery::Reference,
         ] {
             let got = collect_parallel(|body| {
                 run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |t, p| {
@@ -422,9 +450,13 @@ mod tests {
             Schedule::Guided(2),
         ] {
             let got = collect_parallel(|body| {
-                run_collapsed(&pool, &collapsed, schedule, Recovery::OncePerChunk, |t, p| {
-                    body(t, p)
-                })
+                run_collapsed(
+                    &pool,
+                    &collapsed,
+                    schedule,
+                    Recovery::OncePerChunk,
+                    |t, p| body(t, p),
+                )
             });
             assert_eq!(got, reference(&nest, &[10]), "{schedule:?}");
         }
@@ -467,13 +499,21 @@ mod tests {
         let prefix_spec = CollapseSpec::new(&nest.prefix(2)).unwrap();
         let collapsed = prefix_spec.bind(&[n]).unwrap();
         // Flattened total counts (i, j) pairs, not all iterations.
-        assert_eq!(collapsed.total() as u128, nest.prefix(2).count_enumerated(&[n]));
+        assert_eq!(
+            collapsed.total() as u128,
+            nest.prefix(2).count_enumerated(&[n])
+        );
         let pool = ThreadPool::new(3);
         for recovery in [Recovery::OncePerChunk, Recovery::Naive] {
             let got = collect_parallel(|body| {
-                run_collapsed_prefix(&pool, &full, &collapsed, Schedule::Dynamic(4), recovery, |t, p| {
-                    body(t, p)
-                })
+                run_collapsed_prefix(
+                    &pool,
+                    &full,
+                    &collapsed,
+                    Schedule::Dynamic(4),
+                    recovery,
+                    |t, p| body(t, p),
+                )
             });
             assert_eq!(got, reference(&nest, &[n]), "{recovery:?}");
         }
@@ -487,9 +527,14 @@ mod tests {
         let collapsed = spec.bind(&[12]).unwrap();
         let pool = ThreadPool::new(2);
         let got = collect_parallel(|body| {
-            run_collapsed_prefix(&pool, &full, &collapsed, Schedule::Static, Recovery::OncePerChunk, |t, p| {
-                body(t, p)
-            })
+            run_collapsed_prefix(
+                &pool,
+                &full,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |t, p| body(t, p),
+            )
         });
         assert_eq!(got, reference(&nest, &[12]));
     }
@@ -501,9 +546,8 @@ mod tests {
         let collapsed = spec.bind(&[7]).unwrap();
         let pool = ThreadPool::new(2);
         for warp in [1usize, 3, 32, 1000] {
-            let got = collect_parallel(|body| {
-                run_warp_sim(&pool, &collapsed, warp, |t, p| body(t, p))
-            });
+            let got =
+                collect_parallel(|body| run_warp_sim(&pool, &collapsed, warp, |t, p| body(t, p)));
             assert_eq!(got, reference(&nest, &[7]), "warp={warp}");
         }
     }
@@ -515,9 +559,13 @@ mod tests {
         let collapsed = spec.bind(&[1]).unwrap();
         let pool = ThreadPool::new(2);
         let got = collect_parallel(|body| {
-            run_collapsed(&pool, &collapsed, Schedule::Static, Recovery::OncePerChunk, |t, p| {
-                body(t, p)
-            })
+            run_collapsed(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |t, p| body(t, p),
+            )
         });
         assert!(got.is_empty());
         run_seq(&nest.bind(&[1]), |_| panic!("no iterations expected"));
@@ -532,9 +580,15 @@ mod tests {
         let collapsed = spec.bind(&[30]).unwrap();
         let pool = ThreadPool::new(1); // single chunk ⇒ full order
         let seen = Mutex::new(Vec::new());
-        run_collapsed(&pool, &collapsed, Schedule::Static, Recovery::OncePerChunk, |_, p| {
-            seen.lock().unwrap().push(p.to_vec());
-        });
+        run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Static,
+            Recovery::OncePerChunk,
+            |_, p| {
+                seen.lock().unwrap().push(p.to_vec());
+            },
+        );
         let seen = seen.into_inner().unwrap();
         let expect: Vec<Vec<i64>> = nest.enumerate(&[30]).collect();
         assert_eq!(seen, expect);

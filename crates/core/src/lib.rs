@@ -49,7 +49,7 @@ pub mod partition;
 pub mod ranking;
 pub mod unrank;
 
-pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed};
+pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
 pub use exec::{
     run_collapsed, run_collapsed_prefix, run_outer_parallel, run_outer_parallel_range, run_seq,
     run_warp_sim, Recovery,

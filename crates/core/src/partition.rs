@@ -147,7 +147,9 @@ mod tests {
 
     /// Iterations inside an outer-row range, counted by enumeration.
     fn mass(nest: &NestSpec, params: &[i64], lo: i64, hi: i64) -> i128 {
-        nest.enumerate(params).filter(|p| p[0] >= lo && p[0] < hi).count() as i128
+        nest.enumerate(params)
+            .filter(|p| p[0] >= lo && p[0] < hi)
+            .count() as i128
     }
 
     #[test]
@@ -205,11 +207,12 @@ mod tests {
         .unwrap();
         let collapsed = collapse(&nest, &[3, 1000]);
         let cuts = balanced_outer_cuts(&collapsed, 8);
-        let empty = (0..8).filter(|&t| {
-            let (lo, hi) = cuts.range(t);
-            lo == hi
-        })
-        .count();
+        let empty = (0..8)
+            .filter(|&t| {
+                let (lo, hi) = cuts.range(t);
+                lo == hi
+            })
+            .count();
         assert!(empty >= 5, "{cuts:?}");
     }
 
@@ -245,8 +248,16 @@ mod tests {
             nrl_parfor::Schedule::Static,
             |_, _| {},
         );
-        assert!(part.iteration_imbalance() < 1.02, "×{:.3}", part.iteration_imbalance());
-        assert!(naive.iteration_imbalance() > 1.4, "×{:.3}", naive.iteration_imbalance());
+        assert!(
+            part.iteration_imbalance() < 1.02,
+            "×{:.3}",
+            part.iteration_imbalance()
+        );
+        assert!(
+            naive.iteration_imbalance() > 1.4,
+            "×{:.3}",
+            naive.iteration_imbalance()
+        );
     }
 
     #[test]
@@ -265,8 +276,15 @@ mod tests {
         let pool = ThreadPool::new(6);
         let cuts = balanced_outer_cuts(&collapsed, 6);
         let part = run_outer_partitioned(&pool, &collapsed, &cuts, |_, _| {});
-        let busy_part = part.per_thread().iter().filter(|t| t.iterations > 0).count();
-        assert!(busy_part <= 2, "outer partitioning is capped at the row count");
+        let busy_part = part
+            .per_thread()
+            .iter()
+            .filter(|t| t.iterations > 0)
+            .count();
+        assert!(
+            busy_part <= 2,
+            "outer partitioning is capped at the row count"
+        );
         let flat = crate::exec::run_collapsed(
             &pool,
             &collapsed,
@@ -274,7 +292,11 @@ mod tests {
             crate::exec::Recovery::OncePerChunk,
             |_, _| {},
         );
-        let busy_flat = flat.per_thread().iter().filter(|t| t.iterations > 0).count();
+        let busy_flat = flat
+            .per_thread()
+            .iter()
+            .filter(|t| t.iterations > 0)
+            .count();
         assert_eq!(busy_flat, 6, "the collapsed loop uses every thread");
     }
 

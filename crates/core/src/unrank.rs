@@ -11,8 +11,28 @@
 //! step makes the recovery exact for arbitrary parameter sizes, and the
 //! binary-search fallback additionally handles ranking polynomials of
 //! degree > 4 (beyond the paper's closed-form limit).
+//!
+//! ## The compiled hot path
+//!
+//! Every probe of one recovery evaluates `R_k` at the *same* prefix
+//! `(i_0 … i_{k−1})`, varying only `x = i_k`. Since this workspace's
+//! v1, each level therefore holds a [`CompiledPoly`] — `R_k` lowered
+//! once at bind time into a Horner-ordered coefficient ladder,
+//! univariate in `x` — and [`BoundLevel::recover_with`] begins by
+//! **specializing** the ladder at the prefix: a single pass that folds
+//! `point[..k]` into a flat `[i128; deg+1]` array. After that, the ±1
+//! verification, every binary-search step and the closed-form
+//! coefficient assembly are `O(deg)` Horner sweeps with zero allocation
+//! and no pow recomputation; probes compare `numer(x) ≤ pc·den` so not
+//! even a division remains. A bind-time magnitude analysis proves, per
+//! level, when the sweeps cannot overflow `i64` (unchecked fast path);
+//! otherwise they run in checked `i128`.
+//!
+//! The original term-by-term multivariate evaluation survives as
+//! [`BoundLevel::recover_reference`] — the ground truth the
+//! differential tests and ablation benches compare against.
 
-use nrl_poly::IntPoly;
+use nrl_poly::{CompiledPoly, IntPoly, SpecializedPoly, MAX_COMPILED_COEFFS};
 use nrl_solver::{polish_real_root, solve, Complex64};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -23,13 +43,16 @@ pub const MAX_DEPTH: usize = 16;
 /// recover `i_k` from `pc` and the outer prefix.
 #[derive(Clone, Debug)]
 pub struct BoundLevel {
-    /// Dense univariate coefficients of `R_k` in `x = i_k`; each entry
-    /// is a polynomial over the iterator prefix (parameters folded).
-    pub(crate) coeffs: Vec<IntPoly>,
-    /// `R_k` itself over the iterator ring, for exact verification.
+    /// `R_k` lowered univariate-in-`i_k`: the production hot path.
+    pub(crate) compiled: CompiledPoly,
+    /// `R_k` as a plain multivariate integer polynomial — the reference
+    /// evaluation path (differential tests, ablation baseline).
     pub(crate) rk: IntPoly,
     /// Whether the univariate degree allows a closed form (≤ 4).
     pub(crate) closed_form: bool,
+    /// Bind-time proof that specialized Horner sweeps fit in `i64` for
+    /// every reachable probe (see `CompiledPoly::magnitude_bound`).
+    pub(crate) i64_safe: bool,
 }
 
 /// Counters describing which recovery path unranking has taken (useful
@@ -73,17 +96,15 @@ impl RecoveryCounters {
 }
 
 impl BoundLevel {
-    /// Exact evaluation of `R_k` with the level value `x` placed at
-    /// position `k` of `point` (deeper positions are ignored — the
-    /// continuation was substituted symbolically).
+    /// Folds the prefix `point[..k]` into the flat Horner ladder for
+    /// this recovery (the once-per-recovery specialization step).
     #[inline]
-    fn rk_at(&self, point: &mut [i64], k: usize, x: i64) -> i128 {
-        point[k] = x;
-        self.rk.eval_int(point)
+    pub(crate) fn specialize(&self, point: &[i64]) -> SpecializedPoly {
+        self.compiled.specialize(point, self.i64_safe)
     }
 
-    /// Recovers `i_k` given the outer prefix in `point[..k]`, writing it
-    /// into `point[k]`. `lb`/`ub` bound the search; `pc` is 1-based.
+    /// Recovers `i_k` given the outer prefix in `point[..k]`. `lb`/`ub`
+    /// bound the search; `pc` is 1-based.
     ///
     /// Requires `R_k(lb) ≤ pc` (true whenever the prefix was recovered
     /// correctly and `pc ≤ total`).
@@ -117,47 +138,66 @@ impl BoundLevel {
         if lb == ub {
             return lb;
         }
-        let deg = self.coeffs.len() - 1;
+        debug_assert_eq!(self.compiled.x(), k, "level/ladder mismatch");
+        let spec = self.specialize(point);
+        self.recover_spec(&spec, lb, ub, pc, counters, allow_closed_form)
+    }
+
+    /// The recovery engine over an already-specialized ladder (callers
+    /// holding a [`SpecializedPoly`] cache — see
+    /// [`Unranker`](crate::collapsed::Unranker) — skip straight here).
+    #[inline]
+    pub(crate) fn recover_spec(
+        &self,
+        spec: &SpecializedPoly,
+        lb: i64,
+        ub: i64,
+        pc: i128,
+        counters: &RecoveryCounters,
+        allow_closed_form: bool,
+    ) -> i64 {
+        debug_assert!(lb <= ub, "empty level reached during recovery");
+        if lb == ub {
+            return lb;
+        }
+        let den = spec.denominator();
+        // All probes compare numerators against `pc·den`: no division
+        // (or exactness check) anywhere in the probe loop.
+        let target = pc
+            .checked_mul(den)
+            .expect("rank target overflows i128 at this denominator");
+        let deg = spec.degree();
         // Exact integer path for linear levels (covers the innermost
         // level — the paper's `ic = pc − r(i1..i_{c−1}, 0)` — and every
         // level of a rectangular-in-x nest).
         if deg == 1 {
-            let c1_num = self.coeffs[1].eval_numer(point);
-            let c1_den = self.coeffs[1].denominator();
-            let c0 = self.rk_at(point, k, 0); // R_k(0) exactly
-            // R_k(x) = c0 + (c1_num/c1_den)·x (integer-valued on ints):
-            // x = (pc − c0) · c1_den / c1_num, rounded down.
-            let num = (pc - c0) * c1_den;
-            let den = c1_num;
-            debug_assert!(den > 0, "ranking must increase with the index");
-            let x = num.div_euclid(den);
+            let c0 = spec.coeff(0);
+            let c1 = spec.coeff(1);
+            // R_k(x) = (c0 + c1·x)/den ⇒ x = (pc·den − c0)/c1, floored.
+            debug_assert!(c1 > 0, "ranking must increase with the index");
+            let x = (target - c0).div_euclid(c1);
             let x = (x.clamp(lb as i128, ub as i128)) as i64;
             counters.linear_exact.fetch_add(1, Ordering::Relaxed);
             return x;
         }
         if allow_closed_form && self.closed_form {
-            // Assemble the univariate coefficients at this prefix.
-            let mut cf = [0.0f64; 5];
-            let mut pf = [0.0f64; MAX_DEPTH];
-            for (v, slot) in pf.iter_mut().enumerate().take(point.len()) {
-                *slot = point[v] as f64;
-            }
-            for (j, c) in self.coeffs.iter().enumerate() {
-                cf[j] = c.eval_f64(&pf[..point.len()]);
-            }
+            // O(deg) coefficient assembly from the specialized ladder.
+            let mut cf = [0.0f64; MAX_COMPILED_COEFFS];
+            spec.write_f64_coeffs(&mut cf);
             cf[0] -= pc as f64;
             let roots = solve(&cf[..=deg]);
-            if let Some(x) = self.try_roots(&roots, &cf[..=deg], point, k, lb, ub, pc, counters) {
+            if let Some(x) = self.try_roots(&roots, &cf[..=deg], spec, target, lb, ub, counters) {
                 return x;
             }
         }
         // Guaranteed fallback: R_k is non-decreasing over [lb, ub+1], so
-        // the answer is the largest v with R_k(v) ≤ pc.
+        // the answer is the largest v with R_k(v) ≤ pc. Each probe is an
+        // O(deg) Horner sweep.
         counters.binary_search.fetch_add(1, Ordering::Relaxed);
         let (mut lo, mut hi) = (lb, ub);
         while lo < hi {
             let mid = lo + (hi - lo + 1) / 2;
-            if self.rk_at(point, k, mid) <= pc {
+            if spec.eval_numer(mid) <= target {
                 lo = mid;
             } else {
                 hi = mid - 1;
@@ -173,18 +213,18 @@ impl BoundLevel {
         &self,
         roots: &[Complex64],
         cf: &[f64],
-        point: &mut [i64],
-        k: usize,
+        spec: &SpecializedPoly,
+        target: i128,
         lb: i64,
         ub: i64,
-        pc: i128,
         counters: &RecoveryCounters,
     ) -> Option<i64> {
         // Order candidate roots by imaginary magnitude: per §IV-D the
         // convenient root is the (essentially) real one.
-        let mut order: Vec<usize> = (0..roots.len()).collect();
-        order.sort_by(|&a, &b| roots[a].im.abs().total_cmp(&roots[b].im.abs()));
-        for idx in order {
+        let n = roots.len();
+        let mut order: [usize; 4] = [0, 1, 2, 3];
+        order[..n].sort_by(|&a, &b| roots[a].im.abs().total_cmp(&roots[b].im.abs()));
+        for &idx in &order[..n] {
             let root = roots[idx];
             if !root.is_finite() {
                 continue;
@@ -205,8 +245,7 @@ impl BoundLevel {
                 if v < lb || v > ub {
                     continue;
                 }
-                let at_v = self.rk_at(point, k, v);
-                if at_v <= pc && pc < self.rk_at(point, k, v + 1) {
+                if spec.eval_numer(v) <= target && target < spec.eval_numer(v + 1) {
                     if attempt == 0 {
                         counters.closed_form_exact.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -217,6 +256,44 @@ impl BoundLevel {
             }
         }
         None
+    }
+
+    /// Exact evaluation of `R_k` through the **uncompiled** reference
+    /// polynomial, with the level value `x` placed at position `k` of
+    /// `point` (deeper positions are ignored — the continuation was
+    /// substituted symbolically).
+    #[inline]
+    pub(crate) fn rk_at_reference(&self, point: &mut [i64], k: usize, x: i64) -> i128 {
+        point[k] = x;
+        self.rk.eval_int(point)
+    }
+
+    /// The pre-compilation unranker, kept verbatim as the differential
+    /// ground truth: a monotone binary search whose every probe
+    /// evaluates the full multivariate `R_k` term-by-term.
+    pub(crate) fn recover_reference(
+        &self,
+        point: &mut [i64],
+        k: usize,
+        lb: i64,
+        ub: i64,
+        pc: i128,
+    ) -> i64 {
+        debug_assert!(lb <= ub, "empty level reached during recovery");
+        if lb == ub {
+            return lb;
+        }
+        let (mut lo, mut hi) = (lb, ub);
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            if self.rk_at_reference(point, k, mid) <= pc {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        point[k] = lo;
+        lo
     }
 }
 
@@ -234,15 +311,15 @@ mod tests {
         let r0 = x.pow(2).scale(Rational::new(-1, 2))
             + x.scale(Rational::new(2 * n as i128 - 1, 2))
             + Poly::constant_int(d, 1);
-        let coeffs = r0
-            .univariate_coeffs(0)
-            .iter()
-            .map(IntPoly::from_poly)
-            .collect();
+        let compiled = CompiledPoly::lower(&r0, 0).expect("lowerable");
+        let i64_safe = compiled
+            .magnitude_bound(&[n + 1, n + 1], n + 1)
+            .is_some_and(|b| b <= i64::MAX as i128);
         BoundLevel {
-            coeffs,
+            compiled,
             rk: IntPoly::from_poly(&r0),
             closed_form: true,
+            i64_safe,
         }
     }
 
@@ -250,6 +327,7 @@ mod tests {
     fn recovers_outer_index_for_every_pc() {
         let n = 12i64;
         let level = correlation_level0(n);
+        assert!(level.i64_safe, "small N must prove the i64 fast path");
         let counters = RecoveryCounters::default();
         let total = (n - 1) * n / 2;
         // Ground truth from enumeration.
@@ -265,7 +343,10 @@ mod tests {
             assert_eq!(got, expected[(pc - 1) as usize], "pc={pc}");
         }
         let stats = counters.snapshot();
-        assert_eq!(stats.binary_search, 0, "closed form should always hit: {stats:?}");
+        assert_eq!(
+            stats.binary_search, 0,
+            "closed form should always hit: {stats:?}"
+        );
     }
 
     #[test]
@@ -282,15 +363,19 @@ mod tests {
         let i_probe = 777_777i64;
         let mut point = [i_probe, 0];
         let exact_rank = level.rk.eval_int(&point);
+        let spec = level.specialize(&point);
         for pc in [1i128, total, exact_rank, exact_rank - 1, exact_rank + 1] {
             if pc < 1 || pc > total {
                 continue;
             }
             let mut p = [0i64, 0];
             let got = level.recover(&mut p, 0, 0, n - 2, pc, &counters);
-            // Verify the defining property directly.
-            assert!(level.rk_at(&mut point, 0, got) <= pc);
-            assert!(pc < level.rk_at(&mut point, 0, got + 1));
+            // Verify the defining property directly, through both the
+            // specialized ladder and the reference polynomial.
+            assert!(spec.eval_int(got) <= pc);
+            assert!(pc < spec.eval_int(got + 1));
+            assert!(level.rk_at_reference(&mut point, 0, got) <= pc);
+            assert!(pc < level.rk_at_reference(&mut point, 0, got + 1));
         }
     }
 
@@ -314,6 +399,44 @@ mod tests {
             assert_eq!(got, expected[(pc - 1) as usize], "pc={pc}");
         }
         assert_eq!(counters.snapshot().binary_search as i64, total);
+    }
+
+    #[test]
+    fn reference_unranker_matches_compiled() {
+        let n = 40i64;
+        let level = correlation_level0(n);
+        let counters = RecoveryCounters::default();
+        let total = (n - 1) * n / 2;
+        for pc in 1..=total {
+            let mut a = [0i64, 0];
+            let mut b = [0i64, 0];
+            let compiled = level.recover(&mut a, 0, 0, n - 2, pc as i128, &counters);
+            let reference = level.recover_reference(&mut b, 0, 0, n - 2, pc as i128);
+            assert_eq!(compiled, reference, "pc={pc}");
+        }
+    }
+
+    #[test]
+    fn checked_i128_path_matches_fast_path() {
+        let n = 500i64;
+        let fast = correlation_level0(n);
+        assert!(
+            fast.i64_safe,
+            "n=500 must prove the i64 fast path or this test compares checked vs checked"
+        );
+        let mut checked = fast.clone();
+        checked.i64_safe = false;
+        let counters = RecoveryCounters::default();
+        let total = (n - 1) * n / 2;
+        for pc in (1..=total).step_by(97) {
+            let mut a = [0i64, 0];
+            let mut b = [0i64, 0];
+            assert_eq!(
+                fast.recover(&mut a, 0, 0, n - 2, pc as i128, &counters),
+                checked.recover(&mut b, 0, 0, n - 2, pc as i128, &counters),
+                "pc={pc}"
+            );
+        }
     }
 
     #[test]

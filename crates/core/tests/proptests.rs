@@ -12,14 +12,14 @@ use std::sync::Mutex;
 /// filtering) to valid domains.
 fn arb_nest2() -> impl Strategy<Value = (NestSpec, Vec<i64>)> {
     (
-        0i64..3,   // outer lower
-        2i64..9,   // outer extent
-        -1i64..2,  // inner lower slope
-        -2i64..3,  // inner lower offset
-        -1i64..2,  // inner upper slope
-        0i64..2,   // inner upper N-coefficient
-        -1i64..8,  // inner upper offset
-        2i64..9,   // N
+        0i64..3,  // outer lower
+        2i64..9,  // outer extent
+        -1i64..2, // inner lower slope
+        -2i64..3, // inner lower offset
+        -1i64..2, // inner upper slope
+        0i64..2,  // inner upper N-coefficient
+        -1i64..8, // inner upper offset
+        2i64..9,  // N
     )
         .prop_filter_map("domain must be valid", |(a, ext, c, e, d, f, g, n)| {
             let s = Space::new(&["i", "j"], &["N"]);
@@ -39,10 +39,10 @@ fn arb_nest2() -> impl Strategy<Value = (NestSpec, Vec<i64>)> {
 /// Random 3-deep nest (triangular/tetrahedral family).
 fn arb_nest3() -> impl Strategy<Value = (NestSpec, Vec<i64>)> {
     (
-        2i64..7,   // N
-        0i64..2,   // j lower offset
-        -1i64..2,  // k lower slope on j
-        0i64..3,   // k upper slope choice
+        2i64..7,  // N
+        0i64..2,  // j lower offset
+        -1i64..2, // k lower slope on j
+        0i64..3,  // k upper slope choice
     )
         .prop_filter_map("domain must be valid", |(n, jl, kls, kus)| {
             let s = Space::new(&["i", "j", "k"], &["N"]);

@@ -136,5 +136,9 @@ fn parallel_execution_at_large_n_covers_chunk_seams() {
     let mut got = seen.into_inner().unwrap();
     got.sort();
     got.dedup();
-    assert_eq!(got.len() as i128, collapsed2.total(), "every rank exactly once");
+    assert_eq!(
+        got.len() as i128,
+        collapsed2.total(),
+        "every rank exactly once"
+    );
 }

@@ -78,7 +78,11 @@ impl Linear {
         }
         self.constant = self
             .constant
-            .checked_add(rhs.constant.checked_mul(sign).ok_or(AffineError::Overflow)?)
+            .checked_add(
+                rhs.constant
+                    .checked_mul(sign)
+                    .ok_or(AffineError::Overflow)?,
+            )
             .ok_or(AffineError::Overflow)?;
         Ok(self)
     }

@@ -99,8 +99,7 @@ fn main() -> ExitCode {
             .map_err(|e| format!("parse error: {e}"))
             .and_then(|prog| {
                 let nest = prog.to_nest().map_err(|e| format!("lowering error: {e}"))?;
-                let spec =
-                    CollapseSpec::new(&nest).map_err(|e| format!("collapse error: {e}"))?;
+                let spec = CollapseSpec::new(&nest).map_err(|e| format!("collapse error: {e}"))?;
                 generate_rust(&prog, &spec, &opts).map_err(|e| format!("formula error: {e}"))
             })
     } else {

@@ -87,10 +87,7 @@ fn incrementation_c(spec: &CollapseSpec, indent: &str) -> String {
         // Re-descend: reset levels k..d−1 to their lower bounds (in
         // order, since lower bounds may use the freshly updated outers).
         for (q, name) in names.iter().enumerate().take(d).skip(k) {
-            out.push_str(&format!(
-                "{indent}  {name} = {};\n",
-                nest.lower(q).render()
-            ));
+            out.push_str(&format!("{indent}  {name} = {};\n", nest.lower(q).render()));
         }
         out.push_str(&format!("{indent}}}\n"));
     }
@@ -150,7 +147,10 @@ pub fn generate_c(
     let params_decl: Vec<String> = prog.params.iter().map(|p| format!("long {p}")).collect();
     let all_iters: Vec<String> = prog.loops.iter().map(|l| l.var.clone()).collect();
     let locals = all_iters.join(", ");
-    let schedule = prog.schedule.clone().unwrap_or_else(|| opts.schedule.clone());
+    let schedule = prog
+        .schedule
+        .clone()
+        .unwrap_or_else(|| opts.schedule.clone());
     let _ = &names;
 
     let mut out = String::new();
@@ -214,10 +214,8 @@ pub fn generate_c(
             // §VI.A: fill thread-private tuple buffers by
             // incrementation, then a separate simd loop over the
             // buffered tuples.
-            let buf_decls: Vec<String> = names
-                .iter()
-                .map(|n| format!("T_{n}[{vlength}]"))
-                .collect();
+            let buf_decls: Vec<String> =
+                names.iter().map(|n| format!("T_{n}[{vlength}]")).collect();
             out.push_str("  int first_iteration = 1;\n");
             out.push_str(&format!("  long v, {};\n", buf_decls.join(", ")));
             out.push_str(&format!(
@@ -265,7 +263,9 @@ pub fn generate_c(
             out.push_str(&format!(
                 "  #pragma omp parallel for private(pc, inc, {locals}) schedule(static)\n"
             ));
-            out.push_str(&format!("  for (thread = 0; thread < {warp}; thread++) {{\n"));
+            out.push_str(&format!(
+                "  for (thread = 0; thread < {warp}; thread++) {{\n"
+            ));
             out.push_str(&format!(
                 "    for (pc = thread + 1; pc <= {total}; pc += {warp}) {{\n"
             ));
@@ -467,7 +467,10 @@ mod tests {
         assert!(code.contains("for (thread = 0; thread < 32; thread++)"));
         assert!(code.contains("for (pc = thread + 1; pc <="));
         assert!(code.contains("pc += 32"), "{code}");
-        assert!(code.contains("if (pc == thread + 1)"), "lane recovery: {code}");
+        assert!(
+            code.contains("if (pc == thread + 1)"),
+            "lane recovery: {code}"
+        );
         // W incrementations between a lane's iterations.
         assert!(code.contains("for (inc = 0; inc < 32"), "{code}");
     }
@@ -480,7 +483,10 @@ mod tests {
             ..CodegenOptions::default()
         };
         let code = generate_c(&prog, &spec, &opts).unwrap();
-        assert!(code.contains("pc += 1"), "vlength 0 must clamp to 1: {code}");
+        assert!(
+            code.contains("pc += 1"),
+            "vlength 0 must clamp to 1: {code}"
+        );
     }
 
     #[test]

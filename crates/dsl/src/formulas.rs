@@ -130,7 +130,10 @@ pub fn symbolic_roots(coeffs: &[SymExpr]) -> Result<Vec<SymExpr>, usize> {
             ]);
             let two_a = mul(vec![rat(2, 1), c2]);
             Ok(vec![
-                div(add(vec![neg(c1.clone()), sqrt(disc.clone())]), two_a.clone()),
+                div(
+                    add(vec![neg(c1.clone()), sqrt(disc.clone())]),
+                    two_a.clone(),
+                ),
                 div(add(vec![neg(c1), neg(sqrt(disc))]), two_a),
             ])
         }
@@ -236,8 +239,10 @@ pub fn build_formulas(
             .collect();
         // The equation is R_k(x) − pc = 0.
         coeffs[0] = add(vec![coeffs[0].clone(), neg(SymExpr::var("pc"))]);
-        let branches = symbolic_roots(&coeffs)
-            .map_err(|deg| FormulaError::DegreeTooHigh { level: k, degree: deg })?;
+        let branches = symbolic_roots(&coeffs).map_err(|deg| FormulaError::DegreeTooHigh {
+            level: k,
+            degree: deg,
+        })?;
         let _ = degree;
         // Select the branch whose floor matches the exact indices on
         // every validation sample, tracking whether any intermediate
@@ -250,7 +255,10 @@ pub fn build_formulas(
                 let mut bindings: HashMap<String, f64> = HashMap::new();
                 bindings.insert("pc".to_string(), *pc as f64);
                 for (v, name) in names.iter().enumerate().take(d) {
-                    bindings.insert((*name).to_string(), point.get(v).copied().unwrap_or(0) as f64);
+                    bindings.insert(
+                        (*name).to_string(),
+                        point.get(v).copied().unwrap_or(0) as f64,
+                    );
                 }
                 for (pi, name) in names.iter().enumerate().skip(d) {
                     bindings.insert((*name).to_string(), sample_params[pi - d] as f64);
@@ -335,9 +343,9 @@ mod tests {
                 .expr
                 .eval(&bindings(&[("pc", pc as f64), ("N", n)]));
             // The paper's printed formula:
-            let paper =
-                (-((4.0 * n * n - 4.0 * n - 8.0 * pc as f64 + 9.0).sqrt() - 2.0 * n + 1.0) / 2.0)
-                    .floor();
+            let paper = (-((4.0 * n * n - 4.0 * n - 8.0 * pc as f64 + 9.0).sqrt() - 2.0 * n + 1.0)
+                / 2.0)
+                .floor();
             assert_eq!(ours.re as i64, point[0], "pc={pc} (ours)");
             assert_eq!(paper as i64, point[0], "pc={pc} (paper)");
             // And the j-formula given i:
@@ -362,7 +370,10 @@ mod tests {
         let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
         let formulas = build_formulas(&spec, &[20]).unwrap();
         assert_eq!(formulas.len(), 3);
-        assert!(formulas[0].needs_complex, "cubic root needs complex arithmetic");
+        assert!(
+            formulas[0].needs_complex,
+            "cubic root needs complex arithmetic"
+        );
         let collapsed = spec.bind(&[20]).unwrap();
         for pc in 1..=collapsed.total() {
             let point = collapsed.unrank(pc);
@@ -422,12 +433,21 @@ mod tests {
         .unwrap();
         let spec = CollapseSpec::new(&nest).unwrap();
         let err = build_formulas(&spec, &[6]).unwrap_err();
-        assert!(matches!(err, FormulaError::DegreeTooHigh { level: 0, degree: 4 }));
+        assert!(matches!(
+            err,
+            FormulaError::DegreeTooHigh {
+                level: 0,
+                degree: 4
+            }
+        ));
     }
 
     #[test]
     fn empty_sample_rejected() {
         let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
-        assert_eq!(build_formulas(&spec, &[1]).unwrap_err(), FormulaError::EmptySample);
+        assert_eq!(
+            build_formulas(&spec, &[1]).unwrap_err(),
+            FormulaError::EmptySample
+        );
     }
 }

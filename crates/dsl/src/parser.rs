@@ -241,10 +241,7 @@ pub fn parse(src: &str) -> Result<ProgramAst, ParseError> {
                 }
             }
             let close = close.ok_or(ParseError::UnbalancedBody)?;
-            (
-                &src[..open],
-                src[open + 1..close].trim().to_string(),
-            )
+            (&src[..open], src[open + 1..close].trim().to_string())
         }
         None => (src, String::new()),
     };
@@ -379,7 +376,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(parse("for (i = 0; i < 5; i--)").is_err());
-        assert!(matches!(parse("for (i = 0; i < @; i++)").unwrap_err(), ParseError::Lex(_)));
+        assert!(matches!(
+            parse("for (i = 0; i < @; i++)").unwrap_err(),
+            ParseError::Lex(_)
+        ));
     }
 
     #[test]

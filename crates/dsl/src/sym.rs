@@ -245,7 +245,11 @@ mod tests {
             .scale(Rational::new(1, 2));
         let e = SymExpr::from_poly(&r, &["i", "j", "N"]);
         for (iv, jv, nv) in [(0i64, 1i64, 10i64), (3, 7, 10), (5, 9, 12)] {
-            let sym = e.eval(&bind(&[("i", iv as f64), ("j", jv as f64), ("N", nv as f64)]));
+            let sym = e.eval(&bind(&[
+                ("i", iv as f64),
+                ("j", jv as f64),
+                ("N", nv as f64),
+            ]));
             let exact = r.eval_int(&[iv as i128, jv as i128, nv as i128]) as f64;
             assert!((sym.re - exact).abs() < 1e-9, "({iv},{jv},{nv})");
         }

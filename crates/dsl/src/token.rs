@@ -79,7 +79,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} at offset {}", self.ch, self.offset)
+        write!(
+            f,
+            "unexpected character {:?} at offset {}",
+            self.ch, self.offset
+        )
     }
 }
 
@@ -102,57 +106,96 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semi, offset: i });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Assign, offset: i });
+                out.push(Spanned {
+                    token: Token::Assign,
+                    offset: i,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Spanned { token: Token::LBrace, offset: i });
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Spanned { token: Token::RBrace, offset: i });
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Le, offset: i });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'+') {
-                    out.push(Spanned { token: Token::PlusPlus, offset: i });
+                    out.push(Spanned {
+                        token: Token::PlusPlus,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Plus, offset: i });
+                    out.push(Spanned {
+                        token: Token::Plus,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '-' => {
-                out.push(Spanned { token: Token::Minus, offset: i });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '0'..='9' => {
@@ -161,7 +204,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let n: i64 = src[start..i].parse().expect("digits parse");
-                out.push(Spanned { token: Token::Int(n), offset: start });
+                out.push(Spanned {
+                    token: Token::Int(n),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -175,7 +221,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     offset: start,
                 });
             }
-            other => return Err(LexError { offset: i, ch: other }),
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    ch: other,
+                })
+            }
         }
     }
     Ok(out)

@@ -123,8 +123,11 @@ mod tests {
 
     #[test]
     fn errors_propagate_with_context() {
-        let err = collapse_source("for (i = 0; i < j * j; i++) { b; }", &CodegenOptions::default())
-            .unwrap_err();
+        let err = collapse_source(
+            "for (i = 0; i < j * j; i++) { b; }",
+            &CodegenOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, ToolError::Lower(_)), "{err}");
         let err = collapse_source("not a loop", &CodegenOptions::default()).unwrap_err();
         assert!(matches!(err, ToolError::Parse(_)));

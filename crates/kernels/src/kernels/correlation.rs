@@ -135,7 +135,10 @@ impl Kernel for CorrelationTiled {
         KernelInfo {
             name: "correlation_tiled",
             shape: "triangular tile space".into(),
-            size: format!("N={} ts={} ({}×{} tiles)", self.n, self.ts, self.nt, self.nt),
+            size: format!(
+                "N={} ts={} ({}×{} tiles)",
+                self.n, self.ts, self.nt, self.nt
+            ),
             total_iterations: self.collapsed.total() as u128,
             collapsed_loops: 2,
         }

@@ -148,7 +148,10 @@ impl Kernel for CovarianceTiled {
         KernelInfo {
             name: "covariance_tiled",
             shape: "triangular tile space".into(),
-            size: format!("M={} ts={} ({}×{} tiles)", self.m, self.ts, self.nt, self.nt),
+            size: format!(
+                "M={} ts={} ({}×{} tiles)",
+                self.m, self.ts, self.nt, self.nt
+            ),
             total_iterations: self.collapsed.total() as u128,
             collapsed_loops: 2,
         }

@@ -124,8 +124,7 @@ impl Sheared3d {
             ],
         )
         .expect("sheared nest is well-formed");
-        let (bound, collapsed) =
-            super::build_collapse(&nest, &[p as i64, q as i64, r as i64]);
+        let (bound, collapsed) = super::build_collapse(&nest, &[p as i64, q as i64, r as i64]);
         Sheared3d {
             p,
             q,
@@ -308,12 +307,8 @@ mod tests {
             .filter(|t| t.iterations > 0)
             .count();
         assert_eq!(busy, 12, "collapsed must use every thread");
-        let outer = nrl_core::run_outer_parallel(
-            &pool,
-            k.bound_nest(),
-            Schedule::Static,
-            |_, _| {},
-        );
+        let outer =
+            nrl_core::run_outer_parallel(&pool, k.bound_nest(), Schedule::Static, |_, _| {});
         let outer_busy = outer
             .per_thread()
             .iter()

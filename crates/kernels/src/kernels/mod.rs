@@ -1,9 +1,9 @@
 //! The individual evaluation programs.
 
 mod cholupd;
-mod extended;
 mod correlation;
 mod covariance;
+mod extended;
 mod ltmp;
 mod symm;
 mod syr2k;
@@ -12,9 +12,9 @@ mod trmm;
 mod utma;
 
 pub use cholupd::CholUpd;
-pub use extended::{Banded, Sheared3d};
 pub use correlation::{Correlation, CorrelationTiled};
 pub use covariance::{Covariance, CovarianceTiled};
+pub use extended::{Banded, Sheared3d};
 pub use ltmp::Ltmp;
 pub use symm::Symm;
 pub use syr2k::Syr2k;
@@ -22,7 +22,7 @@ pub use syrk::Syrk;
 pub use trmm::Trmm;
 pub use utma::Utma;
 
-use nrl_core::{Collapsed, CollapseSpec};
+use nrl_core::{CollapseSpec, Collapsed};
 use nrl_polyhedra::{BoundNest, NestSpec};
 
 /// Builds the run-time collapse objects for a kernel's nest.

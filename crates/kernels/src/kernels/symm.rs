@@ -104,7 +104,11 @@ mod tests {
         let mut k = Symm::new(40);
         k.execute(&Mode::Seq);
         let reference = k.checksum();
-        for recovery in [Recovery::Naive, Recovery::OncePerChunk, Recovery::BinarySearch] {
+        for recovery in [
+            Recovery::Naive,
+            Recovery::OncePerChunk,
+            Recovery::BinarySearch,
+        ] {
             k.reset();
             k.execute(&Mode::Collapsed {
                 pool: &pool,

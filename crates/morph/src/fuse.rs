@@ -172,12 +172,7 @@ impl FusedLoop {
     ///
     /// Index recovery runs once per (chunk, part-entry); within a part,
     /// points advance by odometer steps.
-    pub fn par_for_each<F>(
-        &self,
-        pool: &ThreadPool,
-        schedule: Schedule,
-        body: F,
-    ) -> ImbalanceReport
+    pub fn par_for_each<F>(&self, pool: &ThreadPool, schedule: Schedule, body: F) -> ImbalanceReport
     where
         F: Fn(usize, usize, &[i64]) + Sync,
     {

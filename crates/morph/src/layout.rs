@@ -259,11 +259,13 @@ mod tests {
     fn iter_agrees_with_enumeration() {
         let layout = PackedLayout::for_nest(&NestSpec::correlation(), &[8]);
         let a = PackedArray::from_fn(layout, |p| p.to_vec());
-        let got: Vec<Vec<i64>> = a.iter().map(|(p, v)| {
-            assert_eq!(&p, v, "stored value must match its own point");
-            p
-        })
-        .collect();
+        let got: Vec<Vec<i64>> = a
+            .iter()
+            .map(|(p, v)| {
+                assert_eq!(&p, v, "stored value must match its own point");
+                p
+            })
+            .collect();
         let expect: Vec<Vec<i64>> = NestSpec::correlation().enumerate(&[8]).collect();
         assert_eq!(got, expect);
     }

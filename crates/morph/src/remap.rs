@@ -125,12 +125,7 @@ impl RankRemap {
     /// sides (the §V cost model applied to the remap).
     ///
     /// Within a chunk, pairs are visited in increasing rank order.
-    pub fn par_for_each<F>(
-        &self,
-        pool: &ThreadPool,
-        schedule: Schedule,
-        body: F,
-    ) -> ImbalanceReport
+    pub fn par_for_each<F>(&self, pool: &ThreadPool, schedule: Schedule, body: F) -> ImbalanceReport
     where
         F: Fn(usize, &[i64], &[i64]) + Sync,
     {

@@ -36,7 +36,10 @@ impl ShapeCase {
                 let s = Space::new(&["i", "j"], &["N"]);
                 let nest = NestSpec::new(
                     s.clone(),
-                    vec![(s.cst(0), s.cst(3)), (s.cst(0), s.var("N") - s.var("i") - 1)],
+                    vec![
+                        (s.cst(0), s.cst(3)),
+                        (s.cst(0), s.var("N") - s.var("i") - 1),
+                    ],
                 )
                 .unwrap();
                 (nest, vec![n])

@@ -42,6 +42,7 @@
 pub mod pool;
 pub mod schedule;
 pub mod stats;
+mod sync;
 
 pub use pool::ThreadPool;
 pub use schedule::{ParseScheduleError, Schedule};

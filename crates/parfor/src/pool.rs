@@ -2,8 +2,7 @@
 
 use crate::schedule::Schedule;
 use crate::stats::{ImbalanceReport, ThreadStats};
-use crossbeam::utils::CachePadded;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{CachePadded, Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,7 +55,10 @@ impl ThreadPool {
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads > 0, "a pool needs at least one thread");
         let shared = Arc::new(Shared {
-            slot: Mutex::new(Slot { epoch: 0, job: None }),
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+            }),
             job_cv: Condvar::new(),
             done: AtomicUsize::new(0),
             done_mutex: Mutex::new(()),
@@ -136,10 +138,12 @@ impl ThreadPool {
         body: &(dyn Fn(usize, u64, u64) + Sync),
     ) -> ImbalanceReport {
         let nthreads = self.nthreads;
-        let iter_counts: Vec<CachePadded<AtomicU64>> =
-            (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
-        let busy_nanos: Vec<CachePadded<AtomicU64>> =
-            (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        let iter_counts: Vec<CachePadded<AtomicU64>> = (0..nthreads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        let busy_nanos: Vec<CachePadded<AtomicU64>> = (0..nthreads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
         let next = AtomicU64::new(0); // shared cursor for dynamic/guided
         let wall_start = Instant::now();
 

@@ -231,6 +231,9 @@ mod tests {
         // Unset (or previously set by another test — use a value that
         // cannot parse) → the default survives.
         std::env::remove_var("NRL_SCHEDULE");
-        assert_eq!(Schedule::from_env(Schedule::Dynamic(7)), Schedule::Dynamic(7));
+        assert_eq!(
+            Schedule::from_env(Schedule::Dynamic(7)),
+            Schedule::Dynamic(7)
+        );
     }
 }

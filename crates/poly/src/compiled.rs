@@ -1,0 +1,439 @@
+//! [`CompiledPoly`]: the lowering pass behind the run-time index
+//! recovery hot path.
+//!
+//! The recovery loop inverts `R_k(x) = pc` with many *probes* of the
+//! same polynomial at one fixed prefix `(i_0 … i_{k−1})`: the ±1
+//! verification window of the closed form, every step of the
+//! binary-search fallback, and the final exactness checks. Evaluating
+//! the multivariate [`IntPoly`](crate::IntPoly) term-by-term pays a
+//! `checked_pow` per monomial per probe; across a binary search that is
+//! `O(terms · degree · log ub)` multiplies for what is mathematically a
+//! univariate polynomial of tiny degree.
+//!
+//! `CompiledPoly` lowers the polynomial **once** into a dense,
+//! Horner-ordered coefficient ladder, univariate in a designated
+//! variable `x`, with the prefix variables factored into per-rung term
+//! lists. At run time, [`CompiledPoly::specialize`] folds a concrete
+//! prefix into a flat `[i128; deg+1]` array exactly once per recovery —
+//! after which every probe is an `O(deg)` Horner evaluation with zero
+//! allocation and no pow recomputation. A magnitude analysis
+//! ([`CompiledPoly::magnitude_bound`]) lets callers prove at bind time
+//! that every Horner intermediate fits in `i64`, unlocking an
+//! unchecked-arithmetic fast path (the checked `i128` ladder remains
+//! the fallback).
+
+use crate::poly::Poly;
+
+/// Maximum univariate degree + 1 the specialized ladder supports.
+///
+/// Ranking polynomials have total degree at most the nest depth, and
+/// the deepest supported nest is 16 loops, so 17 coefficients suffice.
+pub const MAX_COMPILED_COEFFS: usize = 17;
+
+/// One prefix-variable monomial of a ladder rung: `coeff · Π v^e`.
+#[derive(Clone, Debug)]
+struct PrefixTerm {
+    coeff: i128,
+    /// Sparse exponents over the prefix variables, `(var, exp)` with
+    /// `exp ≥ 1` and `var != x`.
+    pows: Vec<(u32, u32)>,
+}
+
+/// A polynomial lowered univariate-in-`x`: `(Σ_j C_j(prefix) · x^j) / den`
+/// with each `C_j` a term list over the remaining variables.
+#[derive(Clone, Debug)]
+pub struct CompiledPoly {
+    nvars: usize,
+    x: usize,
+    den: i128,
+    /// `ladder[j]` holds the terms of `C_j`; length `deg + 1`.
+    ladder: Vec<Vec<PrefixTerm>>,
+}
+
+/// Errors from [`CompiledPoly::lower`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Degree in the designated variable exceeds the ladder capacity.
+    DegreeTooHigh {
+        /// The offending degree.
+        degree: u32,
+    },
+    /// Lowering would overflow `i128` coefficient scaling.
+    CoefficientOverflow,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::DegreeTooHigh { degree } => write!(
+                f,
+                "degree {degree} exceeds the compiled ladder capacity {}",
+                MAX_COMPILED_COEFFS - 1
+            ),
+            CompileError::CoefficientOverflow => {
+                write!(f, "coefficient scaling overflowed i128 during lowering")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompiledPoly {
+    /// Lowers `p` into a Horner ladder univariate in variable `x`.
+    ///
+    /// Denominators are cleared exactly once (`p = ladder / den`); all
+    /// remaining arithmetic is integer.
+    pub fn lower(p: &Poly, x: usize) -> Result<Self, CompileError> {
+        let nvars = p.nvars();
+        assert!(x < nvars, "univariate variable out of range");
+        let deg = p.degree_in(x);
+        if deg as usize >= MAX_COMPILED_COEFFS {
+            return Err(CompileError::DegreeTooHigh { degree: deg });
+        }
+        let den = p.denominator_lcm();
+        let mut ladder: Vec<Vec<PrefixTerm>> = vec![Vec::new(); deg as usize + 1];
+        for (m, c) in p.terms() {
+            let scaled = c
+                .numer()
+                .checked_mul(den / c.denom())
+                .ok_or(CompileError::CoefficientOverflow)?;
+            let j = m.exp(x) as usize;
+            let mut pows = Vec::new();
+            for v in (0..nvars).filter(|&v| v != x) {
+                let e = m.exp(v);
+                if e > 0 {
+                    pows.push((v as u32, e));
+                }
+            }
+            ladder[j].push(PrefixTerm {
+                coeff: scaled,
+                pows,
+            });
+        }
+        // Horner order inside each rung: group low-variable terms first
+        // for deterministic, cache-friendly specialization sweeps.
+        for rung in &mut ladder {
+            rung.sort_by(|a, b| a.pows.cmp(&b.pows));
+        }
+        Ok(CompiledPoly {
+            nvars,
+            x,
+            den,
+            ladder,
+        })
+    }
+
+    /// The ring arity the ladder was lowered from.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The designated univariate variable.
+    pub fn x(&self) -> usize {
+        self.x
+    }
+
+    /// Degree in `x`.
+    pub fn degree(&self) -> usize {
+        self.ladder.len() - 1
+    }
+
+    /// The cleared common denominator (always ≥ 1).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Folds the prefix variables to the values in `point` (only
+    /// entries for variables actually used are read; `point[x]` is
+    /// ignored), producing the flat Horner ladder for this recovery.
+    ///
+    /// `i64_ok` asserts the caller's proof (see
+    /// [`Self::magnitude_bound`]) that unchecked `i64` Horner cannot
+    /// overflow for the probe range; pass `false` when unproven.
+    ///
+    /// # Panics
+    /// Panics on `i128` overflow while folding (the same contract as
+    /// [`IntPoly::eval_numer`](crate::IntPoly::eval_numer)).
+    #[inline]
+    pub fn specialize(&self, point: &[i64], i64_ok: bool) -> SpecializedPoly {
+        let mut c = [0i128; MAX_COMPILED_COEFFS];
+        for (j, rung) in self.ladder.iter().enumerate() {
+            let mut acc: i128 = 0;
+            for term in rung {
+                let mut t = term.coeff;
+                // Exponents are tiny (≤ 16): checked_pow's squaring
+                // ladder beats materializing per-variable pow tables,
+                // whose zero-init alone would dominate small rungs.
+                for &(v, e) in &term.pows {
+                    let powed = (point[v as usize] as i128)
+                        .checked_pow(e)
+                        .expect("CompiledPoly specialization overflow");
+                    t = t
+                        .checked_mul(powed)
+                        .expect("CompiledPoly specialization overflow");
+                }
+                acc = acc
+                    .checked_add(t)
+                    .expect("CompiledPoly specialization overflow");
+            }
+            c[j] = acc;
+        }
+        SpecializedPoly {
+            deg: self.ladder.len() - 1,
+            den: self.den,
+            c,
+            i64_ok,
+        }
+    }
+
+    /// Bounds `Σ_j |C_j|(V) · X^j` — a bound on every Horner
+    /// intermediate of any specialization whose prefix values satisfy
+    /// `|point[v]| ≤ var_abs[v]` probed at `|x| ≤ x_abs` — where
+    /// `|C_j|(V)` sums absolute term values at the per-variable bounds.
+    ///
+    /// Returns `None` when the bound itself overflows `i128` (callers
+    /// then keep the checked path). Requires `x_abs ≥ 1` for the
+    /// intermediate-dominance argument; smaller values are promoted.
+    pub fn magnitude_bound(&self, var_abs: &[i64], x_abs: i64) -> Option<i128> {
+        let x_abs = (x_abs.max(1)) as i128;
+        let mut total: i128 = 0;
+        for (j, rung) in self.ladder.iter().enumerate() {
+            let mut rung_abs: i128 = 0;
+            for term in rung {
+                let mut t = term.coeff.unsigned_abs() as i128;
+                // unsigned_abs of i128::MIN would wrap the cast; treat
+                // it as unreachable-but-safe by failing the bound.
+                if t < 0 {
+                    return None;
+                }
+                for &(v, e) in &term.pows {
+                    let base = var_abs.get(v as usize).copied().unwrap_or(i64::MAX) as i128;
+                    t = t.checked_mul(base.checked_pow(e)?)?;
+                }
+                rung_abs = rung_abs.checked_add(t)?;
+            }
+            let xj = x_abs.checked_pow(j as u32)?;
+            total = total.checked_add(rung_abs.checked_mul(xj)?)?;
+        }
+        // One extra factor of X covers the `acc * x` step that precedes
+        // each coefficient addition in the Horner recurrence.
+        total.checked_mul(x_abs)
+    }
+}
+
+/// A [`CompiledPoly`] with the prefix folded in: the flat Horner ladder
+/// `(Σ_j c[j]·x^j) / den` every probe of one recovery evaluates.
+///
+/// Plain `Copy` data — lives on the recovering thread's stack.
+#[derive(Clone, Copy, Debug)]
+pub struct SpecializedPoly {
+    deg: usize,
+    den: i128,
+    c: [i128; MAX_COMPILED_COEFFS],
+    i64_ok: bool,
+}
+
+impl SpecializedPoly {
+    /// Degree in `x`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.deg
+    }
+
+    /// The cleared denominator (≥ 1).
+    #[inline]
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Coefficient `c[j]` of the numerator ladder.
+    #[inline]
+    pub fn coeff(&self, j: usize) -> i128 {
+        self.c[j]
+    }
+
+    /// Whether the unchecked `i64` Horner path is proven safe.
+    #[inline]
+    pub fn i64_fast_path(&self) -> bool {
+        self.i64_ok
+    }
+
+    /// Numerator value at `x`: an `O(deg)` Horner sweep. Uses the
+    /// proven `i64` fast path when available, checked `i128` otherwise.
+    #[inline]
+    pub fn eval_numer(&self, x: i64) -> i128 {
+        if self.i64_ok {
+            // Safety of plain ops: the caller proved via
+            // `magnitude_bound` that every intermediate fits in i64.
+            let mut acc = self.c[self.deg] as i64;
+            let mut j = self.deg;
+            while j > 0 {
+                j -= 1;
+                acc = acc * x + self.c[j] as i64;
+            }
+            acc as i128
+        } else {
+            let mut acc = self.c[self.deg];
+            let mut j = self.deg;
+            while j > 0 {
+                j -= 1;
+                acc = acc
+                    .checked_mul(x as i128)
+                    .and_then(|t| t.checked_add(self.c[j]))
+                    .expect("SpecializedPoly evaluation overflow");
+            }
+            acc
+        }
+    }
+
+    /// Exact integer value at `x`.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer at `x` (point outside the
+    /// lattice the polynomial counts).
+    #[inline]
+    pub fn eval_int(&self, x: i64) -> i128 {
+        let numer = self.eval_numer(x);
+        assert!(
+            numer % self.den == 0,
+            "SpecializedPoly evaluated to a non-integer at x={x}"
+        );
+        numer / self.den
+    }
+
+    /// Approximate value at a real `x` (closed-form root path): Horner
+    /// over the exact integer coefficients, one division at the end.
+    #[inline]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        let mut acc = self.c[self.deg] as f64;
+        let mut j = self.deg;
+        while j > 0 {
+            j -= 1;
+            acc = acc * x + self.c[j] as f64;
+        }
+        acc / self.den as f64
+    }
+
+    /// The dense `f64` coefficient vector `c[j]/den` for the root
+    /// solver, written into `out[..=deg]`.
+    #[inline]
+    pub fn write_f64_coeffs(&self, out: &mut [f64]) {
+        let inv_den = 1.0 / self.den as f64;
+        for (slot, &c) in out[..=self.deg].iter_mut().zip(&self.c) {
+            *slot = c as f64 * inv_den;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intpoly::IntPoly;
+    use nrl_rational::Rational;
+
+    /// r(i, j, N) = (2iN + 2j − i² − 3i)/2 — the correlation ranking
+    /// polynomial, univariate-in-j linear, univariate-in-i quadratic.
+    fn correlation_rank() -> Poly {
+        let i = Poly::var(3, 0);
+        let j = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        (Poly::constant_int(3, 2) * &i * &n + Poly::constant_int(3, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(3, 3) * &i)
+            .scale(Rational::new(1, 2))
+    }
+
+    #[test]
+    fn specialization_matches_intpoly() {
+        let p = correlation_rank();
+        let ip = IntPoly::from_poly(&p);
+        for x_var in 0..2usize {
+            let cp = CompiledPoly::lower(&p, x_var).unwrap();
+            assert_eq!(cp.denominator(), 2);
+            for n in [3i64, 10, 1000] {
+                for a in 0..3i64 {
+                    for b in 1..4i64 {
+                        let mut point = [a, b, n];
+                        let spec = cp.specialize(&point, false);
+                        for x in -3..12i64 {
+                            point[x_var] = x;
+                            assert_eq!(
+                                spec.eval_numer(x),
+                                ip.eval_numer(&point),
+                                "var {x_var} point {point:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i64_fast_path_agrees_with_checked() {
+        let p = correlation_rank();
+        let cp = CompiledPoly::lower(&p, 0).unwrap();
+        let bound = cp
+            .magnitude_bound(&[0, 1000, 1000], 1001)
+            .expect("bound computes");
+        assert!(bound <= i64::MAX as i128, "small case must prove i64-safe");
+        let point = [0i64, 700, 1000];
+        let fast = cp.specialize(&point, true);
+        let checked = cp.specialize(&point, false);
+        for x in 0..1000 {
+            assert_eq!(fast.eval_numer(x), checked.eval_numer(x));
+        }
+    }
+
+    #[test]
+    fn magnitude_bound_rejects_overflowing_domains() {
+        let p = correlation_rank();
+        let cp = CompiledPoly::lower(&p, 0).unwrap();
+        // N ~ 2^62: i² term alone exceeds i64.
+        let huge = 1i64 << 62;
+        match cp.magnitude_bound(&[huge, huge, huge], huge) {
+            None => {}
+            Some(b) => assert!(b > i64::MAX as i128),
+        }
+    }
+
+    #[test]
+    fn eval_f64_tracks_exact() {
+        let p = correlation_rank();
+        let cp = CompiledPoly::lower(&p, 1).unwrap();
+        let spec = cp.specialize(&[500, 0, 1000], false);
+        let exact = spec.eval_int(900) as f64;
+        assert!((spec.eval_f64(900.0) - exact).abs() <= 1e-6 * exact.abs());
+        let mut cf = [0.0f64; MAX_COMPILED_COEFFS];
+        spec.write_f64_coeffs(&mut cf);
+        assert!((cf[0] + cf[1] * 900.0 - exact).abs() <= 1e-6 * exact.abs());
+    }
+
+    #[test]
+    fn degree_cap_is_enforced() {
+        let x = Poly::var(1, 0);
+        let p = x.pow(MAX_COMPILED_COEFFS as u32);
+        assert!(matches!(
+            CompiledPoly::lower(&p, 0),
+            Err(CompileError::DegreeTooHigh { .. })
+        ));
+        // Prefix-variable exponents are not capped (specialization uses
+        // checked_pow, no table): high prefix degrees lower fine.
+        let y = Poly::var(2, 1);
+        let q = Poly::var(2, 0) * y.pow(MAX_COMPILED_COEFFS as u32);
+        let cp = CompiledPoly::lower(&q, 0).expect("prefix degree is unconstrained");
+        assert_eq!(
+            cp.specialize(&[0, 2], false).coeff(1),
+            1 << MAX_COMPILED_COEFFS
+        );
+    }
+
+    #[test]
+    fn zero_poly_compiles() {
+        let cp = CompiledPoly::lower(&Poly::zero(2), 0).unwrap();
+        let spec = cp.specialize(&[5, 7], false);
+        assert_eq!(spec.degree(), 0);
+        assert_eq!(spec.eval_int(123), 0);
+    }
+}

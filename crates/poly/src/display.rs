@@ -75,9 +75,7 @@ mod tests {
         let i = Poly::var(3, 0);
         let j = Poly::var(3, 1);
         let n = Poly::var(3, 2);
-        let r = &i * &n + &j
-            - i.pow(2).scale(Rational::new(1, 2))
-            - i.scale(Rational::new(3, 2));
+        let r = &i * &n + &j - i.pow(2).scale(Rational::new(1, 2)) - i.scale(Rational::new(3, 2));
         let s = r.to_string_with(&["i", "j", "N"]);
         assert_eq!(s, "-1/2*i^2 + i*N - 3/2*i + j");
     }

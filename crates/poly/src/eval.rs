@@ -57,15 +57,18 @@ impl Poly {
 
     /// Approximate evaluation at a floating-point vector (used by the
     /// closed-form recovery path; exactness is restored afterwards by the
-    /// integer verification step).
+    /// integer verification step). Monomials use `powi` (exponentiation
+    /// by squaring) rather than O(degree) repeated multiplication.
     pub fn eval_f64(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.nvars(), "evaluation arity mismatch");
         let mut acc = 0.0;
         for (m, c) in self.terms() {
             let mut term = c.to_f64();
             for (v, &e) in m.0.iter().enumerate() {
-                for _ in 0..e {
-                    term *= point[v];
+                match e {
+                    0 => {}
+                    1 => term *= point[v],
+                    _ => term *= point[v].powi(e as i32),
                 }
             }
             acc += term;

@@ -27,7 +27,10 @@ impl IntPoly {
         let den = p.denominator_lcm();
         let mut terms = Vec::with_capacity(p.num_terms());
         for (m, c) in p.terms() {
-            let scaled = c.numer().checked_mul(den / c.denom()).expect("IntPoly scale overflow");
+            let scaled = c
+                .numer()
+                .checked_mul(den / c.denom())
+                .expect("IntPoly scale overflow");
             terms.push((m.0.clone(), scaled));
         }
         IntPoly {
@@ -71,24 +74,34 @@ impl IntPoly {
     /// Panics if the value is not an integer at this point (indicates a
     /// point outside the lattice the polynomial was built for).
     pub fn eval_int(&self, point: &[i64]) -> i128 {
+        self.checked_eval_int(point)
+            .unwrap_or_else(|| panic!("IntPoly evaluated to a non-integer at {point:?}"))
+    }
+
+    /// Exact integer evaluation that reports non-integer values instead
+    /// of panicking. The exactness check is unconditional: a release
+    /// build must never silently truncate `numer / den`.
+    pub fn checked_eval_int(&self, point: &[i64]) -> Option<i128> {
         let numer = self.eval_numer(point);
-        debug_assert_eq!(
-            numer % self.den,
-            0,
-            "IntPoly evaluated to a non-integer at {point:?}"
-        );
-        numer / self.den
+        if numer % self.den != 0 {
+            return None;
+        }
+        Some(numer / self.den)
     }
 
     /// Floating-point evaluation (for the closed-form recovery path).
+    /// Monomials use `powi` (exponentiation by squaring) rather than
+    /// O(degree) repeated multiplication.
     pub fn eval_f64(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.nvars, "evaluation arity mismatch");
         let mut acc = 0.0f64;
         for (exps, c) in &self.terms {
             let mut term = *c as f64;
             for (v, &e) in exps.iter().enumerate() {
-                for _ in 0..e {
-                    term *= point[v];
+                match e {
+                    0 => {}
+                    1 => term *= point[v],
+                    _ => term *= point[v].powi(e as i32),
                 }
             }
             acc += term;
@@ -150,6 +163,21 @@ mod tests {
         let exact = ip.eval_int(&[500, 900, 1000]) as f64;
         let approx = ip.eval_f64(&[500.0, 900.0, 1000.0]);
         assert!((exact - approx).abs() <= 1e-6 * exact.abs());
+    }
+
+    #[test]
+    fn non_integer_value_is_rejected_unconditionally() {
+        // p = x/2: non-integer at odd x. The exactness check must hold
+        // in every build profile, not just under debug assertions.
+        let p = Poly::var(1, 0).scale(Rational::new(1, 2));
+        let ip = IntPoly::from_poly(&p);
+        assert_eq!(ip.checked_eval_int(&[4]), Some(2));
+        assert_eq!(ip.checked_eval_int(&[3]), None);
+        let panicked = std::panic::catch_unwind(|| ip.eval_int(&[3]));
+        assert!(
+            panicked.is_err(),
+            "eval_int must panic on non-integer values"
+        );
     }
 
     #[test]

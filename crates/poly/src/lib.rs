@@ -38,6 +38,7 @@
 //! assert_eq!(total.eval_i128(&[0, 0, 10]), Rational::from_int(45));
 //! ```
 
+pub mod compiled;
 pub mod display;
 pub mod eval;
 pub mod intpoly;
@@ -46,7 +47,8 @@ pub mod poly;
 pub mod subst;
 pub mod sum;
 
+pub use compiled::{CompileError, CompiledPoly, SpecializedPoly, MAX_COMPILED_COEFFS};
 pub use intpoly::IntPoly;
 pub use monomial::Monomial;
-pub use poly::Poly;
 pub use nrl_rational::Rational;
+pub use poly::Poly;

@@ -151,7 +151,11 @@ impl Poly {
         }
         Poly {
             nvars: self.nvars,
-            terms: self.terms.iter().map(|(m, k)| (m.clone(), *k * c)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, k)| (m.clone(), *k * c))
+                .collect(),
         }
     }
 

@@ -20,7 +20,11 @@ impl Poly {
     /// returns `Σ_{t=0}^{arg} self(t, ·)` as a polynomial, where `self`
     /// is read as univariate in `var` and `arg` must be free of `var`.
     fn faulhaber_at(&self, var: usize, arg: &Poly) -> Poly {
-        debug_assert_eq!(arg.degree_in(var), 0, "summation limit uses the summed variable");
+        debug_assert_eq!(
+            arg.degree_in(var),
+            0,
+            "summation limit uses the summed variable"
+        );
         let coeffs = self.univariate_coeffs(var);
         let mut out = Poly::zero(self.nvars());
         for (k, c_k) in coeffs.iter().enumerate() {

@@ -27,7 +27,10 @@ fn arb_poly() -> impl Strategy<Value = Poly> {
 }
 
 fn arb_point() -> impl Strategy<Value = Vec<Rational>> {
-    proptest::collection::vec((-9i128..9, 1i128..4).prop_map(|(n, d)| Rational::new(n, d)), NVARS)
+    proptest::collection::vec(
+        (-9i128..9, 1i128..4).prop_map(|(n, d)| Rational::new(n, d)),
+        NVARS,
+    )
 }
 
 proptest! {

@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn correlation_walk() {
         let nest = NestSpec::correlation().bind(&[4]); // N = 4
-        // points: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3)
+                                                       // points: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3)
         let mut p = nest.first_point().unwrap();
         assert_eq!(p, vec![0, 1]);
         let mut seen = vec![p.clone()];
@@ -208,11 +208,7 @@ mod tests {
     fn figure6_count() {
         for n in 1..12i64 {
             let nest = NestSpec::figure6().bind(&[n]);
-            assert_eq!(
-                nest.count_brute() as i64,
-                (n * n * n - n) / 6,
-                "N={n}"
-            );
+            assert_eq!(nest.count_brute() as i64, (n * n * n - n) / 6, "N={n}");
         }
     }
 

@@ -22,7 +22,10 @@ impl Constraint {
     /// Builds a constraint from integer coefficients.
     pub fn from_ints(coeffs: &[i64], constant: i64) -> Self {
         Constraint {
-            coeffs: coeffs.iter().map(|&c| Rational::from_int(c as i128)).collect(),
+            coeffs: coeffs
+                .iter()
+                .map(|&c| Rational::from_int(c as i128))
+                .collect(),
             constant: Rational::from_int(constant as i128),
         }
     }
@@ -165,9 +168,7 @@ impl System {
             }
             sys = sys.project_out(v);
         }
-        sys.rows
-            .iter()
-            .all(|r| r.constant >= Rational::ZERO)
+        sys.rows.iter().all(|r| r.constant >= Rational::ZERO)
     }
 
     /// The rational interval implied for variable `v` after projecting

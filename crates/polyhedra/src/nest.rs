@@ -216,10 +216,7 @@ impl NestSpec {
         let s = Space::new(&["i", "j"], &["N"]);
         NestSpec::with_exclusive_upper(
             s.clone(),
-            vec![
-                (s.cst(0), s.var("N") - 1),
-                (s.var("i") + 1, s.var("N")),
-            ],
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i") + 1, s.var("N"))],
         )
         .expect("correlation nest is well-formed")
     }
@@ -245,10 +242,7 @@ impl NestSpec {
         let names: Vec<String> = (0..extents.len()).map(|k| format!("i{k}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let s = Space::new(&refs, &[]);
-        let bounds = extents
-            .iter()
-            .map(|&n| (s.cst(0), s.cst(n - 1)))
-            .collect();
+        let bounds = extents.iter().map(|&n| (s.cst(0), s.cst(n - 1))).collect();
         NestSpec::new(s, bounds).expect("rectangular nest is well-formed")
     }
 }
@@ -290,7 +284,13 @@ mod tests {
     fn depth_mismatch_rejected() {
         let s = Space::new(&["i", "j"], &[]);
         let err = NestSpec::new(s.clone(), vec![(s.cst(0), s.cst(3))]).unwrap_err();
-        assert_eq!(err, NestError::DepthMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            NestError::DepthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -59,8 +59,7 @@ impl NestSpec {
         for k in 0..self.depth() {
             let lo = self.lower(k);
             let hi = self.upper(k);
-            let uses_iter =
-                (0..ni).any(|v| lo.coeff(v) != 0) || (0..ni).any(|v| hi.coeff(v) != 0);
+            let uses_iter = (0..ni).any(|v| lo.coeff(v) != 0) || (0..ni).any(|v| hi.coeff(v) != 0);
             any_iter_bound |= uses_iter;
             // Trip count slope per outer iterator: hi − lo coefficient.
             for v in 0..ni {

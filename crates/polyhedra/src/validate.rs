@@ -120,11 +120,7 @@ impl NestSpec {
     /// surrounding prefix only, so the last level is checked without
     /// being enumerated. A depth-2 triangular nest of side `N` costs
     /// `O(N)`, not `O(N²)`.
-    pub fn check_trip_counts(
-        &self,
-        params: &[i64],
-        strict: bool,
-    ) -> Result<(), (usize, Vec<i64>)> {
+    pub fn check_trip_counts(&self, params: &[i64], strict: bool) -> Result<(), (usize, Vec<i64>)> {
         let bound = self.bind(params);
         let d = self.depth();
         // Walk prefixes level by level, stopping at the last level: its
@@ -199,7 +195,10 @@ mod tests {
         // Assume N ≥ 2 (the nest is empty below that, and the j-loop trip
         // count N − 1 − i ≥ 1 holds for i ≤ N − 2).
         let assumptions = vec![s.var("N") - 2];
-        assert_eq!(nest.prove_trip_counts(&assumptions, true), TripProof::Proved);
+        assert_eq!(
+            nest.prove_trip_counts(&assumptions, true),
+            TripProof::Proved
+        );
     }
 
     #[test]
@@ -207,7 +206,10 @@ mod tests {
         let nest = NestSpec::figure6();
         let s = nest.space().clone();
         let assumptions = vec![s.var("N") - 2];
-        assert_eq!(nest.prove_trip_counts(&assumptions, true), TripProof::Proved);
+        assert_eq!(
+            nest.prove_trip_counts(&assumptions, true),
+            TripProof::Proved
+        );
     }
 
     #[test]

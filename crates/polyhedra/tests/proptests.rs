@@ -10,14 +10,14 @@ use proptest::prelude::*;
 /// (coefficients small so domains stay enumerable).
 fn arb_nest2() -> impl Strategy<Value = (NestSpec, i64)> {
     (
-        0i64..3,         // a: outer lower
-        3i64..8,         // b: outer upper
-        -1i64..2,        // c: inner lower slope
-        -2i64..3,        // e: inner lower offset
-        -1i64..2,        // d: inner upper slope
-        0i64..2,         // f: N coefficient in upper
-        -2i64..6,        // g: inner upper offset
-        2i64..7,         // N value
+        0i64..3,  // a: outer lower
+        3i64..8,  // b: outer upper
+        -1i64..2, // c: inner lower slope
+        -2i64..3, // e: inner lower offset
+        -1i64..2, // d: inner upper slope
+        0i64..2,  // f: N coefficient in upper
+        -2i64..6, // g: inner upper offset
+        2i64..7,  // N value
     )
         .prop_map(|(a, b, c, e, d, f, g, n)| {
             let s = Space::new(&["i", "j"], &["N"]);

@@ -98,14 +98,8 @@ mod tests {
             let coeffs = faulhaber_coefficients(k);
             assert_eq!(coeffs.len(), k as usize + 2);
             for n in 0..=20i128 {
-                let brute: i128 = (0..=n)
-                    .map(|t| crate::gcd::checked_pow_i128(t, k))
-                    .sum();
-                assert_eq!(
-                    eval(&coeffs, n),
-                    Rational::from_int(brute),
-                    "k={k} n={n}"
-                );
+                let brute: i128 = (0..=n).map(|t| crate::gcd::checked_pow_i128(t, k)).sum();
+                assert_eq!(eval(&coeffs, n), Rational::from_int(brute), "k={k} n={n}");
             }
         }
     }

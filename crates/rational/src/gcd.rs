@@ -42,9 +42,7 @@ pub fn binomial(n: u32, k: u32) -> i128 {
     let k = k.min(n - k);
     let mut acc: i128 = 1;
     for j in 0..k {
-        acc = acc
-            .checked_mul((n - j) as i128)
-            .expect("binomial overflow");
+        acc = acc.checked_mul((n - j) as i128).expect("binomial overflow");
         acc /= (j + 1) as i128; // exact: C(n, j+1) is an integer
     }
     acc

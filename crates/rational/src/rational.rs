@@ -139,9 +139,16 @@ impl Rational {
         let num = self
             .num
             .checked_mul(lhs_scale)
-            .and_then(|x| rhs.num.checked_mul(rhs_scale).and_then(|y| x.checked_add(y)))
+            .and_then(|x| {
+                rhs.num
+                    .checked_mul(rhs_scale)
+                    .and_then(|y| x.checked_add(y))
+            })
             .expect("rational add overflow");
-        let den = self.den.checked_mul(lhs_scale).expect("rational add overflow");
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .expect("rational add overflow");
         Rational::new(num, den)
     }
 
@@ -256,8 +263,14 @@ impl Ord for Rational {
         // a/b <=> c/d compares ad <=> cb (b, d > 0). Use a gcd reduction
         // to avoid overflow in the cross products.
         let g = gcd_i128(self.den, other.den);
-        let lhs = self.num.checked_mul(other.den / g).expect("rational cmp overflow");
-        let rhs = other.num.checked_mul(self.den / g).expect("rational cmp overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den / g)
+            .expect("rational cmp overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den / g)
+            .expect("rational cmp overflow");
         lhs.cmp(&rhs)
     }
 }

@@ -273,7 +273,9 @@ mod tests {
         let coeffs = [-2.0, -1.0, -1.0, 1.0];
         let roots = solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]);
         assert_all_roots(&coeffs, &roots);
-        assert!(roots.iter().any(|r| (r.re - 2.0).abs() < 1e-9 && r.im.abs() < 1e-9));
+        assert!(roots
+            .iter()
+            .any(|r| (r.re - 2.0).abs() < 1e-9 && r.im.abs() < 1e-9));
     }
 
     #[test]

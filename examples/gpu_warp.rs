@@ -16,10 +16,7 @@ fn main() {
         .expect("spec")
         .bind(&[n])
         .expect("bind");
-    println!(
-        "figure-6 nest, N = {n}: {} iterations",
-        collapsed.total()
-    );
+    println!("figure-6 nest, N = {n}: {} iterations", collapsed.total());
 
     // Note: on a CPU each lane *simulates* its W-strided walk, so cost
     // grows with the warp width; a real GPU runs the W lanes in lockstep

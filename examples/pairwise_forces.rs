@@ -39,21 +39,14 @@ fn main() {
     let s = Space::new(&["i", "j"], &["N"]);
     let nest = NestSpec::new(
         s.clone(),
-        vec![
-            (s.cst(0), s.var("N") - 2),
-            (s.var("i") + 1, s.var("N") - 1),
-        ],
+        vec![(s.cst(0), s.var("N") - 2), (s.var("i") + 1, s.var("N") - 1)],
     )
     .expect("pair nest");
     let collapsed = CollapseSpec::new(&nest)
         .expect("spec")
         .bind(&[N as i64])
         .expect("bind");
-    println!(
-        "{} bodies → {} interacting pairs",
-        N,
-        collapsed.total()
-    );
+    println!("{} bodies → {} interacting pairs", N, collapsed.total());
 
     let pool = ThreadPool::new(THREADS);
     // Per-thread force accumulators, reduced after the loop (keeps every
@@ -98,7 +91,9 @@ fn main() {
         }
     }
     // Newton's third law ⇒ forces sum to ~zero.
-    let sum = total.iter().fold([0.0f64; 2], |a, f| [a[0] + f[0], a[1] + f[1]]);
+    let sum = total
+        .iter()
+        .fold([0.0f64; 2], |a, f| [a[0] + f[0], a[1] + f[1]]);
     println!(
         "collapsed static on {THREADS} threads: {:.1} ms, net force ({:.2e}, {:.2e})",
         elapsed.as_secs_f64() * 1e3,

@@ -115,10 +115,7 @@ fn fused_shapes() {
         };
         std::hint::black_box(x);
     });
-    println!(
-        "fused static over {} combined iterations:",
-        fused.total()
-    );
+    println!("fused static over {} combined iterations:", fused.total());
     print!("{}", report.render());
     println!(
         "iteration imbalance x{:.4} — one schedule, two shapes, no barrier",

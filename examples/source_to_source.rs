@@ -26,10 +26,7 @@ for (i = 0; i < N; i++)
     println!("shape: {}\n", nest.shape().label());
 
     let spec = CollapseSpec::new(&nest).expect("collapsible");
-    println!(
-        "ranking polynomial: r = {}\n",
-        spec.ranking().render()
-    );
+    println!("ranking polynomial: r = {}\n", spec.ranking().render());
     println!(
         "total iterations: {} (at N = 1000: {})\n",
         {

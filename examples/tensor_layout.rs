@@ -64,7 +64,10 @@ fn main() {
     };
     assert_eq!(fetch(10, 4, 7), value(10, 7, 4)); // any permutation works
     assert_eq!(fetch(4, 7, 10), value(10, 7, 4));
-    println!("random access through rank(): ok (T[10,4,7] = T[10,7,4] = {})", fetch(10, 4, 7));
+    println!(
+        "random access through rank(): ok (T[10,4,7] = T[10,7,4] = {})",
+        fetch(10, 4, 7)
+    );
 
     // Unranking turns a flat slot back into tensor coordinates — e.g.
     // to iterate the packed storage in parallel with original indices.

@@ -74,7 +74,10 @@ fn generated_c_has_all_structural_elements() {
         assert!(code.contains("#pragma omp parallel for"), "{name}: {code}");
         assert!(code.contains("firstprivate(first_iteration)"), "{name}");
         assert!(code.contains("for (pc = 1; pc <="), "{name}");
-        assert!(code.contains(&prog.body), "{name}: body must survive verbatim");
+        assert!(
+            code.contains(&prog.body),
+            "{name}: body must survive verbatim"
+        );
         // Every iterator must be assigned in the recovery block.
         for l in &prog.loops {
             assert!(

@@ -19,11 +19,10 @@ fn negative_coordinate_triangle() {
         let spec = CollapseSpec::new(&nest).unwrap();
         let collapsed = spec.bind(&[n]).unwrap();
         assert_eq!(collapsed.total(), (n as i128) * (n as i128 + 1) / 2);
-        let mut pc = 1i128;
-        for p in nest.enumerate(&[n]) {
+        for (idx, p) in nest.enumerate(&[n]).enumerate() {
+            let pc = idx as i128 + 1;
             assert!(p[0] < 0 && p[1] < 0);
             assert_eq!(collapsed.unrank(pc), p, "N={n} pc={pc}");
-            pc += 1;
         }
     }
 }
@@ -40,10 +39,9 @@ fn origin_crossing_band() {
     let spec = CollapseSpec::new(&nest).unwrap();
     let collapsed = spec.bind(&[]).unwrap();
     assert_eq!(collapsed.total(), 11 * 5);
-    let mut pc = 1i128;
-    for p in nest.enumerate(&[]) {
+    for (idx, p) in nest.enumerate(&[]).enumerate() {
+        let pc = idx as i128 + 1;
         assert_eq!(collapsed.unrank(pc), p, "pc={pc}");
-        pc += 1;
     }
 }
 
@@ -120,10 +118,9 @@ fn deep_rectangular_row_major() {
     let spec = CollapseSpec::new(&nest).unwrap();
     let collapsed = spec.bind(&[]).unwrap();
     assert_eq!(collapsed.total(), 2 * 3 * 2 * 2 * 3);
-    let mut pc = 1i128;
-    for p in nest.enumerate(&[]) {
+    for (idx, p) in nest.enumerate(&[]).enumerate() {
+        let pc = idx as i128 + 1;
         assert_eq!(collapsed.unrank(pc), p);
-        pc += 1;
     }
 }
 
@@ -151,10 +148,9 @@ fn zero_trip_rows_are_skipped() {
     .unwrap();
     let collapsed = CollapseSpec::new(&nest2).unwrap().bind(&[]).unwrap();
     assert_eq!(collapsed.total(), 1 + 2 + 3);
-    let mut pc = 1i128;
-    for p in nest2.enumerate(&[]) {
+    for (idx, p) in nest2.enumerate(&[]).enumerate() {
+        let pc = idx as i128 + 1;
         assert_eq!(collapsed.unrank(pc), p);
-        pc += 1;
     }
 }
 
@@ -190,10 +186,17 @@ fn guarded_depth_one() {
 #[test]
 fn singleton_domain_morphs() {
     let s = Space::new(&["i", "j"], &[]);
-    let nest = NestSpec::new(s.clone(), vec![(s.cst(5), s.cst(5)), (s.cst(-3), s.cst(-3))]).unwrap();
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(5), s.cst(5)), (s.cst(-3), s.cst(-3))],
+    )
+    .unwrap();
     let single = CollapseSpec::new(&nest).unwrap().bind(&[]).unwrap();
     assert_eq!(single.total(), 1);
-    let line = CollapseSpec::new(&NestSpec::rectangular(&[1])).unwrap().bind(&[]).unwrap();
+    let line = CollapseSpec::new(&NestSpec::rectangular(&[1]))
+        .unwrap()
+        .bind(&[])
+        .unwrap();
     let remap = RankRemap::new(single, line).unwrap();
     assert_eq!(remap.map(&[5, -3]), vec![0]);
 
@@ -202,7 +205,10 @@ fn singleton_domain_morphs() {
     assert_eq!(layout.point_of_slot(0), vec![5, -3]);
 
     let a = CollapseSpec::new(&nest).unwrap().bind(&[]).unwrap();
-    let b = CollapseSpec::new(&NestSpec::correlation()).unwrap().bind(&[4]).unwrap();
+    let b = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[4])
+        .unwrap();
     let fused = FusedLoop::new(vec![a, b]).unwrap();
     assert_eq!(fused.total(), 1 + 6);
     assert_eq!(fused.locate(1), (0, 1));
@@ -212,15 +218,28 @@ fn singleton_domain_morphs() {
 /// Schedules parsed from OMP_SCHEDULE strings drive real executors.
 #[test]
 fn parsed_schedule_drives_execution() {
-    let collapsed = CollapseSpec::new(&NestSpec::correlation()).unwrap().bind(&[30]).unwrap();
+    let collapsed = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[30])
+        .unwrap();
     let pool = ThreadPool::new(3);
     for text in ["static", "static,5", "dynamic,7", "guided"] {
         let schedule: Schedule = text.parse().unwrap();
         let count = std::sync::atomic::AtomicU64::new(0);
-        nrl::core::run_collapsed(&pool, &collapsed, schedule, Recovery::OncePerChunk, |_t, _p| {
-            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        });
-        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed) as i128, collapsed.total(), "{text}");
+        nrl::core::run_collapsed(
+            &pool,
+            &collapsed,
+            schedule,
+            Recovery::OncePerChunk,
+            |_t, _p| {
+                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        assert_eq!(
+            count.load(std::sync::atomic::Ordering::Relaxed) as i128,
+            collapsed.total(),
+            "{text}"
+        );
     }
 }
 

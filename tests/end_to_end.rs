@@ -59,10 +59,7 @@ fn zoo() -> Vec<(&'static str, NestSpec, Vec<i64>, &'static str)> {
         "rhomboidal",
         NestSpec::new(
             s.clone(),
-            vec![
-                (s.cst(0), s.var("N") - 1),
-                (s.var("i") * 1, s.var("i") + 6),
-            ],
+            vec![(s.cst(0), s.var("N") - 1), (s.var("i") * 1, s.var("i") + 6)],
         )
         .unwrap(),
         vec![25],
@@ -134,23 +131,41 @@ fn all_executors_cover_each_zoo_domain() {
         let runs: Vec<(String, Vec<Vec<i64>>)> = vec![
             ("collapsed-static".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(&pool, &collapsed, Schedule::Static, Recovery::OncePerChunk, |_t, p| {
-                    seen.lock().unwrap().push(p.to_vec());
-                });
+                run_collapsed(
+                    &pool,
+                    &collapsed,
+                    Schedule::Static,
+                    Recovery::OncePerChunk,
+                    |_t, p| {
+                        seen.lock().unwrap().push(p.to_vec());
+                    },
+                );
                 seen.into_inner().unwrap()
             }),
             ("collapsed-dynamic-naive".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(&pool, &collapsed, Schedule::Dynamic(8), Recovery::Naive, |_t, p| {
-                    seen.lock().unwrap().push(p.to_vec());
-                });
+                run_collapsed(
+                    &pool,
+                    &collapsed,
+                    Schedule::Dynamic(8),
+                    Recovery::Naive,
+                    |_t, p| {
+                        seen.lock().unwrap().push(p.to_vec());
+                    },
+                );
                 seen.into_inner().unwrap()
             }),
             ("collapsed-guided-batched".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(&pool, &collapsed, Schedule::Guided(4), Recovery::Batched(8), |_t, p| {
-                    seen.lock().unwrap().push(p.to_vec());
-                });
+                run_collapsed(
+                    &pool,
+                    &collapsed,
+                    Schedule::Guided(4),
+                    Recovery::Batched(8),
+                    |_t, p| {
+                        seen.lock().unwrap().push(p.to_vec());
+                    },
+                );
                 seen.into_inner().unwrap()
             }),
             ("warp-64".into(), {

@@ -144,7 +144,10 @@ fn guarded_collapse_runs_imperfect_program() {
             post_seq[p[0] as usize] = p[0] - n;
         }
     });
-    assert_eq!((&pre_seq, &post_seq, sum_seq), (&pre_ref, &post_ref, sum_ref));
+    assert_eq!(
+        (&pre_seq, &post_seq, sum_seq),
+        (&pre_ref, &post_ref, sum_ref)
+    );
 
     // Parallel guarded under several schedules.
     let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[n]).unwrap();

@@ -67,12 +67,7 @@ fn every_kernel_every_mode_matches_sequential() {
         for (label, mode) in modes {
             kernel.reset();
             kernel.execute(&mode);
-            assert_eq!(
-                kernel.checksum(),
-                reference,
-                "{} under {label}",
-                info.name
-            );
+            assert_eq!(kernel.checksum(), reference, "{} under {label}", info.name);
         }
     }
 }

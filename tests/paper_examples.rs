@@ -40,8 +40,7 @@ fn figure3_formulas_agree_with_paper() {
         for pc in 1..=collapsed.total() {
             let pcf = pc as f64;
             // Paper Fig. 3: i = ⌊−(√(4N²−4N−8pc+9) − 2N + 1)/2⌋
-            let i = (-((4.0 * nf * nf - 4.0 * nf - 8.0 * pcf + 9.0).sqrt() - 2.0 * nf + 1.0)
-                / 2.0)
+            let i = (-((4.0 * nf * nf - 4.0 * nf - 8.0 * pcf + 9.0).sqrt() - 2.0 * nf + 1.0) / 2.0)
                 .floor() as i64;
             // j = ⌊−(2iN − 2pc − i² − 3i)/2⌋
             let ifl = i as f64;
@@ -93,7 +92,8 @@ fn section4c_inner_formulas() {
             .floor();
         assert_eq!(j_paper as i64, point[1], "pc={pc} j");
         // k = (6pc + 3j² − (6i + 3)j − i³ − 3i² − 2i − 6)/6
-        let k_paper = ((6.0 * pcf + 3.0 * j * j - (6.0 * i + 3.0) * j
+        let k_paper = ((6.0 * pcf + 3.0 * j * j
+            - (6.0 * i + 3.0) * j
             - i.powi(3)
             - 3.0 * i.powi(2)
             - 2.0 * i

@@ -1,0 +1,353 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored stub
+//! implements the slice of criterion's API the workspace benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box` — with real wall-clock
+//! measurement (median of timed samples after warm-up).
+//!
+//! Reporting: one `name time: [median ns/iter]` line per benchmark, and
+//! when the `CRITERION_OUTPUT_JSON` environment variable names a file,
+//! a machine-readable `{"results": [{"id", "ns_per_iter"}]}` document
+//! is written there on exit (the CI perf-trajectory hook).
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("f", p)` renders as `f/p`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to the closure under measurement.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    measurement: Duration,
+    warm_up: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then `sample_count` timed samples of
+    /// an adaptively chosen batch size; records the median sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(0.5);
+        // Pick a batch size so one sample costs ~measurement/samples.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_count as f64;
+        let batch = ((per_sample_ns / est_ns).ceil() as u64).clamp(1, 100_000_000);
+        let mut samples = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    id: String,
+    ns_per_iter: f64,
+}
+
+/// The benchmark harness configuration + result sink.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+            sample_size: 15,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `group/…`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Measures a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let sample_size = self.sample_size;
+        self.run_one(id, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            sample_count: sample_size,
+        };
+        f(&mut b);
+        let ns = b.ns_per_iter;
+        println!("{id:<55} time: [{} /iter]", format_ns(ns));
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+        });
+    }
+
+    /// Prints the run summary and, when `CRITERION_OUTPUT_JSON` is set,
+    /// writes the machine-readable results file. Called by
+    /// [`criterion_group!`]-generated runners; idempotent per group.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = self.write_json(&path) {
+                    eprintln!("criterion-stub: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        // Append results from successive groups of the same binary.
+        let mut all: Vec<BenchResult> = Vec::new();
+        if let Ok(prev) = std::fs::read_to_string(path) {
+            for line in prev.lines() {
+                if let Some((id, ns)) = parse_result_line(line) {
+                    if !self.results.iter().any(|r| r.id == id) {
+                        all.push(BenchResult {
+                            id,
+                            ns_per_iter: ns,
+                        });
+                    }
+                }
+            }
+        }
+        all.extend(self.results.iter().cloned());
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{\"results\": [")?;
+        for (i, r) in all.iter().enumerate() {
+            let comma = if i + 1 < all.len() { "," } else { "" };
+            writeln!(
+                f,
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.2}}}{comma}",
+                r.id.replace('"', "'"),
+                r.ns_per_iter
+            )?;
+        }
+        writeln!(f, "]}}")
+    }
+}
+
+/// Parses a line of this stub's own JSON output back into a result.
+fn parse_result_line(line: &str) -> Option<(String, f64)> {
+    let id_start = line.find("\"id\": \"")? + 7;
+    let id_end = id_start + line[id_start..].find('"')?;
+    let ns_start = line.find("\"ns_per_iter\": ")? + 15;
+    let ns_str: String = line[ns_start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    Some((line[id_start..id_end].to_string(), ns_str.parse().ok()?))
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    /// Measures one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, n, f);
+        self
+    }
+
+    /// Measures one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.into(), |b| f(b, input))
+    }
+
+    /// Ends the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark runner function from a config + target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(5);
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                black_box(x)
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(3);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &v| {
+                b.iter(|| black_box(v * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].id, "grp/f/7");
+    }
+
+    #[test]
+    fn json_roundtrip_line() {
+        let (id, ns) = parse_result_line("  {\"id\": \"a/b/c\", \"ns_per_iter\": 12.50},").unwrap();
+        assert_eq!(id, "a/b/c");
+        assert!((ns - 12.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: a fixed size or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<i32> for SizeRange {
+    fn from(n: i32) -> Self {
+        SizeRange::from(usize::try_from(n).expect("negative vec size"))
+    }
+}
+
+impl From<Range<i32>> for SizeRange {
+    fn from(r: Range<i32>) -> Self {
+        SizeRange::from(
+            usize::try_from(r.start).expect("negative vec size")
+                ..usize::try_from(r.end).expect("negative vec size"),
+        )
+    }
+}
+
+/// Strategy for vectors whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = self.size.hi_inclusive - self.size.lo + 1;
+        let len = self.size.lo + (rng.next_u64() % span as u64) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Generates `Vec`s with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::seeded(9);
+        let s = vec(0i64..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+        let fixed = vec(0i64..5, 3usize);
+        assert_eq!(fixed.generate(&mut rng).unwrap().len(), 3);
+    }
+}

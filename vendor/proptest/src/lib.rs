@@ -1,0 +1,42 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored stub
+//! implements the surface the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_filter_map` and `boxed`,
+//! * strategies for integer/float ranges, tuples, [`Just`],
+//!   [`collection::vec`], [`sample::select`] and string patterns,
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!` and `prop_oneof!`.
+//!
+//! Differences from upstream: generation is a fixed deterministic
+//! stream per test (no persistence files) and failing cases are
+//! reported without shrinking. Those features cost nothing in CI
+//! signal here: every property in this workspace is deterministic and
+//! fast, and the full input is printed on failure when `Debug` is
+//! available at the call site.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod sample;
+
+/// Path-compatible alias module (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

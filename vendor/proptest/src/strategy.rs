@@ -1,0 +1,323 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `generate` returns `None` when the underlying generation was locally
+/// rejected (e.g. by `prop_filter`); the runner retries with fresh
+/// randomness, counting rejections against a global budget.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` on a local rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns true.
+    fn prop_filter<F>(self, _reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Maps and filters in one step: `None` rejects the case.
+    fn prop_filter_map<U, F>(self, _reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Generates a fresh strategy from each value, then draws from it
+    /// (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        (self.f)(self.inner.generate(rng)?).generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let r = rng.next_u128() % span;
+                Some(((self.start as i128) + r as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let r = if span == 0 { rng.next_u128() } else { rng.next_u128() % span };
+                Some(((lo as i128).wrapping_add(r as i128)) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + rng.next_unit_f64() * (self.end - self.start))
+    }
+}
+
+/// String pattern strategy: upstream proptest interprets `&str` as a
+/// regex. This stub honours the only shape the workspace uses —
+/// `<class>{lo,hi}` repetition of a character class (e.g. `\PC{0,120}`)
+/// — by emitting a random-length string of printable characters, and
+/// falls back to the same behaviour for any other pattern.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let (lo, hi) = parse_repetition_bounds(self).unwrap_or((0, 32));
+        let len = if hi > lo {
+            lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly printable ASCII with occasional non-ASCII to keep
+            // parser-robustness tests honest.
+            let c = match rng.next_u64() % 20 {
+                0 => char::from_u32(0xA0 + (rng.next_u64() % 0x500) as u32).unwrap_or('¿'),
+                _ => (0x20 + (rng.next_u64() % 0x5F) as u8) as char,
+            };
+            s.push(c);
+        }
+        Some(s)
+    }
+}
+
+/// Extracts `{lo,hi}` from the tail of a pattern like `\PC{0,120}`.
+fn parse_repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || open >= close {
+        return None;
+    }
+    let inner = &pattern[open + 1..close];
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..200 {
+            let v = (-5i64..7).generate(&mut rng).unwrap();
+            assert!((-5..7).contains(&v));
+            let u = (0u32..4).generate(&mut rng).unwrap();
+            assert!(u < 4);
+            let f = (-2.0..3.0f64).generate(&mut rng).unwrap();
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::seeded(2);
+        let s = (0i64..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even only", |x| *x % 4 == 0);
+        let mut hits = 0;
+        for _ in 0..100 {
+            if let Some(v) = s.generate(&mut rng) {
+                assert_eq!(v % 4, 0);
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let mut rng = TestRng::seeded(3);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::seeded(4);
+        for _ in 0..50 {
+            let s = "\\PC{0,120}".generate(&mut rng).unwrap();
+            assert!(s.chars().count() <= 120);
+        }
+    }
+}

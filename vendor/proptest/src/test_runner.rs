@@ -1,0 +1,289 @@
+//! The deterministic case runner behind the [`proptest!`] macro.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Deterministic generator driving all strategies (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Failure modes of one test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case did not meet an assumption; it is skipped, not failed.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (subset of upstream's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    /// Give-up threshold: `cases * max_global_rejects_factor` rejected
+    /// generations abort the test as too-restrictive.
+    pub max_global_rejects_factor: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects_factor: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cheap stable hash for per-test seed derivation (FNV-1a).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property: draws from `strategy` until `config.cases` cases
+/// are accepted, panicking on the first failure. The stream is
+/// deterministic per test name; `PROPTEST_SEED` perturbs it for
+/// exploratory reruns.
+pub fn run<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let extra = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let mut rng = TestRng::seeded(fnv1a(test_name.as_bytes()) ^ extra);
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = config.cases as u64 * config.max_global_rejects_factor.max(1) as u64;
+    while accepted < config.cases {
+        let value = match strategy.generate(&mut rng) {
+            Some(v) => v,
+            None => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest '{test_name}': gave up after {rejected} rejected \
+                     generations ({accepted}/{} cases accepted)",
+                    config.cases
+                );
+                continue;
+            }
+        };
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest '{test_name}': gave up after {rejected} rejections \
+                     ({accepted}/{} cases accepted)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed after {accepted} passing cases: {msg} \
+                     (rerun is deterministic; set PROPTEST_SEED to explore)"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests over strategies, upstream-style:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(a in 0i64..10, b in 0i64..10) { prop_assert!(a + b >= a); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |($($pat,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition, failing (not panicking) the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality, failing the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?}) at {}:{}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs, file!(), line!()
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?}) at {}:{}: {}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs, file!(), line!(),
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality, failing the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs == *rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both {:?}) at {}:{}",
+                stringify!($lhs), stringify!($rhs), lhs, file!(), line!()
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs == *rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both {:?}) at {}:{}: {}",
+                stringify!($lhs), stringify!($rhs), lhs, file!(), line!(),
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (does not count toward the case budget) when
+/// the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
