@@ -1,7 +1,9 @@
-//! Criterion: ranking-polynomial construction and evaluation cost.
+//! Criterion: ranking-polynomial construction and evaluation cost,
+//! plus the run-time `rank()` path (compiled ladder vs. the reference
+//! multivariate evaluation, and the prefix-cached batched shape).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nrl_core::Ranking;
+use nrl_core::{CollapseSpec, Ranking};
 use nrl_polyhedra::{NestSpec, Space};
 use std::hint::black_box;
 
@@ -47,6 +49,41 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank");
+    for (label, nest, params) in [
+        ("correlation_n1e3", NestSpec::correlation(), vec![1_000i64]),
+        ("figure6_n300", NestSpec::figure6(), vec![300]),
+    ] {
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&params).unwrap();
+        let d = nest.depth();
+        // A mid-domain probe point (and its row, for the cached sweep).
+        let probe = collapsed.unrank(collapsed.total() / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("compiled", label), &probe, |b, p| {
+            b.iter(|| black_box(collapsed.rank(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", label), &probe, |b, p| {
+            b.iter(|| black_box(collapsed.rank_reference(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("cached_sweep", label), &probe, |b, p| {
+            // 64 points of one row through the prefix-cached rank
+            // ladder: the batched-ranking shape (morph slot maps).
+            let mut unranker = collapsed.unranker();
+            let mut point = p.clone();
+            let base = point[d - 1];
+            b.iter(|| {
+                for off in 0..64 {
+                    point[d - 1] = base - off % 32;
+                    black_box(unranker.rank(black_box(&point)));
+                }
+                black_box(point[d - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.
 fn config() -> Criterion {
@@ -54,5 +91,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_construction, bench_evaluation }
+criterion_group! { name = benches; config = config(); targets = bench_construction, bench_evaluation, bench_rank }
 criterion_main!(benches);

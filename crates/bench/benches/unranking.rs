@@ -1,8 +1,13 @@
-//! Criterion: index-recovery cost — closed-form vs. binary-search
-//! unranking, across nest depths and sizes (the §V "costly recovery").
+//! Criterion: index-recovery cost — the adaptive engine vs. its forced
+//! closed-form / binary-search ablations, across nest depths and sizes
+//! (the §V "costly recovery").
 //!
-//! The `reference/*` series runs the pre-compilation engine (every
-//! probe re-evaluates the multivariate `R_k` term-by-term); comparing
+//! The `adaptive/*` series is the production `unrank_into` path (each
+//! level runs the engine chosen at bind time); `closed_form/*` and
+//! `binary_search/*` force one engine everywhere — the adaptive series
+//! should track the better of the two per benchmark id. The
+//! `reference/*` series runs the pre-compilation engine (every probe
+//! re-evaluates the multivariate `R_k` term-by-term); comparing
 //! `binary_search/*` against `reference/*` measures the compiled
 //! Horner ladder's speedup on the same search.
 
@@ -23,9 +28,15 @@ fn bench_unrank(c: &mut Criterion) {
         let total = collapsed.total();
         let probe = total / 2 + 1;
         let mut point = vec![0i64; nest.depth()];
-        group.bench_with_input(BenchmarkId::new("closed_form", label), &probe, |b, &pc| {
+        group.bench_with_input(BenchmarkId::new("adaptive", label), &probe, |b, &pc| {
             b.iter(|| {
                 collapsed.unrank_into(black_box(pc), &mut point);
+                black_box(point[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", label), &probe, |b, &pc| {
+            b.iter(|| {
+                collapsed.unrank_closed_form_into(black_box(pc), &mut point);
                 black_box(point[0])
             });
         });

@@ -7,7 +7,7 @@
 //!    correlation loop.
 //! 3. Warp-width sweep for the §VI.B scheme.
 //! 4. The related-work baseline (§VIII): exact outer partitioning à la
-//!    Sakellariou [14] / Kafri–Sbeih [16], computed from the ranking
+//!    Sakellariou \[14\] / Kafri–Sbeih \[16\], computed from the ranking
 //!    polynomial — vs. naive outer static and vs. collapsing, on a
 //!    row-rich triangle and a short-fat band.
 //! 5. A work-stealing-style baseline over the flattened index space

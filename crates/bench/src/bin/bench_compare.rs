@@ -1,0 +1,85 @@
+//! CI perf-trajectory gate: diffs a fresh bench JSON against the
+//! committed baseline and fails (exit code 1) on real regressions.
+//!
+//! ```text
+//! bench_compare --baseline BENCH_unrank.json --current fresh.json \
+//!     [--threshold-pct 25] [--noise-ns 30] [--label <suite name>]
+//! ```
+//!
+//! A per-id slowdown beyond `--threshold-pct` fails the gate unless the
+//! absolute delta stays within `--noise-ns` (jitter floor for
+//! nanosecond-scale ids). New ids (no baseline yet) and ids missing
+//! from the current run are reported but never fail. The comparison is
+//! printed as a markdown table — and appended to `$GITHUB_STEP_SUMMARY`
+//! when that variable is set, so it lands in the job summary.
+
+use nrl_bench::compare::{compare, markdown_table, parse_bench_json, regressions, GateConfig};
+use nrl_bench::Args;
+use std::io::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+    let baseline_path = args
+        .get("baseline")
+        .expect("--baseline <path> is required")
+        .to_string();
+    let current_path = args
+        .get("current")
+        .expect("--current <path> is required")
+        .to_string();
+    let config = GateConfig {
+        threshold_pct: args.get_or("threshold-pct", 25.0),
+        noise_ns: args.get_or("noise-ns", 30.0),
+    };
+    let label = args.get("label").unwrap_or("bench").to_string();
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read bench JSON {path}: {e}"))
+    };
+    let baseline = parse_bench_json(&read(&baseline_path));
+    let current = parse_bench_json(&read(&current_path));
+    assert!(
+        !current.is_empty(),
+        "current run {current_path} parsed to zero results"
+    );
+
+    let rows = compare(&baseline, &current, config);
+    let table = format!(
+        "## Perf trajectory: {label}\n\n{}",
+        markdown_table(&rows, config)
+    );
+    println!("{table}");
+
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary.is_empty() {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary)
+            {
+                let _ = writeln!(f, "{table}");
+            }
+        }
+    }
+
+    let failures = regressions(&rows);
+    if !failures.is_empty() {
+        eprintln!("perf gate FAILED: {} regression(s):", failures.len());
+        for row in &failures {
+            eprintln!(
+                "  {} : {:.2} ns → {:.2} ns ({:+.1}%)",
+                row.id,
+                row.baseline.unwrap_or(f64::NAN),
+                row.current.unwrap_or(f64::NAN),
+                row.ratio().map_or(f64::NAN, |r| (r - 1.0) * 100.0)
+            );
+        }
+        eprintln!(
+            "(intentional? apply the `perf-regression-ok` label to the PR and re-run, \
+             then refresh the committed baseline)"
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed ({} ids compared)", rows.len());
+}

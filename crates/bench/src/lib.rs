@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+pub mod compare;
+
 /// Minimal `--key value` / `--flag` command-line parser.
 #[derive(Debug, Clone, Default)]
 pub struct Args {

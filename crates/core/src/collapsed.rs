@@ -1,12 +1,13 @@
 //! The collapse pipeline: symbolic preparation and parameter binding.
 
 use crate::ranking::Ranking;
-use crate::unrank::{BoundLevel, RecoveryCounters, RecoveryStats, MAX_DEPTH};
+use crate::unrank::{BoundLevel, LevelEngine, RecoveryCounters, RecoveryStats, MAX_DEPTH};
 use nrl_poly::{CompiledPoly, IntPoly, Poly, SpecializedPoly};
 use nrl_polyhedra::{BoundNest, NestSpec};
 use nrl_rational::Rational;
 use nrl_solver::MAX_DEGREE;
 use std::fmt;
+use std::sync::atomic::Ordering;
 
 /// Errors from symbolic collapse preparation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,7 +172,9 @@ impl CollapseSpec {
         let total = self.ranking.total_at(params);
         // Over-approximate per-iterator value intervals once: the
         // magnitude analysis below proves, per level, whether the
-        // specialized Horner sweeps can use unchecked i64 arithmetic.
+        // specialized Horner sweeps can use unchecked i64 arithmetic,
+        // and the proven range widths drive the per-level engine
+        // decision (closed form vs. binary search).
         let var_box = iterator_box(nest, params);
         let levels = (0..d)
             .map(|k| {
@@ -181,39 +184,75 @@ impl CollapseSpec {
                 let closed_form = compiled.degree() <= MAX_DEGREE;
                 let i64_safe = var_box
                     .as_ref()
-                    .and_then(|abs| {
-                        compiled.magnitude_bound(&abs[..], abs.get(k).copied().unwrap_or(i64::MAX))
+                    .and_then(|b| {
+                        compiled.magnitude_bound(&b.abs, b.abs.get(k).copied().unwrap_or(i64::MAX))
                     })
-                    .is_some_and(|b| b <= i64::MAX as i128);
+                    .is_some_and(|bnd| bnd <= i64::MAX as i128);
+                let engine = LevelEngine::choose(
+                    compiled.degree(),
+                    var_box.as_ref().map(|b| b.width[k]),
+                    i64_safe,
+                );
                 BoundLevel {
                     compiled,
                     rk: IntPoly::from_poly(&bound),
                     closed_form,
                     i64_safe,
+                    engine,
                 }
             })
             .collect();
-        let rank_int = IntPoly::from_poly(&bind_poly(self.ranking.rank_poly(), d, params));
+        let rank_bound = bind_poly(self.ranking.rank_poly(), d, params);
+        let rank_int = IntPoly::from_poly(&rank_bound);
+        // `rank()` goes through the same ladder machinery as recovery:
+        // lowered univariate in the innermost index, so batched ranking
+        // can fold the outer prefix once and Horner-evaluate per point.
+        let (rank_compiled, rank_i64_safe) = if d > 0 {
+            let cp = CompiledPoly::lower(&rank_bound, d - 1)
+                .expect("collapsible nests stay within the compiled-ladder capacity");
+            let safe = var_box
+                .as_ref()
+                .and_then(|b| cp.magnitude_bound(&b.abs, b.abs[d - 1]))
+                .is_some_and(|bnd| bnd <= i64::MAX as i128);
+            (Some(cp), safe)
+        } else {
+            (None, false)
+        };
         Collapsed {
             nest: bound_nest,
             depth: d,
             total,
             levels,
             rank_int,
+            rank_compiled,
+            rank_i64_safe,
             counters: RecoveryCounters::default(),
         }
     }
 }
 
-/// Over-approximates `max(|i_k|) + 1` per iterator by interval-evaluating
-/// the affine bounds outward-in (the `+1` covers the `R_k(v+1)`
-/// verification probe). Returns `None` when the intervals overflow —
-/// callers then simply keep the checked `i128` evaluation path.
-fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<Vec<i64>> {
+/// Bind-time interval facts per iterator: the magnitude bound feeding
+/// the i64-overflow proof and the proven range width feeding the
+/// per-level engine decision.
+struct IterBox {
+    /// `max(|i_k|) + 1` per iterator (the `+1` covers the `R_k(v+1)`
+    /// verification probe).
+    abs: Vec<i64>,
+    /// Over-approximate count of values level `k` can range over at
+    /// any prefix (`hi − lo + 1`, clamped non-negative).
+    width: Vec<i64>,
+}
+
+/// Over-approximates per-iterator value intervals by interval-evaluating
+/// the affine bounds outward-in. Returns `None` when the intervals
+/// overflow — callers then keep the checked `i128` evaluation path and
+/// treat the widths as unbounded.
+fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<IterBox> {
     let d = nest.depth();
     let mut lo = Vec::with_capacity(d);
     let mut hi = Vec::with_capacity(d);
     let mut abs = Vec::with_capacity(d);
+    let mut width = Vec::with_capacity(d);
     for k in 0..d {
         let lower = nest.lower(k).bind_params(params);
         let upper = nest.upper(k).bind_params(params);
@@ -230,8 +269,9 @@ fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<Vec<i64>> {
                 .max(k_hi.checked_abs()?)
                 .checked_add(1)?,
         );
+        width.push(k_hi.checked_sub(k_lo)?.checked_add(1)?.max(0));
     }
-    Some(abs)
+    Some(IterBox { abs, width })
 }
 
 /// Interval arithmetic for `Σ c_v·x_v + constant` over per-variable
@@ -274,7 +314,13 @@ pub struct Collapsed {
     depth: usize,
     total: i128,
     levels: Vec<BoundLevel>,
+    /// Reference ranking polynomial (multivariate, term-by-term).
     rank_int: IntPoly,
+    /// The ranking polynomial lowered univariate in the innermost
+    /// index — the compiled `rank()` path (`None` only at depth 0).
+    rank_compiled: Option<CompiledPoly>,
+    /// Bind-time i64-overflow proof for the compiled rank ladder.
+    rank_i64_safe: bool,
     counters: RecoveryCounters,
 }
 
@@ -295,14 +341,34 @@ impl Collapsed {
         &self.nest
     }
 
-    /// Exact 1-based rank of a domain point.
+    /// Exact 1-based rank of a domain point, through the compiled
+    /// ladder (the outer prefix is folded once, the innermost index is
+    /// one Horner sweep — no multivariate term walk).
     pub fn rank(&self, point: &[i64]) -> i128 {
+        assert_eq!(point.len(), self.depth, "point arity mismatch");
+        match &self.rank_compiled {
+            Some(cp) => cp.eval_int_at(point),
+            None => self.rank_int.eval_int(point),
+        }
+    }
+
+    /// [`Self::rank`] through the **uncompiled** reference polynomial
+    /// (term-by-term multivariate evaluation) — differential-test and
+    /// ablation baseline.
+    pub fn rank_reference(&self, point: &[i64]) -> i128 {
         assert_eq!(point.len(), self.depth, "point arity mismatch");
         self.rank_int.eval_int(point)
     }
 
+    /// The engine the adaptive recovery uses at level `k` (bind-time
+    /// decision; see [`LevelEngine::choose`]).
+    pub fn level_engine(&self, k: usize) -> LevelEngine {
+        self.levels[k].engine
+    }
+
     /// Recovers the original indices of the iteration with rank `pc`
-    /// (1-based), writing them into `point`.
+    /// (1-based), writing them into `point` — the **adaptive** hot
+    /// path: each level runs the engine chosen for it at bind time.
     ///
     /// # Panics
     /// Panics if `pc` is out of `1..=total` or `point.len() != depth`.
@@ -328,10 +394,9 @@ impl Collapsed {
         point
     }
 
-    /// Unranks using only the exact binary-search path (no floating
-    /// point at all): the ablation baseline, and the only path for
-    /// ranking degrees above the closed-form limit.
-    pub fn unrank_binary_into(&self, pc: i128, point: &mut [i64]) {
+    /// Unranks with a forced engine on every level (ablation axes; the
+    /// adaptive [`Self::unrank_into`] is the production path).
+    fn unrank_forced_into(&self, pc: i128, point: &mut [i64], engine: LevelEngine) {
         assert!(
             pc >= 1 && pc <= self.total,
             "pc {pc} outside 1..={}",
@@ -341,9 +406,23 @@ impl Collapsed {
         for k in 0..self.depth {
             let lb = self.nest.lower(k, point);
             let ub = self.nest.upper(k, point);
-            let v = self.levels[k].recover_with(point, k, lb, ub, pc, &self.counters, false);
+            let v = self.levels[k].recover_with(point, k, lb, ub, pc, &self.counters, engine);
             point[k] = v;
         }
+    }
+
+    /// Unranks using only the exact binary-search path (no floating
+    /// point at all): the ablation baseline, and the only path for
+    /// ranking degrees above the closed-form limit.
+    pub fn unrank_binary_into(&self, pc: i128, point: &mut [i64]) {
+        self.unrank_forced_into(pc, point, LevelEngine::BinarySearch);
+    }
+
+    /// Unranks solving the closed form wherever one exists (the paper's
+    /// always-solve strategy; levels beyond degree 4 still fall back to
+    /// the binary search) — the other ablation axis.
+    pub fn unrank_closed_form_into(&self, pc: i128, point: &mut [i64]) {
+        self.unrank_forced_into(pc, point, LevelEngine::ClosedForm);
     }
 
     /// Unranks through the **uncompiled** reference path: every probe
@@ -380,6 +459,7 @@ impl Collapsed {
         Unranker {
             collapsed: self,
             cache: vec![LevelCache::default(); self.depth],
+            rank_cache: LevelCache::default(),
         }
     }
 }
@@ -399,6 +479,9 @@ struct LevelCache {
 pub struct Unranker<'a> {
     collapsed: &'a Collapsed,
     cache: Vec<LevelCache>,
+    /// Specialization cache for the compiled `rank()` ladder, keyed by
+    /// the `depth − 1` outer indices.
+    rank_cache: LevelCache,
 }
 
 impl Unranker<'_> {
@@ -407,18 +490,24 @@ impl Unranker<'_> {
         self.collapsed
     }
 
-    /// Cache-aware [`Collapsed::unrank_into`].
+    /// Cache-aware [`Collapsed::unrank_into`] (adaptive engines).
     pub fn unrank_into(&mut self, pc: i128, point: &mut [i64]) {
-        self.unrank_with(pc, point, true);
+        self.unrank_with(pc, point, None);
     }
 
     /// Cache-aware [`Collapsed::unrank_binary_into`] (no floating
     /// point; ablation mode and degrees beyond the closed forms).
     pub fn unrank_binary_into(&mut self, pc: i128, point: &mut [i64]) {
-        self.unrank_with(pc, point, false);
+        self.unrank_with(pc, point, Some(LevelEngine::BinarySearch));
     }
 
-    fn unrank_with(&mut self, pc: i128, point: &mut [i64], allow_closed_form: bool) {
+    /// Cache-aware [`Collapsed::unrank_closed_form_into`] (always-solve
+    /// ablation mode).
+    pub fn unrank_closed_form_into(&mut self, pc: i128, point: &mut [i64]) {
+        self.unrank_with(pc, point, Some(LevelEngine::ClosedForm));
+    }
+
+    fn unrank_with(&mut self, pc: i128, point: &mut [i64], force: Option<LevelEngine>) {
         let c = self.collapsed;
         assert!(pc >= 1 && pc <= c.total, "pc {pc} outside 1..={}", c.total);
         assert_eq!(point.len(), c.depth, "point arity mismatch");
@@ -438,10 +527,51 @@ impl Unranker<'_> {
                 entry.spec = Some(level.specialize(point));
                 entry.prefix[..k].copy_from_slice(&point[..k]);
                 entry.valid = true;
+                c.counters.spec_cache_miss.fetch_add(1, Ordering::Relaxed);
+            } else {
+                c.counters.spec_cache_hit.fetch_add(1, Ordering::Relaxed);
             }
             let spec = entry.spec.as_ref().expect("cache entry just filled");
-            point[k] = level.recover_spec(spec, lb, ub, pc, &c.counters, allow_closed_form);
+            let engine = force.unwrap_or(level.engine);
+            point[k] = level.recover_spec(spec, lb, ub, pc, &c.counters, engine);
         }
+    }
+
+    /// Cache-aware [`Collapsed::rank`]: consecutive or same-row points
+    /// (the batched-ranking shape — morph slot maps, packed layouts)
+    /// fold the outer prefix into the rank ladder once and pay a single
+    /// Horner sweep per point afterwards.
+    ///
+    /// `point` must lie in the domain: the cached sweep may use the
+    /// bind-time-proven unchecked `i64` Horner path, whose overflow
+    /// proof only covers domain points — out-of-domain values can
+    /// return a meaningless rank instead of panicking. Callers mapping
+    /// untrusted points check containment first (as morph's
+    /// `PackedSlots` and `Mapper` do) or use [`Collapsed::rank`],
+    /// which evaluates fully checked.
+    pub fn rank(&mut self, point: &[i64]) -> i128 {
+        let c = self.collapsed;
+        assert_eq!(point.len(), c.depth, "point arity mismatch");
+        debug_assert!(
+            c.nest.contains(point),
+            "Unranker::rank on out-of-domain point {point:?}"
+        );
+        let Some(cp) = &c.rank_compiled else {
+            return c.rank_int.eval_int(point);
+        };
+        let p = c.depth - 1;
+        let entry = &mut self.rank_cache;
+        let hit = entry.valid && entry.prefix[..p] == point[..p];
+        if !hit {
+            entry.spec = Some(cp.specialize(point, c.rank_i64_safe));
+            entry.prefix[..p].copy_from_slice(&point[..p]);
+            entry.valid = true;
+            c.counters.spec_cache_miss.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.counters.spec_cache_hit.fetch_add(1, Ordering::Relaxed);
+        }
+        let spec = entry.spec.as_ref().expect("cache entry just filled");
+        spec.eval_int(point[p])
     }
 }
 
@@ -461,6 +591,11 @@ mod tests {
                 "unrank({pc}) for {nest:?} params {params:?}"
             );
             assert_eq!(collapsed.rank(&point), pc, "rank{point:?}");
+            assert_eq!(
+                collapsed.rank_reference(&point),
+                pc,
+                "reference rank{point:?}"
+            );
             pc += 1;
         }
         assert_eq!(pc - 1, collapsed.total(), "total");
@@ -560,16 +695,49 @@ mod tests {
     }
 
     #[test]
-    fn binary_unranker_matches_closed_form() {
+    fn all_engines_agree() {
         let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
         let collapsed = spec.bind(&[9]).unwrap();
         for pc in 1..=collapsed.total() {
             let mut a = vec![0i64; 3];
             let mut b = vec![0i64; 3];
+            let mut c = vec![0i64; 3];
             collapsed.unrank_into(pc, &mut a);
             collapsed.unrank_binary_into(pc, &mut b);
-            assert_eq!(a, b, "pc={pc}");
+            collapsed.unrank_closed_form_into(pc, &mut c);
+            assert_eq!(a, b, "adaptive vs binary at pc={pc}");
+            assert_eq!(a, c, "adaptive vs closed form at pc={pc}");
         }
+    }
+
+    #[test]
+    fn engine_selection_tracks_width() {
+        // Narrow quadratic outer level → binary search; wide → closed
+        // form. Same nest, different parameters: the decision is a
+        // bind-time fact, not a symbolic one.
+        let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
+        let narrow = spec.bind(&[64]).unwrap();
+        assert_eq!(narrow.level_engine(0), LevelEngine::BinarySearch);
+        let wide = spec.bind(&[2_000_000]).unwrap();
+        assert_eq!(wide.level_engine(0), LevelEngine::ClosedForm);
+    }
+
+    #[test]
+    fn cached_rank_matches_stateless() {
+        let spec = CollapseSpec::new(&NestSpec::figure6()).unwrap();
+        let collapsed = spec.bind(&[12]).unwrap();
+        let mut unranker = collapsed.unranker();
+        for (pc, point) in (1i128..).zip(NestSpec::figure6().enumerate(&[12])) {
+            assert_eq!(collapsed.rank(&point), pc, "compiled rank{point:?}");
+            assert_eq!(unranker.rank(&point), pc, "cached rank{point:?}");
+        }
+        // The sweep walks rows in order: the rank-ladder cache must hit
+        // for every point that shares its row prefix with the previous.
+        let stats = collapsed.stats();
+        assert!(
+            stats.spec_cache_hit > stats.spec_cache_miss,
+            "row-order ranking should mostly hit: {stats:?}"
+        );
     }
 
     #[test]
@@ -619,7 +787,7 @@ mod tests {
         let collapsed = spec.bind(&[30]).unwrap();
         for pc in 1..=collapsed.total() {
             let mut p = vec![0i64; 3];
-            collapsed.unrank_into(pc, &mut p);
+            collapsed.unrank_closed_form_into(pc, &mut p);
         }
         let stats = collapsed.stats();
         assert_eq!(stats.binary_search, 0, "{stats:?}");

@@ -14,28 +14,38 @@
 //!   interleaved ranks, each lane recovering once and then advancing by
 //!   `W` odometer steps.
 
-use crate::collapsed::Collapsed;
-use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats};
+use crate::collapsed::{Collapsed, Unranker};
+use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats, WorkerLocal};
 use nrl_polyhedra::BoundNest;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a collapsed executor recovers original indices inside a chunk
 /// (§V of the paper).
+///
+/// All modes except [`Recovery::Reference`] recover through per-worker
+/// [`Unranker`] scratch slots, so the specialization caches survive
+/// chunk boundaries under dynamic and guided schedules too.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Recovery {
     /// Costly recovery at *every* iteration (the paper's worst case,
     /// unavoidable under dynamic scheduling of single iterations).
     Naive,
     /// Costly recovery once per chunk, then odometer incrementation —
-    /// the paper's Fig. 4 / §V scheme.
+    /// the paper's Fig. 4 / §V scheme, through the adaptive per-level
+    /// engines.
     OncePerChunk,
     /// §VI.A: recover once per chunk, pre-compute tuples into a
     /// thread-private buffer of this many entries, then run the bodies
     /// over the buffer (the auto-vectorization-friendly layout).
     Batched(usize),
     /// Like [`Recovery::OncePerChunk`] but recovery uses the pure
-    /// binary-search unranker (no floating point) — ablation mode.
+    /// binary-search unranker (no floating point) — per-engine
+    /// ablation mode.
     BinarySearch,
+    /// Like [`Recovery::OncePerChunk`] but recovery always solves the
+    /// closed form where one exists (the paper's assumption) — the
+    /// other per-engine ablation mode.
+    ClosedForm,
     /// Like [`Recovery::OncePerChunk`] but recovery runs through the
     /// pre-compilation reference engine (term-by-term multivariate
     /// evaluation per probe) — the ablation baseline that quantifies
@@ -149,18 +159,33 @@ where
     assert!(total >= 0, "invalid domain");
     let total_u64 = u64::try_from(total).expect("total exceeds u64");
     let d = collapsed.depth();
-    // Per-worker unrankers (Naive only — the other modes recover once
-    // per chunk), allocated once and reused across chunks so the
-    // specialization cache survives chunk boundaries (each slot is
-    // only ever locked by its own thread — the lock is uncontended).
-    let unrankers: Vec<std::sync::Mutex<crate::collapsed::Unranker<'_>>> =
-        if recovery == Recovery::Naive {
-            (0..pool.nthreads())
-                .map(|_| std::sync::Mutex::new(collapsed.unranker()))
-                .collect()
-        } else {
-            Vec::new()
-        };
+    // Per-worker unranker scratch slots, allocated once and reused
+    // across chunks so the specialization caches survive chunk
+    // boundaries under every schedule — lock-free (each slot belongs to
+    // its tid; see `WorkerLocal`). The reference ablation deliberately
+    // runs cacheless, as the pre-compilation engine did.
+    let unrankers: Option<WorkerLocal<Unranker<'_>>> = if recovery == Recovery::Reference {
+        None
+    } else {
+        Some(WorkerLocal::new(pool.nthreads(), |_| collapsed.unranker()))
+    };
+    // One recovery at the chunk's first rank, through the worker's
+    // cache-carrying unranker (or the reference engine).
+    let recover_chunk_start = |tid: usize, s: u64, point: &mut [i64]| match recovery {
+        Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
+        Recovery::BinarySearch => unrankers
+            .as_ref()
+            .expect("cached modes hold unrankers")
+            .with(tid, |u| u.unrank_binary_into((s + 1) as i128, point)),
+        Recovery::ClosedForm => unrankers
+            .as_ref()
+            .expect("cached modes hold unrankers")
+            .with(tid, |u| u.unrank_closed_form_into((s + 1) as i128, point)),
+        _ => unrankers
+            .as_ref()
+            .expect("cached modes hold unrankers")
+            .with(tid, |u| u.unrank_into((s + 1) as i128, point)),
+    };
     pool.parallel_for(total_u64, schedule, &|tid, s, e| {
         debug_assert!(s < e);
         let mut point = vec![0i64; d.max(1)];
@@ -179,18 +204,19 @@ where
                 // their outer prefix most of the time, so the per-level
                 // specialized Horner ladders are reused instead of
                 // re-folded — across chunk boundaries too.
-                let mut unranker = unrankers[tid].lock().expect("unranker slot poisoned");
-                for pc in s..e {
-                    unranker.unrank_into((pc + 1) as i128, point);
-                    body(tid, point);
-                }
+                let unrankers = unrankers.as_ref().expect("cached modes hold unrankers");
+                unrankers.with(tid, |unranker| {
+                    for pc in s..e {
+                        unranker.unrank_into((pc + 1) as i128, point);
+                        body(tid, point);
+                    }
+                });
             }
-            Recovery::OncePerChunk | Recovery::BinarySearch | Recovery::Reference => {
-                match recovery {
-                    Recovery::BinarySearch => collapsed.unrank_binary_into((s + 1) as i128, point),
-                    Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
-                    _ => collapsed.unrank_into((s + 1) as i128, point),
-                }
+            Recovery::OncePerChunk
+            | Recovery::BinarySearch
+            | Recovery::ClosedForm
+            | Recovery::Reference => {
+                recover_chunk_start(tid, s, point);
                 // Row-wise walk: the innermost level is a contiguous
                 // run, so iterate it as a tight loop (the `j++` of the
                 // paper's Fig. 4) and pay a full odometer carry only
@@ -219,7 +245,7 @@ where
             }
             Recovery::Batched(vlength) => {
                 let vlength = vlength.max(1);
-                collapsed.unrank_into((s + 1) as i128, point);
+                recover_chunk_start(tid, s, point);
                 let mut buf = vec![0i64; vlength * d.max(1)];
                 let mut remaining = e - s;
                 while remaining > 0 {
@@ -426,6 +452,7 @@ mod tests {
             Recovery::OncePerChunk,
             Recovery::Batched(8),
             Recovery::BinarySearch,
+            Recovery::ClosedForm,
             Recovery::Reference,
         ] {
             let got = collect_parallel(|body| {
@@ -550,6 +577,39 @@ mod tests {
                 collect_parallel(|body| run_warp_sim(&pool, &collapsed, warp, |t, p| body(t, p)));
             assert_eq!(got, reference(&nest, &[7]), "warp={warp}");
         }
+    }
+
+    #[test]
+    fn worker_cache_survives_chunk_boundaries() {
+        // One worker, dynamic schedule with chunks far smaller than the
+        // domain: once-per-chunk recovery goes through the per-worker
+        // unranker, so every chunk after the first must *hit* the
+        // level-0 specialization cache (its prefix is empty — it can
+        // only miss once per worker). The old code rebuilt per chunk.
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[40]).unwrap();
+        let total = collapsed.total() as u64; // 780
+        let chunk = 13u64;
+        let nchunks = total.div_ceil(chunk);
+        assert!(nchunks >= 2, "test needs multiple chunks");
+        let pool = ThreadPool::new(1);
+        run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Dynamic(chunk),
+            Recovery::OncePerChunk,
+            |_, _| {},
+        );
+        let stats = collapsed.stats();
+        assert!(
+            stats.spec_cache_hit >= nchunks - 1,
+            "level-0 ladder must be reused across chunks: {stats:?} ({nchunks} chunks)"
+        );
+        assert!(
+            stats.spec_cache_miss <= 2 * nchunks,
+            "misses bounded by prefix changes: {stats:?}"
+        );
     }
 
     #[test]

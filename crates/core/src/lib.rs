@@ -57,7 +57,7 @@ pub use exec::{
 pub use imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};
 pub use ranking::Ranking;
-pub use unrank::RecoveryStats;
+pub use unrank::{LevelEngine, RecoveryStats};
 
 // Re-exports so downstream users need only one crate.
 pub use nrl_parfor::{Schedule, ThreadPool};

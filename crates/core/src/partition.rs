@@ -1,7 +1,7 @@
 //! Balanced *outer-loop* partitioning — the related-work baseline the
 //! paper positions itself against (§VIII).
 //!
-//! Sakellariou [14], Kejariwal et al. [15] and Kafri–Sbeih [16] balance
+//! Sakellariou \[14\], Kejariwal et al. \[15\] and Kafri–Sbeih \[16\] balance
 //! non-rectangular loops by cutting the **outermost** loop into
 //! contiguous ranges of near-equal iteration mass (computed from
 //! symbolic cost estimates or geometry). Having the exact ranking

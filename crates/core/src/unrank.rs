@@ -18,7 +18,7 @@
 //! `(i_0 … i_{k−1})`, varying only `x = i_k`. Since this workspace's
 //! v1, each level therefore holds a [`CompiledPoly`] — `R_k` lowered
 //! once at bind time into a Horner-ordered coefficient ladder,
-//! univariate in `x` — and [`BoundLevel::recover_with`] begins by
+//! univariate in `x` — and `BoundLevel::recover_with` begins by
 //! **specializing** the ladder at the prefix: a single pass that folds
 //! `point[..k]` into a flat `[i128; deg+1]` array. After that, the ±1
 //! verification, every binary-search step and the closed-form
@@ -29,15 +29,74 @@
 //! otherwise they run in checked `i128`.
 //!
 //! The original term-by-term multivariate evaluation survives as
-//! [`BoundLevel::recover_reference`] — the ground truth the
+//! `BoundLevel::recover_reference` — the ground truth the
 //! differential tests and ablation benches compare against.
 
 use nrl_poly::{CompiledPoly, IntPoly, SpecializedPoly, MAX_COMPILED_COEFFS};
-use nrl_solver::{polish_real_root, solve, Complex64};
+use nrl_solver::{polish_real_root, solve_into, solve_real, Complex64, MAX_DEGREE};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum supported nest depth for the stack-allocated hot path.
 pub const MAX_DEPTH: usize = 16;
+
+/// The recovery engine one level uses on the adaptive hot path, decided
+/// once at bind time from the level's univariate degree and the proven
+/// width of its search range (degree-1 levels bypass both engines
+/// through the exact linear path).
+///
+/// The crossover logic: a binary-search probe is an `O(deg)` Horner
+/// sweep costing a few nanoseconds (more when only the checked `i128`
+/// path is proven), and the search pays `⌈log₂ width⌉` of them; the
+/// closed form pays a fixed price per degree (real quadratic/cubic
+/// formulas, or the complex Ferrari route for quartics) plus the exact
+/// ±1 verification. Narrow levels therefore binary-search, wide levels
+/// solve — the opposite ends of the trade the paper's §IV assumes is
+/// always won by the closed form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LevelEngine {
+    /// Closed-form root + exact verification (degree 2–4), with the
+    /// binary search kept as the guaranteed fallback.
+    ClosedForm,
+    /// Monotone integer binary search over the compiled ladder.
+    BinarySearch,
+}
+
+/// Equivalent-probe cost of one closed-form solve per degree, in units
+/// of one proven-`i64` Horner probe of the same degree. Calibrated on
+/// the `unrank` microbenches (see `crates/bench/benches/unranking.rs`):
+/// the fused real quadratic costs about as much as 14 quadratic probes
+/// (solve+verify ≈ one 10-probe search + 30 ns at ~7 ns/probe), the
+/// real cubic about 22 cubic probes, and the complex-arithmetic Ferrari
+/// quartic remains far more expensive.
+const CLOSED_FORM_PROBE_EQUIV: [u32; MAX_DEGREE + 1] = [0, 0, 14, 22, 60];
+
+impl LevelEngine {
+    /// Picks the engine for a level of univariate degree `deg` whose
+    /// search range is proven at most `width` values wide (`None` when
+    /// the interval analysis overflowed — treated as unbounded).
+    /// `i64_safe` scales the probe cost: unproven levels probe through
+    /// checked `i128` arithmetic, roughly 3× dearer.
+    pub fn choose(deg: usize, width: Option<i64>, i64_safe: bool) -> LevelEngine {
+        // Degree 0/1 levels never consult the engine (the exact linear
+        // path runs first); report the search so introspection via
+        // `Collapsed::level_engine` stays honest. Degrees beyond the
+        // closed forms can only search.
+        if !(2..=MAX_DEGREE).contains(&deg) {
+            return LevelEngine::BinarySearch;
+        }
+        // ⌈log₂(width + 1)⌉ probes to pin one value in `width` many.
+        let probes = match width {
+            Some(w) if w >= 0 => 64 - (w as u64).leading_zeros(),
+            _ => 63,
+        };
+        let probe_cost = if i64_safe { 1 } else { 3 };
+        if probes * probe_cost > CLOSED_FORM_PROBE_EQUIV[deg] {
+            LevelEngine::ClosedForm
+        } else {
+            LevelEngine::BinarySearch
+        }
+    }
+}
 
 /// One collapsed level with parameters bound: everything needed to
 /// recover `i_k` from `pc` and the outer prefix.
@@ -53,6 +112,8 @@ pub struct BoundLevel {
     /// Bind-time proof that specialized Horner sweeps fit in `i64` for
     /// every reachable probe (see `CompiledPoly::magnitude_bound`).
     pub(crate) i64_safe: bool,
+    /// The engine the adaptive hot path uses for this level.
+    pub(crate) engine: LevelEngine,
 }
 
 /// Counters describing which recovery path unranking has taken (useful
@@ -68,6 +129,13 @@ pub struct RecoveryCounters {
     pub binary_search: AtomicU64,
     /// Level solved by the exact integer linear path (degree 1).
     pub linear_exact: AtomicU64,
+    /// `Unranker` cache hits: a specialization reused because the outer
+    /// prefix had not moved (incl. across chunk boundaries under the
+    /// per-worker scratch slots).
+    pub spec_cache_hit: AtomicU64,
+    /// `Unranker` cache misses: the prefix moved, a fresh
+    /// specialization was folded.
+    pub spec_cache_miss: AtomicU64,
 }
 
 /// A plain snapshot of [`RecoveryCounters`].
@@ -81,6 +149,10 @@ pub struct RecoveryStats {
     pub binary_search: u64,
     /// Level solved by the exact integer linear path.
     pub linear_exact: u64,
+    /// `Unranker` specialization-cache hits.
+    pub spec_cache_hit: u64,
+    /// `Unranker` specialization-cache misses.
+    pub spec_cache_miss: u64,
 }
 
 impl RecoveryCounters {
@@ -91,6 +163,8 @@ impl RecoveryCounters {
             corrected: self.corrected.load(Ordering::Relaxed),
             binary_search: self.binary_search.load(Ordering::Relaxed),
             linear_exact: self.linear_exact.load(Ordering::Relaxed),
+            spec_cache_hit: self.spec_cache_hit.load(Ordering::Relaxed),
+            spec_cache_miss: self.spec_cache_miss.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,8 +177,9 @@ impl BoundLevel {
         self.compiled.specialize(point, self.i64_safe)
     }
 
-    /// Recovers `i_k` given the outer prefix in `point[..k]`. `lb`/`ub`
-    /// bound the search; `pc` is 1-based.
+    /// Recovers `i_k` given the outer prefix in `point[..k]`, through
+    /// this level's bind-time-chosen engine. `lb`/`ub` bound the
+    /// search; `pc` is 1-based.
     ///
     /// Requires `R_k(lb) ≤ pc` (true whenever the prefix was recovered
     /// correctly and `pc ≤ total`).
@@ -117,12 +192,14 @@ impl BoundLevel {
         pc: i128,
         counters: &RecoveryCounters,
     ) -> i64 {
-        self.recover_with(point, k, lb, ub, pc, counters, true)
+        self.recover_with(point, k, lb, ub, pc, counters, self.engine)
     }
 
-    /// [`Self::recover`] with an explicit switch for the closed-form
-    /// path — `false` forces the pure binary-search unranker (ablation
-    /// baseline; also exercised for degrees beyond the closed forms).
+    /// [`Self::recover`] with the engine forced — the per-engine
+    /// ablation axes ([`LevelEngine::BinarySearch`] is the pure integer
+    /// unranker; [`LevelEngine::ClosedForm`] is the always-solve path
+    /// the paper assumes, still falling back to the search where no
+    /// closed form exists).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn recover_with(
         &self,
@@ -132,7 +209,7 @@ impl BoundLevel {
         ub: i64,
         pc: i128,
         counters: &RecoveryCounters,
-        allow_closed_form: bool,
+        engine: LevelEngine,
     ) -> i64 {
         debug_assert!(lb <= ub, "empty level reached during recovery");
         if lb == ub {
@@ -140,7 +217,7 @@ impl BoundLevel {
         }
         debug_assert_eq!(self.compiled.x(), k, "level/ladder mismatch");
         let spec = self.specialize(point);
-        self.recover_spec(&spec, lb, ub, pc, counters, allow_closed_form)
+        self.recover_spec(&spec, lb, ub, pc, counters, engine)
     }
 
     /// The recovery engine over an already-specialized ladder (callers
@@ -154,7 +231,7 @@ impl BoundLevel {
         ub: i64,
         pc: i128,
         counters: &RecoveryCounters,
-        allow_closed_form: bool,
+        engine: LevelEngine,
     ) -> i64 {
         debug_assert!(lb <= ub, "empty level reached during recovery");
         if lb == ub {
@@ -180,13 +257,25 @@ impl BoundLevel {
             counters.linear_exact.fetch_add(1, Ordering::Relaxed);
             return x;
         }
-        if allow_closed_form && self.closed_form {
+        if engine == LevelEngine::ClosedForm && self.closed_form {
             // O(deg) coefficient assembly from the specialized ladder.
             let mut cf = [0.0f64; MAX_COMPILED_COEFFS];
             spec.write_f64_coeffs(&mut cf);
             cf[0] -= pc as f64;
-            let roots = solve(&cf[..=deg]);
-            if let Some(x) = self.try_roots(&roots, &cf[..=deg], spec, target, lb, ub, counters) {
+            let found = if deg <= 3 {
+                // Fused real path: quadratic/cubic real roots with
+                // Newton polishing folded in — no complex arithmetic,
+                // no allocation.
+                solve_real(&cf[..=deg], 2)
+                    .and_then(|roots| self.try_real_roots(&roots, spec, target, lb, ub, counters))
+            } else {
+                // Quartics keep the complex Ferrari route, through the
+                // fixed-size buffer (no allocation either).
+                let mut buf = [Complex64::ZERO; MAX_DEGREE];
+                let n = solve_into(&cf[..=deg], &mut buf);
+                self.try_complex_roots(&buf[..n], &cf[..=deg], spec, target, lb, ub, counters)
+            };
+            if let Some(x) = found {
                 return x;
             }
         }
@@ -206,10 +295,68 @@ impl BoundLevel {
         lo
     }
 
-    /// Tries the closed-form roots (nearest-to-real first) with exact
-    /// verification and a ±1 correction window.
+    /// Exact verification of one floored root candidate with the ±1
+    /// correction window: returns the index iff
+    /// `R_k(v) ≤ pc < R_k(v+1)` for some `v ∈ {⌊root⌋, ⌊root⌋±1}`.
+    #[inline]
+    fn verify_candidate(
+        &self,
+        spec: &SpecializedPoly,
+        target: i128,
+        lb: i64,
+        ub: i64,
+        root: f64,
+        counters: &RecoveryCounters,
+    ) -> Option<i64> {
+        let base = root.floor();
+        if !base.is_finite() {
+            return None;
+        }
+        let base = (base as i64).clamp(lb, ub);
+        for (attempt, delta) in [0i64, 1, -1].into_iter().enumerate() {
+            let v = base + delta;
+            if v < lb || v > ub {
+                continue;
+            }
+            if spec.eval_numer(v) <= target && target < spec.eval_numer(v + 1) {
+                if attempt == 0 {
+                    counters.closed_form_exact.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    counters.corrected.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Tries the already-polished real roots of the fused fast path.
+    fn try_real_roots(
+        &self,
+        roots: &[f64],
+        spec: &SpecializedPoly,
+        target: i128,
+        lb: i64,
+        ub: i64,
+        counters: &RecoveryCounters,
+    ) -> Option<i64> {
+        for &root in roots {
+            // Reject roots far outside the feasible range before paying
+            // for verification.
+            if !root.is_finite() || root < lb as f64 - 2.0 || root > ub as f64 + 2.0 {
+                continue;
+            }
+            if let Some(v) = self.verify_candidate(spec, target, lb, ub, root, counters) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Tries the closed-form complex roots (nearest-to-real first) with
+    /// exact verification — the quartic route.
     #[allow(clippy::too_many_arguments)]
-    fn try_roots(
+    fn try_complex_roots(
         &self,
         roots: &[Complex64],
         cf: &[f64],
@@ -235,24 +382,8 @@ impl BoundLevel {
                 continue;
             }
             let polished = polish_real_root(cf, root.re, 3);
-            let base = polished.floor();
-            if !base.is_finite() {
-                continue;
-            }
-            let base = (base as i64).clamp(lb, ub);
-            for (attempt, delta) in [0i64, 1, -1].into_iter().enumerate() {
-                let v = base + delta;
-                if v < lb || v > ub {
-                    continue;
-                }
-                if spec.eval_numer(v) <= target && target < spec.eval_numer(v + 1) {
-                    if attempt == 0 {
-                        counters.closed_form_exact.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        counters.corrected.fetch_add(1, Ordering::Relaxed);
-                    }
-                    return Some(v);
-                }
+            if let Some(v) = self.verify_candidate(spec, target, lb, ub, polished, counters) {
+                return Some(v);
             }
         }
         None
@@ -304,7 +435,9 @@ mod tests {
     use nrl_rational::Rational;
 
     /// Builds the correlation level-0 solver by hand: R_0(x) =
-    /// rank(x, x+1) = −x²/2 + (N − 1/2)x + 1 with N bound.
+    /// rank(x, x+1) = −x²/2 + (N − 1/2)x + 1 with N bound. The engine
+    /// is pinned to the closed form so the tests below exercise the
+    /// solve-and-verify path regardless of the adaptive crossover.
     fn correlation_level0(n: i64) -> BoundLevel {
         let d = 2; // iterator ring (i, j)
         let x = Poly::var(d, 0);
@@ -320,7 +453,34 @@ mod tests {
             rk: IntPoly::from_poly(&r0),
             closed_form: true,
             i64_safe,
+            engine: LevelEngine::ClosedForm,
         }
+    }
+
+    #[test]
+    fn engine_choice_crossover() {
+        // Narrow quadratic levels binary-search, wide ones solve.
+        assert_eq!(
+            LevelEngine::choose(2, Some(100), true),
+            LevelEngine::BinarySearch
+        );
+        assert_eq!(
+            LevelEngine::choose(2, Some(1 << 20), true),
+            LevelEngine::ClosedForm
+        );
+        // Unproven i64 safety triples probe cost, shifting the
+        // crossover toward the closed form.
+        assert_eq!(
+            LevelEngine::choose(2, Some(100), false),
+            LevelEngine::ClosedForm
+        );
+        // Degrees beyond the closed forms always search, at any width.
+        assert_eq!(
+            LevelEngine::choose(6, None, true),
+            LevelEngine::BinarySearch
+        );
+        // Unknown width counts as unbounded.
+        assert_eq!(LevelEngine::choose(2, None, true), LevelEngine::ClosedForm);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Differential property tests for the adaptive engine crossover: on
+//! randomized nests of depth 1–6, the forced closed-form and forced
+//! binary-search engines must agree **bit-exactly** on every level
+//! where both are eligible (univariate degree 2–4 — including the
+//! degree-4 boundary, the last with a closed form, and degree-5+
+//! levels where only the search runs), the adaptive mix must equal
+//! both, and the compiled `rank()` ladder must match the multivariate
+//! reference at every domain point.
+
+use nrl_core::{run_seq, CollapseSpec, LevelEngine, NestSpec};
+use nrl_polyhedra::Space;
+use proptest::prelude::*;
+
+const VAR_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+
+/// A randomized nest of the given depth: level 0 is `0..=N−1`; each
+/// deeper level is `0..=(x_q + c)` for a random outer variable `q` and
+/// small offset `c`. `pile_up = 1` hangs every deeper level off `x_0`,
+/// driving the level-0 inversion degree to `depth` — crossing the
+/// closed-form boundary exactly at depth 4 and leaving it at depth 5.
+fn arb_nest(depth: usize) -> impl Strategy<Value = (NestSpec, Vec<i64>)> {
+    (
+        proptest::collection::vec((0usize..6, 0i64..3), depth.saturating_sub(1)),
+        2i64..6,
+        0u8..2,
+    )
+        .prop_map(move |(shape, n, pile_up)| {
+            let s = Space::new(&VAR_NAMES[..depth], &["N"]);
+            let mut bounds = vec![(s.cst(0), s.var("N") - 1)];
+            for (k, &(q, c)) in shape.iter().enumerate() {
+                let outer = if pile_up == 1 { 0 } else { q % (k + 1) };
+                bounds.push((s.cst(0), s.var(VAR_NAMES[outer]) + c));
+            }
+            let nest = NestSpec::new(s, bounds).expect("structurally valid");
+            (nest, vec![n])
+        })
+}
+
+/// The crossover differential: both forced engines, the adaptive mix,
+/// and the compiled rank ladder agree with the enumeration everywhere.
+fn check_crossover(nest: &NestSpec, params: &[i64]) -> Result<(), TestCaseError> {
+    let spec = CollapseSpec::new(nest).expect("spec");
+    let collapsed = spec.bind(params).expect("bind");
+    let d = nest.depth();
+    let mut seq = Vec::new();
+    run_seq(&nest.bind(params), |p| seq.push(p.to_vec()));
+    prop_assert_eq!(seq.len() as i128, collapsed.total());
+    let mut adaptive = vec![0i64; d];
+    let mut closed = vec![0i64; d];
+    let mut binary = vec![0i64; d];
+    for (idx, expected) in seq.iter().enumerate() {
+        let pc = idx as i128 + 1;
+        collapsed.unrank_into(pc, &mut adaptive);
+        collapsed.unrank_closed_form_into(pc, &mut closed);
+        collapsed.unrank_binary_into(pc, &mut binary);
+        prop_assert_eq!(&closed, &binary, "forced engines disagree at pc={}", pc);
+        prop_assert_eq!(&adaptive, &closed, "adaptive != closed form at pc={}", pc);
+        prop_assert_eq!(&adaptive, expected, "adaptive != enumeration at pc={}", pc);
+        prop_assert_eq!(
+            collapsed.rank(expected),
+            pc,
+            "compiled rank at {:?}",
+            expected
+        );
+        prop_assert_eq!(
+            collapsed.rank_reference(expected),
+            pc,
+            "reference rank at {:?}",
+            expected
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn depth1_crossover((nest, params) in arb_nest(1)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    #[test]
+    fn depth2_crossover((nest, params) in arb_nest(2)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    #[test]
+    fn depth3_crossover((nest, params) in arb_nest(3)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    #[test]
+    fn depth4_crossover((nest, params) in arb_nest(4)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    #[test]
+    fn depth5_crossover((nest, params) in arb_nest(5)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    #[test]
+    fn depth6_crossover((nest, params) in arb_nest(6)) {
+        check_crossover(&nest, &params)?;
+    }
+
+    /// The degree-4 boundary: a depth-4 pile-up nest has a level-0
+    /// inversion of exactly degree 4 — the last degree with a closed
+    /// form. Both engines must be eligible and agree; one level deeper
+    /// the closed form disappears and the adaptive engine must pick
+    /// the search.
+    #[test]
+    fn degree_boundary_levels(n in 2i64..6) {
+        for depth in [4usize, 5] {
+            let s = Space::new(&VAR_NAMES[..depth], &["N"]);
+            let mut bounds = vec![(s.cst(0), s.var("N") - 1)];
+            for _ in 1..depth {
+                bounds.push((s.cst(0), s.var("i")));
+            }
+            let nest = NestSpec::new(s, bounds).expect("valid");
+            let spec = CollapseSpec::new(&nest).expect("spec");
+            prop_assert_eq!(spec.closed_form_available(), depth == 4);
+            let collapsed = spec.bind(&[n]).expect("bind");
+            if depth == 5 {
+                prop_assert_eq!(
+                    collapsed.level_engine(0),
+                    LevelEngine::BinarySearch,
+                    "degree 5 has no closed form to adapt to"
+                );
+            }
+            check_crossover(&nest, &[n])?;
+        }
+    }
+
+    /// Adaptive engine choices are bind-time facts consistent with the
+    /// recorded interval facts: whatever was chosen, recoveries through
+    /// `Unranker` (cache-carrying) match the stateless path bit-exactly.
+    #[test]
+    fn cached_unranker_matches_adaptive((nest, params) in arb_nest(4)) {
+        let spec = CollapseSpec::new(&nest).expect("spec");
+        let collapsed = spec.bind(&params).expect("bind");
+        let d = nest.depth();
+        let mut unranker = collapsed.unranker();
+        let mut stateless = vec![0i64; d];
+        let mut cached = vec![0i64; d];
+        for pc in 1..=collapsed.total() {
+            collapsed.unrank_into(pc, &mut stateless);
+            unranker.unrank_into(pc, &mut cached);
+            prop_assert_eq!(&cached, &stateless, "pc={}", pc);
+            prop_assert_eq!(unranker.rank(&cached), pc, "cached rank at pc={}", pc);
+        }
+    }
+}

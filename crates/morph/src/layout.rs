@@ -1,7 +1,7 @@
 //! Rank-based packed data layouts.
 //!
 //! The ranking polynomial was introduced (Clauss–Meister, the paper's
-//! reference [8]) to *relocate array elements in memory in the same
+//! reference \[8\]) to *relocate array elements in memory in the same
 //! order as they are accessed*. This module implements that
 //! application: a [`PackedLayout`] stores one slot per iteration of a
 //! nest, at the position given by the iteration's rank. A loop nest
@@ -14,7 +14,7 @@
 //! row-major packed triangular storage (one of BLAS's `TP` formats,
 //! shifted by the excluded diagonal).
 
-use nrl_core::{CollapseSpec, Collapsed, NestSpec};
+use nrl_core::{CollapseSpec, Collapsed, NestSpec, Unranker};
 use std::sync::Arc;
 
 /// A bijection between the points of a nest's domain and the slots
@@ -83,6 +83,38 @@ impl PackedLayout {
     /// Panics if `slot >= len()`.
     pub fn point_of_slot(&self, slot: usize) -> Vec<i64> {
         self.collapsed.unrank(slot as i128 + 1)
+    }
+
+    /// A cache-carrying slot mapper: batched slot lookups of nearby
+    /// points (gathers/scatters over one row of the domain) fold the
+    /// rank ladder's outer prefix once instead of per point. One per
+    /// worker thread.
+    pub fn slots(&self) -> PackedSlots<'_> {
+        PackedSlots {
+            layout: self,
+            unranker: self.collapsed.unranker(),
+        }
+    }
+}
+
+/// A stateful [`PackedLayout`] slot mapper built on the compiled rank
+/// ladder's prefix cache (see [`PackedLayout::slots`]). Not `Sync`.
+pub struct PackedSlots<'a> {
+    layout: &'a PackedLayout,
+    unranker: Unranker<'a>,
+}
+
+impl PackedSlots<'_> {
+    /// Cached [`PackedLayout::slot`].
+    ///
+    /// # Panics
+    /// Panics if `point` is outside the domain.
+    pub fn slot(&mut self, point: &[i64]) -> usize {
+        assert!(
+            self.layout.collapsed.nest().contains(point),
+            "point {point:?} is outside the packed domain"
+        );
+        (self.unranker.rank(point) - 1) as usize
     }
 }
 
@@ -225,6 +257,19 @@ mod tests {
             let p = layout.point_of_slot(slot);
             assert_eq!(layout.slot(&p), slot);
         }
+    }
+
+    #[test]
+    fn cached_slots_match_stateless() {
+        let layout = PackedLayout::for_nest(&NestSpec::figure6(), &[7]);
+        let mut slots = layout.slots();
+        for p in NestSpec::figure6().enumerate(&[7]) {
+            assert_eq!(slots.slot(&p), layout.slot(&p), "point {p:?}");
+        }
+        let outside = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            layout.slots().slot(&[6, 6, 6])
+        }));
+        assert!(outside.is_err(), "outside point must be rejected");
     }
 
     #[test]

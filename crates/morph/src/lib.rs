@@ -25,7 +25,7 @@
 //!
 //! * [`PackedLayout`] / [`PackedArray`] — the memory-layout application
 //!   of ranking polynomials from Clauss–Meister (the paper's reference
-//!   [8]): array elements are stored in the exact order the nest visits
+//!   \[8\]): array elements are stored in the exact order the nest visits
 //!   them, so a non-rectangular traversal becomes a contiguous sweep.
 //!   For an upper-triangular nest this reproduces packed triangular
 //!   storage.
@@ -42,8 +42,8 @@ pub mod layout;
 pub mod remap;
 
 pub use fuse::FusedLoop;
-pub use layout::{PackedArray, PackedLayout};
-pub use remap::RankRemap;
+pub use layout::{PackedArray, PackedLayout, PackedSlots};
+pub use remap::{Mapper, RankRemap};
 
 use std::fmt;
 

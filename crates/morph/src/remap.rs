@@ -2,8 +2,8 @@
 //! shapes.
 
 use crate::MorphError;
-use nrl_core::Collapsed;
-use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool};
+use nrl_core::{Collapsed, Unranker};
+use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, WorkerLocal};
 
 /// A bijection between two iteration domains of equal cardinality.
 ///
@@ -120,9 +120,23 @@ impl RankRemap {
         }
     }
 
+    /// A stateful mapping handle with per-side specialization caches:
+    /// batched mapping of nearby points (slot-map construction, tiled
+    /// remaps) folds each side's ladders once per row instead of once
+    /// per point. One per worker thread — see [`Unranker`].
+    pub fn mapper(&self) -> Mapper<'_> {
+        Mapper {
+            remap: self,
+            from: self.from.unranker(),
+            to: self.to.unranker(),
+        }
+    }
+
     /// Runs `body(tid, src_point, dst_point)` for every rank, in
     /// parallel under `schedule`, with once-per-chunk recovery on both
-    /// sides (the §V cost model applied to the remap).
+    /// sides (the §V cost model applied to the remap). Recovery runs
+    /// through per-worker [`Unranker`] scratch slots whose caches
+    /// survive chunk boundaries.
     ///
     /// Within a chunk, pairs are visited in increasing rank order.
     pub fn par_for_each<F>(&self, pool: &ThreadPool, schedule: Schedule, body: F) -> ImbalanceReport
@@ -133,14 +147,19 @@ impl RankRemap {
         let total_u64 = u64::try_from(total.max(0)).expect("total exceeds u64");
         let df = self.from.depth();
         let dt = self.to.depth();
+        let scratch = WorkerLocal::new(pool.nthreads(), |_| {
+            (self.from.unranker(), self.to.unranker())
+        });
         pool.parallel_for(total_u64, schedule, &|tid, s, e| {
             debug_assert!(s < e);
             let mut src = vec![0i64; df.max(1)];
             let mut dst = vec![0i64; dt.max(1)];
             let src = &mut src[..df];
             let dst = &mut dst[..dt];
-            self.from.unrank_into((s + 1) as i128, src);
-            self.to.unrank_into((s + 1) as i128, dst);
+            scratch.with(tid, |(uf, ut)| {
+                uf.unrank_into((s + 1) as i128, src);
+                ut.unrank_into((s + 1) as i128, dst);
+            });
             for pc in s..e {
                 body(tid, src, dst);
                 if pc + 1 < e {
@@ -150,6 +169,46 @@ impl RankRemap {
                 }
             }
         })
+    }
+}
+
+/// A cache-carrying [`RankRemap`] handle (see [`RankRemap::mapper`]):
+/// `map_into` computes the shared rank through the source side's
+/// compiled rank ladder (prefix folded once per row) and recovers the
+/// target point through the target side's unranker cache. Not `Sync` —
+/// one per worker thread.
+pub struct Mapper<'a> {
+    remap: &'a RankRemap,
+    from: Unranker<'a>,
+    to: Unranker<'a>,
+}
+
+impl Mapper<'_> {
+    /// The underlying bijection.
+    pub fn remap(&self) -> &RankRemap {
+        self.remap
+    }
+
+    /// Cached [`RankRemap::map_into`].
+    ///
+    /// # Panics
+    /// Panics if `src` is not in the source domain or `dst` has the
+    /// wrong arity.
+    pub fn map_into(&mut self, src: &[i64], dst: &mut [i64]) -> i128 {
+        assert!(
+            self.remap.from.nest().contains(src),
+            "source point {src:?} is outside the domain"
+        );
+        let pc = self.from.rank(src);
+        self.to.unrank_into(pc, dst);
+        pc
+    }
+
+    /// Allocating convenience wrapper around [`Self::map_into`].
+    pub fn map(&mut self, src: &[i64]) -> Vec<i64> {
+        let mut dst = vec![0i64; self.remap.to.depth()];
+        self.map_into(src, &mut dst);
+        dst
     }
 }
 
@@ -296,6 +355,22 @@ mod tests {
             let mut expect: Vec<_> = remap.pairs().collect();
             expect.sort();
             assert_eq!(got, expect, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn cached_mapper_matches_stateless() {
+        let n = 9i64;
+        let tri = collapse(&NestSpec::correlation(), &[n]);
+        let total = tri.total();
+        let remap = RankRemap::new(tri, linear(total)).unwrap();
+        let mut mapper = remap.mapper();
+        for point in NestSpec::correlation().enumerate(&[n]) {
+            let mut cached = vec![0i64; 1];
+            let pc = mapper.map_into(&point, &mut cached);
+            assert_eq!(cached, remap.map(&point), "point {point:?}");
+            assert_eq!(pc, remap.source().rank(&point));
+            assert_eq!(mapper.map(&point), cached);
         }
     }
 

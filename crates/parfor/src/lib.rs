@@ -41,9 +41,11 @@
 
 pub mod pool;
 pub mod schedule;
+pub mod scratch;
 pub mod stats;
 mod sync;
 
 pub use pool::ThreadPool;
 pub use schedule::{ParseScheduleError, Schedule};
+pub use scratch::WorkerLocal;
 pub use stats::{ImbalanceReport, ThreadStats};

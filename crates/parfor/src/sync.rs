@@ -80,6 +80,13 @@ impl<T> CachePadded<T> {
     }
 }
 
+impl<T> CachePadded<T> {
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
 impl<T> Deref for CachePadded<T> {
     type Target = T;
     fn deref(&self) -> &T {

@@ -187,6 +187,60 @@ impl CompiledPoly {
         }
     }
 
+    /// One-shot evaluation of the numerator at a full point (prefix
+    /// *and* `x` read from `point`): folds each rung and Horner-steps
+    /// in a single pass, without materializing a [`SpecializedPoly`].
+    /// The stateless-`rank()` path — callers evaluating many points at
+    /// one prefix should specialize once instead.
+    ///
+    /// The rung-folding below deliberately mirrors [`Self::specialize`]
+    /// (keep the two in sync): fusing the Horner step into the fold
+    /// skips the `[i128; MAX_COMPILED_COEFFS]` zero-init and second
+    /// pass, measured ~25% faster on low-term ranking polynomials
+    /// (`rank/compiled` bench) — exactly the per-point stateless shape.
+    ///
+    /// # Panics
+    /// Panics on `i128` overflow (same contract as [`Self::specialize`]).
+    pub fn eval_numer_at(&self, point: &[i64]) -> i128 {
+        let x = point[self.x] as i128;
+        let mut acc: i128 = 0;
+        for rung in self.ladder.iter().rev() {
+            let mut rung_val: i128 = 0;
+            for term in rung {
+                let mut t = term.coeff;
+                for &(v, e) in &term.pows {
+                    let powed = (point[v as usize] as i128)
+                        .checked_pow(e)
+                        .expect("CompiledPoly evaluation overflow");
+                    t = t
+                        .checked_mul(powed)
+                        .expect("CompiledPoly evaluation overflow");
+                }
+                rung_val = rung_val
+                    .checked_add(t)
+                    .expect("CompiledPoly evaluation overflow");
+            }
+            acc = acc
+                .checked_mul(x)
+                .and_then(|a| a.checked_add(rung_val))
+                .expect("CompiledPoly evaluation overflow");
+        }
+        acc
+    }
+
+    /// Exact integer value of the full fraction at a point.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer at this point.
+    pub fn eval_int_at(&self, point: &[i64]) -> i128 {
+        let numer = self.eval_numer_at(point);
+        assert!(
+            numer % self.den == 0,
+            "CompiledPoly evaluated to a non-integer at {point:?}"
+        );
+        numer / self.den
+    }
+
     /// Bounds `Σ_j |C_j|(V) · X^j` — a bound on every Horner
     /// intermediate of any specialization whose prefix values satisfy
     /// `|point[v]| ≤ var_abs[v]` probed at `|x| ≤ x_abs` — where
@@ -362,6 +416,11 @@ mod tests {
                                 spec.eval_numer(x),
                                 ip.eval_numer(&point),
                                 "var {x_var} point {point:?}"
+                            );
+                            assert_eq!(
+                                cp.eval_numer_at(&point),
+                                ip.eval_numer(&point),
+                                "one-shot eval, var {x_var} point {point:?}"
                             );
                         }
                     }

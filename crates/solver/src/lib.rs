@@ -32,8 +32,12 @@
 
 pub mod complex;
 pub mod newton;
+pub mod real;
 pub mod roots;
 
 pub use complex::Complex64;
 pub use newton::polish_real_root;
-pub use roots::{solve, solve_cubic, solve_linear, solve_quadratic, solve_quartic, MAX_DEGREE};
+pub use real::{solve_cubic_real, solve_quadratic_real, solve_real, RealRoots};
+pub use roots::{
+    solve, solve_cubic, solve_into, solve_linear, solve_quadratic, solve_quartic, MAX_DEGREE,
+};

@@ -1,0 +1,310 @@
+//! Real-root fast paths: closed forms that never leave `f64`.
+//!
+//! The generic solvers in [`roots`](crate::roots) return every complex
+//! root because the paper's symbolic expressions pass through complex
+//! intermediates (§IV-C). But the *recovery* hot path only ever consumes
+//! the essentially-real roots — the complex pairs are filtered out again
+//! by the exact integer verification. For quadratics and cubics the real
+//! roots have direct real closed forms (discriminant split + the
+//! trigonometric method for the three-real-root cubic case), so the
+//! per-recovery solve can skip complex arithmetic entirely: no
+//! `Complex64` construction, no allocation, and Newton polishing fused
+//! into the same pass (value + derivative in one Horner sweep per step).
+//!
+//! Quartics keep the complex Ferrari route (their real closed form
+//! offers no comparable simplification); see
+//! [`solve_into`](crate::roots::solve_into) for the non-allocating
+//! variant the recovery engine uses there.
+
+use crate::newton::polish_real_root;
+use crate::roots::MAX_DEGREE;
+
+/// A fixed-capacity buffer of real roots — the smallvec-style return
+/// type of the compiled solve path (no heap allocation, `Copy`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealRoots {
+    len: usize,
+    buf: [f64; MAX_DEGREE],
+}
+
+impl RealRoots {
+    /// No real roots.
+    pub const EMPTY: RealRoots = RealRoots {
+        len: 0,
+        buf: [0.0; MAX_DEGREE],
+    };
+
+    /// Appends a root.
+    ///
+    /// # Panics
+    /// Panics if the buffer already holds [`MAX_DEGREE`] roots.
+    #[inline]
+    pub fn push(&mut self, root: f64) {
+        assert!(self.len < MAX_DEGREE, "RealRoots capacity exceeded");
+        self.buf[self.len] = root;
+        self.len += 1;
+    }
+
+    /// Number of roots held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no real roots were found.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The roots as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[..self.len]
+    }
+}
+
+impl std::ops::Deref for RealRoots {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+/// Real roots of `c0 + c1·x + c2·x² = 0`, using the
+/// cancellation-resistant quadratic formula (the root pair is computed
+/// through the larger-magnitude numerator, then the product identity).
+/// Returns an empty buffer when the discriminant is negative.
+///
+/// # Panics
+/// Panics if `c2 == 0` (not a quadratic).
+pub fn solve_quadratic_real(c0: f64, c1: f64, c2: f64) -> RealRoots {
+    assert!(c2 != 0.0, "degenerate quadratic equation");
+    let disc = c1 * c1 - 4.0 * c2 * c0;
+    let mut out = RealRoots::EMPTY;
+    if disc < 0.0 {
+        return out;
+    }
+    let s = disc.sqrt();
+    // q = −(c1 + sign(c1)·√disc)/2 keeps the addition cancellation-free.
+    let q = -0.5 * (c1 + c1.signum() * s);
+    if q == 0.0 {
+        // c1 == 0 and disc == 0 (c0 == 0 too): double root at 0.
+        out.push(0.0);
+        out.push(0.0);
+        return out;
+    }
+    out.push(q / c2);
+    out.push(c0 / q);
+    out
+}
+
+/// Real roots of `c0 + c1·x + c2·x² + c3·x³ = 0` by the discriminant
+/// split of Cardano's method: one real root via real cube roots when the
+/// depressed discriminant is positive, all three via the trigonometric
+/// (Viète) form otherwise. Never constructs a complex number.
+///
+/// # Panics
+/// Panics if `c3 == 0` (not a cubic).
+pub fn solve_cubic_real(c0: f64, c1: f64, c2: f64, c3: f64) -> RealRoots {
+    assert!(c3 != 0.0, "degenerate cubic equation");
+    // Normalize to x³ + a·x² + b·x + c, depress with x = t − a/3.
+    let a = c2 / c3;
+    let b = c1 / c3;
+    let c = c0 / c3;
+    let p = b - a * a / 3.0;
+    let q = 2.0 * a * a * a / 27.0 - a * b / 3.0 + c;
+    let shift = -a / 3.0;
+    let mut out = RealRoots::EMPTY;
+    let half_q = q / 2.0;
+    let disc = half_q * half_q + (p / 3.0) * (p / 3.0) * (p / 3.0);
+    if disc > 0.0 {
+        // One real root: t = cbrt(−q/2 + √disc) + cbrt(−q/2 − √disc).
+        let s = disc.sqrt();
+        let t = (-half_q + s).cbrt() + (-half_q - s).cbrt();
+        out.push(t + shift);
+    } else if p == 0.0 {
+        // disc ≤ 0 with p = 0 forces q = 0: triple root at the shift.
+        out.push(shift);
+        out.push(shift);
+        out.push(shift);
+    } else {
+        // Three real roots (p < 0 here): Viète's trigonometric form.
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let arg = (3.0 * q / (p * m)).clamp(-1.0, 1.0);
+        let theta = arg.acos() / 3.0;
+        const TWO_THIRDS_PI: f64 = 2.0 * std::f64::consts::FRAC_PI_3;
+        for k in 0..3 {
+            out.push(m * (theta - TWO_THIRDS_PI * k as f64).cos() + shift);
+        }
+    }
+    out
+}
+
+/// The compiled real solve path: real roots of a dense polynomial of
+/// effective degree 1–3 (lowest coefficient first, exactly-zero leading
+/// coefficients trimmed as in [`solve`](crate::roots::solve)), each
+/// refined by `polish_steps` fused Newton steps (value and derivative in
+/// one Horner sweep per step). Returns `None` for degrees outside 1–3 —
+/// callers then take the generic complex route.
+pub fn solve_real(coeffs: &[f64], polish_steps: usize) -> Option<RealRoots> {
+    let mut deg = coeffs.len().checked_sub(1)?;
+    while deg > 0 && coeffs[deg] == 0.0 {
+        deg -= 1;
+    }
+    let raw = match deg {
+        1 => {
+            let mut out = RealRoots::EMPTY;
+            out.push(-coeffs[0] / coeffs[1]);
+            out
+        }
+        2 => solve_quadratic_real(coeffs[0], coeffs[1], coeffs[2]),
+        3 => solve_cubic_real(coeffs[0], coeffs[1], coeffs[2], coeffs[3]),
+        _ => return None,
+    };
+    let mut polished = RealRoots::EMPTY;
+    for &r in raw.as_slice() {
+        if r.is_finite() {
+            polished.push(polish_real_root(&coeffs[..=deg], r, polish_steps));
+        }
+    }
+    Some(polished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(coeffs: &[f64], x: f64) -> f64 {
+        coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    fn assert_roots(coeffs: &[f64], got: &[f64], expect: &[f64]) {
+        let mut got: Vec<f64> = got.to_vec();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got.len(), expect.len(), "{coeffs:?}: got {got:?}");
+        for (g, e) in got.iter().zip(expect) {
+            assert!((g - e).abs() < 1e-7, "{coeffs:?}: {g} ≠ {e}");
+        }
+    }
+
+    #[test]
+    fn quadratic_two_real() {
+        // (x − 2)(x + 5) = x² + 3x − 10
+        let r = solve_quadratic_real(-10.0, 3.0, 1.0);
+        assert_roots(&[-10.0, 3.0, 1.0], &r, &[-5.0, 2.0]);
+    }
+
+    #[test]
+    fn quadratic_complex_pair_is_empty() {
+        assert!(solve_quadratic_real(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let r = solve_quadratic_real(4.0, -4.0, 1.0); // (x − 2)²
+        assert_roots(&[4.0, -4.0, 1.0], &r, &[2.0, 2.0]);
+        let zero = solve_quadratic_real(0.0, 0.0, 3.0); // 3x²
+        assert_roots(&[0.0, 0.0, 3.0], &zero, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn quadratic_large_ranking_coefficients() {
+        // The correlation inversion shape at N = 10⁶, pc mid-domain:
+        // catastrophic cancellation would lose the small root without
+        // the stable formula.
+        let n = 1.0e6;
+        let pc = 1.25e11;
+        let coeffs = [1.0 - pc, n - 0.5, -0.5];
+        let r = solve_quadratic_real(coeffs[0], coeffs[1], coeffs[2]);
+        assert_eq!(r.len(), 2);
+        for &x in r.as_slice() {
+            let res = eval(&coeffs, x);
+            // Residual small relative to the constant term's magnitude.
+            assert!(res.abs() < 1e-4 * pc, "x={x} residual {res}");
+        }
+    }
+
+    #[test]
+    fn cubic_three_real() {
+        // (x − 1)(x − 2)(x − 3)
+        let r = solve_cubic_real(-6.0, 11.0, -6.0, 1.0);
+        assert_roots(&[-6.0, 11.0, -6.0, 1.0], &r, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cubic_one_real() {
+        // (x − 2)(x² + x + 1): only x = 2 is real.
+        let r = solve_cubic_real(-2.0, -1.0, -1.0, 1.0);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x − 1)³ = x³ − 3x² + 3x − 1: p = q = 0 after depression.
+        let r = solve_cubic_real(-1.0, 3.0, -3.0, 1.0);
+        assert_eq!(r.len(), 3);
+        for &x in r.as_slice() {
+            assert!((x - 1.0).abs() < 1e-9, "{x}");
+        }
+    }
+
+    #[test]
+    fn cubic_double_plus_single() {
+        // (x − 1)²(x + 2) = x³ − 3x + 2: boundary disc = 0.
+        let r = solve_cubic_real(2.0, -3.0, 0.0, 1.0);
+        assert_roots(&[2.0, -3.0, 0.0, 1.0], &r, &[-2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cubic_figure6_shape() {
+        // The figure-6 inversion (i³ + 3i² + 2i + 6)/6 − pc at pc = 1:
+        // the convenient root is exactly 0 (complex intermediates in the
+        // symbolic form — the real path must still find it).
+        let r = solve_cubic_real(1.0 - 1.0, 2.0 / 6.0, 3.0 / 6.0, 1.0 / 6.0);
+        assert!(
+            r.as_slice().iter().any(|x| x.abs() < 1e-9),
+            "expected a zero root, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn solve_real_dispatches_and_polishes() {
+        // Degree from trimmed leading zeros; roots polished to ~1 ulp.
+        let coeffs = [-6.0, 11.0, -6.0, 1.0, 0.0];
+        let r = solve_real(&coeffs, 2).expect("cubic");
+        assert_roots(&coeffs, &r, &[1.0, 2.0, 3.0]);
+        assert!(solve_real(&[24.0, -50.0, 35.0, -10.0, 1.0], 2).is_none());
+        assert!(solve_real(&[1.0], 2).is_none());
+        let lin = solve_real(&[-6.0, 2.0], 0).expect("linear");
+        assert_roots(&[-6.0, 2.0], &lin, &[3.0]);
+    }
+
+    #[test]
+    fn random_cubic_roots_have_small_residuals() {
+        // Deterministic sweep over small-integer cubics: every root the
+        // real path reports must satisfy the equation, and cubics always
+        // have at least one real root.
+        for seed in 0..300u64 {
+            let f =
+                |k: u64| ((seed.wrapping_mul(2654435761).wrapping_add(k * 97)) % 19) as f64 - 9.0;
+            let (c0, c1, c2) = (f(1), f(2), f(3));
+            let c3 = if f(4) == 0.0 { 1.0 } else { f(4) };
+            let coeffs = [c0, c1, c2, c3];
+            let roots = solve_real(&coeffs, 2).expect("cubic degree");
+            assert!(
+                !roots.is_empty(),
+                "seed {seed}: a cubic has a real root ({coeffs:?})"
+            );
+            let scale: f64 = coeffs.iter().fold(1.0, |m, c| m.max(c.abs()));
+            for &x in roots.as_slice() {
+                let res = eval(&coeffs, x);
+                assert!(
+                    res.abs() < 1e-6 * scale * (1.0 + x.abs().powi(3)),
+                    "seed {seed}: residual {res:e} at {x} for {coeffs:?}"
+                );
+            }
+        }
+    }
+}

@@ -170,6 +170,39 @@ fn polish_complex(coeffs: &[f64], root: Complex64, steps: usize) -> Complex64 {
     best
 }
 
+/// Non-allocating [`solve`]: writes the complex roots into `out` and
+/// returns how many were written (= the effective degree). This is the
+/// compiled recovery path's entry point — the allocating [`solve`] is
+/// kept only as the generic fallback API.
+///
+/// Same contract as [`solve`]: exactly-zero leading coefficients are
+/// trimmed, roots are polished with complex Newton steps.
+///
+/// # Panics
+/// Panics when the effective degree is 0 or exceeds [`MAX_DEGREE`].
+pub fn solve_into(coeffs: &[f64], out: &mut [Complex64; MAX_DEGREE]) -> usize {
+    let max_mag = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    assert!(max_mag > 0.0, "zero polynomial has no well-defined roots");
+    let mut deg = coeffs.len() - 1;
+    while deg > 0 && coeffs[deg] == 0.0 {
+        deg -= 1;
+    }
+    match deg {
+        0 => panic!("constant polynomial has no roots"),
+        1 => out[..1].copy_from_slice(&solve_linear(coeffs[0], coeffs[1])),
+        2 => out[..2].copy_from_slice(&solve_quadratic(coeffs[0], coeffs[1], coeffs[2])),
+        3 => out[..3].copy_from_slice(&solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3])),
+        4 => out.copy_from_slice(&solve_quartic(
+            coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4],
+        )),
+        d => panic!("degree {d} exceeds the closed-form limit {MAX_DEGREE} (Abel–Ruffini)"),
+    }
+    for z in out[..deg].iter_mut() {
+        *z = polish_complex(&coeffs[..=deg], *z, 3);
+    }
+    deg
+}
+
 /// Solves a polynomial of degree 1–4 given dense coefficients (lowest
 /// first). Leading coefficients that are **exactly zero** are trimmed,
 /// so callers can pass fixed-size arrays. (The trim must not be
@@ -180,28 +213,16 @@ fn polish_complex(coeffs: &[f64], root: Complex64, steps: usize) -> Complex64 {
 /// far-away roots that the caller's exact verification rejects.)
 /// Closed-form roots are refined with complex Newton steps.
 ///
-/// Returns all complex roots (`degree` of them).
+/// Returns all complex roots (`degree` of them). Allocates; hot-path
+/// callers use [`solve_into`] (or the real-only fast paths in
+/// [`real`](crate::real)) instead.
 ///
 /// # Panics
 /// Panics when the effective degree is 0 or exceeds [`MAX_DEGREE`].
 pub fn solve(coeffs: &[f64]) -> Vec<Complex64> {
-    let max_mag = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
-    assert!(max_mag > 0.0, "zero polynomial has no well-defined roots");
-    let mut deg = coeffs.len() - 1;
-    while deg > 0 && coeffs[deg] == 0.0 {
-        deg -= 1;
-    }
-    let raw = match deg {
-        0 => panic!("constant polynomial has no roots"),
-        1 => solve_linear(coeffs[0], coeffs[1]).to_vec(),
-        2 => solve_quadratic(coeffs[0], coeffs[1], coeffs[2]).to_vec(),
-        3 => solve_cubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]).to_vec(),
-        4 => solve_quartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]).to_vec(),
-        d => panic!("degree {d} exceeds the closed-form limit {MAX_DEGREE} (Abel–Ruffini)"),
-    };
-    raw.into_iter()
-        .map(|z| polish_complex(&coeffs[..=deg], z, 3))
-        .collect()
+    let mut buf = [Complex64::ZERO; MAX_DEGREE];
+    let n = solve_into(coeffs, &mut buf);
+    buf[..n].to_vec()
 }
 
 #[cfg(test)]

@@ -216,9 +216,11 @@ fn collapsed_static_balances_every_non_rectangular_shape() {
 
 #[test]
 fn stats_report_no_binary_search_on_closed_form_nests() {
-    // Exercise many recoveries and confirm the closed forms (plus exact
-    // verification) never fall through to the bisection path for the
-    // paper's nests.
+    // Exercise many recoveries through the forced closed-form engine
+    // and confirm the closed forms (plus exact verification) never fall
+    // through to the bisection path for the paper's nests. (The
+    // *adaptive* default may legitimately choose the binary search for
+    // narrow levels — that crossover is asserted separately below.)
     for (nest, params) in [
         (NestSpec::correlation(), vec![500i64]),
         (NestSpec::figure6(), vec![40]),
@@ -230,10 +232,34 @@ fn stats_report_no_binary_search_on_closed_form_nests() {
         let step = (total / 997).max(1);
         let mut pc = 1;
         while pc <= total {
-            collapsed.unrank_into(pc, &mut point);
+            collapsed.unrank_closed_form_into(pc, &mut point);
             pc += step;
         }
         let stats = collapsed.stats();
         assert_eq!(stats.binary_search, 0, "{stats:?}");
+    }
+}
+
+#[test]
+fn adaptive_recovery_matches_forced_engines() {
+    // The adaptive engine must agree bit-exactly with both forced
+    // paths, whatever it picked per level.
+    for (nest, params) in [
+        (NestSpec::correlation(), vec![300i64]),
+        (NestSpec::figure6(), vec![25]),
+    ] {
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&params).unwrap();
+        let d = nest.depth();
+        for pc in 1..=collapsed.total() {
+            let mut adaptive = vec![0i64; d];
+            let mut closed = vec![0i64; d];
+            let mut binary = vec![0i64; d];
+            collapsed.unrank_into(pc, &mut adaptive);
+            collapsed.unrank_closed_form_into(pc, &mut closed);
+            collapsed.unrank_binary_into(pc, &mut binary);
+            assert_eq!(adaptive, closed, "pc={pc}");
+            assert_eq!(adaptive, binary, "pc={pc}");
+        }
     }
 }

@@ -3,9 +3,9 @@
 //! The build environment has no registry access, so this vendored stub
 //! implements the surface the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
+//! * the `Strategy` trait with `prop_map`, `prop_filter`,
 //!   `prop_filter_map` and `boxed`,
-//! * strategies for integer/float ranges, tuples, [`Just`],
+//! * strategies for integer/float ranges, tuples, `Just`,
 //!   [`collection::vec`], [`sample::select`] and string patterns,
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,

@@ -54,7 +54,7 @@ pub trait Strategy {
         FlatMap { inner: self, f }
     }
 
-    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    /// Type-erases the strategy (needed by `prop_oneof!`).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
@@ -136,7 +136,7 @@ impl<T> Strategy for BoxedStrategy<T> {
     }
 }
 
-/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+/// Uniform choice among boxed alternatives (built by `prop_oneof!`).
 pub struct Union<T> {
     options: Vec<BoxedStrategy<T>>,
 }

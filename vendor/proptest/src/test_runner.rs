@@ -1,4 +1,4 @@
-//! The deterministic case runner behind the [`proptest!`] macro.
+//! The deterministic case runner behind the `proptest!` macro.
 
 use crate::strategy::Strategy;
 use std::fmt;
@@ -178,7 +178,7 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`].
+/// Implementation detail of `proptest!`.
 #[macro_export]
 #[doc(hidden)]
 macro_rules! __proptest_items {
