@@ -1,8 +1,10 @@
 //! Criterion: end-to-end collapsed execution across recovery
-//! strategies (the §V ablation, microbenchmark form).
+//! strategies (the §V ablation, microbenchmark form), the lane-
+//! parallel batched engine (§VI.A), and the warp executor (§VI.B)
+//! whose anchors come from the same batched recovery.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nrl_core::{run_collapsed, CollapseSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{run_collapsed, run_warp_sim, CollapseSpec, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::NestSpec;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,7 +19,9 @@ fn bench_recoveries(c: &mut Criterion) {
     group.sample_size(20);
     for (label, recovery) in [
         ("once_per_chunk", Recovery::OncePerChunk),
+        ("batched8", Recovery::Batched(8)),
         ("batched64", Recovery::Batched(64)),
+        ("batched256", Recovery::Batched(256)),
         ("naive", Recovery::Naive),
         ("binary_search", Recovery::BinarySearch),
         ("reference", Recovery::Reference),
@@ -66,6 +70,66 @@ fn bench_recoveries(c: &mut Criterion) {
     black_box(sink.load(Ordering::Relaxed));
 }
 
+fn bench_batch_anchors(c: &mut Criterion) {
+    // The pure anchor-recovery cost the batched executor pays per
+    // chunk: 64 anchors at stride 64 (one Static-schedule chunk's
+    // worth of 64-wide batches), lane engine vs. one scalar
+    // `unrank_into` per anchor through the same cache-carrying
+    // unranker. `lane` beating `scalar` is the engine's microbench
+    // proof; both appear in `BENCH_collapse.json` for the CI gate.
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let anchors = 64usize;
+    let stride = 64i128;
+    let pc0 = collapsed.total() / 3 + 1;
+    assert!(pc0 + (anchors as i128 - 1) * stride <= collapsed.total());
+    let mut group = c.benchmark_group("batch_anchors");
+    group.bench_function("lane64_stride64", |b| {
+        let mut unranker = collapsed.unranker();
+        let mut out = vec![0i64; anchors * 2];
+        b.iter(|| {
+            unranker.unrank_batch_into(black_box(pc0), stride, anchors, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.bench_function("scalar64_stride64", |b| {
+        let mut unranker = collapsed.unranker();
+        let mut point = [0i64; 2];
+        b.iter(|| {
+            for l in 0..anchors as i128 {
+                unranker.unrank_into(black_box(pc0) + l * stride, &mut point);
+            }
+            black_box(point[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_warp_sim(c: &mut Criterion) {
+    // §VI.B lane executor end-to-end: thread-batched anchor recovery +
+    // strided odometer walks.
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+    // One width only: the sim's strided odometer walk is O(W·total),
+    // so wide warps are too slow (and too noisy) for the CI gate.
+    let warp = 32usize;
+    let mut group = c.benchmark_group("warp_sim");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter(warp), &warp, |b, &warp| {
+        b.iter(|| {
+            run_warp_sim(&pool, &collapsed, warp, |_t, p| {
+                sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+            })
+        });
+    });
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
 fn bench_spec_construction(c: &mut Criterion) {
     // Full symbolic preparation (ranking + all level equations).
     c.bench_function("collapse_spec_figure6", |b| {
@@ -85,5 +149,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_spec_construction }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_batch_anchors, bench_warp_sim, bench_spec_construction }
 criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! CI kernels-registry smoke: runs **every** registered kernel (the
+//! paper set and the extension shapes) once per execution engine at a
+//! tiny scale and requires the collapsed and warp checksums to equal
+//! the sequential reference **bit-exactly** (each output cell is
+//! written by exactly one iteration, so floating-point summation order
+//! is mode-independent).
+//!
+//! Exit code 1 on any mismatch; failures are also emitted as GitHub
+//! `::error` annotations so the CI step pinpoints the kernel/engine
+//! pair without log spelunking.
+
+use nrl_core::{Recovery, Schedule, ThreadPool};
+use nrl_kernels::{all_kernels, extended_kernels, Mode};
+
+fn main() {
+    let pool = ThreadPool::new(4);
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    for mut kernel in all_kernels(0.08).into_iter().chain(extended_kernels(0.02)) {
+        let name = kernel.info().name;
+        kernel.execute(&Mode::Seq);
+        let reference = kernel.checksum();
+        if !reference.is_finite() {
+            println!("::error title=kernel registry smoke::{name}: sequential checksum is not finite ({reference})");
+            failures += 1;
+            continue;
+        }
+        let modes: [(&str, Mode); 3] = [
+            (
+                "collapsed-once-per-chunk",
+                Mode::Collapsed {
+                    pool: &pool,
+                    schedule: Schedule::Static,
+                    recovery: Recovery::OncePerChunk,
+                },
+            ),
+            (
+                "collapsed-lane-batched",
+                Mode::Collapsed {
+                    pool: &pool,
+                    schedule: Schedule::Dynamic(37),
+                    recovery: Recovery::batched(8).expect("non-zero vector length"),
+                },
+            ),
+            (
+                "warp-64",
+                Mode::Warp {
+                    pool: &pool,
+                    warp: 64,
+                },
+            ),
+        ];
+        for (label, mode) in modes {
+            kernel.reset();
+            kernel.execute(&mode);
+            let got = kernel.checksum();
+            checked += 1;
+            if got == reference {
+                println!("ok   {name:<18} {label:<26} checksum {got}");
+            } else {
+                println!(
+                    "::error title=kernel registry smoke::{name} under {label}: checksum {got} != sequential {reference}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("kernel registry smoke FAILED: {failures} mismatch(es)");
+        std::process::exit(1);
+    }
+    println!("kernel registry smoke passed ({checked} kernel×engine checks)");
+}

@@ -15,8 +15,10 @@
 //!   `W` odometer steps.
 
 use crate::collapsed::{Collapsed, Unranker};
+use crate::unrank::MAX_DEPTH;
 use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats, WorkerLocal};
 use nrl_polyhedra::BoundNest;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a collapsed executor recovers original indices inside a chunk
@@ -34,9 +36,17 @@ pub enum Recovery {
     /// the paper's Fig. 4 / §V scheme, through the adaptive per-level
     /// engines.
     OncePerChunk,
-    /// §VI.A: recover once per chunk, pre-compute tuples into a
-    /// thread-private buffer of this many entries, then run the bodies
-    /// over the buffer (the auto-vectorization-friendly layout).
+    /// §VI.A: lane-parallel batched recovery — all batch anchors of a
+    /// chunk are recovered directly from the flattened indices
+    /// `s+1, s+1+L, s+1+2L, …` in one [`Unranker::unrank_batch_into`]
+    /// call (no anchor-then-advance walk), then each batch of `L`
+    /// tuples is materialized into per-worker [`WorkerLocal`] scratch
+    /// by row-wise lane sweeps (prefix broadcast + innermost iota) and
+    /// the bodies run over the buffer (the
+    /// auto-vectorization-friendly layout).
+    ///
+    /// The vector length must be ≥ 1: use [`Recovery::batched`] to
+    /// validate at construction; executors panic on a zero length.
     Batched(usize),
     /// Like [`Recovery::OncePerChunk`] but recovery uses the pure
     /// binary-search unranker (no floating point) — per-engine
@@ -51,6 +61,89 @@ pub enum Recovery {
     /// evaluation per probe) — the ablation baseline that quantifies
     /// what the compiled Horner ladders buy end-to-end.
     Reference,
+}
+
+/// Error from [`Recovery::batched`]: a batched recovery with zero
+/// vector length is meaningless (no tuples would ever be materialized),
+/// and the executors reject it rather than silently clamping to 1 as
+/// older revisions did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroVectorLength;
+
+impl fmt::Display for ZeroVectorLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batched recovery vector length must be ≥ 1")
+    }
+}
+
+impl std::error::Error for ZeroVectorLength {}
+
+impl Recovery {
+    /// Validated constructor for [`Recovery::Batched`]: rejects a zero
+    /// vector length at construction instead of letting it reach an
+    /// executor (which panics on it).
+    pub fn batched(vlength: usize) -> Result<Recovery, ZeroVectorLength> {
+        if vlength == 0 {
+            Err(ZeroVectorLength)
+        } else {
+            Ok(Recovery::Batched(vlength))
+        }
+    }
+}
+
+/// Per-worker executor scratch, one [`WorkerLocal`] slot per pool
+/// thread: the cache-carrying unranker every cached recovery mode
+/// recovers through, plus the batched-mode buffers — allocated once
+/// per loop and reused across every chunk (no per-chunk `vec!`).
+/// [`run_warp_sim`] shares the same design for its lane anchors.
+struct ExecScratch<'a> {
+    unranker: Unranker<'a>,
+    /// Batch-anchor tuples (`Recovery::Batched` chunk anchors, warp
+    /// lane anchors), `count × depth` flat.
+    anchors: Vec<i64>,
+    /// The tuple buffer the batched bodies run over, `vlength × depth`.
+    tuples: Vec<i64>,
+}
+
+impl<'a> ExecScratch<'a> {
+    fn new(collapsed: &'a Collapsed) -> Self {
+        ExecScratch {
+            unranker: collapsed.unranker(),
+            anchors: Vec::new(),
+            tuples: Vec::new(),
+        }
+    }
+}
+
+/// Materializes `count` consecutive domain tuples starting at `point`
+/// into `buf` (flat `count × d`), by row-wise lane sweeps: each row is
+/// a prefix broadcast plus an innermost iota (both tight fixed-stride
+/// loops), and a full odometer carry runs only once per row — never
+/// per point. `point` is left unspecified.
+fn fill_rows(nest: &BoundNest, point: &mut [i64], count: usize, buf: &mut [i64]) {
+    let d = point.len();
+    debug_assert!(d >= 1 && buf.len() >= count * d);
+    let last = d - 1;
+    let mut written = 0;
+    while written < count {
+        let row_end = nest.upper(last, point);
+        let take = (count - written).min((row_end - point[last] + 1) as usize);
+        debug_assert!(take >= 1, "empty row reached mid-chunk");
+        let j0 = point[last];
+        for (r, row) in buf[written * d..(written + take) * d]
+            .chunks_exact_mut(d)
+            .enumerate()
+        {
+            row[..last].copy_from_slice(&point[..last]);
+            row[last] = j0 + r as i64;
+        }
+        written += take;
+        if written < count {
+            point[last] = row_end;
+            let more = nest.advance(point);
+            debug_assert!(more, "domain ended before the chunk");
+        }
+    }
 }
 
 /// Runs the original nest sequentially, invoking `body` on every point
@@ -112,8 +205,9 @@ where
     let ub0 = nest.upper(0, &[]);
     let n_outer = (ub0 - lb0 + 1).max(0) as u64;
     // `parallel_for` counts outer rows; the Fig. 2 imbalance is about
-    // *inner* iterations, so count executed points per thread here.
-    let point_counts: Vec<AtomicU64> = (0..pool.nthreads()).map(|_| AtomicU64::new(0)).collect();
+    // *inner* iterations, so count executed points per thread here —
+    // per-worker scratch slots, no atomics in the loop.
+    let mut point_counts = WorkerLocal::new(pool.nthreads(), |_| 0u64);
     let report = pool.parallel_for(n_outer, schedule, &|tid, s, e| {
         let mut point = vec![0i64; d];
         let mut local = 0u64;
@@ -125,14 +219,14 @@ where
             };
             walk_subtree(nest, &mut point, 1, &mut call);
         }
-        point_counts[tid].fetch_add(local, Ordering::Relaxed);
+        point_counts.with(tid, |count| *count += local);
     });
     let per_thread: Vec<ThreadStats> = report
         .per_thread()
         .iter()
-        .enumerate()
-        .map(|(t, st)| ThreadStats {
-            iterations: point_counts[t].load(Ordering::Relaxed),
+        .zip(point_counts.iter_mut())
+        .map(|(st, &mut iterations)| ThreadStats {
+            iterations,
             busy_nanos: st.busy_nanos,
         })
         .collect();
@@ -159,36 +253,49 @@ where
     assert!(total >= 0, "invalid domain");
     let total_u64 = u64::try_from(total).expect("total exceeds u64");
     let d = collapsed.depth();
-    // Per-worker unranker scratch slots, allocated once and reused
-    // across chunks so the specialization caches survive chunk
-    // boundaries under every schedule — lock-free (each slot belongs to
-    // its tid; see `WorkerLocal`). The reference ablation deliberately
-    // runs cacheless, as the pre-compilation engine did.
-    let unrankers: Option<WorkerLocal<Unranker<'_>>> = if recovery == Recovery::Reference {
+    if let Recovery::Batched(vlength) = recovery {
+        assert!(
+            vlength >= 1,
+            "Recovery::Batched vector length must be ≥ 1 (validate with Recovery::batched)"
+        );
+    }
+    // Per-worker scratch slots (unranker + batched-mode buffers),
+    // allocated once and reused across chunks so the specialization
+    // caches survive chunk boundaries under every schedule — lock-free
+    // (each slot belongs to its tid; see `WorkerLocal`). The reference
+    // ablation deliberately runs cacheless, as the pre-compilation
+    // engine did.
+    let scratch: Option<WorkerLocal<ExecScratch<'_>>> = if recovery == Recovery::Reference {
         None
     } else {
-        Some(WorkerLocal::new(pool.nthreads(), |_| collapsed.unranker()))
+        Some(WorkerLocal::new(pool.nthreads(), |_| {
+            ExecScratch::new(collapsed)
+        }))
     };
     // One recovery at the chunk's first rank, through the worker's
     // cache-carrying unranker (or the reference engine).
     let recover_chunk_start = |tid: usize, s: u64, point: &mut [i64]| match recovery {
         Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
-        Recovery::BinarySearch => unrankers
+        Recovery::BinarySearch => scratch
             .as_ref()
-            .expect("cached modes hold unrankers")
-            .with(tid, |u| u.unrank_binary_into((s + 1) as i128, point)),
-        Recovery::ClosedForm => unrankers
+            .expect("cached modes hold scratch")
+            .with(tid, |sc| {
+                sc.unranker.unrank_binary_into((s + 1) as i128, point)
+            }),
+        Recovery::ClosedForm => scratch
             .as_ref()
-            .expect("cached modes hold unrankers")
-            .with(tid, |u| u.unrank_closed_form_into((s + 1) as i128, point)),
-        _ => unrankers
+            .expect("cached modes hold scratch")
+            .with(tid, |sc| {
+                sc.unranker.unrank_closed_form_into((s + 1) as i128, point)
+            }),
+        _ => scratch
             .as_ref()
-            .expect("cached modes hold unrankers")
-            .with(tid, |u| u.unrank_into((s + 1) as i128, point)),
+            .expect("cached modes hold scratch")
+            .with(tid, |sc| sc.unranker.unrank_into((s + 1) as i128, point)),
     };
     pool.parallel_for(total_u64, schedule, &|tid, s, e| {
         debug_assert!(s < e);
-        let mut point = vec![0i64; d.max(1)];
+        let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {
             // A zero-depth nest has exactly one (empty-tuple) iteration.
@@ -204,10 +311,10 @@ where
                 // their outer prefix most of the time, so the per-level
                 // specialized Horner ladders are reused instead of
                 // re-folded — across chunk boundaries too.
-                let unrankers = unrankers.as_ref().expect("cached modes hold unrankers");
-                unrankers.with(tid, |unranker| {
+                let scratch = scratch.as_ref().expect("cached modes hold scratch");
+                scratch.with(tid, |sc| {
                     for pc in s..e {
-                        unranker.unrank_into((pc + 1) as i128, point);
+                        sc.unranker.unrank_into((pc + 1) as i128, point);
                         body(tid, point);
                     }
                 });
@@ -244,24 +351,36 @@ where
                 }
             }
             Recovery::Batched(vlength) => {
-                let vlength = vlength.max(1);
-                recover_chunk_start(tid, s, point);
-                let mut buf = vec![0i64; vlength * d.max(1)];
-                let mut remaining = e - s;
-                while remaining > 0 {
-                    let batch = (vlength as u64).min(remaining) as usize;
-                    for b in 0..batch {
-                        buf[b * d..(b + 1) * d].copy_from_slice(point);
-                        if (b as u64) + 1 < remaining {
-                            let more = collapsed.nest().advance(point);
-                            debug_assert!(more, "domain ended before the chunk");
+                // §VI.A, lane-parallel: every batch anchor of the chunk
+                // is recovered directly from its flattened index
+                // (ranks s+1, s+1+L, s+1+2L, … in one batched call —
+                // shared specializations, monotone lane sweeps), then
+                // each batch materializes into the worker's persistent
+                // tuple buffer by row-wise lane fills.
+                let scratch = scratch.as_ref().expect("cached modes hold scratch");
+                let nest = collapsed.nest();
+                scratch.with(tid, |sc| {
+                    let span = (e - s) as usize;
+                    let nbatches = span.div_ceil(vlength);
+                    sc.anchors.resize(nbatches * d, 0);
+                    sc.unranker.unrank_batch_into(
+                        (s + 1) as i128,
+                        vlength as i128,
+                        nbatches,
+                        &mut sc.anchors,
+                    );
+                    sc.tuples.resize(vlength * d, 0);
+                    let mut remaining = span;
+                    for anchor in sc.anchors.chunks_exact(d) {
+                        let batch = vlength.min(remaining);
+                        point.copy_from_slice(anchor);
+                        fill_rows(nest, point, batch, &mut sc.tuples);
+                        for tuple in sc.tuples[..batch * d].chunks_exact(d) {
+                            body(tid, tuple);
                         }
+                        remaining -= batch;
                     }
-                    for b in 0..batch {
-                        body(tid, &buf[b * d..(b + 1) * d]);
-                    }
-                    remaining -= batch as u64;
-                }
+                });
             }
         }
     })
@@ -341,20 +460,28 @@ where
     if c == d {
         return run_collapsed(pool, collapsed, schedule, recovery, body);
     }
+    // Per-worker full-tuple buffers, same `WorkerLocal` design as the
+    // chunk scratch in `run_collapsed` (each slot belongs to its tid).
+    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
     run_collapsed(pool, collapsed, schedule, recovery, |tid, prefix| {
-        let mut point = [0i64; crate::unrank::MAX_DEPTH];
-        let point = &mut point[..d];
-        point[..c].copy_from_slice(prefix);
-        let mut call = |p: &[i64]| body(tid, p);
-        walk_subtree(full, point, c, &mut call);
+        points.with(tid, |point| {
+            let point = &mut point[..d];
+            point[..c].copy_from_slice(prefix);
+            let mut call = |p: &[i64]| body(tid, p);
+            walk_subtree(full, point, c, &mut call);
+        })
     })
 }
 
 /// §VI.B: simulates a GPU warp of `warp` lanes over the collapsed loop.
-/// Lane `t` executes ranks `t+1, t+1+W, t+1+2W, …`, recovering indices
-/// once and then advancing `W` odometer steps between iterations —
-/// memory-coalescing-friendly on real GPUs. Lanes are distributed over
-/// the pool's threads.
+/// Lane `t` executes ranks `t+1, t+1+W, t+1+2W, …` — memory-
+/// coalescing-friendly on real GPUs. Lanes are distributed over the
+/// pool's threads; each thread recovers **all its lane anchors in one
+/// lane-parallel batched call** (`unrank_batch_into` at ranks
+/// `tid+1, tid+1+T, …` — the GPU scheme *is* L-lane batched recovery),
+/// then each lane advances `W` odometer steps between iterations. The
+/// anchor buffers live in the same per-worker [`WorkerLocal`] scratch
+/// design as [`run_collapsed`]'s chunk scratch.
 pub fn run_warp_sim<F>(pool: &ThreadPool, collapsed: &Collapsed, warp: usize, body: F)
 where
     F: Fn(usize, &[i64]) + Sync,
@@ -363,19 +490,47 @@ where
     let total = collapsed.total();
     let d = collapsed.depth();
     let nthreads = pool.nthreads();
+    let scratch = WorkerLocal::new(nthreads, |_| ExecScratch::new(collapsed));
     pool.run(&|tid| {
-        let mut point = vec![0i64; d.max(1)];
-        let point = &mut point[..d];
-        // One cache-carrying unranker per thread: a thread's lanes start
-        // at adjacent ranks, so their outer prefixes usually coincide
-        // and the specialized ladders are reused across lanes.
-        let mut unranker = collapsed.unranker();
-        let mut lane = tid;
-        while lane < warp {
-            let first_pc = (lane + 1) as i128;
-            if first_pc <= total {
-                unranker.unrank_into(first_pc, point);
-                let mut pc = first_pc;
+        // Lanes tid, tid+T, tid+2T, … below both caps: `lane < warp`
+        // and `lane + 1 ≤ total` (the lane's first rank exists).
+        let lane_cap = (warp as i128).min(total).max(0);
+        let nlanes = if (tid as i128) < lane_cap {
+            ((lane_cap - tid as i128) as u128).div_ceil(nthreads as u128) as usize
+        } else {
+            0
+        };
+        if nlanes == 0 {
+            return;
+        }
+        if d == 0 {
+            // A zero-depth nest has exactly one (empty-tuple)
+            // iteration per surviving rank.
+            let mut lane = tid;
+            while lane < warp {
+                let mut pc = (lane + 1) as i128;
+                while pc <= total {
+                    body(lane, &[]);
+                    pc += warp as i128;
+                }
+                lane += nthreads;
+            }
+            return;
+        }
+        scratch.with(tid, |sc| {
+            sc.anchors.resize(nlanes * d, 0);
+            sc.unranker.unrank_batch_into(
+                (tid + 1) as i128,
+                nthreads as i128,
+                nlanes,
+                &mut sc.anchors,
+            );
+            let mut point = [0i64; MAX_DEPTH];
+            let point = &mut point[..d];
+            for (l, anchor) in sc.anchors.chunks_exact(d).enumerate() {
+                let lane = tid + l * nthreads;
+                point.copy_from_slice(anchor);
+                let mut pc = (lane + 1) as i128;
                 loop {
                     body(lane, point);
                     pc += warp as i128;
@@ -386,8 +541,7 @@ where
                     debug_assert!(ok, "strided walk ran off the domain");
                 }
             }
-            lane += nthreads;
-        }
+        });
     });
 }
 
@@ -609,6 +763,102 @@ mod tests {
         assert!(
             stats.spec_cache_miss <= 2 * nchunks,
             "misses bounded by prefix changes: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn batched_covers_domain_across_lane_widths_and_schedules() {
+        let nest = NestSpec::figure6();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[9]).unwrap();
+        let pool = ThreadPool::new(3);
+        for vlength in [1usize, 3, 4, 8, 17] {
+            for schedule in [
+                Schedule::Static,
+                Schedule::StaticChunk(7), // chunk not a multiple of vlength
+                Schedule::Dynamic(5),
+                Schedule::Guided(2),
+            ] {
+                let got = collect_parallel(|body| {
+                    run_collapsed(
+                        &pool,
+                        &collapsed,
+                        schedule,
+                        Recovery::Batched(vlength),
+                        |t, p| body(t, p),
+                    )
+                });
+                assert_eq!(got, reference(&nest, &[9]), "L={vlength} {schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_chunk_order_is_lexicographic() {
+        // Within one chunk the batched executor must deliver points in
+        // original order, exactly like OncePerChunk (§VI.A keeps the
+        // lexicographic walk, only materialized batch-wise).
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[30]).unwrap();
+        let pool = ThreadPool::new(1);
+        let seen = Mutex::new(Vec::new());
+        run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Static,
+            Recovery::Batched(13),
+            |_, p| {
+                seen.lock().unwrap().push(p.to_vec());
+            },
+        );
+        let seen = seen.into_inner().unwrap();
+        let expect: Vec<Vec<i64>> = nest.enumerate(&[30]).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn batched_constructor_rejects_zero_vector_length() {
+        assert_eq!(Recovery::batched(0), Err(ZeroVectorLength));
+        assert_eq!(Recovery::batched(8), Ok(Recovery::Batched(8)));
+        // A zero length smuggled past the constructor is rejected by
+        // the executor instead of being silently clamped.
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[10]).unwrap();
+        let pool = ThreadPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_collapsed(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::Batched(0),
+                |_, _| {},
+            )
+        }));
+        assert!(result.is_err(), "Batched(0) must panic, not clamp");
+    }
+
+    #[test]
+    fn batched_uses_lane_sweeps() {
+        // The lane engine must actually engage: batch anchors at stride
+        // vlength over a wide quadratic level resolve by forward lane
+        // sweeps (or the exact linear path), visible in the counters.
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[120]).unwrap();
+        let pool = ThreadPool::new(2);
+        run_collapsed(
+            &pool,
+            &collapsed,
+            Schedule::Static,
+            Recovery::Batched(16),
+            |_, _| {},
+        );
+        let stats = collapsed.stats();
+        assert!(
+            stats.lane_sweep > 0,
+            "batched anchors should sweep: {stats:?}"
         );
     }
 

@@ -52,7 +52,7 @@ pub mod unrank;
 pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
 pub use exec::{
     run_collapsed, run_collapsed_prefix, run_outer_parallel, run_outer_parallel_range, run_seq,
-    run_warp_sim, Recovery,
+    run_warp_sim, Recovery, ZeroVectorLength,
 };
 pub use imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};

@@ -32,12 +32,21 @@
 //! `BoundLevel::recover_reference` — the ground truth the
 //! differential tests and ablation benches compare against.
 
-use nrl_poly::{CompiledPoly, IntPoly, SpecializedPoly, MAX_COMPILED_COEFFS};
+use nrl_poly::{
+    CompiledPoly, IntPoly, LaneHorner, SpecializedPoly, LANE_WIDTH, MAX_COMPILED_COEFFS,
+};
 use nrl_solver::{polish_real_root, solve_into, solve_real, Complex64, MAX_DEGREE};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum supported nest depth for the stack-allocated hot path.
 pub const MAX_DEPTH: usize = 16;
+
+/// Probe budget of one lane's forward sweep in
+/// [`BoundLevel::recover_lanes`] before it falls back to the level's
+/// engine with a tightened floor: four [`LANE_WIDTH`]-wide blocks —
+/// past that, `⌈log₂ width⌉` binary-search probes are cheaper than
+/// continuing linearly.
+const LANE_SWEEP_LIMIT: usize = 4 * LANE_WIDTH;
 
 /// The recovery engine one level uses on the adaptive hot path, decided
 /// once at bind time from the level's univariate degree and the proven
@@ -136,6 +145,10 @@ pub struct RecoveryCounters {
     /// `Unranker` cache misses: the prefix moved, a fresh
     /// specialization was folded.
     pub spec_cache_miss: AtomicU64,
+    /// Batched lanes resolved by the monotone forward lane sweep
+    /// (8/4-wide Horner blocks from the previous lane's value), without
+    /// falling back to a full per-lane engine run.
+    pub lane_sweep: AtomicU64,
 }
 
 /// A plain snapshot of [`RecoveryCounters`].
@@ -153,6 +166,8 @@ pub struct RecoveryStats {
     pub spec_cache_hit: u64,
     /// `Unranker` specialization-cache misses.
     pub spec_cache_miss: u64,
+    /// Batched lanes resolved by the monotone forward lane sweep.
+    pub lane_sweep: u64,
 }
 
 impl RecoveryCounters {
@@ -165,6 +180,7 @@ impl RecoveryCounters {
             linear_exact: self.linear_exact.load(Ordering::Relaxed),
             spec_cache_hit: self.spec_cache_hit.load(Ordering::Relaxed),
             spec_cache_miss: self.spec_cache_miss.load(Ordering::Relaxed),
+            lane_sweep: self.lane_sweep.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,6 +309,104 @@ impl BoundLevel {
             }
         }
         lo
+    }
+
+    /// Lane-parallel recovery of this level's value for `lanes` lanes
+    /// that share the specialized ladder `spec` (equal outer prefix,
+    /// hence equal `[lb, ub]`), at the monotone non-decreasing ranks
+    /// `pc0, pc0+pc_stride, pc0+2·pc_stride, …` — the §VI.A batched
+    /// engine. Lane `l`'s value is written to `out[l·out_stride]`
+    /// (strided so anchors land directly in an array-of-tuples buffer).
+    ///
+    /// Engine shape, exploiting monotonicity (equal prefix + rising
+    /// rank ⇒ non-decreasing level value):
+    ///
+    /// * degree-1 ladders solve every lane with the exact integer
+    ///   linear formula — a branch-free fixed-stride loop;
+    /// * otherwise lane 0 runs the level's bind-time engine, and each
+    ///   later lane **sweeps forward** from its predecessor's value in
+    ///   [`LANE_WIDTH`]-wide Horner blocks ([`LaneHorner`]); a lane
+    ///   whose value outruns [`LANE_SWEEP_LIMIT`] probes falls back to
+    ///   the engine with the search floor tightened to the sweep
+    ///   position, so pathological jumps stay `O(log width)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recover_lanes(
+        &self,
+        spec: &SpecializedPoly,
+        lb: i64,
+        ub: i64,
+        pc0: i128,
+        pc_stride: i128,
+        lanes: usize,
+        out: &mut [i64],
+        out_stride: usize,
+        counters: &RecoveryCounters,
+    ) {
+        debug_assert!(lb <= ub, "empty level reached during lane recovery");
+        debug_assert!(lanes >= 1 && out.len() > (lanes - 1) * out_stride);
+        if lb == ub {
+            for l in 0..lanes {
+                out[l * out_stride] = lb;
+            }
+            return;
+        }
+        let den = spec.denominator();
+        if spec.degree() == 1 {
+            // Exact integer linear path, all lanes in one sweep.
+            let c0 = spec.coeff(0);
+            let c1 = spec.coeff(1);
+            debug_assert!(c1 > 0, "ranking must increase with the index");
+            let mut pc = pc0;
+            for l in 0..lanes {
+                let target = pc
+                    .checked_mul(den)
+                    .expect("rank target overflows i128 at this denominator");
+                let x = (target - c0).div_euclid(c1);
+                out[l * out_stride] = x.clamp(lb as i128, ub as i128) as i64;
+                pc += pc_stride;
+            }
+            counters
+                .linear_exact
+                .fetch_add(lanes as u64, Ordering::Relaxed);
+            return;
+        }
+        let sweep = LaneHorner::new(spec);
+        let mut probes = [0i128; LANE_WIDTH];
+        let mut v = self.recover_spec(spec, lb, ub, pc0, counters, self.engine);
+        out[0] = v;
+        let mut pc = pc0;
+        for l in 1..lanes {
+            pc += pc_stride;
+            let target = pc
+                .checked_mul(den)
+                .expect("rank target overflows i128 at this denominator");
+            // Invariant: numer(v) ≤ target (targets are non-decreasing
+            // and v was exact for the previous one). Advance v while
+            // numer(v+1) ≤ target; the answer is the stopping point.
+            let mut moved = 0usize;
+            let mut swept = true;
+            'lane: while v < ub {
+                if moved >= LANE_SWEEP_LIMIT {
+                    v = self.recover_spec(spec, v, ub, pc, counters, self.engine);
+                    swept = false;
+                    break;
+                }
+                let w = LANE_WIDTH.min((ub - v) as usize);
+                sweep.eval_numer_into(v + 1, 1, &mut probes[..w]);
+                for (i, &p) in probes[..w].iter().enumerate() {
+                    if p > target {
+                        v += i as i64;
+                        break 'lane;
+                    }
+                }
+                v += w as i64;
+                moved += w;
+            }
+            if swept {
+                counters.lane_sweep.fetch_add(1, Ordering::Relaxed);
+            }
+            out[l * out_stride] = v;
+        }
     }
 
     /// Exact verification of one floored root candidate with the ±1
@@ -596,6 +710,61 @@ mod tests {
                 checked.recover(&mut b, 0, 0, n - 2, pc as i128, &counters),
                 "pc={pc}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_recovery_matches_scalar_for_every_width_and_stride() {
+        let n = 60i64;
+        let level = correlation_level0(n);
+        let counters = RecoveryCounters::default();
+        let total = ((n - 1) * n / 2) as i128;
+        for lanes in [1usize, 3, 4, 8, 17] {
+            for stride in [1i128, 7, 64] {
+                let mut pc0 = 1i128;
+                while pc0 + (lanes as i128 - 1) * stride <= total {
+                    let spec = level.specialize(&[0, 0]);
+                    let mut got = vec![0i64; lanes];
+                    level.recover_lanes(
+                        &spec,
+                        0,
+                        n - 2,
+                        pc0,
+                        stride,
+                        lanes,
+                        &mut got,
+                        1,
+                        &counters,
+                    );
+                    for (l, &v) in got.iter().enumerate() {
+                        let mut point = [0i64, 0];
+                        let pc = pc0 + l as i128 * stride;
+                        let expect = level.recover(&mut point, 0, 0, n - 2, pc, &counters);
+                        assert_eq!(v, expect, "lanes={lanes} stride={stride} pc={pc}");
+                    }
+                    pc0 += 191; // cover starts deep into the triangle too
+                }
+            }
+        }
+        assert!(
+            counters.snapshot().lane_sweep > 0,
+            "small strides must resolve lanes by forward sweep"
+        );
+    }
+
+    #[test]
+    fn lane_recovery_strided_writes_leave_gaps_untouched() {
+        let level = correlation_level0(20);
+        let counters = RecoveryCounters::default();
+        let spec = level.specialize(&[0, 0]);
+        let mut out = [i64::MIN; 9]; // 3 lanes at stride 3
+        level.recover_lanes(&spec, 0, 18, 1, 50, 3, &mut out, 3, &counters);
+        for (slot, &v) in out.iter().enumerate() {
+            if slot % 3 == 0 {
+                assert!(v >= 0, "lane slot {slot} must be written");
+            } else {
+                assert_eq!(v, i64::MIN, "gap slot {slot} must be untouched");
+            }
         }
     }
 

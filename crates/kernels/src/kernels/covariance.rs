@@ -223,6 +223,25 @@ mod tests {
     }
 
     #[test]
+    fn lane_batched_matches_sequential_at_every_width() {
+        // Chunk boundaries deliberately misaligned with the lane width
+        // so batches straddle row carries on the upper-triangular nest.
+        let pool = ThreadPool::new(3);
+        let mut k = Covariance::new(27);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        for vlength in [1usize, 3, 4, 8, 17] {
+            k.reset();
+            k.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule: Schedule::StaticChunk(31),
+                recovery: Recovery::batched(vlength).expect("non-zero width"),
+            });
+            assert_eq!(k.checksum(), reference, "L={vlength}");
+        }
+    }
+
+    #[test]
     fn tiled_matches_untiled() {
         let pool = ThreadPool::new(2);
         let mut plain = Covariance::new(33);

@@ -113,6 +113,33 @@ mod tests {
     }
 
     #[test]
+    fn lane_batched_matches_sequential_at_every_width() {
+        // The lane engine end-to-end on a shipped kernel: every lane
+        // width (including non-power-of-two and wider-than-row), plus
+        // the warp executor whose anchors come from the same batched
+        // recovery.
+        let pool = ThreadPool::new(3);
+        let mut k = Syr2k::new(25);
+        k.execute(&Mode::Seq);
+        let reference = k.checksum();
+        for vlength in [1usize, 3, 4, 8, 17] {
+            k.reset();
+            k.execute(&Mode::Collapsed {
+                pool: &pool,
+                schedule: Schedule::Dynamic(19),
+                recovery: Recovery::batched(vlength).expect("non-zero width"),
+            });
+            assert_eq!(k.checksum(), reference, "L={vlength}");
+        }
+        k.reset();
+        k.execute(&Mode::Warp {
+            pool: &pool,
+            warp: 64,
+        });
+        assert_eq!(k.checksum(), reference, "warp");
+    }
+
+    #[test]
     fn rank2_update_is_symmetric_in_a_and_b() {
         // Swapping A and B leaves the result unchanged (the formula is
         // symmetric) — a semantic sanity check of the implementation.

@@ -14,6 +14,12 @@
 //! borrow flag (a single relaxed atomic swap — no mutex, no poisoning),
 //! which makes the API safe even if a caller passes the wrong `tid`:
 //! misuse panics instead of racing.
+//!
+//! Every collapsed executor in `nrl_core` runs on this design: the
+//! chunked modes carry their unranker caches and batched-mode
+//! anchor/tuple buffers here, the warp simulator its per-thread lane
+//! anchors, and the partial-collapse driver its full-tuple walk
+//! buffers — one scratch discipline, no per-chunk allocation.
 
 use crate::sync::CachePadded;
 use std::cell::UnsafeCell;
@@ -77,6 +83,17 @@ impl<T> WorkerLocal<T> {
     /// True iff there are no slots.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Iterates the slots mutably in `tid` order — for post-loop
+    /// inspection or reuse across loops without consuming the scratch.
+    /// Exclusive access comes from `&mut self` (the loop has joined),
+    /// so no borrow flags are touched.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|padded| {
+            debug_assert!(!*padded.borrowed.get_mut(), "slot still borrowed");
+            padded.value.get_mut()
+        })
     }
 
     /// Runs `f` with exclusive mutable access to worker `tid`'s slot.
@@ -159,6 +176,23 @@ mod tests {
         // The flag was reset by the panic guard: the slot is usable.
         scratch.with(0, |v| *v = 7);
         assert_eq!(scratch.with(0, |v| *v), 7);
+    }
+
+    #[test]
+    fn iter_mut_visits_slots_in_tid_order() {
+        let pool = ThreadPool::new(3);
+        let mut scratch = WorkerLocal::new(pool.nthreads(), |tid| tid as u64);
+        pool.parallel_for(300, Schedule::Static, &|tid, s, e| {
+            scratch.with(tid, |acc| *acc += e - s);
+        });
+        // Post-loop mutable sweep without consuming: reset for reuse.
+        let mut seen = 0u64;
+        for slot in scratch.iter_mut() {
+            seen += *slot;
+            *slot = 0;
+        }
+        assert!(seen >= 300, "every iteration counted somewhere: {seen}");
+        assert_eq!(scratch.into_iter().sum::<u64>(), 0, "slots were reset");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! [`LaneHorner`]: lane-parallel Horner evaluation of a specialized
+//! ladder (the §VI.A/§VI.B batched-recovery evaluator).
+//!
+//! Batched index recovery amortizes work across a *vector* of
+//! iterations: whole blocks of probe values `x₀, x₀+s, x₀+2s, …` are
+//! evaluated against one flat `[i128; deg+1]` ladder at once, instead
+//! of one scalar Horner sweep per probe. Because the ladder is already
+//! dense and prefix-folded (see [`SpecializedPoly`]), the lane sweep is
+//! a fixed-stride loop over plain `i64` fixed-size arrays — the layout
+//! LLVM auto-vectorizes into 4/8-wide SIMD lanes — with **no per-lane
+//! branches** inside the Horner recurrence.
+//!
+//! The unchecked `i64` lane path is gated by the same bind-time
+//! interval-analysis proof as the scalar fast path
+//! ([`SpecializedPoly::i64_fast_path`]): the caller's
+//! [`magnitude_bound`](crate::CompiledPoly::magnitude_bound) proof
+//! covers every probe `|x| ≤ x_abs`, so plain (wrapping-in-release)
+//! arithmetic cannot overflow. Debug builds keep Rust's overflow
+//! checks on this path — the CI debug-profile matrix leg exercises
+//! exactly that. Unproven ladders fall back to the checked `i128`
+//! scalar sweep per lane.
+
+use crate::compiled::SpecializedPoly;
+
+/// Widest lane block of the `i64` fast path (one sweep evaluates up to
+/// this many x-values at once before the 4-wide and scalar tails).
+pub const LANE_WIDTH: usize = 8;
+
+/// A lane-parallel evaluator borrowing one specialized ladder.
+///
+/// Construction is free; create one per recovery (or per sweep) and
+/// call [`eval_numer_into`](Self::eval_numer_into) with any block size.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneHorner<'a> {
+    spec: &'a SpecializedPoly,
+}
+
+impl<'a> LaneHorner<'a> {
+    /// Borrows the ladder to sweep.
+    #[inline]
+    pub fn new(spec: &'a SpecializedPoly) -> Self {
+        LaneHorner { spec }
+    }
+
+    /// Evaluates the numerator at the `out.len()` x-values
+    /// `x0, x0+stride, x0+2·stride, …` in one fixed-stride sweep,
+    /// writing `numer(x0 + l·stride)` into `out[l]`.
+    ///
+    /// On the proven-`i64` path every probe must satisfy the caller's
+    /// magnitude proof (the same contract as
+    /// [`SpecializedPoly::eval_numer`]): in recovery that means all
+    /// lanes stay within `[lb, ub+1]` of the level being probed.
+    pub fn eval_numer_into(&self, x0: i64, stride: i64, out: &mut [i128]) {
+        if !self.spec.i64_fast_path() {
+            // Checked i128 fallback, lane by lane.
+            for (l, slot) in out.iter_mut().enumerate() {
+                *slot = self.spec.eval_numer(x0 + l as i64 * stride);
+            }
+            return;
+        }
+        let mut done = 0;
+        while out.len() - done >= LANE_WIDTH {
+            let block = self.block_i64::<LANE_WIDTH>(x0 + done as i64 * stride, stride);
+            for (slot, v) in out[done..done + LANE_WIDTH].iter_mut().zip(block) {
+                *slot = v as i128;
+            }
+            done += LANE_WIDTH;
+        }
+        if out.len() - done >= 4 {
+            let block = self.block_i64::<4>(x0 + done as i64 * stride, stride);
+            for (slot, v) in out[done..done + 4].iter_mut().zip(block) {
+                *slot = v as i128;
+            }
+            done += 4;
+        }
+        for (l, slot) in out[done..].iter_mut().enumerate() {
+            *slot = self.spec.eval_numer(x0 + (done + l) as i64 * stride);
+        }
+    }
+
+    /// Exact integer values (numerator / denominator) at the swept
+    /// x-values — the batched form of [`SpecializedPoly::eval_int`].
+    ///
+    /// # Panics
+    /// Panics if any swept value is not an integer (probe outside the
+    /// lattice the polynomial counts).
+    pub fn eval_int_into(&self, x0: i64, stride: i64, out: &mut [i128]) {
+        self.eval_numer_into(x0, stride, out);
+        let den = self.spec.denominator();
+        if den == 1 {
+            return;
+        }
+        for (l, slot) in out.iter_mut().enumerate() {
+            assert!(
+                *slot % den == 0,
+                "LaneHorner swept a non-integer value at x={}",
+                x0 + l as i64 * stride
+            );
+            *slot /= den;
+        }
+    }
+
+    /// One `W`-wide unchecked-`i64` Horner block: a branch-free
+    /// fixed-stride recurrence over `[i64; W]` accumulators (the shape
+    /// the auto-vectorizer turns into SIMD lanes). Release builds rely
+    /// on the caller's overflow proof; debug builds keep overflow
+    /// checks on.
+    #[inline]
+    fn block_i64<const W: usize>(&self, x0: i64, stride: i64) -> [i64; W] {
+        let deg = self.spec.degree();
+        let mut x = [0i64; W];
+        for (l, slot) in x.iter_mut().enumerate() {
+            *slot = x0 + l as i64 * stride;
+        }
+        let mut acc = [self.spec.coeff(deg) as i64; W];
+        let mut j = deg;
+        while j > 0 {
+            j -= 1;
+            let c = self.spec.coeff(j) as i64;
+            for l in 0..W {
+                acc[l] = acc[l] * x[l] + c;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledPoly;
+    use crate::poly::Poly;
+    use nrl_rational::Rational;
+
+    /// (2iN + 2j − i² − 3i)/2 — the correlation ranking polynomial.
+    fn correlation_rank() -> Poly {
+        let i = Poly::var(3, 0);
+        let j = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        (Poly::constant_int(3, 2) * &i * &n + Poly::constant_int(3, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(3, 3) * &i)
+            .scale(Rational::new(1, 2))
+    }
+
+    #[test]
+    fn lane_sweep_matches_scalar_every_count_and_stride() {
+        let p = correlation_rank();
+        let cp = CompiledPoly::lower(&p, 0).unwrap();
+        let i64_ok = cp
+            .magnitude_bound(&[1001, 1001, 1001], 1001)
+            .is_some_and(|b| b <= i64::MAX as i128);
+        assert!(i64_ok, "small domain must prove the i64 lane path");
+        let spec = cp.specialize(&[0, 700, 1000], true);
+        let lanes = LaneHorner::new(&spec);
+        for count in [0usize, 1, 3, 4, 7, 8, 9, 17, 64] {
+            for stride in [1i64, 3, 64] {
+                let mut out = vec![0i128; count];
+                lanes.eval_numer_into(5, stride, &mut out);
+                for (l, &got) in out.iter().enumerate() {
+                    assert_eq!(
+                        got,
+                        spec.eval_numer(5 + l as i64 * stride),
+                        "count={count} stride={stride} lane={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_fallback_matches_fast_path() {
+        let p = correlation_rank();
+        let cp = CompiledPoly::lower(&p, 0).unwrap();
+        let fast = cp.specialize(&[0, 700, 1000], true);
+        let checked = cp.specialize(&[0, 700, 1000], false);
+        let mut a = [0i128; 13];
+        let mut b = [0i128; 13];
+        LaneHorner::new(&fast).eval_numer_into(-3, 2, &mut a);
+        LaneHorner::new(&checked).eval_numer_into(-3, 2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_int_divides_exactly() {
+        let p = correlation_rank();
+        // Univariate in j: linear, den 2, integer at lattice points.
+        let cp = CompiledPoly::lower(&p, 1).unwrap();
+        let spec = cp.specialize(&[4, 0, 100], false);
+        let mut out = [0i128; 6];
+        LaneHorner::new(&spec).eval_int_into(5, 1, &mut out);
+        for (l, &got) in out.iter().enumerate() {
+            assert_eq!(got, spec.eval_int(5 + l as i64), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn degree_zero_ladders_sweep() {
+        let cp = CompiledPoly::lower(&Poly::constant_int(2, 7), 0).unwrap();
+        let spec = cp.specialize(&[0, 0], false);
+        let mut out = [0i128; 9];
+        LaneHorner::new(&spec).eval_numer_into(-4, 3, &mut out);
+        assert!(out.iter().all(|&v| v == 7));
+    }
+}

@@ -42,6 +42,7 @@ pub mod compiled;
 pub mod display;
 pub mod eval;
 pub mod intpoly;
+pub mod lanes;
 pub mod monomial;
 pub mod poly;
 pub mod subst;
@@ -49,6 +50,7 @@ pub mod sum;
 
 pub use compiled::{CompileError, CompiledPoly, SpecializedPoly, MAX_COMPILED_COEFFS};
 pub use intpoly::IntPoly;
+pub use lanes::{LaneHorner, LANE_WIDTH};
 pub use monomial::Monomial;
 pub use nrl_rational::Rational;
 pub use poly::Poly;
