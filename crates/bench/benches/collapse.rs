@@ -4,7 +4,11 @@
 //! whose anchors come from the same batched recovery.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nrl_core::{run_collapsed, run_warp_sim, CollapseSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{
+    run_collapsed, run_collapsed_guarded, run_warp_sim, CollapseSpec, ParamPlan, Recovery,
+    Schedule, ThreadPool,
+};
+use nrl_plan::{PlanCache, PlanContext};
 use nrl_polyhedra::NestSpec;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,6 +146,98 @@ fn bench_spec_construction(c: &mut Criterion) {
     });
 }
 
+fn bench_guarded(c: &mut Criterion) {
+    // The guarded-nest executor (imperfect correlation: a level-0
+    // prologue/epilogue pair sunk into the innermost loop): its
+    // per-iteration `NestPosition::of` bounds scan finally gets a gated
+    // baseline — the ROADMAP's guarded-nest open item.
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+    let mut group = c.benchmark_group("collapsed_guarded");
+    group.sample_size(20);
+    group.bench_function("once_per_chunk", |b| {
+        b.iter(|| {
+            run_collapsed_guarded(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p, pos| {
+                    // The imperfect-program shape: prologue zeroes a row
+                    // accumulator, body accumulates, epilogue publishes.
+                    let mut acc = p[1] as u64;
+                    if pos.fires_prologue(0) {
+                        acc = acc.wrapping_add(p[0] as u64);
+                    }
+                    if pos.fires_epilogue(0) {
+                        acc = acc.wrapping_mul(3);
+                    }
+                    sink.fetch_add(acc, Ordering::Relaxed);
+                },
+            )
+        });
+    });
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
+fn bench_plan(c: &mut Criterion) {
+    // The analyze/instantiate split on two shipped kernel shapes
+    // (correlation is the registry's motivating kernel, figure6 the
+    // 3-deep cubic): a cold request pays the full symbolic pipeline +
+    // bind; a plan-served request pays one coefficient fold. The
+    // committed per-shape ratio between the cold and instantiate ids
+    // is the acceptance proof for the ≥ 20× amortization target
+    // (~28× / ~30× at commit time).
+    let shapes: [(&str, NestSpec, i64); 2] = [
+        ("correlation800", NestSpec::correlation(), 800),
+        ("figure6_1000", NestSpec::figure6(), 1000),
+    ];
+    let mut group = c.benchmark_group("plan");
+    for (label, nest, n) in &shapes {
+        let params = [*n];
+        group.bench_with_input(
+            BenchmarkId::new("cold_analyze_bind", label),
+            nest,
+            |b, nest| {
+                b.iter(|| {
+                    let spec = CollapseSpec::new(black_box(nest)).unwrap();
+                    spec.bind(black_box(&params)).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("instantiate_cached", label),
+            nest,
+            |b, nest| {
+                let plan = ParamPlan::analyze(nest).unwrap();
+                b.iter(|| plan.instantiate(black_box(&params)).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cache_hit_collapse", label),
+            nest,
+            |b, nest| {
+                // The full service path: fingerprint + shard probe +
+                // instantiate.
+                let cache = PlanCache::new(4, 8);
+                cache
+                    .collapse(nest, PlanContext::default(), &params)
+                    .unwrap();
+                b.iter(|| {
+                    cache
+                        .collapse(black_box(nest), PlanContext::default(), black_box(&params))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Shared Criterion settings: short measurement windows so the full
 /// suite stays CI-friendly.
 fn config() -> Criterion {
@@ -149,5 +245,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_batch_anchors, bench_warp_sim, bench_spec_construction }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_plan }
 criterion_main!(benches);

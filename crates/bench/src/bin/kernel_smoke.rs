@@ -10,9 +10,16 @@
 //! pair without log spelunking.
 
 use nrl_core::{Recovery, Schedule, ThreadPool};
-use nrl_kernels::{all_kernels, extended_kernels, Mode};
+use nrl_kernels::{all_kernels, extended_kernels, set_plan_verification, Mode};
+use nrl_plan::PlanCache;
 
 fn main() {
+    // Fidelity mode: every kernel construction resolves its plan
+    // through the global cache AND binds from scratch, asserting the
+    // two are bit-identical (totals, engine choices, overflow proofs,
+    // sampled unrank/rank sweeps) — so the checksum loop below runs on
+    // cache-served instances that are proven equal to fresh binds.
+    set_plan_verification(true);
     let pool = ThreadPool::new(4);
     let mut checked = 0usize;
     let mut failures = 0usize;
@@ -69,5 +76,10 @@ fn main() {
         eprintln!("kernel registry smoke FAILED: {failures} mismatch(es)");
         std::process::exit(1);
     }
-    println!("kernel registry smoke passed ({checked} kernel×engine checks)");
+    let stats = PlanCache::global().stats();
+    println!(
+        "kernel registry smoke passed ({checked} kernel×engine checks, cache-served plans \
+         verified against fresh binds; plan cache: {} hits / {} misses / {} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
 }

@@ -1,0 +1,133 @@
+//! CI plan-cache stress smoke: hammers a deliberately tiny
+//! [`PlanCache`] (2 shards × 2 plans, far fewer slots than live
+//! shapes) from every worker of an `nrl_parfor` pool, so lookups,
+//! insertions and LRU evictions race continuously — while borrowers
+//! keep instantiating from plans that may be evicted under them.
+//!
+//! Asserts, per request: the cache-served instantiation matches the
+//! precomputed fresh-bind total and a recovery spot check. At the end:
+//! counter consistency (`hits + misses == requests`, residency within
+//! capacity, evictions only on misses). Exit code 1 with a `::error`
+//! annotation on any violation.
+
+use nrl_core::CollapseSpec;
+use nrl_parfor::ThreadPool;
+use nrl_plan::{PlanCache, PlanContext};
+use nrl_polyhedra::{NestSpec, Space};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 400;
+const PARAM: i64 = 60;
+
+/// Eight distinct nest shapes — four times the cache capacity, so the
+/// LRU keeps churning.
+fn shapes() -> Vec<NestSpec> {
+    let mut out = vec![NestSpec::correlation(), NestSpec::figure6()];
+    for c in 0..6i64 {
+        let s = Space::new(&["i", "j"], &["N"]);
+        out.push(
+            NestSpec::new(
+                s.clone(),
+                vec![(s.cst(0), s.var("N") - 1), (s.cst(0), s.var("i") + c)],
+            )
+            .expect("stress shape is well-formed"),
+        );
+    }
+    out
+}
+
+fn main() {
+    let cache = PlanCache::new(2, 2);
+    let shapes = shapes();
+    // Fresh-bind ground truth per shape: total + the last point.
+    let expected: Vec<(i128, Vec<i64>)> = shapes
+        .iter()
+        .map(|nest| {
+            let c = CollapseSpec::new(nest).unwrap().bind(&[PARAM]).unwrap();
+            let last = c.unrank(c.total());
+            (c.total(), last)
+        })
+        .collect();
+    let pool = ThreadPool::new(THREADS);
+    let requests = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    pool.run(&|tid| {
+        let mut state = tid as u64 + 0x9E37_79B9;
+        for _ in 0..REQUESTS_PER_THREAD {
+            // xorshift: deterministic per-thread shape mix.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let idx = (state % shapes.len() as u64) as usize;
+            // Count the attempt before its outcome: the cache has
+            // already recorded the lookup as a hit or miss, and the
+            // final consistency check compares against every attempt.
+            requests.fetch_add(1, Ordering::Relaxed);
+            let collapsed = match cache.collapse(&shapes[idx], PlanContext::default(), &[PARAM]) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!(
+                        "::error title=plan cache stress::shape {idx} failed to collapse: {e}"
+                    );
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let (total, last) = &expected[idx];
+            if collapsed.total() != *total || &collapsed.unrank(*total) != last {
+                println!(
+                    "::error title=plan cache stress::shape {idx}: cache-served instance diverged \
+                     (total {} vs {total})",
+                    collapsed.total()
+                );
+                failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+    let requests = requests.load(Ordering::Relaxed);
+    let stats = cache.stats();
+    println!(
+        "plan cache stress: {requests} requests over {} shapes → {} hits / {} misses / {} \
+         evictions, {} resident",
+        shapes.len(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries
+    );
+    let mut bad = failures.load(Ordering::Relaxed);
+    if stats.hits + stats.misses != requests {
+        println!(
+            "::error title=plan cache stress::counter inconsistency: {} hits + {} misses != {requests} requests",
+            stats.hits, stats.misses
+        );
+        bad += 1;
+    }
+    if stats.entries > cache.capacity() {
+        println!(
+            "::error title=plan cache stress::residency {} exceeds capacity {}",
+            stats.entries,
+            cache.capacity()
+        );
+        bad += 1;
+    }
+    if stats.evictions > stats.misses {
+        println!(
+            "::error title=plan cache stress::{} evictions exceed {} misses (evictions happen only on insert)",
+            stats.evictions, stats.misses
+        );
+        bad += 1;
+    }
+    if stats.evictions == 0 {
+        println!(
+            "::error title=plan cache stress::no evictions — the cache was not undersized, the race under test never ran"
+        );
+        bad += 1;
+    }
+    if bad > 0 {
+        eprintln!("plan cache stress FAILED: {bad} violation(s)");
+        std::process::exit(1);
+    }
+    println!("plan cache stress passed");
+}

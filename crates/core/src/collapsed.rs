@@ -181,25 +181,7 @@ impl CollapseSpec {
                 let bound = bind_poly(&self.level_polys[k], d, params);
                 let compiled = CompiledPoly::lower(&bound, k)
                     .expect("collapsible nests stay within the compiled-ladder capacity");
-                let closed_form = compiled.degree() <= MAX_DEGREE;
-                let i64_safe = var_box
-                    .as_ref()
-                    .and_then(|b| {
-                        compiled.magnitude_bound(&b.abs, b.abs.get(k).copied().unwrap_or(i64::MAX))
-                    })
-                    .is_some_and(|bnd| bnd <= i64::MAX as i128);
-                let engine = LevelEngine::choose(
-                    compiled.degree(),
-                    var_box.as_ref().map(|b| b.width[k]),
-                    i64_safe,
-                );
-                BoundLevel {
-                    compiled,
-                    rk: IntPoly::from_poly(&bound),
-                    closed_form,
-                    i64_safe,
-                    engine,
-                }
+                assemble_level(compiled, IntPoly::from_poly(&bound), k, &var_box)
             })
             .collect();
         let rank_bound = bind_poly(self.ranking.rank_poly(), d, params);
@@ -210,11 +192,7 @@ impl CollapseSpec {
         let (rank_compiled, rank_i64_safe) = if d > 0 {
             let cp = CompiledPoly::lower(&rank_bound, d - 1)
                 .expect("collapsible nests stay within the compiled-ladder capacity");
-            let safe = var_box
-                .as_ref()
-                .and_then(|b| cp.magnitude_bound(&b.abs, b.abs[d - 1]))
-                .is_some_and(|bnd| bnd <= i64::MAX as i128);
-            (Some(cp), safe)
+            assemble_rank(cp, d, &var_box)
         } else {
             (None, false)
         };
@@ -231,23 +209,67 @@ impl CollapseSpec {
     }
 }
 
+/// Finishes one level from its lowered ladder: the bind-time facts
+/// (closed-form availability, i64-overflow proof, engine choice) that
+/// both [`CollapseSpec::bind_unchecked`] and
+/// [`ParamPlan::instantiate`](crate::plan::ParamPlan::instantiate)
+/// derive — shared so the two paths cannot diverge.
+pub(crate) fn assemble_level(
+    compiled: CompiledPoly,
+    rk: IntPoly,
+    k: usize,
+    var_box: &Option<IterBox>,
+) -> BoundLevel {
+    let closed_form = compiled.degree() <= MAX_DEGREE;
+    let i64_safe = var_box
+        .as_ref()
+        .and_then(|b| compiled.magnitude_bound(&b.abs, b.abs.get(k).copied().unwrap_or(i64::MAX)))
+        .is_some_and(|bnd| bnd <= i64::MAX as i128);
+    let engine = LevelEngine::choose(
+        compiled.degree(),
+        var_box.as_ref().map(|b| b.width[k]),
+        i64_safe,
+    );
+    BoundLevel {
+        compiled,
+        rk,
+        closed_form,
+        i64_safe,
+        engine,
+    }
+}
+
+/// Finishes the compiled `rank()` ladder (the depth ≥ 1 case): the
+/// overflow proof for its innermost-index Horner sweeps.
+pub(crate) fn assemble_rank(
+    cp: CompiledPoly,
+    d: usize,
+    var_box: &Option<IterBox>,
+) -> (Option<CompiledPoly>, bool) {
+    let safe = var_box
+        .as_ref()
+        .and_then(|b| cp.magnitude_bound(&b.abs, b.abs[d - 1]))
+        .is_some_and(|bnd| bnd <= i64::MAX as i128);
+    (Some(cp), safe)
+}
+
 /// Bind-time interval facts per iterator: the magnitude bound feeding
 /// the i64-overflow proof and the proven range width feeding the
 /// per-level engine decision.
-struct IterBox {
+pub(crate) struct IterBox {
     /// `max(|i_k|) + 1` per iterator (the `+1` covers the `R_k(v+1)`
     /// verification probe).
-    abs: Vec<i64>,
+    pub(crate) abs: Vec<i64>,
     /// Over-approximate count of values level `k` can range over at
     /// any prefix (`hi − lo + 1`, clamped non-negative).
-    width: Vec<i64>,
+    pub(crate) width: Vec<i64>,
 }
 
 /// Over-approximates per-iterator value intervals by interval-evaluating
 /// the affine bounds outward-in. Returns `None` when the intervals
 /// overflow — callers then keep the checked `i128` evaluation path and
 /// treat the widths as unbounded.
-fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<IterBox> {
+pub(crate) fn iterator_box(nest: &NestSpec, params: &[i64]) -> Option<IterBox> {
     let d = nest.depth();
     let mut lo = Vec::with_capacity(d);
     let mut hi = Vec::with_capacity(d);
@@ -296,7 +318,7 @@ fn interval_eval(coeffs: &[i64], constant: i64, lo: &[i64], hi: &[i64]) -> Optio
 
 /// Folds the parameters of `p` (ring = d iterators + params) to concrete
 /// values and shrinks to the iterator-only ring.
-fn bind_poly(p: &Poly, d: usize, params: &[i64]) -> Poly {
+pub(crate) fn bind_poly(p: &Poly, d: usize, params: &[i64]) -> Poly {
     let mut out = p.clone();
     for (offset, &value) in params.iter().enumerate() {
         out = out.eval_var(d + offset, Rational::from_int(value as i128));
@@ -325,6 +347,30 @@ pub struct Collapsed {
 }
 
 impl Collapsed {
+    /// Assembles the run-time object from already-finished parts — the
+    /// [`ParamPlan`](crate::plan::ParamPlan) instantiation path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        nest: BoundNest,
+        depth: usize,
+        total: i128,
+        levels: Vec<BoundLevel>,
+        rank_int: IntPoly,
+        rank_compiled: Option<CompiledPoly>,
+        rank_i64_safe: bool,
+    ) -> Collapsed {
+        Collapsed {
+            nest,
+            depth,
+            total,
+            levels,
+            rank_int,
+            rank_compiled,
+            rank_i64_safe,
+            counters: RecoveryCounters::default(),
+        }
+    }
+
     /// Total number of iterations (the collapsed loop runs
     /// `pc = 1..=total`).
     pub fn total(&self) -> i128 {
@@ -364,6 +410,20 @@ impl Collapsed {
     /// decision; see [`LevelEngine::choose`]).
     pub fn level_engine(&self, k: usize) -> LevelEngine {
         self.levels[k].engine
+    }
+
+    /// Whether the bind-time magnitude analysis proved level `k`'s
+    /// specialized Horner sweeps can run in unchecked `i64` (the fast
+    /// path; `false` keeps the checked `i128` ladder). Exposed for the
+    /// plan-vs-fresh-bind differential tests and overhead studies.
+    pub fn level_i64_proven(&self, k: usize) -> bool {
+        self.levels[k].i64_safe
+    }
+
+    /// Whether the compiled `rank()` ladder's overflow proof succeeded
+    /// (see [`Self::level_i64_proven`]).
+    pub fn rank_i64_proven(&self) -> bool {
+        self.rank_i64_safe
     }
 
     /// Recovers the original indices of the iteration with rank `pc`

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// All modes except [`Recovery::Reference`] recover through per-worker
 /// [`Unranker`] scratch slots, so the specialization caches survive
 /// chunk boundaries under dynamic and guided schedules too.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Recovery {
     /// Costly recovery at *every* iteration (the paper's worst case,
     /// unavoidable under dynamic scheduling of single iterations).

@@ -46,6 +46,7 @@ pub mod collapsed;
 pub mod exec;
 pub mod imperfect;
 pub mod partition;
+pub mod plan;
 pub mod ranking;
 pub mod unrank;
 
@@ -56,6 +57,7 @@ pub use exec::{
 };
 pub use imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};
+pub use plan::ParamPlan;
 pub use ranking::Ranking;
 pub use unrank::{LevelEngine, RecoveryStats};
 

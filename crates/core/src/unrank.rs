@@ -41,12 +41,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Maximum supported nest depth for the stack-allocated hot path.
 pub const MAX_DEPTH: usize = 16;
 
-/// Probe budget of one lane's forward sweep in
+/// Fallback probe budget of one lane's forward sweep in
 /// [`BoundLevel::recover_lanes`] before it falls back to the level's
 /// engine with a tightened floor: four [`LANE_WIDTH`]-wide blocks —
 /// past that, `⌈log₂ width⌉` binary-search probes are cheaper than
-/// continuing linearly.
+/// continuing linearly. Used whenever no inter-anchor gap has been
+/// observed yet (the first swept lane of a run); later lanes **adapt**
+/// the budget to the gap the previous lane actually moved (see
+/// [`adaptive_sweep_budget`]), so strides whose anchors sit a little
+/// past this constant still resolve by sweeping instead of paying an
+/// engine solve per lane.
 const LANE_SWEEP_LIMIT: usize = 4 * LANE_WIDTH;
+
+/// Upper clamp of the adaptive sweep budget: past this many linear
+/// probes a full engine run (closed form, or `⌈log₂ width⌉` search
+/// probes) is cheaper even when the gap is consistent.
+const LANE_SWEEP_MAX: usize = 4 * LANE_SWEEP_LIMIT;
+
+/// The probe budget for the next lane given the inter-anchor gap the
+/// previous lane was observed to move: twice the gap (headroom for the
+/// slowly-growing gaps of shrinking rows), rounded up to whole
+/// [`LANE_WIDTH`] blocks, never below the [`LANE_SWEEP_LIMIT`]
+/// fallback constant and never above [`LANE_SWEEP_MAX`].
+#[inline]
+fn adaptive_sweep_budget(gap: usize) -> usize {
+    let doubled = gap.saturating_mul(2);
+    doubled
+        .div_ceil(LANE_WIDTH)
+        .saturating_mul(LANE_WIDTH)
+        .clamp(LANE_SWEEP_LIMIT, LANE_SWEEP_MAX)
+}
 
 /// The recovery engine one level uses on the adaptive hot path, decided
 /// once at bind time from the level's univariate degree and the proven
@@ -375,18 +399,20 @@ impl BoundLevel {
         let mut v = self.recover_spec(spec, lb, ub, pc0, counters, self.engine);
         out[0] = v;
         let mut pc = pc0;
+        let mut budget = LANE_SWEEP_LIMIT;
         for l in 1..lanes {
             pc += pc_stride;
             let target = pc
                 .checked_mul(den)
                 .expect("rank target overflows i128 at this denominator");
+            let prev = v;
             // Invariant: numer(v) ≤ target (targets are non-decreasing
             // and v was exact for the previous one). Advance v while
             // numer(v+1) ≤ target; the answer is the stopping point.
             let mut moved = 0usize;
             let mut swept = true;
             'lane: while v < ub {
-                if moved >= LANE_SWEEP_LIMIT {
+                if moved >= budget {
                     v = self.recover_spec(spec, v, ub, pc, counters, self.engine);
                     swept = false;
                     break;
@@ -405,6 +431,11 @@ impl BoundLevel {
             if swept {
                 counters.lane_sweep.fetch_add(1, Ordering::Relaxed);
             }
+            // Equal prefixes + non-decreasing ranks keep the lane
+            // values monotone, so the observed gap predicts the next
+            // lane's movement; engine-resolved lanes feed the same
+            // estimate (their gap is exactly what the sweep missed).
+            budget = adaptive_sweep_budget((v - prev) as usize);
             out[l * out_stride] = v;
         }
     }
@@ -749,6 +780,64 @@ mod tests {
         assert!(
             counters.snapshot().lane_sweep > 0,
             "small strides must resolve lanes by forward sweep"
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_floors_at_the_constant_and_clamps() {
+        assert_eq!(adaptive_sweep_budget(0), LANE_SWEEP_LIMIT);
+        assert_eq!(adaptive_sweep_budget(1), LANE_SWEEP_LIMIT);
+        assert_eq!(
+            adaptive_sweep_budget(LANE_SWEEP_LIMIT / 2),
+            LANE_SWEEP_LIMIT
+        );
+        // Past the constant, the budget tracks 2× the gap in whole
+        // LANE_WIDTH blocks…
+        let gap = LANE_SWEEP_LIMIT + 3;
+        let budget = adaptive_sweep_budget(gap);
+        assert!(
+            budget >= 2 * gap && budget.is_multiple_of(LANE_WIDTH),
+            "{budget}"
+        );
+        // …up to the clamp.
+        assert_eq!(adaptive_sweep_budget(usize::MAX / 4), LANE_SWEEP_MAX);
+    }
+
+    #[test]
+    fn adaptive_sweep_resolves_gaps_past_the_fixed_limit() {
+        // Anchors ~40–60 apart: past the fixed 32-probe fallback but
+        // inside the adaptive clamp. Lane 1 has no gap estimate yet and
+        // falls back to the engine; every later lane must resolve by
+        // sweeping with the widened budget.
+        let n = 4000i64;
+        let level = correlation_level0(n);
+        let counters = RecoveryCounters::default();
+        let spec = level.specialize(&[0, 0]);
+        let lanes = 16usize;
+        // Row i has ~n − i values; near the start a rank stride of
+        // 45·(n − 100) moves the level value by ~45 < LANE_SWEEP_MAX/2.
+        let stride = 45 * (n as i128 - 100);
+        let total = ((n - 1) as i128) * (n as i128) / 2;
+        assert!((lanes as i128) * stride < total / 2);
+        let mut got = vec![0i64; lanes];
+        level.recover_lanes(&spec, 0, n - 2, 1, stride, lanes, &mut got, 1, &counters);
+        for (l, &v) in got.iter().enumerate() {
+            let mut point = [0i64, 0];
+            let pc = 1 + l as i128 * stride;
+            let expect = level.recover(&mut point, 0, 0, n - 2, pc, &counters);
+            assert_eq!(v, expect, "lane {l}");
+            if l > 0 {
+                let gap = v - got[l - 1];
+                assert!(
+                    gap as usize > LANE_SWEEP_LIMIT,
+                    "test must exercise gaps past the fixed budget, got {gap}"
+                );
+            }
+        }
+        let stats = counters.snapshot();
+        assert!(
+            stats.lane_sweep >= (lanes - 2) as u64,
+            "adaptive budget must let wide-gap lanes sweep: {stats:?}"
         );
     }
 

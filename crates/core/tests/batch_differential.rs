@@ -50,8 +50,12 @@ fn check_batches(nest: &NestSpec, params: &[i64]) -> Result<(), TestCaseError> {
     prop_assert_eq!(walk.len() as i128, total);
     let mut unranker = collapsed.unranker();
     let mut scalar = vec![0i64; d];
+    // The domain-spanning stride drives large inter-anchor gaps, so
+    // the adaptive sweep budget (and its engine fallback with a
+    // tightened floor) gets exercised alongside the small-gap sweeps.
+    let wide_stride = (total / 5).max(13);
     for &lanes in &LANE_WIDTHS {
-        for stride in [1i128, lanes as i128, 7] {
+        for stride in [1i128, lanes as i128, 7, wide_stride] {
             // Batch starts walking the whole rank range (so batches
             // begin mid-row and at row carries), plus the exact-end
             // boundary batch.
@@ -115,6 +119,36 @@ proptest! {
     fn depth6_batches((nest, params) in arb_nest(6)) {
         check_batches(&nest, &params)?;
     }
+}
+
+/// The adaptive sweep budget end-to-end: a stride whose inter-anchor
+/// gaps sit consistently past the fixed `LANE_SWEEP_LIMIT` (32) must
+/// still recover bit-exactly — and, after the first engine-resolved
+/// lane establishes the gap, by forward sweeps rather than per-lane
+/// engine runs.
+#[test]
+fn adaptive_sweep_budget_recovers_wide_gap_batches_exactly() {
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[4000]).unwrap();
+    let lanes = 12usize;
+    // Level-0 rows hold ~4000 values each near the triangle's start: a
+    // stride of 45 rows' worth keeps every inter-anchor gap in the
+    // 40–60 range — past the fixed budget, inside the adaptive clamp.
+    let stride = 45i128 * 3900;
+    assert!((lanes as i128 - 1) * stride < collapsed.total());
+    let before = collapsed.stats().lane_sweep;
+    let batch = collapsed.unrank_batch(1, stride, lanes);
+    let mut scalar = vec![0i64; 2];
+    for l in 0..lanes {
+        collapsed.unrank_into(1 + l as i128 * stride, &mut scalar);
+        assert_eq!(&batch[l * 2..(l + 1) * 2], &scalar[..], "lane {l}");
+    }
+    let swept = collapsed.stats().lane_sweep - before;
+    assert!(
+        swept >= (lanes - 2) as u64,
+        "wide-gap lanes must resolve by adaptive sweeps, got {swept}"
+    );
 }
 
 /// End-to-end: the batched executor over chunk boundaries that are not

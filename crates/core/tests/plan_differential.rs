@@ -1,0 +1,180 @@
+//! Differential property tests for the analyze/instantiate split: on
+//! randomized nests of depth 1–6 and parameter values sweeping small,
+//! large, and i64-boundary magnitudes, `ParamPlan::instantiate(p)`
+//! must be **bit-identical** to binding the concretized nest from
+//! scratch — totals, per-level engine choices, i64-overflow proof
+//! outcomes, recovery results and ranks — including the cases where a
+//! huge parameter flips a level onto the checked-`i128` path.
+
+use nrl_core::{CollapseSpec, NestSpec, ParamPlan};
+use nrl_polyhedra::Space;
+use proptest::prelude::*;
+
+const VAR_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+
+/// The `batch_differential` nest generator: level 0 is `0..=N−1`, each
+/// deeper level `0..=(x_q + c)`; `pile_up` drives the level-0 degree
+/// to `depth` (past the closed forms at depth 5+).
+fn arb_nest(depth: usize) -> impl Strategy<Value = (NestSpec, i64)> {
+    (
+        proptest::collection::vec((0usize..6, 0i64..3), depth.saturating_sub(1)),
+        2i64..6,
+        0u8..2,
+    )
+        .prop_map(move |(shape, n, pile_up)| {
+            let s = Space::new(&VAR_NAMES[..depth], &["N"]);
+            let mut bounds = vec![(s.cst(0), s.var("N") - 1)];
+            for (k, &(q, c)) in shape.iter().enumerate() {
+                let outer = if pile_up == 1 { 0 } else { q % (k + 1) };
+                bounds.push((s.cst(0), s.var(VAR_NAMES[outer]) + c));
+            }
+            let nest = NestSpec::new(s, bounds).expect("structurally valid");
+            (nest, n)
+        })
+}
+
+/// Parameter magnitudes to sweep at each depth: the small generated
+/// value, a production-sized value, and an i64-boundary value scaled
+/// so the total count (≈ N^depth) stays inside `i128` — large enough
+/// to overflow the bind-time `i64` magnitude proof and push levels
+/// onto the checked path in *both* pipelines.
+fn param_sweep(depth: usize, small: i64) -> Vec<i64> {
+    let boundary = match depth {
+        1 => 1i64 << 56,
+        2 => 1 << 45,
+        3 => 1 << 30,
+        4 => 1 << 24,
+        5 => 1 << 19,
+        _ => 1 << 16,
+    };
+    vec![small, 1_000_000.min(boundary), boundary]
+}
+
+fn assert_instantiate_matches_fresh_bind(nest: &NestSpec, n: i64) -> Result<(), TestCaseError> {
+    let plan = ParamPlan::analyze(nest).expect("analyze");
+    let spec = CollapseSpec::new(nest).expect("spec");
+    let d = nest.depth();
+    for value in param_sweep(d, n) {
+        let params = [value];
+        let inst = plan.instantiate(&params).expect("instantiate");
+        let fresh = spec.bind(&params).expect("bind");
+        prop_assert_eq!(inst.total(), fresh.total(), "total at N={}", value);
+        prop_assert_eq!(
+            inst.rank_i64_proven(),
+            fresh.rank_i64_proven(),
+            "rank overflow proof at N={}",
+            value
+        );
+        for k in 0..d {
+            prop_assert_eq!(
+                inst.level_engine(k),
+                fresh.level_engine(k),
+                "engine at level {} N={}",
+                k,
+                value
+            );
+            prop_assert_eq!(
+                inst.level_i64_proven(k),
+                fresh.level_i64_proven(k),
+                "overflow proof at level {} N={}",
+                k,
+                value
+            );
+        }
+        // Recovery differential: a rank sweep covering first/last and
+        // interior points (full sweep on small domains).
+        let total = inst.total();
+        let step = (total / 41).max(1);
+        let mut a = vec![0i64; d];
+        let mut b = vec![0i64; d];
+        let mut pc = 1i128;
+        while pc <= total {
+            inst.unrank_into(pc, &mut a);
+            fresh.unrank_into(pc, &mut b);
+            prop_assert_eq!(&a, &b, "unrank({}) at N={}", pc, value);
+            prop_assert_eq!(inst.rank(&a), fresh.rank(&a), "rank{:?} at N={}", &a, value);
+            pc += step;
+        }
+        if total > 0 {
+            inst.unrank_into(total, &mut a);
+            fresh.unrank_into(total, &mut b);
+            prop_assert_eq!(&a, &b, "unrank(total) at N={}", value);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn depth1_instantiate_matches_bind((nest, n) in arb_nest(1)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+
+    #[test]
+    fn depth2_instantiate_matches_bind((nest, n) in arb_nest(2)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+
+    #[test]
+    fn depth3_instantiate_matches_bind((nest, n) in arb_nest(3)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+
+    #[test]
+    fn depth4_instantiate_matches_bind((nest, n) in arb_nest(4)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+
+    #[test]
+    fn depth5_instantiate_matches_bind((nest, n) in arb_nest(5)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+
+    #[test]
+    fn depth6_instantiate_matches_bind((nest, n) in arb_nest(6)) {
+        assert_instantiate_matches_fresh_bind(&nest, n)?;
+    }
+}
+
+/// Invalid domains must produce the same `BindError` through both
+/// pipelines (certificate-guided validation vs. fresh FM + walk).
+#[test]
+fn instantiate_and_bind_reject_identically() {
+    // j's lower bound 2 exceeds its upper bound i on rows 0 and 1.
+    let s = Space::new(&["i", "j"], &["N"]);
+    let nest = NestSpec::new(
+        s.clone(),
+        vec![(s.cst(0), s.var("N") - 1), (s.cst(2), s.var("i"))],
+    )
+    .unwrap();
+    let plan = ParamPlan::analyze(&nest).unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    for n in [-2i64, 0, 1, 2, 6] {
+        let a = plan.instantiate(&[n]).map(|c| c.total());
+        let b = spec.bind(&[n]).map(|c| c.total());
+        assert_eq!(a, b, "N={n}");
+    }
+    // Arity mismatches too.
+    assert_eq!(
+        plan.instantiate(&[1, 2]).map(|c| c.total()),
+        spec.bind(&[1, 2]).map(|c| c.total())
+    );
+}
+
+/// Engine choices flip with parameter magnitude (narrow → search,
+/// wide → closed form); the plan must track the flip exactly.
+#[test]
+fn engine_crossover_tracks_through_the_plan() {
+    let nest = NestSpec::correlation();
+    let plan = ParamPlan::analyze(&nest).unwrap();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    for n in [16i64, 64, 4096, 100_000, 2_000_000] {
+        assert_eq!(
+            plan.instantiate(&[n]).unwrap().level_engine(0),
+            spec.bind(&[n]).unwrap().level_engine(0),
+            "N={n}"
+        );
+    }
+}

@@ -12,8 +12,8 @@
 //! echo '...' | nrlc -             # read from stdin
 //! ```
 
-use nrl_core::CollapseSpec;
 use nrl_dsl::{collapse_source, generate_rust, parse, CodegenOptions, CodegenStyle};
+use nrl_plan::{PlanCache, PlanContext};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -94,13 +94,16 @@ fn main() -> ExitCode {
         sample_params: vec![sample],
     };
     let result = if emit_rust {
-        // The Rust emitter needs the parsed program and full-collapse spec.
+        // The Rust emitter needs the parsed program and full-collapse
+        // spec — resolved through the global plan cache like the C path.
         parse(&src)
             .map_err(|e| format!("parse error: {e}"))
             .and_then(|prog| {
                 let nest = prog.to_nest().map_err(|e| format!("lowering error: {e}"))?;
-                let spec = CollapseSpec::new(&nest).map_err(|e| format!("collapse error: {e}"))?;
-                generate_rust(&prog, &spec, &opts).map_err(|e| format!("formula error: {e}"))
+                let plan = PlanCache::global()
+                    .get_or_analyze(&nest, PlanContext::default())
+                    .map_err(|e| format!("collapse error: {e}"))?;
+                generate_rust(&prog, plan.spec(), &opts).map_err(|e| format!("formula error: {e}"))
             })
     } else {
         collapse_source(&src, &opts).map_err(|e| e.to_string())

@@ -7,7 +7,7 @@ use crate::ast::LowerError;
 use crate::codegen::{generate_c, CodegenOptions};
 use crate::formulas::FormulaError;
 use crate::parser::{parse, ParseError};
-use nrl_core::{CollapseError, CollapseSpec};
+use nrl_core::CollapseError;
 use std::fmt;
 
 /// Any failure along the source-to-source pipeline.
@@ -61,15 +61,19 @@ impl From<FormulaError> for ToolError {
 }
 
 /// Runs the whole pipeline: parse `src`, honour its `collapse(c)` pragma
-/// (default: collapse every loop), build the ranking machinery for the
-/// collapsed prefix, and emit the transformed C.
+/// (default: collapse every loop), resolve the ranking machinery for
+/// the collapsed prefix through the global
+/// [`PlanCache`](nrl_plan::PlanCache) — repeated tool invocations over
+/// the same nest shape (batch compilation, the `nrlc` binary in watch
+/// loops) reuse the analyzed plan — and emit the transformed C.
 pub fn collapse_source(src: &str, opts: &CodegenOptions) -> Result<String, ToolError> {
     let prog = parse(src)?;
     let nest = prog.to_nest()?;
     let c = prog.collapse.unwrap_or(nest.depth());
     let prefix = nest.prefix(c);
-    let spec = CollapseSpec::new(&prefix)?;
-    Ok(generate_c(&prog, &spec, opts)?)
+    let plan =
+        nrl_plan::PlanCache::global().get_or_analyze(&prefix, nrl_plan::PlanContext::default())?;
+    Ok(generate_c(&prog, plan.spec(), opts)?)
 }
 
 #[cfg(test)]

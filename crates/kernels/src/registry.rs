@@ -37,6 +37,16 @@ pub trait Kernel: Send {
     fn bound_nest(&self) -> &BoundNest;
 }
 
+/// Enables (or disables) plan-cache fidelity verification: while set,
+/// every kernel construction additionally binds its nest from scratch
+/// and asserts the cache-served [`Collapsed`] is bit-identical (totals,
+/// engine choices, overflow proofs, sampled unrank/rank sweeps). Used
+/// by the `kernel_smoke` CI binary; costs one extra symbolic analysis
+/// per kernel, so it stays off in production and benches.
+pub fn set_plan_verification(enabled: bool) {
+    crate::kernels::PLAN_VERIFY.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Instantiates every evaluation program at its default size scaled by
 /// `scale` (linear dimension multiplier; `1.0` = harness defaults,
 /// sized for desktop-class machines — the paper's EXTRALARGE sizes are

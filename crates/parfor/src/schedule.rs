@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 /// An OpenMP-style schedule for distributing the iterations `0..n` of a
 /// (collapsed or outer) parallel loop across `t` threads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Schedule {
     /// `schedule(static)`: split into `t` near-equal contiguous blocks,
     /// one per thread. Remainder iterations go to the lowest-id threads

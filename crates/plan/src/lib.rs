@@ -1,0 +1,415 @@
+#![warn(missing_docs)]
+//! # nrl-plan — the concurrent plan cache
+//!
+//! The collapse pipeline splits into an expensive analyze-once half
+//! ([`ParamPlan::analyze`]: symbolic ranking sums, parametric
+//! lowering, Fourier–Motzkin certificates — see `nrl_core::plan`) and
+//! a cheap instantiate-many half
+//! ([`ParamPlan::instantiate`]). This crate adds the serving layer on
+//! top: [`PlanCache`], a sharded, lock-striped LRU keyed by the nest
+//! **shape fingerprint** plus the execution context (schedule +
+//! recovery mode), with hit/miss/eviction counters in the
+//! `RecoveryCounters` style. Every kernel in the registry and every
+//! DSL-built nest resolves its plan through the
+//! [global cache](PlanCache::global), so repeated binds of the same
+//! shape — the service workload — cost one cache probe and one
+//! microsecond-scale instantiation.
+//!
+//! ```
+//! use nrl_plan::{PlanCache, PlanContext};
+//! use nrl_polyhedra::NestSpec;
+//!
+//! let cache = PlanCache::new(4, 8);
+//! let nest = NestSpec::correlation();
+//! // First touch analyzes; later touches (any thread) hit.
+//! let collapsed = cache.collapse(&nest, PlanContext::default(), &[1000]).unwrap();
+//! assert_eq!(collapsed.total(), 999 * 1000 / 2);
+//! let again = cache.collapse(&nest, PlanContext::default(), &[500]).unwrap();
+//! assert_eq!(again.total(), 499 * 500 / 2);
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! ```
+
+use nrl_core::{BindError, CollapseError, Collapsed, Recovery};
+use nrl_parfor::Schedule;
+use nrl_polyhedra::NestSpec;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The execution context a plan is cached under. The symbolic plan
+/// itself is schedule-independent today, but the key space reserves
+/// the axes future context-specialized plans (per-engine calibration,
+/// schedule-shaped chunk hints) will occupy — and keeps ablation runs
+/// from sharing entries with production ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PlanContext {
+    /// Schedule the plan will execute under (`None` = unspecified).
+    pub schedule: Option<Schedule>,
+    /// Recovery mode the plan will execute under (`None` = unspecified).
+    pub recovery: Option<Recovery>,
+}
+
+/// Any failure along the cached collapse path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The analyze half failed (nest too deep).
+    Analyze(CollapseError),
+    /// Instantiation rejected the parameters.
+    Bind(BindError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Analyze(e) => write!(f, "plan analysis failed: {e}"),
+            PlanError::Bind(e) => write!(f, "plan instantiation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<CollapseError> for PlanError {
+    fn from(e: CollapseError) -> Self {
+        PlanError::Analyze(e)
+    }
+}
+
+impl From<BindError> for PlanError {
+    fn from(e: BindError) -> Self {
+        PlanError::Bind(e)
+    }
+}
+
+/// A plain snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a cached plan.
+    pub hits: u64,
+    /// Lookups that had to analyze (including racing analyses whose
+    /// insert lost to a concurrent thread's).
+    pub misses: u64,
+    /// Entries displaced by the per-shard LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident across all shards.
+    pub entries: usize,
+}
+
+struct Entry {
+    fingerprint: u64,
+    ctx: PlanContext,
+    /// Full shape stored for exact matching: fingerprint collisions
+    /// must never serve a foreign plan.
+    nest: NestSpec,
+    plan: Arc<ParamPlan>,
+    last_used: u64,
+}
+
+struct Shard {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// A sharded, lock-striped LRU cache of analyzed [`ParamPlan`]s.
+///
+/// Lookups hash the nest shape + [`PlanContext`] to a shard; each
+/// shard guards a small LRU with one mutex, so concurrent lookups of
+/// different shapes rarely contend. Plans are handed out as
+/// `Arc<ParamPlan>` — eviction never invalidates a plan a borrower is
+/// still instantiating from (the eviction-vs-borrow race is resolved
+/// by refcounting, exercised by the `plan_cache_stress` CI smoke).
+/// Analysis on a miss runs **outside** the shard lock: a racing
+/// analysis of the same shape wastes one analyze but never blocks
+/// readers of other shapes on the same shard.
+pub struct PlanCache {
+    shards: Box<[Shard]>,
+    capacity_per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache with `shards` lock stripes (rounded up to a
+    /// power of two, minimum 1) of `capacity_per_shard` plans each.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> PlanCache {
+        let shards = shards.max(1).next_power_of_two();
+        PlanCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    entries: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache the kernel registry and the DSL pipeline
+    /// resolve their plans through (8 shards × 8 plans).
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| PlanCache::new(8, 8))
+    }
+
+    /// Total plans the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.capacity_per_shard
+    }
+
+    /// Snapshot of the hit/miss/eviction counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.entries.lock().expect("plan cache poisoned").len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn fingerprint(nest: &NestSpec, ctx: &PlanContext) -> u64 {
+        let mut h = DefaultHasher::new();
+        let space = nest.space();
+        space.niters().hash(&mut h);
+        space.nparams().hash(&mut h);
+        for name in space.names() {
+            name.hash(&mut h);
+        }
+        for k in 0..nest.depth() {
+            for a in [nest.lower(k), nest.upper(k)] {
+                for v in 0..space.len() {
+                    a.coeff(v).hash(&mut h);
+                }
+                a.constant_term().hash(&mut h);
+            }
+        }
+        ctx.hash(&mut h);
+        h.finish()
+    }
+
+    /// Resolves the plan for `(nest shape, context)`: a cached `Arc` on
+    /// a hit, a fresh analysis (inserted LRU-wise) on a miss.
+    pub fn get_or_analyze(
+        &self,
+        nest: &NestSpec,
+        ctx: PlanContext,
+    ) -> Result<Arc<ParamPlan>, CollapseError> {
+        let fp = Self::fingerprint(nest, &ctx);
+        let shard = &self.shards[(fp as usize) & (self.shards.len() - 1)];
+        if let Some(plan) = self.lookup(shard, fp, &ctx, nest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
+        }
+        // Analyze outside the shard lock: symbolic analysis is the
+        // expensive path and must not serialize unrelated lookups.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(ParamPlan::analyze(nest)?);
+        let mut entries = shard.entries.lock().expect("plan cache poisoned");
+        // Double-check: a racing thread may have inserted the same key
+        // while we analyzed — reuse its entry rather than duplicating.
+        if let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fp && e.ctx == ctx && &e.nest == nest)
+        {
+            e.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.plan));
+        }
+        if entries.len() >= self.capacity_per_shard {
+            let victim = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty shard at capacity");
+            entries.swap_remove(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push(Entry {
+            fingerprint: fp,
+            ctx,
+            nest: nest.clone(),
+            plan: Arc::clone(&plan),
+            last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+        });
+        Ok(plan)
+    }
+
+    fn lookup(
+        &self,
+        shard: &Shard,
+        fp: u64,
+        ctx: &PlanContext,
+        nest: &NestSpec,
+    ) -> Option<Arc<ParamPlan>> {
+        let mut entries = shard.entries.lock().expect("plan cache poisoned");
+        let e = entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fp && &e.ctx == ctx && &e.nest == nest)?;
+        e.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&e.plan))
+    }
+
+    /// The one-call service path: resolve the plan (cached or fresh)
+    /// and instantiate it at `params`, with full domain validation.
+    pub fn collapse(
+        &self,
+        nest: &NestSpec,
+        ctx: PlanContext,
+        params: &[i64],
+    ) -> Result<Collapsed, PlanError> {
+        let plan = self.get_or_analyze(nest, ctx)?;
+        Ok(plan.instantiate(params)?)
+    }
+}
+
+pub use nrl_core::ParamPlan;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_polyhedra::Space;
+
+    fn shape(c: i64) -> NestSpec {
+        let s = Space::new(&["i", "j"], &["N"]);
+        NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.cst(0), s.var("i") + c)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hits_after_first_analysis() {
+        let cache = PlanCache::new(2, 4);
+        let nest = NestSpec::correlation();
+        let a = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        let b = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn context_separates_entries() {
+        let cache = PlanCache::new(2, 4);
+        let nest = NestSpec::correlation();
+        let plain = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        let batched = cache
+            .get_or_analyze(
+                &nest,
+                PlanContext {
+                    schedule: Some(Schedule::Dynamic(8)),
+                    recovery: Some(Recovery::Batched(8)),
+                },
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&plain, &batched));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard of two entries: touching A keeps it resident while
+        // C displaces B.
+        let cache = PlanCache::new(1, 2);
+        let (a, b, c) = (shape(0), shape(1), shape(2));
+        cache.get_or_analyze(&a, PlanContext::default()).unwrap();
+        cache.get_or_analyze(&b, PlanContext::default()).unwrap();
+        cache.get_or_analyze(&a, PlanContext::default()).unwrap(); // refresh A
+        cache.get_or_analyze(&c, PlanContext::default()).unwrap(); // evicts B
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        cache.get_or_analyze(&a, PlanContext::default()).unwrap();
+        assert_eq!(cache.stats().hits, 2, "A must have survived the eviction");
+    }
+
+    #[test]
+    fn evicted_plans_stay_usable_by_borrowers() {
+        let cache = PlanCache::new(1, 1);
+        let held = cache
+            .get_or_analyze(&NestSpec::correlation(), PlanContext::default())
+            .unwrap();
+        // Displace the only entry while `held` is still borrowed.
+        cache
+            .get_or_analyze(&NestSpec::figure6(), PlanContext::default())
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        let collapsed = held.instantiate(&[100]).unwrap();
+        assert_eq!(collapsed.total(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn cached_collapse_matches_fresh_bind() {
+        let cache = PlanCache::new(4, 4);
+        let nest = NestSpec::figure6();
+        for n in [3i64, 9, 30] {
+            let cached = cache.collapse(&nest, PlanContext::default(), &[n]).unwrap();
+            let fresh = nrl_core::CollapseSpec::new(&nest)
+                .unwrap()
+                .bind(&[n])
+                .unwrap();
+            assert_eq!(cached.total(), fresh.total());
+            for pc in 1..=cached.total() {
+                assert_eq!(cached.unrank(pc), fresh.unrank(pc), "N={n} pc={pc}");
+            }
+        }
+    }
+
+    #[test]
+    fn bind_errors_surface_through_the_cache() {
+        let cache = PlanCache::new(1, 4);
+        let err = cache
+            .collapse(&NestSpec::correlation(), PlanContext::default(), &[0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Bind(BindError::NegativeTripCount { .. })
+        ));
+        let err = cache
+            .collapse(&NestSpec::correlation(), PlanContext::default(), &[])
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Bind(BindError::ParamArity { .. })));
+    }
+
+    #[test]
+    fn concurrent_lookups_keep_counters_consistent() {
+        let cache = Arc::new(PlanCache::new(2, 2));
+        let shapes: Vec<NestSpec> = (0..5).map(shape).collect();
+        let threads = 8usize;
+        let per_thread = 50usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                let shapes = &shapes;
+                scope.spawn(move || {
+                    let mut state = t as u64 + 1;
+                    for _ in 0..per_thread {
+                        // xorshift — deterministic per-thread mix.
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let nest = &shapes[(state % shapes.len() as u64) as usize];
+                        let collapsed =
+                            cache.collapse(nest, PlanContext::default(), &[20]).unwrap();
+                        assert!(collapsed.total() > 0);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
+        assert!(stats.entries <= cache.capacity());
+    }
+}

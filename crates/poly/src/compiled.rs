@@ -32,11 +32,11 @@ pub const MAX_COMPILED_COEFFS: usize = 17;
 
 /// One prefix-variable monomial of a ladder rung: `coeff · Π v^e`.
 #[derive(Clone, Debug)]
-struct PrefixTerm {
-    coeff: i128,
+pub(crate) struct PrefixTerm {
+    pub(crate) coeff: i128,
     /// Sparse exponents over the prefix variables, `(var, exp)` with
     /// `exp ≥ 1` and `var != x`.
-    pows: Vec<(u32, u32)>,
+    pub(crate) pows: Vec<(u32, u32)>,
 }
 
 /// A polynomial lowered univariate-in-`x`: `(Σ_j C_j(prefix) · x^j) / den`
@@ -80,6 +80,23 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 impl CompiledPoly {
+    /// Assembles a ladder from already-lowered parts (the parametric
+    /// instantiation path — see [`crate::param::ParamCompiledPoly`]).
+    pub(crate) fn from_parts(
+        nvars: usize,
+        x: usize,
+        den: i128,
+        ladder: Vec<Vec<PrefixTerm>>,
+    ) -> Self {
+        debug_assert!(!ladder.is_empty() && den >= 1);
+        CompiledPoly {
+            nvars,
+            x,
+            den,
+            ladder,
+        }
+    }
+
     /// Lowers `p` into a Horner ladder univariate in variable `x`.
     ///
     /// Denominators are cleared exactly once (`p = ladder / den`); all

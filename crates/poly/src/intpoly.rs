@@ -22,6 +22,13 @@ pub struct IntPoly {
 }
 
 impl IntPoly {
+    /// Assembles from already-cleared parts (the parametric
+    /// instantiation path — see [`crate::param::ParamCompiledPoly`]).
+    pub(crate) fn from_parts(nvars: usize, den: i128, terms: Vec<(Vec<u32>, i128)>) -> Self {
+        debug_assert!(den >= 1);
+        IntPoly { nvars, den, terms }
+    }
+
     /// Clears denominators of `p`.
     pub fn from_poly(p: &Poly) -> Self {
         let den = p.denominator_lcm();

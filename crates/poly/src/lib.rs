@@ -44,6 +44,7 @@ pub mod eval;
 pub mod intpoly;
 pub mod lanes;
 pub mod monomial;
+pub mod param;
 pub mod poly;
 pub mod subst;
 pub mod sum;
@@ -53,4 +54,5 @@ pub use intpoly::IntPoly;
 pub use lanes::{LaneHorner, LANE_WIDTH};
 pub use monomial::Monomial;
 pub use nrl_rational::Rational;
+pub use param::ParamCompiledPoly;
 pub use poly::Poly;

@@ -1,0 +1,383 @@
+//! [`ParamCompiledPoly`]: parametric lowering — the analyze-once half
+//! of the plan compiler.
+//!
+//! [`CompiledPoly`] lowers a polynomial whose
+//! parameters are already bound; re-binding the same nest at new
+//! parameter values therefore repeats the whole symbolic pipeline
+//! (rational parameter folding, ring shrinking, re-lowering) even
+//! though only the *coefficient values* change. `ParamCompiledPoly`
+//! lowers once over the **full ring** (iterators and parameters
+//! together): each ladder rung's coefficients are themselves small
+//! integer ladders in the parameter vector, so instantiating the plan
+//! at concrete parameters is a handful of checked multiply-adds per
+//! coefficient — no `Rational` arithmetic, no ring surgery, no
+//! re-lowering.
+//!
+//! Instantiation is **value-identical to binding from scratch**: the
+//! folded coefficients are renormalized by their gcd with the symbolic
+//! denominator and trailing zero rungs are trimmed, so the produced
+//! [`CompiledPoly`]/[`IntPoly`] have exactly the degree, denominator
+//! and coefficient values that `CompiledPoly::lower` /
+//! `IntPoly::from_poly` produce on the parameter-bound polynomial —
+//! downstream magnitude proofs and engine decisions cannot diverge.
+
+use crate::compiled::{CompileError, PrefixTerm};
+use crate::intpoly::IntPoly;
+use crate::poly::Poly;
+use crate::{CompiledPoly, MAX_COMPILED_COEFFS};
+use nrl_rational::gcd_i128;
+
+/// One folded rung: `(iterator pows, folded coefficient)` pairs.
+type FoldedRung<'a> = Vec<(&'a [(u32, u32)], i128)>;
+
+/// One parameter-monomial of a coefficient ladder: `coeff · Π p_m^e`.
+#[derive(Clone, Debug)]
+struct ParamTerm {
+    coeff: i128,
+    /// Sparse exponents over the parameters, `(param, exp)` with
+    /// `exp ≥ 1` (`param` is the 0-based index into the parameter
+    /// vector, not the ring variable).
+    ppows: Vec<(u32, u32)>,
+}
+
+/// One iterator-monomial of a ladder rung, with its coefficient kept
+/// symbolic in the parameters.
+#[derive(Clone, Debug)]
+struct ParamGroup {
+    /// Sparse exponents over the prefix iterators (`var < iter_vars`,
+    /// `var != x`).
+    pows: Vec<(u32, u32)>,
+    /// The coefficient as an integer polynomial in the parameters
+    /// (scaled by the symbolic denominator).
+    coeff: Vec<ParamTerm>,
+}
+
+/// A polynomial over `(iterators…, parameters…)` lowered
+/// univariate-in-`x` **with the parameters kept symbolic**: the ladder
+/// shape, iterator monomials and the parameter ladders of every
+/// coefficient are fixed at analyze time;
+/// [`instantiate`](Self::instantiate) folds a concrete parameter
+/// vector into a ready-to-specialize [`CompiledPoly`] (and the
+/// matching reference [`IntPoly`]) in microseconds.
+#[derive(Clone, Debug)]
+pub struct ParamCompiledPoly {
+    /// Ring arity of the *instantiated* polynomials (the iterators).
+    iter_vars: usize,
+    nparams: usize,
+    x: usize,
+    /// Denominator LCM of the symbolic polynomial; instantiation
+    /// renormalizes by the gcd with the folded coefficients, so the
+    /// instantiated denominator matches a from-scratch lowering.
+    den: i128,
+    /// `rungs[j]` holds the iterator-monomial groups of the `x^j`
+    /// coefficient, sorted by `pows` (the `CompiledPoly::lower` order).
+    rungs: Vec<Vec<ParamGroup>>,
+}
+
+impl ParamCompiledPoly {
+    /// Lowers `p` (ring = `iter_vars` iterators followed by the
+    /// parameters) univariate in iterator `x`, keeping the parameters
+    /// symbolic.
+    pub fn lower(p: &Poly, x: usize, iter_vars: usize) -> Result<Self, CompileError> {
+        let nvars = p.nvars();
+        assert!(
+            iter_vars <= nvars,
+            "iterator count exceeds the polynomial ring"
+        );
+        assert!(x < iter_vars, "univariate variable must be an iterator");
+        let nparams = nvars - iter_vars;
+        let deg = p.degree_in(x);
+        if deg as usize >= MAX_COMPILED_COEFFS {
+            return Err(CompileError::DegreeTooHigh { degree: deg });
+        }
+        let den = p.denominator_lcm();
+        let mut rungs: Vec<Vec<ParamGroup>> = vec![Vec::new(); deg as usize + 1];
+        for (m, c) in p.terms() {
+            let scaled = c
+                .numer()
+                .checked_mul(den / c.denom())
+                .ok_or(CompileError::CoefficientOverflow)?;
+            let j = m.exp(x) as usize;
+            let mut pows = Vec::new();
+            for v in (0..iter_vars).filter(|&v| v != x) {
+                let e = m.exp(v);
+                if e > 0 {
+                    pows.push((v as u32, e));
+                }
+            }
+            let mut ppows = Vec::new();
+            for q in 0..nparams {
+                let e = m.exp(iter_vars + q);
+                if e > 0 {
+                    ppows.push((q as u32, e));
+                }
+            }
+            let term = ParamTerm {
+                coeff: scaled,
+                ppows,
+            };
+            match rungs[j].iter_mut().find(|g| g.pows == pows) {
+                Some(group) => group.coeff.push(term),
+                None => rungs[j].push(ParamGroup {
+                    pows,
+                    coeff: vec![term],
+                }),
+            }
+        }
+        // Match the deterministic rung order of `CompiledPoly::lower`.
+        for rung in &mut rungs {
+            rung.sort_by(|a, b| a.pows.cmp(&b.pows));
+        }
+        Ok(ParamCompiledPoly {
+            iter_vars,
+            nparams,
+            x,
+            den,
+            rungs,
+        })
+    }
+
+    /// The designated univariate variable.
+    pub fn x(&self) -> usize {
+        self.x
+    }
+
+    /// Ring arity of instantiated polynomials.
+    pub fn iter_vars(&self) -> usize {
+        self.iter_vars
+    }
+
+    /// Number of parameters the coefficient ladders read.
+    pub fn nparams(&self) -> usize {
+        self.nparams
+    }
+
+    /// Symbolic degree in `x` — an upper bound on the instantiated
+    /// degree (leading coefficients can vanish at specific parameters).
+    pub fn degree_bound(&self) -> usize {
+        self.rungs.len() - 1
+    }
+
+    /// Folds the parameter ladders at `params`, producing the lowered
+    /// [`CompiledPoly`] and the matching reference [`IntPoly`] over the
+    /// iterator-only ring — **exactly** the pair a from-scratch
+    /// parameter bind + lowering produces (same degree, denominator and
+    /// coefficients).
+    ///
+    /// # Panics
+    /// Panics on `i128` overflow while folding (the same contract as
+    /// rational parameter binding, which overflows on the same inputs).
+    pub fn instantiate(&self, params: &[i64]) -> (CompiledPoly, IntPoly) {
+        assert_eq!(params.len(), self.nparams, "parameter arity mismatch");
+        // Fold every coefficient ladder; drop vanished monomials so the
+        // instantiated term set matches what `Poly` normalization would
+        // have kept.
+        let mut folded: Vec<FoldedRung<'_>> = Vec::with_capacity(self.rungs.len());
+        let mut gcd_acc: i128 = 0;
+        for rung in &self.rungs {
+            let mut out = Vec::with_capacity(rung.len());
+            for group in rung {
+                let mut acc: i128 = 0;
+                for term in &group.coeff {
+                    let mut t = term.coeff;
+                    for &(q, e) in &term.ppows {
+                        let powed = (params[q as usize] as i128)
+                            .checked_pow(e)
+                            .expect("ParamCompiledPoly instantiation overflow");
+                        t = t
+                            .checked_mul(powed)
+                            .expect("ParamCompiledPoly instantiation overflow");
+                    }
+                    acc = acc
+                        .checked_add(t)
+                        .expect("ParamCompiledPoly instantiation overflow");
+                }
+                if acc != 0 {
+                    gcd_acc = gcd_i128(gcd_acc, acc);
+                    out.push((group.pows.as_slice(), acc));
+                }
+            }
+            folded.push(out);
+        }
+        // Renormalize to the denominator a from-scratch lowering of the
+        // bound polynomial would clear: den / gcd(den, coefficients).
+        // A vanished polynomial reduces to 0/1 (the `Poly::zero` shape).
+        let g = if gcd_acc == 0 {
+            self.den
+        } else {
+            gcd_i128(self.den, gcd_acc)
+        };
+        let den = self.den / g;
+        // Trim trailing rungs that vanished at these parameters: the
+        // bound polynomial's degree drops with them, and degree drives
+        // the closed-form/engine decisions downstream.
+        let deg = folded
+            .iter()
+            .rposition(|rung| !rung.is_empty())
+            .unwrap_or(0);
+        let mut ladder: Vec<Vec<PrefixTerm>> = Vec::with_capacity(deg + 1);
+        let mut int_terms = Vec::new();
+        for (j, rung) in folded.iter().enumerate().take(deg + 1) {
+            let mut rung_terms = Vec::with_capacity(rung.len());
+            for &(pows, c) in rung {
+                rung_terms.push(PrefixTerm {
+                    coeff: c / g,
+                    pows: pows.to_vec(),
+                });
+                let mut exps = vec![0u32; self.iter_vars];
+                exps[self.x] = j as u32;
+                for &(v, e) in pows {
+                    exps[v as usize] = e;
+                }
+                int_terms.push((exps, c / g));
+            }
+            ladder.push(rung_terms);
+        }
+        (
+            CompiledPoly::from_parts(self.iter_vars, self.x, den, ladder),
+            IntPoly::from_parts(self.iter_vars, den, int_terms),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrl_rational::Rational;
+
+    /// Binds the trailing parameters of `p` to concrete values and
+    /// shrinks to the iterator ring — the from-scratch reference path
+    /// (mirrors `nrl_core`'s bind).
+    fn bind_poly(p: &Poly, iter_vars: usize, params: &[i64]) -> Poly {
+        let mut out = p.clone();
+        for (offset, &value) in params.iter().enumerate() {
+            out = out.eval_var(iter_vars + offset, Rational::from_int(value as i128));
+        }
+        out.shrink_vars(iter_vars)
+    }
+
+    /// r(i, j, N) = (2iN + 2j − i² − 3i)/2 over ring (i, j | N).
+    fn correlation_rank() -> Poly {
+        let i = Poly::var(3, 0);
+        let j = Poly::var(3, 1);
+        let n = Poly::var(3, 2);
+        (Poly::constant_int(3, 2) * &i * &n + Poly::constant_int(3, 2) * &j
+            - i.pow(2)
+            - Poly::constant_int(3, 3) * &i)
+            .scale(Rational::new(1, 2))
+    }
+
+    fn assert_matches_fresh(p: &Poly, x: usize, iter_vars: usize, params: &[i64]) {
+        let pcp = ParamCompiledPoly::lower(p, x, iter_vars).expect("lowerable");
+        let (cp, ip) = pcp.instantiate(params);
+        let bound = bind_poly(p, iter_vars, params);
+        let fresh_cp = CompiledPoly::lower(&bound, x).expect("lowerable");
+        let fresh_ip = IntPoly::from_poly(&bound);
+        assert_eq!(cp.degree(), fresh_cp.degree(), "degree at {params:?}");
+        assert_eq!(
+            cp.denominator(),
+            fresh_cp.denominator(),
+            "denominator at {params:?}"
+        );
+        assert_eq!(ip.denominator(), fresh_ip.denominator());
+        // Value-identical on a grid of prefixes and probes.
+        let mut point = vec![0i64; iter_vars];
+        for a in -3..4i64 {
+            for v in point.iter_mut() {
+                *v = a * 7;
+            }
+            let spec = cp.specialize(&point, false);
+            let fresh_spec = fresh_cp.specialize(&point, false);
+            for probe in -5..6i64 {
+                assert_eq!(
+                    spec.eval_numer(probe),
+                    fresh_spec.eval_numer(probe),
+                    "prefix {a} probe {probe} params {params:?}"
+                );
+                point[x] = probe;
+                assert_eq!(ip.eval_numer(&point), fresh_ip.eval_numer(&point));
+            }
+        }
+    }
+
+    #[test]
+    fn instantiation_matches_fresh_lowering() {
+        let p = correlation_rank();
+        for x in 0..2usize {
+            for n in [2i64, 3, 10, 1000, 1 << 20] {
+                assert_matches_fresh(&p, x, 2, &[n]);
+            }
+        }
+    }
+
+    #[test]
+    fn vanishing_leading_coefficient_drops_degree() {
+        // (N − 5)·x² + x: quadratic except at N = 5, where the fresh
+        // bind is linear — instantiation must trim the rung (and with
+        // it the closed-form/engine decisions downstream).
+        let x = Poly::var(2, 0);
+        let n = Poly::var(2, 1);
+        let p = (&n - &Poly::constant_int(2, 5)) * x.pow(2) + x.clone();
+        let pcp = ParamCompiledPoly::lower(&p, 0, 1).unwrap();
+        assert_eq!(pcp.degree_bound(), 2);
+        let (quad, _) = pcp.instantiate(&[7]);
+        assert_eq!(quad.degree(), 2);
+        let (lin, _) = pcp.instantiate(&[5]);
+        assert_eq!(lin.degree(), 1);
+        assert_matches_fresh(&p, 0, 1, &[5]);
+        assert_matches_fresh(&p, 0, 1, &[7]);
+    }
+
+    #[test]
+    fn denominator_renormalizes_like_fresh_bind() {
+        // (N/2)·x + 1/3: symbolic denominator 6; at even N the fresh
+        // bind reduces to denominator 3, at odd N it stays 6.
+        let x = Poly::var(2, 0);
+        let n = Poly::var(2, 1);
+        let p = n.scale(Rational::new(1, 2)) * &x + Poly::constant(2, Rational::new(1, 3));
+        for nv in [2i64, 3, 4, 9, 100] {
+            assert_matches_fresh(&p, 0, 1, &[nv]);
+        }
+    }
+
+    #[test]
+    fn zero_instantiation_matches_zero_poly() {
+        // N·x vanishes entirely at N = 0: the instantiated pair must
+        // match lowering the zero polynomial (degree 0, denominator 1).
+        let p = Poly::var(2, 1) * Poly::var(2, 0);
+        let pcp = ParamCompiledPoly::lower(&p, 0, 1).unwrap();
+        let (cp, ip) = pcp.instantiate(&[0]);
+        assert_eq!(cp.degree(), 0);
+        assert_eq!(cp.denominator(), 1);
+        assert_eq!(ip.denominator(), 1);
+        assert_eq!(cp.specialize(&[9], false).eval_int(123), 0);
+        assert_matches_fresh(&p, 0, 1, &[0]);
+    }
+
+    #[test]
+    fn parameter_free_polynomials_instantiate_trivially() {
+        let p = correlation_rank();
+        // Treat all three ring variables as iterators: no parameters.
+        let pcp = ParamCompiledPoly::lower(&p, 1, 3).unwrap();
+        assert_eq!(pcp.nparams(), 0);
+        let (cp, _) = pcp.instantiate(&[]);
+        let fresh = CompiledPoly::lower(&p, 1).unwrap();
+        assert_eq!(cp.degree(), fresh.degree());
+        assert_eq!(cp.denominator(), fresh.denominator());
+        let point = [3i64, 0, 17];
+        assert_eq!(
+            cp.specialize(&point, false).eval_numer(5),
+            fresh.specialize(&point, false).eval_numer(5)
+        );
+    }
+
+    #[test]
+    fn degree_cap_is_enforced() {
+        let x = Poly::var(2, 0);
+        let p = x.pow(MAX_COMPILED_COEFFS as u32);
+        assert!(matches!(
+            ParamCompiledPoly::lower(&p, 0, 1),
+            Err(CompileError::DegreeTooHigh { .. })
+        ));
+    }
+}

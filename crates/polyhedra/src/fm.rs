@@ -171,6 +171,27 @@ impl System {
         sys.rows.iter().all(|r| r.constant >= Rational::ZERO)
     }
 
+    /// Extracts the rows of a system whose first `skip` variables have
+    /// been projected out, as `(trailing coefficients, constant)`
+    /// pairs — the parameter-space shadow used by trip-count
+    /// certificates.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any row still references a projected
+    /// variable.
+    pub fn param_rows(&self, skip: usize) -> Vec<(Vec<Rational>, Rational)> {
+        self.rows
+            .iter()
+            .map(|row| {
+                debug_assert!(
+                    row.coeffs[..skip].iter().all(Rational::is_zero),
+                    "row still references a projected variable"
+                );
+                (row.coeffs[skip..].to_vec(), row.constant)
+            })
+            .collect()
+    }
+
     /// The rational interval implied for variable `v` after projecting
     /// out every other variable: `(max lower bound, min upper bound)`,
     /// `None` meaning unbounded on that side.

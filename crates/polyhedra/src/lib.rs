@@ -50,4 +50,4 @@ pub use enumerate::Points;
 pub use nest::{NestError, NestSpec};
 pub use shape::Shape;
 pub use space::Space;
-pub use validate::TripProof;
+pub use validate::{TripCountCertificate, TripProof};

@@ -33,9 +33,113 @@ pub enum TripProof {
     },
 }
 
+/// A precomputed, parameter-space form of the symbolic trip-count
+/// proof: per level, the Fourier–Motzkin projection of the
+/// violation system (prefix domain ∧ negative trip count) onto the
+/// **parameters**. Built once per nest shape by
+/// [`NestSpec::trip_count_certificate`]; [`check`](Self::check) then
+/// decides [`TripProof`] for any concrete parameter vector in
+/// `O(rows · nparams)` rational dot products — no elimination at
+/// bind/instantiate time.
+///
+/// FM projection is exact over the rationals, so the outcome is
+/// identical to running
+/// [`prove_trip_counts_at`](NestSpec::prove_trip_counts_at) from
+/// scratch: a violation is rationally possible at `p` iff `p`
+/// satisfies every projected row of some level.
+#[derive(Clone, Debug)]
+pub struct TripCountCertificate {
+    nparams: usize,
+    /// Per level: the projected constraints `Σ coeffs·p + constant ≥ 0`
+    /// over the parameters, describing the parameter vectors at which a
+    /// trip-count violation is rationally feasible.
+    levels: Vec<Vec<(Vec<Rational>, Rational)>>,
+}
+
+impl TripCountCertificate {
+    /// Number of parameters the certificate was built for.
+    pub fn nparams(&self) -> usize {
+        self.nparams
+    }
+
+    /// Decides the trip-count proof at concrete parameter values, with
+    /// the same outcome [`NestSpec::prove_trip_counts_at`] computes by
+    /// eliminating from scratch.
+    pub fn check(&self, params: &[i64]) -> TripProof {
+        assert_eq!(params.len(), self.nparams, "parameter arity mismatch");
+        for (level, rows) in self.levels.iter().enumerate() {
+            let violation_feasible = rows.iter().all(|(coeffs, constant)| {
+                let mut acc = *constant;
+                for (c, &p) in coeffs.iter().zip(params) {
+                    acc += *c * Rational::from_int(p as i128);
+                }
+                acc >= Rational::ZERO
+            });
+            if violation_feasible {
+                return TripProof::Unproved { level };
+            }
+        }
+        TripProof::Proved
+    }
+}
+
 impl NestSpec {
     fn affine_to_constraint(&self, coeffs: Vec<i64>, constant: i64) -> Constraint {
         Constraint::from_ints(&coeffs, constant)
+    }
+
+    /// Precomputes the parameter-space [`TripCountCertificate`] for
+    /// this nest: the analyze-time half of domain validation. The
+    /// per-level violation systems are built exactly as in
+    /// [`prove_trip_counts`](Self::prove_trip_counts) (without
+    /// parameter assumptions) and the iterators are eliminated, leaving
+    /// constraints over the parameters only.
+    pub fn trip_count_certificate(&self, strict: bool) -> TripCountCertificate {
+        let d = self.depth();
+        let nparams = self.nparams();
+        let mut levels = Vec::with_capacity(d);
+        for level in 0..d {
+            let mut sys = self.violation_system(level, strict);
+            // Project out every iterator, leaving the parameter shadow.
+            let iters = self.space().niters();
+            for v in 0..iters {
+                sys = sys.project_out(v);
+            }
+            levels.push(sys.param_rows(iters));
+        }
+        TripCountCertificate { nparams, levels }
+    }
+
+    /// The level-`level` trip-count violation system: prefix domain
+    /// (`l_q ≤ i_q ≤ u_q` for `q < level`) plus the violation row
+    /// (`trip < 0`, or `trip ≤ 0` in strict mode). Shared by
+    /// [`prove_trip_counts`](Self::prove_trip_counts) and
+    /// [`trip_count_certificate`](Self::trip_count_certificate) so the
+    /// certificate's outcome cannot drift from the fresh proof's.
+    fn violation_system(&self, level: usize, strict: bool) -> System {
+        let n = self.space().len();
+        let mut sys = System::new(n);
+        for q in 0..level {
+            let lo = self.lower(q);
+            let hi = self.upper(q);
+            // i_q − lo ≥ 0
+            let mut c: Vec<i64> = (0..n).map(|v| -lo.coeff(v)).collect();
+            c[q] += 1;
+            sys.add(self.affine_to_constraint(c, -lo.constant_term()));
+            // hi − i_q ≥ 0
+            let mut c: Vec<i64> = (0..n).map(|v| hi.coeff(v)).collect();
+            c[q] -= 1;
+            sys.add(self.affine_to_constraint(c, hi.constant_term()));
+        }
+        // Violation: trip < 0 ⟺ lo − hi − 2 ≥ 0 (integers);
+        // trip ≤ 0 (strict mode) ⟺ lo − hi − 1 ≥ 0.
+        let lo = self.lower(level);
+        let hi = self.upper(level);
+        let slack = if strict { -1 } else { -2 };
+        let coeffs: Vec<i64> = (0..n).map(|v| lo.coeff(v) - hi.coeff(v)).collect();
+        let constant = lo.constant_term() - hi.constant_term() + slack;
+        sys.add(self.affine_to_constraint(coeffs, constant));
+        sys
     }
 
     /// Attempts to prove that every trip count is non-negative
@@ -52,34 +156,13 @@ impl NestSpec {
     ) -> TripProof {
         let n = self.space().len();
         for level in 0..self.depth() {
-            let mut sys = System::new(n);
-            // Prefix domain: l_q ≤ i_q ≤ u_q for q < level.
-            for q in 0..level {
-                let lo = self.lower(q);
-                let hi = self.upper(q);
-                // i_q − lo ≥ 0
-                let mut c: Vec<i64> = (0..n).map(|v| -lo.coeff(v)).collect();
-                c[q] += 1;
-                sys.add(self.affine_to_constraint(c, -lo.constant_term()));
-                // hi − i_q ≥ 0
-                let mut c: Vec<i64> = (0..n).map(|v| hi.coeff(v)).collect();
-                c[q] -= 1;
-                sys.add(self.affine_to_constraint(c, hi.constant_term()));
-            }
+            let mut sys = self.violation_system(level, strict);
             // Parameter assumptions.
             for a in assumptions {
                 assert_eq!(a.space(), self.space(), "assumption space mismatch");
                 let coeffs: Vec<i64> = (0..n).map(|v| a.coeff(v)).collect();
                 sys.add(self.affine_to_constraint(coeffs, a.constant_term()));
             }
-            // Violation: trip < 0 ⟺ lo − hi − 2 ≥ 0 (integers);
-            // trip ≤ 0 (strict mode) ⟺ lo − hi − 1 ≥ 0.
-            let lo = self.lower(level);
-            let hi = self.upper(level);
-            let slack = if strict { -1 } else { -2 };
-            let coeffs: Vec<i64> = (0..n).map(|v| lo.coeff(v) - hi.coeff(v)).collect();
-            let constant = lo.constant_term() - hi.constant_term() + slack;
-            sys.add(self.affine_to_constraint(coeffs, constant));
             if sys.is_rationally_feasible() {
                 return TripProof::Unproved { level };
             }
@@ -242,6 +325,34 @@ mod tests {
         assert!(nest.check_trip_counts(&[1], false).is_ok());
         // N = 0: the outer trip count is −1 — even non-strict fails.
         assert!(nest.check_trip_counts(&[0], false).is_err());
+    }
+
+    #[test]
+    fn certificate_matches_fresh_proof() {
+        let s = Space::new(&["i", "j"], &["N"]);
+        let shifted = NestSpec::new(
+            s.clone(),
+            vec![(s.cst(0), s.var("N") - 1), (s.cst(2), s.var("i"))],
+        )
+        .unwrap();
+        for nest in [NestSpec::correlation(), NestSpec::figure6(), shifted] {
+            for strict in [false, true] {
+                let cert = nest.trip_count_certificate(strict);
+                for n in [-3i64, 0, 1, 2, 3, 10, 1000, 1 << 40] {
+                    assert_eq!(
+                        cert.check(&[n]),
+                        nest.prove_trip_counts_at(&[n], strict),
+                        "{nest:?} N={n} strict={strict}"
+                    );
+                }
+            }
+        }
+        // Parameter-free nests: a constant certificate.
+        let rect = NestSpec::rectangular(&[3, 4]);
+        assert_eq!(
+            rect.trip_count_certificate(false).check(&[]),
+            rect.prove_trip_counts_at(&[], false)
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use nrl_dsl as dsl;
 pub use nrl_kernels as kernels;
 pub use nrl_morph as morph;
 pub use nrl_parfor as parfor;
+pub use nrl_plan as plan;
 pub use nrl_poly as poly;
 pub use nrl_polyhedra as polyhedra;
 pub use nrl_rational as rational;
@@ -57,9 +58,10 @@ pub mod prelude {
     pub use nrl_core::{
         balanced_outer_cuts, run_collapsed, run_collapsed_guarded, run_collapsed_prefix,
         run_outer_parallel, run_outer_partitioned, run_seq, run_seq_guarded, run_warp_sim,
-        CollapseSpec, Collapsed, NestPosition, OuterCuts, Ranking, Recovery,
+        CollapseSpec, Collapsed, NestPosition, OuterCuts, ParamPlan, Ranking, Recovery,
     };
     pub use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
     pub use nrl_parfor::{Schedule, ThreadPool};
+    pub use nrl_plan::{PlanCache, PlanContext};
     pub use nrl_polyhedra::{Affine, NestSpec, Space};
 }
