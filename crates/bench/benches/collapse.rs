@@ -148,34 +148,66 @@ fn bench_spec_construction(c: &mut Criterion) {
 
 fn bench_guarded(c: &mut Criterion) {
     // The guarded-nest executor (imperfect correlation: a level-0
-    // prologue/epilogue pair sunk into the innermost loop): its
-    // per-iteration `NestPosition::of` bounds scan finally gets a gated
-    // baseline — the ROADMAP's guarded-nest open item.
+    // prologue/epilogue pair sunk into the innermost loop). `segmented`
+    // and `batched64` run the row-segmented executor — guards derived
+    // from odometer carry depths, one `NestPosition::of` per chunk —
+    // while `per_point_scan` reconstructs the pre-segmentation scheme
+    // (an O(depth) bounds rescan at every iteration on top of
+    // `run_collapsed`) as the ablation baseline. The acceptance target:
+    // `segmented` within 10% of the unguarded
+    // `collapsed_recovery/once_per_chunk` id.
     let nest = NestSpec::correlation();
     let spec = CollapseSpec::new(&nest).unwrap();
     let collapsed = spec.bind(&[800]).unwrap();
     let pool = ThreadPool::new(4);
     let sink = AtomicU64::new(0);
+    // The imperfect-program shape: prologue folds the row index, body
+    // accumulates, epilogue publishes.
+    let guarded_body = |p: &[i64], pos: nrl_core::NestPosition| {
+        let mut acc = p[1] as u64;
+        if pos.fires_prologue(0) {
+            acc = acc.wrapping_add(p[0] as u64);
+        }
+        if pos.fires_epilogue(0) {
+            acc = acc.wrapping_mul(3);
+        }
+        sink.fetch_add(acc, Ordering::Relaxed);
+    };
     let mut group = c.benchmark_group("collapsed_guarded");
     group.sample_size(20);
-    group.bench_function("once_per_chunk", |b| {
+    group.bench_function("segmented", |b| {
         b.iter(|| {
             run_collapsed_guarded(
                 &pool,
                 &collapsed,
                 Schedule::Static,
                 Recovery::OncePerChunk,
-                |_t, p, pos| {
-                    // The imperfect-program shape: prologue zeroes a row
-                    // accumulator, body accumulates, epilogue publishes.
-                    let mut acc = p[1] as u64;
-                    if pos.fires_prologue(0) {
-                        acc = acc.wrapping_add(p[0] as u64);
-                    }
-                    if pos.fires_epilogue(0) {
-                        acc = acc.wrapping_mul(3);
-                    }
-                    sink.fetch_add(acc, Ordering::Relaxed);
+                |_t, p, pos| guarded_body(p, pos),
+            )
+        });
+    });
+    group.bench_function("batched64", |b| {
+        b.iter(|| {
+            run_collapsed_guarded(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::Batched(64),
+                |_t, p, pos| guarded_body(p, pos),
+            )
+        });
+    });
+    group.bench_function("per_point_scan", |b| {
+        let bound = nest.bind(&[800]);
+        b.iter(|| {
+            run_collapsed(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                |_t, p| {
+                    let pos = nrl_core::NestPosition::of(&bound, p);
+                    guarded_body(p, pos);
                 },
             )
         });

@@ -66,12 +66,26 @@ fn bench_outer_cuts(c: &mut Criterion) {
     group.finish();
 }
 
-/// NestPosition computation — the per-iteration cost the guarded
-/// executor pays, in isolation.
+/// NestPosition computation — since the row-segmented executor, paid
+/// only at chunk anchors; still the per-point cost of the
+/// `per_point_scan` ablation. Two ids keep the fused single-pass scan
+/// honest: `nest_position_of` is the common mid-row point, where the
+/// fused scan stops after one level (the old two-loop form paid two
+/// loop setups for the same answer), and `nest_position_of_row_edge`
+/// is a row-boundary point whose lower-bound chain stays alive to the
+/// top — the worst case, where fusing buys nothing and must cost
+/// nothing.
 fn bench_position(c: &mut Criterion) {
     let nest = NestSpec::figure6().bind(&[1000]);
     c.bench_function("nest_position_of", |b| {
         let point = [500i64, 250, 400];
+        b.iter(|| NestPosition::of(black_box(&nest), black_box(&point)))
+    });
+    c.bench_function("nest_position_of_row_edge", |b| {
+        // (500, 0, 0): j and k both at their minima — every level of
+        // the pre-scan matches, and k = 0 also matches its lower bound
+        // on the post side before breaking.
+        let point = [500i64, 0, 0];
         b.iter(|| NestPosition::of(black_box(&nest), black_box(&point)))
     });
 }

@@ -10,7 +10,7 @@
 //! pair without log spelunking.
 
 use nrl_core::{Recovery, Schedule, ThreadPool};
-use nrl_kernels::{all_kernels, extended_kernels, set_plan_verification, Mode};
+use nrl_kernels::{all_kernels, extended_kernels, guarded_kernels, set_plan_verification, Mode};
 use nrl_plan::PlanCache;
 
 fn main() {
@@ -67,6 +67,56 @@ fn main() {
             } else {
                 println!(
                     "::error title=kernel registry smoke::{name} under {label}: checksum {got} != sequential {reference}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    // Guarded (imperfect-nest) variants of correlation/figure6: the
+    // row-segmented guarded executor — guards derived from odometer
+    // carry depths, batch anchors through `unrank_batch_into` — must
+    // reproduce the sequential guarded reference (`run_seq_guarded`)
+    // bit-exactly, across schedules that split rows mid-chunk.
+    for mut kernel in guarded_kernels(0.08) {
+        let name = kernel.info().name;
+        kernel.execute(&Mode::Seq);
+        let reference = kernel.checksum();
+        let modes: [(&str, Mode); 3] = [
+            (
+                "guarded-segmented-static",
+                Mode::Collapsed {
+                    pool: &pool,
+                    schedule: Schedule::Static,
+                    recovery: Recovery::OncePerChunk,
+                },
+            ),
+            (
+                "guarded-segmented-dynamic",
+                Mode::Collapsed {
+                    pool: &pool,
+                    schedule: Schedule::Dynamic(37),
+                    recovery: Recovery::OncePerChunk,
+                },
+            ),
+            (
+                "guarded-lane-batched",
+                Mode::Collapsed {
+                    pool: &pool,
+                    schedule: Schedule::Dynamic(37),
+                    recovery: Recovery::batched(8).expect("non-zero vector length"),
+                },
+            ),
+        ];
+        for (label, mode) in modes {
+            kernel.reset();
+            kernel.execute(&mode);
+            let got = kernel.checksum();
+            checked += 1;
+            if got == reference {
+                println!("ok   {name:<18} {label:<26} checksum {got}");
+            } else {
+                println!(
+                    "::error title=kernel registry smoke::{name} under {label}: checksum {got} != sequential guarded reference {reference}"
                 );
                 failures += 1;
             }

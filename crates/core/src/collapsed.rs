@@ -1,7 +1,10 @@
 //! The collapse pipeline: symbolic preparation and parameter binding.
 
 use crate::ranking::Ranking;
-use crate::unrank::{BoundLevel, LevelEngine, RecoveryCounters, RecoveryStats, MAX_DEPTH};
+use crate::rowwalk::RowWalker;
+use crate::unrank::{
+    BoundLevel, EngineCalibration, LevelEngine, RecoveryCounters, RecoveryStats, MAX_DEPTH,
+};
 use nrl_poly::{CompiledPoly, IntPoly, Poly, SpecializedPoly};
 use nrl_polyhedra::{BoundNest, NestSpec};
 use nrl_rational::Rational;
@@ -181,7 +184,13 @@ impl CollapseSpec {
                 let bound = bind_poly(&self.level_polys[k], d, params);
                 let compiled = CompiledPoly::lower(&bound, k)
                     .expect("collapsible nests stay within the compiled-ladder capacity");
-                assemble_level(compiled, IntPoly::from_poly(&bound), k, &var_box)
+                assemble_level(
+                    compiled,
+                    IntPoly::from_poly(&bound),
+                    k,
+                    &var_box,
+                    &EngineCalibration::STATIC,
+                )
             })
             .collect();
         let rank_bound = bind_poly(self.ranking.rank_poly(), d, params);
@@ -213,22 +222,27 @@ impl CollapseSpec {
 /// (closed-form availability, i64-overflow proof, engine choice) that
 /// both [`CollapseSpec::bind_unchecked`] and
 /// [`ParamPlan::instantiate`](crate::plan::ParamPlan::instantiate)
-/// derive — shared so the two paths cannot diverge.
+/// derive — shared so the two paths cannot diverge. The engine
+/// crossover runs on `calibration`: the committed constants for plain
+/// binds, or the plan-persisted microprobe measurement (see
+/// [`ParamPlan::calibrate_engines`](crate::plan::ParamPlan::calibrate_engines)).
 pub(crate) fn assemble_level(
     compiled: CompiledPoly,
     rk: IntPoly,
     k: usize,
     var_box: &Option<IterBox>,
+    calibration: &EngineCalibration,
 ) -> BoundLevel {
     let closed_form = compiled.degree() <= MAX_DEGREE;
     let i64_safe = var_box
         .as_ref()
         .and_then(|b| compiled.magnitude_bound(&b.abs, b.abs.get(k).copied().unwrap_or(i64::MAX)))
         .is_some_and(|bnd| bnd <= i64::MAX as i128);
-    let engine = LevelEngine::choose(
+    let engine = LevelEngine::choose_with(
         compiled.degree(),
         var_box.as_ref().map(|b| b.width[k]),
         i64_safe,
+        calibration,
     );
     BoundLevel {
         compiled,
@@ -521,6 +535,21 @@ impl Collapsed {
             cache: vec![LevelCache::default(); self.depth],
             rank_cache: LevelCache::default(),
         }
+    }
+
+    /// Segment introspection: a [`RowWalker`] anchored at the domain
+    /// point of rank `pc` — the row-segmented view of the collapsed
+    /// range every executor walks (chunk planning, diagnostics, the
+    /// `imperfect_rows` example's per-row guard dump).
+    ///
+    /// # Panics
+    /// Panics if `pc` is out of `1..=total` or the nest has depth 0
+    /// (zero-depth nests have no rows).
+    pub fn rows_from(&self, pc: i128) -> RowWalker<'_> {
+        let mut point = [0i64; MAX_DEPTH];
+        let point = &mut point[..self.depth];
+        self.unrank_into(pc, point);
+        RowWalker::anchor(&self.nest, point)
     }
 
     /// Allocating convenience wrapper around

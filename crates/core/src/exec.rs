@@ -15,6 +15,7 @@
 //!   `W` odometer steps.
 
 use crate::collapsed::{Collapsed, Unranker};
+use crate::rowwalk::RowWalker;
 use crate::unrank::MAX_DEPTH;
 use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats, WorkerLocal};
 use nrl_polyhedra::BoundNest;
@@ -96,17 +97,17 @@ impl Recovery {
 /// recovers through, plus the batched-mode buffers — allocated once
 /// per loop and reused across every chunk (no per-chunk `vec!`).
 /// [`run_warp_sim`] shares the same design for its lane anchors.
-struct ExecScratch<'a> {
-    unranker: Unranker<'a>,
+pub(crate) struct ExecScratch<'a> {
+    pub(crate) unranker: Unranker<'a>,
     /// Batch-anchor tuples (`Recovery::Batched` chunk anchors, warp
     /// lane anchors), `count × depth` flat.
-    anchors: Vec<i64>,
+    pub(crate) anchors: Vec<i64>,
     /// The tuple buffer the batched bodies run over, `vlength × depth`.
-    tuples: Vec<i64>,
+    pub(crate) tuples: Vec<i64>,
 }
 
 impl<'a> ExecScratch<'a> {
-    fn new(collapsed: &'a Collapsed) -> Self {
+    pub(crate) fn new(collapsed: &'a Collapsed) -> Self {
         ExecScratch {
             unranker: collapsed.unranker(),
             anchors: Vec::new(),
@@ -115,34 +116,30 @@ impl<'a> ExecScratch<'a> {
     }
 }
 
-/// Materializes `count` consecutive domain tuples starting at `point`
-/// into `buf` (flat `count × d`), by row-wise lane sweeps: each row is
-/// a prefix broadcast plus an innermost iota (both tight fixed-stride
-/// loops), and a full odometer carry runs only once per row — never
-/// per point. `point` is left unspecified.
-fn fill_rows(nest: &BoundNest, point: &mut [i64], count: usize, buf: &mut [i64]) {
-    let d = point.len();
-    debug_assert!(d >= 1 && buf.len() >= count * d);
-    let last = d - 1;
-    let mut written = 0;
-    while written < count {
-        let row_end = nest.upper(last, point);
-        let take = (count - written).min((row_end - point[last] + 1) as usize);
-        debug_assert!(take >= 1, "empty row reached mid-chunk");
-        let j0 = point[last];
-        for (r, row) in buf[written * d..(written + take) * d]
-            .chunks_exact_mut(d)
-            .enumerate()
-        {
-            row[..last].copy_from_slice(&point[..last]);
-            row[last] = j0 + r as i64;
-        }
-        written += take;
-        if written < count {
-            point[last] = row_end;
-            let more = nest.advance(point);
-            debug_assert!(more, "domain ended before the chunk");
-        }
+/// One costly recovery at a chunk's first rank, through the worker's
+/// cache-carrying unranker (or the reference engine for the cacheless
+/// ablation). Shared by [`run_collapsed`] and the guarded executor in
+/// [`crate::imperfect`], so the two cannot drift on how a recovery
+/// mode resolves its anchor.
+pub(crate) fn recover_chunk_anchor(
+    collapsed: &Collapsed,
+    scratch: Option<&WorkerLocal<ExecScratch<'_>>>,
+    recovery: Recovery,
+    tid: usize,
+    s: u64,
+    point: &mut [i64],
+) {
+    match recovery {
+        Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
+        Recovery::BinarySearch => scratch.expect("cached modes hold scratch").with(tid, |sc| {
+            sc.unranker.unrank_binary_into((s + 1) as i128, point)
+        }),
+        Recovery::ClosedForm => scratch.expect("cached modes hold scratch").with(tid, |sc| {
+            sc.unranker.unrank_closed_form_into((s + 1) as i128, point)
+        }),
+        _ => scratch
+            .expect("cached modes hold scratch")
+            .with(tid, |sc| sc.unranker.unrank_into((s + 1) as i128, point)),
     }
 }
 
@@ -272,27 +269,6 @@ where
             ExecScratch::new(collapsed)
         }))
     };
-    // One recovery at the chunk's first rank, through the worker's
-    // cache-carrying unranker (or the reference engine).
-    let recover_chunk_start = |tid: usize, s: u64, point: &mut [i64]| match recovery {
-        Recovery::Reference => collapsed.unrank_reference_into((s + 1) as i128, point),
-        Recovery::BinarySearch => scratch
-            .as_ref()
-            .expect("cached modes hold scratch")
-            .with(tid, |sc| {
-                sc.unranker.unrank_binary_into((s + 1) as i128, point)
-            }),
-        Recovery::ClosedForm => scratch
-            .as_ref()
-            .expect("cached modes hold scratch")
-            .with(tid, |sc| {
-                sc.unranker.unrank_closed_form_into((s + 1) as i128, point)
-            }),
-        _ => scratch
-            .as_ref()
-            .expect("cached modes hold scratch")
-            .with(tid, |sc| sc.unranker.unrank_into((s + 1) as i128, point)),
-    };
     pool.parallel_for(total_u64, schedule, &|tid, s, e| {
         debug_assert!(s < e);
         let mut point = [0i64; MAX_DEPTH];
@@ -323,31 +299,16 @@ where
             | Recovery::BinarySearch
             | Recovery::ClosedForm
             | Recovery::Reference => {
-                recover_chunk_start(tid, s, point);
-                // Row-wise walk: the innermost level is a contiguous
-                // run, so iterate it as a tight loop (the `j++` of the
-                // paper's Fig. 4) and pay a full odometer carry only
-                // once per row.
-                let nest = collapsed.nest();
-                let last = d - 1;
+                recover_chunk_anchor(collapsed, scratch.as_ref(), recovery, tid, s, point);
+                // Row-segmented walk (the `j++` of the paper's Fig. 4):
+                // the shared `RowWalker` iterates each row as a tight
+                // innermost loop and pays one odometer carry per row.
+                let mut walker = RowWalker::anchor(collapsed.nest(), point);
                 let mut remaining = e - s;
                 while remaining > 0 {
-                    let row_end = nest.upper(last, point);
-                    let row_left = (row_end - point[last] + 1) as u64;
-                    let take = row_left.min(remaining);
-                    for _ in 0..take {
-                        body(tid, point);
-                        point[last] += 1;
-                    }
-                    remaining -= take;
-                    if remaining > 0 {
-                        // `point[last]` sits one past the last executed
-                        // value; step back and let `advance` carry to
-                        // the next row's first point.
-                        point[last] -= 1;
-                        let more = nest.advance(point);
-                        debug_assert!(more, "domain ended before the chunk");
-                    }
+                    let seg = walker.next_segment(remaining);
+                    walker.for_each(&seg, |p| body(tid, p));
+                    remaining -= seg.len;
                 }
             }
             Recovery::Batched(vlength) => {
@@ -356,7 +317,7 @@ where
                 // (ranks s+1, s+1+L, s+1+2L, … in one batched call —
                 // shared specializations, monotone lane sweeps), then
                 // each batch materializes into the worker's persistent
-                // tuple buffer by row-wise lane fills.
+                // tuple buffer by row-segmented fills.
                 let scratch = scratch.as_ref().expect("cached modes hold scratch");
                 let nest = collapsed.nest();
                 scratch.with(tid, |sc| {
@@ -370,11 +331,17 @@ where
                         &mut sc.anchors,
                     );
                     sc.tuples.resize(vlength * d, 0);
+                    let mut walker = RowWalker::anchor(nest, &sc.anchors[..d]);
                     let mut remaining = span;
                     for anchor in sc.anchors.chunks_exact(d) {
                         let batch = vlength.min(remaining);
-                        point.copy_from_slice(anchor);
-                        fill_rows(nest, point, batch, &mut sc.tuples);
+                        walker.reanchor(anchor);
+                        let mut filled = 0usize;
+                        while filled < batch {
+                            let seg = walker.next_segment((batch - filled) as u64);
+                            walker.fill(&seg, &mut sc.tuples[filled * d..]);
+                            filled += seg.len as usize;
+                        }
                         for tuple in sc.tuples[..batch * d].chunks_exact(d) {
                             body(tid, tuple);
                         }
@@ -525,19 +492,20 @@ where
                 nlanes,
                 &mut sc.anchors,
             );
-            let mut point = [0i64; MAX_DEPTH];
-            let point = &mut point[..d];
+            let mut walker = RowWalker::anchor(collapsed.nest(), &sc.anchors[..d]);
             for (l, anchor) in sc.anchors.chunks_exact(d).enumerate() {
                 let lane = tid + l * nthreads;
-                point.copy_from_slice(anchor);
+                walker.reanchor(anchor);
                 let mut pc = (lane + 1) as i128;
                 loop {
-                    body(lane, point);
+                    body(lane, walker.point());
                     pc += warp as i128;
                     if pc > total {
                         break;
                     }
-                    let ok = collapsed.nest().advance_by(point, warp as u64);
+                    // Row-segmented stride: O(rows crossed) per step
+                    // instead of `warp` single-point odometer advances.
+                    let ok = walker.skip(warp as u64);
                     debug_assert!(ok, "strided walk ran off the domain");
                 }
             }

@@ -44,9 +44,10 @@
 //! programme) needs synchronization and stays out of scope here.
 
 use crate::collapsed::Collapsed;
-use crate::exec::{run_collapsed, Recovery};
+use crate::exec::{recover_chunk_anchor, ExecScratch, Recovery};
+use crate::rowwalk::{RowSegment, RowWalker};
 use crate::unrank::MAX_DEPTH;
-use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool};
+use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, WorkerLocal};
 use nrl_polyhedra::BoundNest;
 
 /// Where a point sits inside the nest structure: which levels it
@@ -75,22 +76,32 @@ impl NestPosition {
     pub fn of(nest: &BoundNest, point: &[i64]) -> NestPosition {
         let d = nest.depth();
         debug_assert_eq!(point.len(), d);
-        // Scan inward-out: deepest level first. `pre_from` can only
-        // keep shrinking while every deeper iterator matches its lower
-        // bound.
+        // One fused inward-out scan: `pre_from` keeps shrinking while
+        // every deeper iterator matches its lower bound, `post_from`
+        // while every deeper one matches its upper bound, and the scan
+        // stops as soon as both chains are broken — for the common
+        // mid-row point that is one level, where the old two-loop form
+        // paid two loop setups to learn the same thing.
         let mut pre_from = d;
-        for k in (1..d).rev() {
-            if point[k] == nest.lower(k, &point[..k]) {
-                pre_from = k - 1;
-            } else {
-                break;
-            }
-        }
         let mut post_from = d;
+        let mut pre_live = true;
+        let mut post_live = true;
         for k in (1..d).rev() {
-            if point[k] == nest.upper(k, &point[..k]) {
-                post_from = k - 1;
-            } else {
+            if pre_live {
+                if point[k] == nest.lower(k, &point[..k]) {
+                    pre_from = k - 1;
+                } else {
+                    pre_live = false;
+                }
+            }
+            if post_live {
+                if point[k] == nest.upper(k, &point[..k]) {
+                    post_from = k - 1;
+                } else {
+                    post_live = false;
+                }
+            }
+            if !pre_live && !post_live {
                 break;
             }
         }
@@ -99,6 +110,30 @@ impl NestPosition {
             post_from,
             depth: d,
         }
+    }
+
+    /// Assembles a position from already-known guard boundaries — the
+    /// row-segmented executor derives them from odometer carry depths
+    /// (see [`crate::rowwalk`]) instead of rescanning the bounds.
+    pub(crate) fn from_parts(pre_from: usize, post_from: usize, depth: usize) -> NestPosition {
+        debug_assert!(pre_from <= depth && post_from <= depth);
+        NestPosition {
+            pre_from,
+            post_from,
+            depth,
+        }
+    }
+
+    /// The smallest level whose prologue fires here (`depth` if none
+    /// does): the raw boundary behind [`Self::fires_prologue`].
+    pub fn pre_from(&self) -> usize {
+        self.pre_from
+    }
+
+    /// The smallest level whose epilogue fires here (`depth` if none
+    /// does): the raw boundary behind [`Self::fires_epilogue`].
+    pub fn post_from(&self) -> usize {
+        self.post_from
     }
 
     /// True iff the level-`k` prologue runs at this point
@@ -164,12 +199,56 @@ pub fn run_seq_guarded<F: FnMut(&[i64], NestPosition)>(nest: &BoundNest, mut bod
     }
 }
 
+/// Runs one row segment of the guarded walk: the first point carries
+/// the segment's entry guards (from the carry depth, or the
+/// chunk-anchor `NestPosition::of` in `first_pos`), the last point its
+/// exit guards, and every interior point a neutral position — no
+/// per-point bounds scan anywhere.
+#[inline]
+fn run_guarded_segment<F>(
+    walker: &mut RowWalker<'_>,
+    seg: &RowSegment,
+    first_pos: Option<NestPosition>,
+    tid: usize,
+    body: &F,
+) where
+    F: Fn(usize, &[i64], NestPosition) + Sync,
+{
+    let d = walker.depth();
+    let pre0 = match (first_pos, seg.pre_from) {
+        // The chunk anchor's one-off scan wins: the walker cannot know
+        // the entry carry of a point it did not walk to.
+        (Some(pos), _) => pos.pre_from,
+        (None, Some(carry)) => carry,
+        (None, None) => unreachable!("non-anchor segments know their entry carry"),
+    };
+    let n = seg.len;
+    let mut r = 0u64;
+    walker.for_each(seg, |p| {
+        let pre_from = if r == 0 { pre0 } else { d };
+        let post_from = if r + 1 == n { seg.post_from } else { d };
+        body(tid, p, NestPosition::from_parts(pre_from, post_from, d));
+        r += 1;
+    });
+}
+
 /// Runs the collapsed loop in parallel, handing each iteration its
 /// [`NestPosition`] so sunken prologue/epilogue statements fire exactly
 /// once, at their original program position.
 ///
-/// Costs one `O(depth)` bounds scan per iteration on top of
-/// [`run_collapsed`]; recovery amortization (§V) is unchanged.
+/// The positions are **derived, not scanned**: the row-segmented walk
+/// ([`RowWalker`]) already performs, once per row, exactly the bound
+/// comparisons that decide the guards — a carry at depth `k` means all
+/// deeper iterators reset to their minima (prologues `k..d−1` fire at
+/// the row's first point) and the symmetric exhaustion fires the
+/// epilogues at its last. Only a chunk's first point, which may sit
+/// mid-row, pays one `O(depth)` [`NestPosition::of`] scan; every other
+/// iteration costs what the unguarded [`run_collapsed`] costs.
+/// Recovery amortization (§V) is unchanged, and
+/// [`Recovery::Batched`] recovers its guard anchors through the same
+/// lane-parallel `unrank_batch_into` call as the unguarded executor.
+///
+/// [`run_collapsed`]: crate::exec::run_collapsed
 pub fn run_collapsed_guarded<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -180,10 +259,106 @@ pub fn run_collapsed_guarded<F>(
 where
     F: Fn(usize, &[i64], NestPosition) + Sync,
 {
+    let total = collapsed.total();
+    assert!(total >= 0, "invalid domain");
+    let total_u64 = u64::try_from(total).expect("total exceeds u64");
+    let d = collapsed.depth();
     let nest = collapsed.nest();
-    run_collapsed(pool, collapsed, schedule, recovery, |tid, point| {
-        let pos = NestPosition::of(nest, point);
-        body(tid, point, pos);
+    if let Recovery::Batched(vlength) = recovery {
+        assert!(
+            vlength >= 1,
+            "Recovery::Batched vector length must be ≥ 1 (validate with Recovery::batched)"
+        );
+    }
+    // Same per-worker scratch design as `run_collapsed` (the reference
+    // ablation deliberately runs cacheless).
+    let scratch: Option<WorkerLocal<ExecScratch<'_>>> = if recovery == Recovery::Reference {
+        None
+    } else {
+        Some(WorkerLocal::new(pool.nthreads(), |_| {
+            ExecScratch::new(collapsed)
+        }))
+    };
+    pool.parallel_for(total_u64, schedule, &|tid, s, e| {
+        debug_assert!(s < e);
+        let mut point = [0i64; MAX_DEPTH];
+        let point = &mut point[..d];
+        if d == 0 {
+            // A zero-depth nest has no prologue/epilogue slots; every
+            // (empty-tuple) iteration gets the neutral position.
+            for _ in s..e {
+                body(tid, point, NestPosition::from_parts(0, 0, 0));
+            }
+            return;
+        }
+        match recovery {
+            Recovery::Naive => {
+                // Per-iteration recovery is the whole point of this
+                // ablation, so the per-point bounds scan stays too.
+                let scratch = scratch.as_ref().expect("cached modes hold scratch");
+                scratch.with(tid, |sc| {
+                    for pc in s..e {
+                        sc.unranker.unrank_into((pc + 1) as i128, point);
+                        body(tid, point, NestPosition::of(nest, point));
+                    }
+                });
+            }
+            Recovery::OncePerChunk
+            | Recovery::BinarySearch
+            | Recovery::ClosedForm
+            | Recovery::Reference => {
+                recover_chunk_anchor(collapsed, scratch.as_ref(), recovery, tid, s, point);
+                // One bounds scan for the chunk's (possibly mid-row)
+                // first point; every further guard comes from the
+                // walker's carry depths.
+                let mut first_pos = Some(NestPosition::of(nest, point));
+                let mut walker = RowWalker::anchor(nest, point);
+                let mut remaining = e - s;
+                while remaining > 0 {
+                    let seg = walker.next_segment(remaining);
+                    run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
+                    remaining -= seg.len;
+                }
+            }
+            Recovery::Batched(vlength) => {
+                // §VI.A for guarded nests: the chunk's batch anchors
+                // are recovered in one lane-parallel `unrank_batch_into`
+                // call exactly like the unguarded executor (and the
+                // warp lanes); the guard walk itself is continuous
+                // across batches, so the anchors double as a
+                // cross-check that the row segmentation and the
+                // batched recovery agree on every batch boundary.
+                let scratch = scratch.as_ref().expect("cached modes hold scratch");
+                scratch.with(tid, |sc| {
+                    let span = (e - s) as usize;
+                    let nbatches = span.div_ceil(vlength);
+                    sc.anchors.resize(nbatches * d, 0);
+                    sc.unranker.unrank_batch_into(
+                        (s + 1) as i128,
+                        vlength as i128,
+                        nbatches,
+                        &mut sc.anchors,
+                    );
+                    let mut first_pos = Some(NestPosition::of(nest, &sc.anchors[..d]));
+                    let mut walker = RowWalker::anchor(nest, &sc.anchors[..d]);
+                    let mut remaining = span as u64;
+                    for anchor in sc.anchors.chunks_exact(d) {
+                        debug_assert_eq!(
+                            walker.point(),
+                            anchor,
+                            "batch anchors must agree with the row segmentation"
+                        );
+                        let mut batch = (vlength as u64).min(remaining);
+                        remaining -= batch;
+                        while batch > 0 {
+                            let seg = walker.next_segment(batch);
+                            run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
+                            batch -= seg.len;
+                        }
+                    }
+                });
+            }
+        }
     })
 }
 

@@ -48,6 +48,7 @@ pub mod imperfect;
 pub mod partition;
 pub mod plan;
 pub mod ranking;
+pub mod rowwalk;
 pub mod unrank;
 
 pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
@@ -59,7 +60,8 @@ pub use imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};
 pub use plan::ParamPlan;
 pub use ranking::Ranking;
-pub use unrank::{LevelEngine, RecoveryStats};
+pub use rowwalk::{RowSegment, RowWalker};
+pub use unrank::{EngineCalibration, LevelEngine, RecoveryStats};
 
 // Re-exports so downstream users need only one crate.
 pub use nrl_parfor::{Schedule, ThreadPool};

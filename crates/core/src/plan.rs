@@ -46,8 +46,10 @@ use crate::collapsed::{
     assemble_level, assemble_rank, bind_poly, iterator_box, BindError, CollapseError, CollapseSpec,
     Collapsed,
 };
+use crate::unrank::EngineCalibration;
 use nrl_poly::{IntPoly, ParamCompiledPoly};
 use nrl_polyhedra::{NestSpec, TripCountCertificate, TripProof};
+use std::sync::OnceLock;
 
 /// The reusable, parameter-independent product of analyzing one nest
 /// shape: symbolic ranking/inversion polynomials plus every bind-time
@@ -67,6 +69,12 @@ pub struct ParamPlan {
     /// Parameter-space projection of the per-level trip-count
     /// violation systems (the analyze-time half of `bind` validation).
     cert: TripCountCertificate,
+    /// Machine-measured engine-crossover constants, persisted after the
+    /// first [`calibrate_engines`](Self::calibrate_engines) call so the
+    /// microprobe cost amortizes across every instantiation of the
+    /// shape. Unset plans use [`EngineCalibration::STATIC`] and stay
+    /// bit-identical to fresh binds.
+    calibration: OnceLock<EngineCalibration>,
 }
 
 impl ParamPlan {
@@ -84,6 +92,34 @@ impl ParamPlan {
     /// The nest shape this plan collapses.
     pub fn nest(&self) -> &NestSpec {
         self.spec.nest()
+    }
+
+    /// Runs the bind-time engine microprobe **once** (8 timed probe
+    /// solves per closed-form degree; see
+    /// [`EngineCalibration::microprobe`]) and persists the result
+    /// inside the plan: every subsequent
+    /// [`instantiate`](Self::instantiate) of this shape — from any
+    /// thread, including cache-served `Arc<ParamPlan>` borrowers —
+    /// picks its per-level engines from the measured solve/probe ratio
+    /// of the running machine instead of the committed constants.
+    ///
+    /// Calibration is deliberately **opt-in**: an uncalibrated plan
+    /// instantiates bit-identically to `CollapseSpec::bind` (same
+    /// engines, same proofs), which the plan differential tests rely
+    /// on. Engine choice never affects recovery *results*, only their
+    /// cost, so calibrated and uncalibrated instances always unrank
+    /// identically — fidelity checks against fresh binds (the kernel
+    /// registry's `set_plan_verification` mode) therefore keep every
+    /// assertion for calibrated plans *except* per-level engine
+    /// equality, which only holds under the committed constants.
+    pub fn calibrate_engines(&self) -> EngineCalibration {
+        *self.calibration.get_or_init(EngineCalibration::microprobe)
+    }
+
+    /// The persisted microprobe result, if
+    /// [`calibrate_engines`](Self::calibrate_engines) has run.
+    pub fn engine_calibration(&self) -> Option<EngineCalibration> {
+        self.calibration.get().copied()
     }
 
     /// Instantiates the plan at concrete parameters, validating the
@@ -117,13 +153,14 @@ impl ParamPlan {
         full[d..].copy_from_slice(params);
         let total = self.total.eval_int(&full);
         let var_box = iterator_box(nest, params);
+        let calibration = self.calibration.get().unwrap_or(&EngineCalibration::STATIC);
         let levels = self
             .levels
             .iter()
             .enumerate()
             .map(|(k, pl)| {
                 let (compiled, rk) = pl.instantiate(params);
-                assemble_level(compiled, rk, k, &var_box)
+                assemble_level(compiled, rk, k, &var_box, calibration)
             })
             .collect();
         let (rank_int, rank_compiled, rank_i64_safe) = match &self.rank {
@@ -179,6 +216,7 @@ impl CollapseSpec {
             rank,
             total,
             cert,
+            calibration: OnceLock::new(),
         }
     }
 }
@@ -261,6 +299,58 @@ mod tests {
         assert_eq!(narrow.level_engine(0), LevelEngine::BinarySearch);
         let wide = plan.instantiate(&[2_000_000]).unwrap();
         assert_eq!(wide.level_engine(0), LevelEngine::ClosedForm);
+    }
+
+    #[test]
+    fn microprobe_calibration_persists_and_stays_exact() {
+        let plan = ParamPlan::analyze(&NestSpec::correlation()).unwrap();
+        assert_eq!(plan.engine_calibration(), None, "opt-in: unset at analyze");
+        let before = plan.instantiate(&[2_000]).unwrap();
+        let calib = plan.calibrate_engines();
+        // Persisted: the second call returns the stored measurement
+        // without re-probing (OnceLock), and instantiate sees it.
+        assert_eq!(plan.calibrate_engines(), calib);
+        assert_eq!(plan.engine_calibration(), Some(calib));
+        let after = plan.instantiate(&[2_000]).unwrap();
+        // Engine choice may legitimately differ between the committed
+        // constants and the measured ratio, but recovery results are
+        // engine-independent — the calibrated instance must unrank
+        // bit-identically.
+        assert_eq!(before.total(), after.total());
+        let mut a = vec![0i64; 2];
+        let mut b = vec![0i64; 2];
+        let step = (before.total() / 41).max(1);
+        let mut pc = 1i128;
+        while pc <= before.total() {
+            before.unrank_into(pc, &mut a);
+            after.unrank_into(pc, &mut b);
+            assert_eq!(a, b, "unrank({pc})");
+            pc += step;
+        }
+    }
+
+    #[test]
+    fn microprobe_measures_sane_solve_costs() {
+        // The `[2, 255]` clamp is an invariant of `microprobe`, so the
+        // range check below cannot catch a broken *measurement* — that
+        // coverage lives in `choose_with_respects_calibration_bias`
+        // (crate::unrank), which drives the crossover with synthetic
+        // calibrations. What IS live here: the probe must terminate,
+        // produce clamped closed-form entries, and leave every
+        // non-closed-form degree at 0 (those levels never solve, and a
+        // nonzero entry would silently shift `choose_with`'s log-width
+        // comparison for them).
+        let calib = crate::unrank::EngineCalibration::microprobe();
+        for deg in 2..=4 {
+            let equiv = calib.probe_equiv(deg);
+            assert!(
+                (2..=255).contains(&equiv),
+                "degree {deg} solve cost out of clamp range: {equiv}"
+            );
+        }
+        assert_eq!(calib.probe_equiv(0), 0);
+        assert_eq!(calib.probe_equiv(1), 0);
+        assert_eq!(calib.probe_equiv(9), 0);
     }
 
     #[test]

@@ -103,13 +103,137 @@ pub enum LevelEngine {
 /// quartic remains far more expensive.
 const CLOSED_FORM_PROBE_EQUIV: [u32; MAX_DEGREE + 1] = [0, 0, 14, 22, 60];
 
+/// How many timed probe solves the bind-time microprobe runs per
+/// closed-form degree (and, times [`MICROPROBE_PROBE_ROUNDS`], how
+/// many Horner probes it times against them).
+const MICROPROBE_SOLVES: usize = 8;
+
+/// Horner probes per timed solve: the search side of the crossover is
+/// much cheaper per operation, so it needs more repetitions for the
+/// same clock resolution.
+const MICROPROBE_PROBE_ROUNDS: usize = 16;
+
+/// The engine-crossover constants the bind-time decision runs on: the
+/// per-degree cost of one closed-form solve, measured in binary-search
+/// probes (see [`LevelEngine::choose_with`]).
+///
+/// [`EngineCalibration::STATIC`] is the committed default, calibrated
+/// once on the development machine. [`EngineCalibration::microprobe`]
+/// re-measures the ratio **on the running machine** by timing 8 probe
+/// solves per degree against Horner-sweep probes — a few microseconds,
+/// paid once and persisted inside a
+/// [`ParamPlan`](crate::plan::ParamPlan) so every `instantiate` of the
+/// shape reuses it (the plan-cache amortization argument applied to
+/// the calibration itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineCalibration {
+    /// Probe-equivalent cost of one closed-form solve, per degree
+    /// (indices 0/1 unused — those levels take the exact linear path).
+    probe_equiv: [u32; MAX_DEGREE + 1],
+}
+
+impl EngineCalibration {
+    /// The committed constants (`CLOSED_FORM_PROBE_EQUIV`).
+    pub const STATIC: EngineCalibration = EngineCalibration {
+        probe_equiv: CLOSED_FORM_PROBE_EQUIV,
+    };
+
+    /// The probe-equivalent solve cost this calibration assigns to
+    /// `deg` (0 outside the closed-form degrees).
+    pub fn probe_equiv(&self, deg: usize) -> u32 {
+        self.probe_equiv.get(deg).copied().unwrap_or(0)
+    }
+
+    /// Measures the solve/probe cost ratio on this machine: per
+    /// closed-form degree, a synthetic monotone ladder is solved
+    /// `MICROPROBE_SOLVES` (= 8) times through the closed-form path
+    /// and probed `MICROPROBE_SOLVES × MICROPROBE_PROBE_ROUNDS` times
+    /// through the Horner sweep; the ratio of the best-of-3 timings
+    /// (clamped to `[2, 255]`) replaces the committed constant.
+    pub fn microprobe() -> EngineCalibration {
+        use nrl_poly::Poly;
+        let mut probe_equiv = CLOSED_FORM_PROBE_EQUIV;
+        // Wide enough that roots land mid-range, small enough that
+        // x^deg stays far from i64 overflow (deg 4 at 2^10 is 2^40).
+        let widths: [i64; MAX_DEGREE + 1] = [0, 0, 1 << 20, 1 << 13, 1 << 10];
+        for deg in 2..=MAX_DEGREE {
+            let x = Poly::var(1, 0);
+            // R(x) = x^deg + x: strictly increasing on x ≥ 0, integer
+            // coefficients, denominator 1.
+            let poly = x.pow(deg as u32) + Poly::var(1, 0);
+            let compiled = CompiledPoly::lower(&poly, 0).expect("tiny synthetic ladder");
+            let ub = widths[deg];
+            let i64_safe = compiled
+                .magnitude_bound(&[ub + 1], ub + 1)
+                .is_some_and(|b| b <= i64::MAX as i128);
+            let level = BoundLevel {
+                rk: IntPoly::from_poly(&poly),
+                closed_form: true,
+                i64_safe,
+                engine: LevelEngine::ClosedForm,
+                compiled,
+            };
+            let spec = level.specialize(&[0]);
+            let counters = RecoveryCounters::default();
+            // Targets spread across the range so solve work is typical.
+            let mut targets = [0i128; MICROPROBE_SOLVES];
+            for (i, t) in targets.iter_mut().enumerate() {
+                *t = spec.eval_int(ub / (MICROPROBE_SOLVES as i64 + 1) * (i as i64 + 1));
+            }
+            let mut solve_ns = u128::MAX;
+            let mut probe_ns = u128::MAX;
+            for _round in 0..3 {
+                let start = std::time::Instant::now();
+                for &pc in &targets {
+                    std::hint::black_box(level.recover_spec(
+                        &spec,
+                        0,
+                        ub,
+                        pc,
+                        &counters,
+                        LevelEngine::ClosedForm,
+                    ));
+                }
+                solve_ns = solve_ns.min(start.elapsed().as_nanos());
+                let start = std::time::Instant::now();
+                for r in 0..MICROPROBE_PROBE_ROUNDS as i64 {
+                    for &pc in &targets {
+                        // A representative probe: one Horner numerator
+                        // sweep at a data-dependent position.
+                        let at = ((pc as i64).unsigned_abs() % (ub as u64)) as i64 ^ (r & 1);
+                        std::hint::black_box(spec.eval_numer(std::hint::black_box(at)));
+                    }
+                }
+                probe_ns = probe_ns.min(start.elapsed().as_nanos());
+            }
+            let per_solve = solve_ns / MICROPROBE_SOLVES as u128;
+            let per_probe =
+                (probe_ns / (MICROPROBE_SOLVES * MICROPROBE_PROBE_ROUNDS) as u128).max(1);
+            probe_equiv[deg] = (per_solve / per_probe).clamp(2, 255) as u32;
+        }
+        EngineCalibration { probe_equiv }
+    }
+}
+
 impl LevelEngine {
     /// Picks the engine for a level of univariate degree `deg` whose
     /// search range is proven at most `width` values wide (`None` when
     /// the interval analysis overflowed — treated as unbounded).
     /// `i64_safe` scales the probe cost: unproven levels probe through
-    /// checked `i128` arithmetic, roughly 3× dearer.
+    /// checked `i128` arithmetic, roughly 3× dearer. Runs on the
+    /// committed [`EngineCalibration::STATIC`] constants; plans that
+    /// ran the microprobe route through [`Self::choose_with`].
     pub fn choose(deg: usize, width: Option<i64>, i64_safe: bool) -> LevelEngine {
+        Self::choose_with(deg, width, i64_safe, &EngineCalibration::STATIC)
+    }
+
+    /// [`Self::choose`] against an explicit solve-cost calibration.
+    pub fn choose_with(
+        deg: usize,
+        width: Option<i64>,
+        i64_safe: bool,
+        calibration: &EngineCalibration,
+    ) -> LevelEngine {
         // Degree 0/1 levels never consult the engine (the exact linear
         // path runs first); report the search so introspection via
         // `Collapsed::level_engine` stays honest. Degrees beyond the
@@ -123,7 +247,7 @@ impl LevelEngine {
             _ => 63,
         };
         let probe_cost = if i64_safe { 1 } else { 3 };
-        if probes * probe_cost > CLOSED_FORM_PROBE_EQUIV[deg] {
+        if probes * probe_cost > calibration.probe_equiv(deg) {
             LevelEngine::ClosedForm
         } else {
             LevelEngine::BinarySearch
@@ -600,6 +724,39 @@ mod tests {
             i64_safe,
             engine: LevelEngine::ClosedForm,
         }
+    }
+
+    #[test]
+    fn choose_with_respects_calibration_bias() {
+        // The measured solve cost is the crossover knob: a machine
+        // where solves are cheap (low probe-equivalent) flips a width
+        // toward the closed form, a solve-hostile one toward the
+        // search — at the same degree, width, and overflow proof.
+        let cheap_solves = EngineCalibration {
+            probe_equiv: [0, 0, 4, 4, 4],
+        };
+        let dear_solves = EngineCalibration {
+            probe_equiv: [0, 0, 200, 200, 200],
+        };
+        // Width 100 ⇒ 7 probes: more than 4, fewer than 200.
+        assert_eq!(
+            LevelEngine::choose_with(2, Some(100), true, &cheap_solves),
+            LevelEngine::ClosedForm
+        );
+        assert_eq!(
+            LevelEngine::choose_with(2, Some(100), true, &dear_solves),
+            LevelEngine::BinarySearch
+        );
+        // The static path is literally choose_with on STATIC.
+        assert_eq!(
+            LevelEngine::choose(2, Some(100), true),
+            LevelEngine::choose_with(2, Some(100), true, &EngineCalibration::STATIC)
+        );
+        // Degrees without a closed form ignore the calibration.
+        assert_eq!(
+            LevelEngine::choose_with(5, Some(1 << 40), true, &cheap_solves),
+            LevelEngine::BinarySearch
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod shared;
 pub use data::Matrix;
 pub use mode::{execute_mode, Mode};
 pub use registry::{
-    all_kernels, extended_kernels, kernel_by_name, set_plan_verification, Kernel, KernelInfo,
+    all_kernels, extended_kernels, guarded_kernels, kernel_by_name, set_plan_verification, Kernel,
+    KernelInfo,
 };
 pub use shared::SyncSlice;

@@ -83,12 +83,29 @@ pub fn extended_kernels(scale: f64) -> Vec<Box<dyn Kernel>> {
     ]
 }
 
+/// The guarded (imperfect-nest) kernel variants: the §IX extension
+/// shapes with prologue/epilogue statements sunk into the innermost
+/// loop, checksummed order-independently so the row-segmented guarded
+/// executor can be held bit-equal to the sequential guarded reference
+/// (`run_seq_guarded`). These support `Mode::Seq` and
+/// `Mode::Collapsed` only — there is no guarded outer-parallel or warp
+/// executor.
+pub fn guarded_kernels(scale: f64) -> Vec<Box<dyn Kernel>> {
+    use crate::kernels::GuardedNest;
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+    vec![
+        Box::new(GuardedNest::correlation(s(500))),
+        Box::new(GuardedNest::figure6(s(160))),
+    ]
+}
+
 /// Looks a kernel up by its paper name, at the given scale (searching
-/// the paper set first, then the extension set).
+/// the paper set first, then the extension and guarded sets).
 pub fn kernel_by_name(name: &str, scale: f64) -> Option<Box<dyn Kernel>> {
     all_kernels(scale)
         .into_iter()
         .chain(extended_kernels(scale))
+        .chain(guarded_kernels(scale))
         .find(|k| k.info().name == name)
 }
 
@@ -133,5 +150,14 @@ mod tests {
         // Extension kernels are reachable through the by-name lookup too.
         assert!(kernel_by_name("banded", 0.02).is_some());
         assert!(kernel_by_name("sheared3d", 0.02).is_some());
+    }
+
+    #[test]
+    fn guarded_registry_has_two_shapes() {
+        let kernels = guarded_kernels(0.05);
+        let names: Vec<&str> = kernels.iter().map(|k| k.info().name).collect();
+        assert_eq!(names, vec!["correlation_guarded", "figure6_guarded"]);
+        assert!(kernel_by_name("correlation_guarded", 0.05).is_some());
+        assert!(kernel_by_name("figure6_guarded", 0.05).is_some());
     }
 }

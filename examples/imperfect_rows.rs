@@ -19,6 +19,13 @@
 //! where they sit at their maximum. The collapsed loop then balances
 //! ALL the statements — including the per-row ones — across threads.
 //!
+//! Since the **row-segmented** executor, those positions are derived
+//! from the odometer carry depths of the row walk (`RowWalker`) —
+//! computed once per row, not once per point — and the per-row guard
+//! counters printed below double as a smoke check: exactly `N − 1`
+//! prologues and `N − 1` epilogues must fire, under the once-per-chunk
+//! and the lane-batched recovery alike.
+//!
 //! ```text
 //! cargo run --release --example imperfect_rows
 //! ```
@@ -74,41 +81,73 @@ fn main() {
     assert_eq!(a_sum_seq, a_sum_ref);
     println!("sequential guarded run matches the imperfect program");
 
-    // Parallel collapsed execution: every statement instance fires
-    // exactly once, wherever its rank lands.
+    // Parallel collapsed execution on the row-segmented guarded
+    // executor: every statement instance fires exactly once, wherever
+    // its rank lands — under both the once-per-chunk recovery and the
+    // lane-batched one (whose guard anchors come through
+    // `unrank_batch_into`).
     let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[n]).unwrap();
     let pool = ThreadPool::with_available_parallelism();
-    let b_par: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
-    let last_par: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
-    let a_sum_par = AtomicI64::new(0);
-    let prologue_count = AtomicU64::new(0);
-    let report = run_collapsed_guarded(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_tid, p, pos| {
-            let (i, j) = (p[0], p[1]);
-            if pos.fires_prologue(0) {
-                prologue_count.fetch_add(1, Ordering::Relaxed);
-                b_par[i as usize].store(i * i, Ordering::Relaxed);
-            }
-            a_sum_par.fetch_add(f(i, j), Ordering::Relaxed);
-            if pos.fires_epilogue(0) {
-                last_par[i as usize].store(i + n, Ordering::Relaxed);
-            }
-        },
-    );
-    let b_par: Vec<i64> = b_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
-    let last_par: Vec<i64> = last_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
-    assert_eq!(b_par, b_ref);
-    assert_eq!(last_par, last_ref);
-    assert_eq!(a_sum_par.load(Ordering::Relaxed), a_sum_ref);
-    assert_eq!(prologue_count.load(Ordering::Relaxed), (n - 1) as u64);
-    println!(
-        "parallel collapsed run matches: {} prologues, checksum {}",
-        prologue_count.load(Ordering::Relaxed),
-        a_sum_par.load(Ordering::Relaxed)
-    );
-    print!("{}", report.render());
+    let mut last_report = None;
+    for (label, recovery) in [
+        ("once-per-chunk", Recovery::OncePerChunk),
+        ("lane-batched(64)", Recovery::batched(64).unwrap()),
+    ] {
+        let b_par: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+        let last_par: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+        let a_sum_par = AtomicI64::new(0);
+        let prologue_count = AtomicU64::new(0);
+        let epilogue_count = AtomicU64::new(0);
+        let report = run_collapsed_guarded(
+            &pool,
+            &collapsed,
+            Schedule::Static,
+            recovery,
+            |_tid, p, pos| {
+                let (i, j) = (p[0], p[1]);
+                if pos.fires_prologue(0) {
+                    prologue_count.fetch_add(1, Ordering::Relaxed);
+                    b_par[i as usize].store(i * i, Ordering::Relaxed);
+                }
+                a_sum_par.fetch_add(f(i, j), Ordering::Relaxed);
+                if pos.fires_epilogue(0) {
+                    epilogue_count.fetch_add(1, Ordering::Relaxed);
+                    last_par[i as usize].store(i + n, Ordering::Relaxed);
+                }
+            },
+        );
+        let b_par: Vec<i64> = b_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        let last_par: Vec<i64> = last_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        assert_eq!(b_par, b_ref);
+        assert_eq!(last_par, last_ref);
+        assert_eq!(a_sum_par.load(Ordering::Relaxed), a_sum_ref);
+        // The per-row guard counters ARE the smoke check: one prologue
+        // and one epilogue per outer row, never more, never fewer.
+        assert_eq!(prologue_count.load(Ordering::Relaxed), (n - 1) as u64);
+        assert_eq!(epilogue_count.load(Ordering::Relaxed), (n - 1) as u64);
+        println!(
+            "parallel segmented run [{label}] matches: {} row prologues, {} row epilogues, checksum {}",
+            prologue_count.load(Ordering::Relaxed),
+            epilogue_count.load(Ordering::Relaxed),
+            a_sum_par.load(Ordering::Relaxed)
+        );
+        last_report = Some(report);
+    }
+
+    // Segment introspection: the first few row segments of the walk a
+    // worker would perform from rank 1 — carry depths are exactly the
+    // guard boundaries the executor derives positions from.
+    let mut walker = collapsed.rows_from(1);
+    println!("first row segments from rank 1 (start, len, entry carry, exit carry):");
+    let mut remaining = 4u64 * n as u64;
+    for _ in 0..4 {
+        let i = walker.point()[0];
+        let seg = walker.next_segment(remaining);
+        println!(
+            "  row prefix i={i:<4} j from {:<4} len {:<5} pre_from {:?} post_from {}",
+            seg.start, seg.len, seg.pre_from, seg.post_from
+        );
+        remaining -= seg.len;
+    }
+    print!("{}", last_report.expect("two runs completed").render());
 }
