@@ -3,6 +3,7 @@
 use crate::schedule::Schedule;
 use crate::stats::{ImbalanceReport, ThreadStats};
 use crate::sync::{CachePadded, Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +35,28 @@ struct Shared {
     done_cv: Condvar,
     shutdown: AtomicBool,
     nworkers: usize,
+    /// First panic payload caught during the current `run` (worker or
+    /// master); re-thrown on the caller thread once every thread has
+    /// reached the `done` barrier. The `Mutex` is the poison-immune
+    /// shim from [`crate::sync`], so a panicking payload never wedges
+    /// the pool.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Fast-path flag mirroring `panic.is_some()`: checked per chunk by
+    /// `parallel_for` so surviving workers stop picking up new chunks
+    /// once a sibling has panicked.
+    panicked: AtomicBool,
+}
+
+impl Shared {
+    /// Records a caught panic payload (first one wins) and raises the
+    /// `panicked` flag so in-flight chunk loops wind down early.
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.panicked.store(true, Ordering::Release);
+    }
 }
 
 /// A fixed-size pool of persistent worker threads implementing OpenMP
@@ -65,6 +88,8 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             nworkers: nthreads - 1,
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(nthreads - 1);
         for tid in 1..nthreads {
@@ -98,9 +123,18 @@ impl ThreadPool {
 
     /// Runs `f(tid)` once on every thread of the pool (an OpenMP
     /// `parallel` region) and returns when all invocations finished.
+    ///
+    /// # Panics
+    /// If `f` panics on any thread, the first payload is re-thrown here
+    /// on the caller thread — **after** every thread has reached the
+    /// completion barrier, so the type-erased job reference never
+    /// outlives its pointee and the pool stays fully reusable (the next
+    /// `run` starts from a clean epoch; no mutex is poisoned).
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
         let nworkers = self.handles.len();
         if nworkers == 0 {
+            // Serial degenerate case: a panic propagates directly; no
+            // shared state is mid-flight, so the pool stays usable.
             f(0);
             return;
         }
@@ -118,10 +152,27 @@ impl ThreadPool {
             slot.epoch += 1;
         }
         self.shared.job_cv.notify_all();
-        f(0); // the master participates as thread 0
+        // The master participates as thread 0. Its panic must not
+        // unwind past the barrier below: the workers still hold the
+        // type-erased reference to `f`'s stack frame.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+            self.shared.record_panic(payload);
+        }
         let mut guard = self.shared.done_mutex.lock();
         while self.shared.done.load(Ordering::Acquire) < nworkers {
             self.shared.done_cv.wait(&mut guard);
+        }
+        drop(guard);
+        // Every thread is parked again: re-throw the run's first panic
+        // (if any) on the caller thread, leaving the pool reusable.
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            let payload = self
+                .shared
+                .panic
+                .lock()
+                .take()
+                .expect("panicked flag set without a payload");
+            resume_unwind(payload);
         }
     }
 
@@ -160,6 +211,9 @@ impl ThreadPool {
                 }
                 Schedule::StaticChunk(chunk) => {
                     for (s, e) in Schedule::static_chunks(n, nthreads, tid, chunk) {
+                        if self.shared.panicked.load(Ordering::Relaxed) {
+                            break; // a sibling panicked: stop taking chunks
+                        }
                         body(tid, s, e);
                         local_iters += e - s;
                     }
@@ -167,6 +221,9 @@ impl ThreadPool {
                 Schedule::Dynamic(chunk) => {
                     let chunk = chunk.max(1);
                     loop {
+                        if self.shared.panicked.load(Ordering::Relaxed) {
+                            break; // a sibling panicked: stop taking chunks
+                        }
                         let s = next.fetch_add(chunk, Ordering::Relaxed);
                         if s >= n {
                             break;
@@ -179,6 +236,9 @@ impl ThreadPool {
                 Schedule::Guided(min) => {
                     let min = min.max(1);
                     loop {
+                        if self.shared.panicked.load(Ordering::Relaxed) {
+                            break; // a sibling panicked: stop taking chunks
+                        }
                         let mut cur = next.load(Ordering::Relaxed);
                         let take = loop {
                             if cur >= n {
@@ -227,6 +287,13 @@ impl std::fmt::Debug for ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // Shutdown audit (the same barrier-leak shape as the run
+        // deadlock): workers only re-check `shutdown` while holding the
+        // slot lock, so the store-then-lock-then-notify sequence below
+        // cannot race a worker between its epoch check and its wait —
+        // every parked worker observes the flag and exits. Workers
+        // never exit mid-job: `run`'s barrier completed before we got
+        // here, so joins cannot hang on a running body.
         self.shared.shutdown.store(true, Ordering::Release);
         {
             let _slot = self.shared.slot.lock();
@@ -255,7 +322,13 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         // SAFETY: `run` keeps the pointee alive until `done` reaches the
         // worker count, which happens only after this call returns.
         let f = unsafe { &*job.0 };
-        f(tid);
+        // A panicking body must not skip the `done` increment below —
+        // that is the deadlock: `run` waits for `nworkers` increments
+        // and an unwinding worker would never deliver its own. Catch,
+        // record, and complete the barrier unconditionally.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(tid))) {
+            shared.record_panic(payload);
+        }
         let prev = shared.done.fetch_add(1, Ordering::Release);
         if prev + 1 == shared.nworkers {
             let _guard = shared.done_mutex.lock();
@@ -267,6 +340,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
     use std::sync::atomic::AtomicU32;
 
     #[test]
@@ -346,6 +420,117 @@ mod tests {
     fn guided_covers_exactly_once() {
         coverage_check(Schedule::Guided(1), 1000, 4);
         coverage_check(Schedule::Guided(16), 500, 3);
+    }
+
+    /// Runs `f` on a throwaway thread with a deadline, so a regressed
+    /// barrier leak fails the suite instead of hanging it forever.
+    fn with_deadline(f: impl FnOnce() + Send + 'static) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            f();
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(60))
+            .expect("pool deadlocked: the done barrier leaked");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        with_deadline(|| {
+            let pool = ThreadPool::new(4);
+            for round in 0..3 {
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    pool.run(&|tid| {
+                        if tid == 2 {
+                            panic!("injected worker panic, round {round}");
+                        }
+                    });
+                }));
+                let payload = caught.expect_err("worker panic must reach the caller");
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .expect("payload must be the panic message");
+                assert!(msg.contains("injected worker panic"), "got: {msg}");
+                // The pool must be fully reusable after the panic.
+                let counter = AtomicU64::new(0);
+                pool.run(&|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(counter.load(Ordering::Relaxed), 4, "round {round}");
+            }
+        });
+    }
+
+    #[test]
+    fn master_panic_waits_for_workers_then_propagates() {
+        with_deadline(|| {
+            let pool = ThreadPool::new(3);
+            let finished = Arc::new(AtomicUsize::new(0));
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let finished = Arc::clone(&finished);
+                pool.run(&|tid| {
+                    if tid == 0 {
+                        panic!("injected master panic");
+                    }
+                    // Outlive the master's unwind window: if `run`
+                    // returned before the barrier, the job reference
+                    // would dangle right here.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            }));
+            assert!(caught.is_err(), "master panic must propagate");
+            assert_eq!(
+                finished.load(Ordering::SeqCst),
+                2,
+                "workers must have completed before run unwound"
+            );
+            let counter = AtomicU64::new(0);
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 3);
+        });
+    }
+
+    #[test]
+    fn parallel_for_panic_propagates_and_pool_survives() {
+        with_deadline(|| {
+            let pool = ThreadPool::new(4);
+            for schedule in [
+                Schedule::Static,
+                Schedule::StaticChunk(3),
+                Schedule::Dynamic(2),
+                Schedule::Guided(1),
+            ] {
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    pool.parallel_for(1000, schedule, &|_tid, s, _e| {
+                        if s >= 500 {
+                            panic!("injected chunk panic");
+                        }
+                    });
+                }));
+                assert!(caught.is_err(), "{schedule:?}: panic must propagate");
+                // Clean follow-up loop covers everything exactly once.
+                coverage_check(schedule, 257, 4);
+            }
+        });
+    }
+
+    #[test]
+    fn first_panic_payload_wins() {
+        with_deadline(|| {
+            let pool = ThreadPool::new(4);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(&|tid| panic!("thread {tid} panicked"));
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("message payload");
+            assert!(msg.contains("panicked"), "got: {msg}");
+            // Exactly one payload was kept; the slot is clean again.
+            assert!(pool.shared.panic.lock().is_none());
+            assert!(!pool.shared.panicked.load(Ordering::Relaxed));
+        });
     }
 
     #[test]
