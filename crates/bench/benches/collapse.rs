@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nrl_core::{
-    run_collapsed, run_collapsed_guarded, run_warp_sim, CollapseSpec, ParamPlan, Recovery,
-    Schedule, ThreadPool,
+    run_collapsed, run_collapsed_guarded, run_collapsed_with, run_warp_sim, CollapseSpec,
+    ParamPlan, Recovery, RunToken, Schedule, ThreadPool,
 };
 use nrl_plan::{PlanCache, PlanContext};
 use nrl_polyhedra::NestSpec;
@@ -62,6 +62,48 @@ fn bench_recoveries(c: &mut Criterion) {
                         &collapsed,
                         Schedule::Dynamic(32),
                         recovery,
+                        |_t, p| {
+                            sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
+fn bench_cancellation_overhead(c: &mut Criterion) {
+    // The token-wired executor with a live token that never fires:
+    // exactly the per-segment `should_stop` poll (one relaxed load) and
+    // the chunk-local done counter on top of the plain ids. The CI gate
+    // holds each id within 25% (or 30 ns) of its unwired
+    // `collapsed_recovery` twin — cancellation support must stay free
+    // for runs that never cancel.
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+    let token = RunToken::new();
+    let mut group = c.benchmark_group("cancellation_overhead");
+    group.sample_size(20);
+    for (label, recovery) in [
+        ("once_per_chunk", Recovery::OncePerChunk),
+        ("batched64", Recovery::Batched(64)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &recovery,
+            |b, &recovery| {
+                b.iter(|| {
+                    run_collapsed_with(
+                        &pool,
+                        &collapsed,
+                        Schedule::Static,
+                        recovery,
+                        &token,
                         |_t, p| {
                             sink.fetch_add(p[1] as u64, Ordering::Relaxed);
                         },
@@ -277,5 +319,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_plan }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_plan }
 criterion_main!(benches);

@@ -20,6 +20,13 @@ pub enum CollapseError {
         /// Requested depth.
         depth: usize,
     },
+    /// A plan cache refused to analyze the shape: its analysis
+    /// panicked repeatedly and the shape is quarantined (see
+    /// `nrl_plan::PlanCache`).
+    Quarantined {
+        /// Consecutive analyze failures recorded for the shape.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for CollapseError {
@@ -29,6 +36,12 @@ impl fmt::Display for CollapseError {
                 write!(
                     f,
                     "nest depth {depth} exceeds the supported maximum {MAX_DEPTH}"
+                )
+            }
+            CollapseError::Quarantined { failures } => {
+                write!(
+                    f,
+                    "shape quarantined after {failures} consecutive analyze failures"
                 )
             }
         }

@@ -17,10 +17,13 @@
 use crate::collapsed::{Collapsed, Unranker};
 use crate::rowwalk::RowWalker;
 use crate::unrank::MAX_DEPTH;
-use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, ThreadStats, WorkerLocal};
+use nrl_parfor::{
+    ImbalanceReport, RunOutcome, RunToken, Schedule, StopCause, ThreadPool, ThreadStats,
+    WorkerLocal,
+};
 use nrl_polyhedra::BoundNest;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// How a collapsed executor recovers original indices inside a chunk
 /// (§V of the paper).
@@ -143,6 +146,73 @@ pub(crate) fn recover_chunk_anchor(
     }
 }
 
+/// Shared control block for token-carrying runs: the token being
+/// polled, a sticky run-local stop flag (so workers stop re-probing
+/// the clock once any of them observed the stop), and the exact count
+/// of body invocations that completed. One per executor call, shared
+/// by every worker of that run.
+pub(crate) struct TokenCtl<'t> {
+    token: &'t RunToken,
+    stopped: AtomicBool,
+    done: AtomicU64,
+}
+
+impl<'t> TokenCtl<'t> {
+    pub(crate) fn new(token: &'t RunToken) -> TokenCtl<'t> {
+        TokenCtl {
+            token,
+            stopped: AtomicBool::new(false),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-segment poll: true once the run must stop. A worker
+    /// that observes the token's stop latches the run-local flag so
+    /// later polls (on every worker) cost one relaxed load.
+    #[inline]
+    pub(crate) fn stop_requested(&self) -> bool {
+        if self.stopped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.token.should_stop().is_some() {
+            self.stopped.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes a worker's chunk-local invocation count (once per chunk,
+    /// not per point).
+    #[inline]
+    pub(crate) fn add_done(&self, n: u64) {
+        if n > 0 {
+            self.done.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The run's outcome, decided after the pool joined: if no worker
+    /// ever observed a stop the sweep covered the whole window, even if
+    /// the token tripped after the last point ran.
+    pub(crate) fn outcome(&self) -> RunOutcome {
+        if !self.stopped.load(Ordering::Relaxed) {
+            return RunOutcome::Completed;
+        }
+        let points_done = self.done.load(Ordering::Relaxed);
+        match self.token.cause() {
+            Some(StopCause::DeadlineExpired) => RunOutcome::DeadlineExpired { points_done },
+            _ => RunOutcome::Cancelled { points_done },
+        }
+    }
+}
+
+/// `collapsed.total()` as the `u64` the schedules distribute.
+pub(crate) fn total_points(collapsed: &Collapsed) -> u64 {
+    let total = collapsed.total();
+    assert!(total >= 0, "invalid domain");
+    u64::try_from(total).expect("total exceeds u64")
+}
+
 /// Runs the original nest sequentially, invoking `body` on every point
 /// in lexicographic order — with the same tight nested-loop structure
 /// the original program would compile to (the innermost level is a
@@ -246,9 +316,101 @@ pub fn run_collapsed<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let total = collapsed.total();
-    assert!(total >= 0, "invalid domain");
-    let total_u64 = u64::try_from(total).expect("total exceeds u64");
+    let count = total_points(collapsed);
+    run_collapsed_window(pool, collapsed, 0, count, schedule, recovery, None, body)
+}
+
+/// [`run_collapsed`] polling a [`RunToken`] once per row segment (and
+/// once per chunk/batch): the run stops within one segment of the
+/// token tripping and the returned [`RunOutcome`] carries the exact
+/// number of body invocations that completed. The token check is
+/// O(rows), never O(points) — one relaxed load per segment while the
+/// token stays live (plus one coarse timestamp probe when a deadline
+/// is set).
+pub fn run_collapsed_with<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: &RunToken,
+    body: F,
+) -> (RunOutcome, ImbalanceReport)
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let count = total_points(collapsed);
+    let ctl = TokenCtl::new(token);
+    let report = run_collapsed_window(
+        pool,
+        collapsed,
+        0,
+        count,
+        schedule,
+        recovery,
+        Some(&ctl),
+        body,
+    );
+    (ctl.outcome(), report)
+}
+
+/// Resumes a collapsed sweep over the remaining rank window: executes
+/// ranks `skip+1 ..= total` (so a run stopped after
+/// `points_done = skip` invocations completes the sweep exactly). The
+/// same token discipline as [`run_collapsed_with`] applies; pass a
+/// fresh token to run the remainder uninterrupted.
+#[allow(clippy::too_many_arguments)]
+pub fn run_collapsed_resume<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    skip: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: &RunToken,
+    body: F,
+) -> (RunOutcome, ImbalanceReport)
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let total = total_points(collapsed);
+    assert!(skip <= total, "resume offset past the domain");
+    let ctl = TokenCtl::new(token);
+    let report = run_collapsed_window(
+        pool,
+        collapsed,
+        skip,
+        total - skip,
+        schedule,
+        recovery,
+        Some(&ctl),
+        body,
+    );
+    (ctl.outcome(), report)
+}
+
+/// The one collapsed executor behind [`run_collapsed`] and its token
+/// variants: runs the rank window `base+1 ..= base+count` (0-based
+/// offsets `base..base+count`) under `schedule`, with the optional
+/// [`TokenCtl`] polled once per row segment / batch — never per point
+/// (except the deliberately per-point Naive ablation).
+#[allow(clippy::too_many_arguments)]
+fn run_collapsed_window<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    base: u64,
+    count: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    ctl: Option<&TokenCtl<'_>>,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let total_u64 = total_points(collapsed);
+    assert!(
+        base <= total_u64 && count <= total_u64 - base,
+        "rank window out of range"
+    );
     let d = collapsed.depth();
     if let Recovery::Batched(vlength) = recovery {
         assert!(
@@ -269,14 +431,24 @@ where
             ExecScratch::new(collapsed)
         }))
     };
-    pool.parallel_for(total_u64, schedule, &|tid, s, e| {
+    pool.parallel_for(count, schedule, &|tid, s, e| {
         debug_assert!(s < e);
+        // Shift the schedule's window-relative chunk into rank space.
+        let (s, e) = (base + s, base + e);
+        if let Some(ctl) = ctl {
+            if ctl.stop_requested() {
+                return;
+            }
+        }
         let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {
             // A zero-depth nest has exactly one (empty-tuple) iteration.
             for _ in s..e {
                 body(tid, point);
+            }
+            if let Some(ctl) = ctl {
+                ctl.add_done(e - s);
             }
             return;
         }
@@ -286,12 +458,25 @@ where
                 // cache-carrying unranker: consecutive ranks share
                 // their outer prefix most of the time, so the per-level
                 // specialized Horner ladders are reused instead of
-                // re-folded — across chunk boundaries too.
+                // re-folded — across chunk boundaries too. (The token
+                // poll is per point here too: this ablation already
+                // pays a full recovery per point, so a relaxed load is
+                // noise — and it is the one mode with no segments.)
                 let scratch = scratch.as_ref().expect("cached modes hold scratch");
                 scratch.with(tid, |sc| {
+                    let mut local = 0u64;
                     for pc in s..e {
+                        if let Some(ctl) = ctl {
+                            if ctl.stop_requested() {
+                                break;
+                            }
+                        }
                         sc.unranker.unrank_into((pc + 1) as i128, point);
                         body(tid, point);
+                        local += 1;
+                    }
+                    if let Some(ctl) = ctl {
+                        ctl.add_done(local);
                     }
                 });
             }
@@ -303,12 +488,23 @@ where
                 // Row-segmented walk (the `j++` of the paper's Fig. 4):
                 // the shared `RowWalker` iterates each row as a tight
                 // innermost loop and pays one odometer carry per row.
+                // The token poll rides the same once-per-segment cadence.
                 let mut walker = RowWalker::anchor(collapsed.nest(), point);
                 let mut remaining = e - s;
+                let mut local = 0u64;
                 while remaining > 0 {
+                    if let Some(ctl) = ctl {
+                        if ctl.stop_requested() {
+                            break;
+                        }
+                    }
                     let seg = walker.next_segment(remaining);
                     walker.for_each(&seg, |p| body(tid, p));
+                    local += seg.len;
                     remaining -= seg.len;
+                }
+                if let Some(ctl) = ctl {
+                    ctl.add_done(local);
                 }
             }
             Recovery::Batched(vlength) => {
@@ -317,7 +513,8 @@ where
                 // (ranks s+1, s+1+L, s+1+2L, … in one batched call —
                 // shared specializations, monotone lane sweeps), then
                 // each batch materializes into the worker's persistent
-                // tuple buffer by row-segmented fills.
+                // tuple buffer by row-segmented fills. The token is
+                // polled once per batch.
                 let scratch = scratch.as_ref().expect("cached modes hold scratch");
                 let nest = collapsed.nest();
                 scratch.with(tid, |sc| {
@@ -333,7 +530,13 @@ where
                     sc.tuples.resize(vlength * d, 0);
                     let mut walker = RowWalker::anchor(nest, &sc.anchors[..d]);
                     let mut remaining = span;
+                    let mut local = 0u64;
                     for anchor in sc.anchors.chunks_exact(d) {
+                        if let Some(ctl) = ctl {
+                            if ctl.stop_requested() {
+                                break;
+                            }
+                        }
                         let batch = vlength.min(remaining);
                         walker.reanchor(anchor);
                         let mut filled = 0usize;
@@ -345,7 +548,11 @@ where
                         for tuple in sc.tuples[..batch * d].chunks_exact(d) {
                             body(tid, tuple);
                         }
+                        local += batch as u64;
                         remaining -= batch;
+                    }
+                    if let Some(ctl) = ctl {
+                        ctl.add_done(local);
                     }
                 });
             }
@@ -440,6 +647,86 @@ where
     })
 }
 
+/// [`run_collapsed_prefix`] polling a [`RunToken`], with the same
+/// segment-granular stop discipline as [`run_collapsed_with`]. The
+/// outcome's `points_done` counts **flattened prefix iterations** (the
+/// unit the schedule distributes), not full-depth points: a resumed
+/// run picks up at that prefix rank via
+/// [`run_collapsed_prefix_resume`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_collapsed_prefix_with<F>(
+    pool: &ThreadPool,
+    full: &BoundNest,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: &RunToken,
+    body: F,
+) -> (RunOutcome, ImbalanceReport)
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let c = collapsed.depth();
+    let d = full.depth();
+    assert!(c >= 1 && c <= d, "prefix depth out of range");
+    if c == d {
+        return run_collapsed_with(pool, collapsed, schedule, recovery, token, body);
+    }
+    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
+    run_collapsed_with(pool, collapsed, schedule, recovery, token, |tid, prefix| {
+        points.with(tid, |point| {
+            let point = &mut point[..d];
+            point[..c].copy_from_slice(prefix);
+            let mut call = |p: &[i64]| body(tid, p);
+            walk_subtree(full, point, c, &mut call);
+        })
+    })
+}
+
+/// Resumes a partial-collapse sweep over the remaining **prefix-rank**
+/// window (`skip` = `points_done` of the stopped run): executes prefix
+/// ranks `skip+1 ..= total`, each with its full inner sub-nest, so the
+/// interrupted and resumed halves together cover the domain exactly
+/// once.
+#[allow(clippy::too_many_arguments)]
+pub fn run_collapsed_prefix_resume<F>(
+    pool: &ThreadPool,
+    full: &BoundNest,
+    collapsed: &Collapsed,
+    skip: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: &RunToken,
+    body: F,
+) -> (RunOutcome, ImbalanceReport)
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let c = collapsed.depth();
+    let d = full.depth();
+    assert!(c >= 1 && c <= d, "prefix depth out of range");
+    if c == d {
+        return run_collapsed_resume(pool, collapsed, skip, schedule, recovery, token, body);
+    }
+    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
+    run_collapsed_resume(
+        pool,
+        collapsed,
+        skip,
+        schedule,
+        recovery,
+        token,
+        |tid, prefix| {
+            points.with(tid, |point| {
+                let point = &mut point[..d];
+                point[..c].copy_from_slice(prefix);
+                let mut call = |p: &[i64]| body(tid, p);
+                walk_subtree(full, point, c, &mut call);
+            })
+        },
+    )
+}
+
 /// §VI.B: simulates a GPU warp of `warp` lanes over the collapsed loop.
 /// Lane `t` executes ranks `t+1, t+1+W, t+1+2W, …` — memory-
 /// coalescing-friendly on real GPUs. Lanes are distributed over the
@@ -451,6 +738,41 @@ where
 /// design as [`run_collapsed`]'s chunk scratch.
 pub fn run_warp_sim<F>(pool: &ThreadPool, collapsed: &Collapsed, warp: usize, body: F)
 where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    run_warp_sim_ctl(pool, collapsed, warp, None, body);
+}
+
+/// [`run_warp_sim`] polling a [`RunToken`]: checked at every lane
+/// anchor and then every `WARP_POLL_STRIDE` (32) strided steps within a
+/// lane (each step already pays an `O(rows crossed)` skip, so the poll
+/// stays off the per-point path). Returns the exact body-invocation
+/// count on a stop, like [`run_collapsed_with`].
+pub fn run_warp_sim_with<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    warp: usize,
+    token: &RunToken,
+    body: F,
+) -> RunOutcome
+where
+    F: Fn(usize, &[i64]) + Sync,
+{
+    let ctl = TokenCtl::new(token);
+    run_warp_sim_ctl(pool, collapsed, warp, Some(&ctl), body);
+    ctl.outcome()
+}
+
+/// Lane steps between token polls in the warp executor.
+const WARP_POLL_STRIDE: u64 = 32;
+
+fn run_warp_sim_ctl<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    warp: usize,
+    ctl: Option<&TokenCtl<'_>>,
+    body: F,
+) where
     F: Fn(usize, &[i64]) + Sync,
 {
     let warp = warp.max(1);
@@ -473,14 +795,24 @@ where
         if d == 0 {
             // A zero-depth nest has exactly one (empty-tuple)
             // iteration per surviving rank.
+            let mut local = 0u64;
             let mut lane = tid;
             while lane < warp {
+                if let Some(ctl) = ctl {
+                    if ctl.stop_requested() {
+                        break;
+                    }
+                }
                 let mut pc = (lane + 1) as i128;
                 while pc <= total {
                     body(lane, &[]);
+                    local += 1;
                     pc += warp as i128;
                 }
                 lane += nthreads;
+            }
+            if let Some(ctl) = ctl {
+                ctl.add_done(local);
             }
             return;
         }
@@ -493,21 +825,38 @@ where
                 &mut sc.anchors,
             );
             let mut walker = RowWalker::anchor(collapsed.nest(), &sc.anchors[..d]);
-            for (l, anchor) in sc.anchors.chunks_exact(d).enumerate() {
+            let mut local = 0u64;
+            'lanes: for (l, anchor) in sc.anchors.chunks_exact(d).enumerate() {
+                if let Some(ctl) = ctl {
+                    if ctl.stop_requested() {
+                        break 'lanes;
+                    }
+                }
                 let lane = tid + l * nthreads;
                 walker.reanchor(anchor);
                 let mut pc = (lane + 1) as i128;
+                let mut steps = 0u64;
                 loop {
                     body(lane, walker.point());
+                    local += 1;
+                    steps += 1;
                     pc += warp as i128;
                     if pc > total {
                         break;
+                    }
+                    if let Some(ctl) = ctl {
+                        if steps.is_multiple_of(WARP_POLL_STRIDE) && ctl.stop_requested() {
+                            break 'lanes;
+                        }
                     }
                     // Row-segmented stride: O(rows crossed) per step
                     // instead of `warp` single-point odometer advances.
                     let ok = walker.skip(warp as u64);
                     debug_assert!(ok, "strided walk ran off the domain");
                 }
+            }
+            if let Some(ctl) = ctl {
+                ctl.add_done(local);
             }
         });
     });

@@ -44,10 +44,10 @@
 //! programme) needs synchronization and stays out of scope here.
 
 use crate::collapsed::Collapsed;
-use crate::exec::{recover_chunk_anchor, ExecScratch, Recovery};
+use crate::exec::{recover_chunk_anchor, ExecScratch, Recovery, TokenCtl};
 use crate::rowwalk::{RowSegment, RowWalker};
 use crate::unrank::MAX_DEPTH;
-use nrl_parfor::{ImbalanceReport, Schedule, ThreadPool, WorkerLocal};
+use nrl_parfor::{ImbalanceReport, RunOutcome, RunToken, Schedule, ThreadPool, WorkerLocal};
 use nrl_polyhedra::BoundNest;
 
 /// Where a point sits inside the nest structure: which levels it
@@ -259,6 +259,43 @@ pub fn run_collapsed_guarded<F>(
 where
     F: Fn(usize, &[i64], NestPosition) + Sync,
 {
+    run_collapsed_guarded_ctl(pool, collapsed, schedule, recovery, None, body)
+}
+
+/// [`run_collapsed_guarded`] polling a
+/// [`RunToken`] at the same once-per-segment
+/// cadence as [`run_collapsed_with`](crate::exec::run_collapsed_with):
+/// the run stops within one row segment of the token tripping, guard
+/// exactness included (a segment either runs whole — prologues,
+/// bodies, epilogues — or not at all), and the outcome reports the
+/// exact body-invocation count.
+pub fn run_collapsed_guarded_with<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: &RunToken,
+    body: F,
+) -> (RunOutcome, ImbalanceReport)
+where
+    F: Fn(usize, &[i64], NestPosition) + Sync,
+{
+    let ctl = TokenCtl::new(token);
+    let report = run_collapsed_guarded_ctl(pool, collapsed, schedule, recovery, Some(&ctl), body);
+    (ctl.outcome(), report)
+}
+
+fn run_collapsed_guarded_ctl<F>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    schedule: Schedule,
+    recovery: Recovery,
+    ctl: Option<&TokenCtl<'_>>,
+    body: F,
+) -> ImbalanceReport
+where
+    F: Fn(usize, &[i64], NestPosition) + Sync,
+{
     let total = collapsed.total();
     assert!(total >= 0, "invalid domain");
     let total_u64 = u64::try_from(total).expect("total exceeds u64");
@@ -281,6 +318,11 @@ where
     };
     pool.parallel_for(total_u64, schedule, &|tid, s, e| {
         debug_assert!(s < e);
+        if let Some(ctl) = ctl {
+            if ctl.stop_requested() {
+                return;
+            }
+        }
         let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {
@@ -289,17 +331,32 @@ where
             for _ in s..e {
                 body(tid, point, NestPosition::from_parts(0, 0, 0));
             }
+            if let Some(ctl) = ctl {
+                ctl.add_done(e - s);
+            }
             return;
         }
         match recovery {
             Recovery::Naive => {
                 // Per-iteration recovery is the whole point of this
-                // ablation, so the per-point bounds scan stays too.
+                // ablation, so the per-point bounds scan stays too
+                // (and so does the per-point token poll — this mode
+                // has no segments to amortize over).
                 let scratch = scratch.as_ref().expect("cached modes hold scratch");
                 scratch.with(tid, |sc| {
+                    let mut local = 0u64;
                     for pc in s..e {
+                        if let Some(ctl) = ctl {
+                            if ctl.stop_requested() {
+                                break;
+                            }
+                        }
                         sc.unranker.unrank_into((pc + 1) as i128, point);
                         body(tid, point, NestPosition::of(nest, point));
+                        local += 1;
+                    }
+                    if let Some(ctl) = ctl {
+                        ctl.add_done(local);
                     }
                 });
             }
@@ -310,14 +367,25 @@ where
                 recover_chunk_anchor(collapsed, scratch.as_ref(), recovery, tid, s, point);
                 // One bounds scan for the chunk's (possibly mid-row)
                 // first point; every further guard comes from the
-                // walker's carry depths.
+                // walker's carry depths. The token poll rides the
+                // segment cadence.
                 let mut first_pos = Some(NestPosition::of(nest, point));
                 let mut walker = RowWalker::anchor(nest, point);
                 let mut remaining = e - s;
+                let mut local = 0u64;
                 while remaining > 0 {
+                    if let Some(ctl) = ctl {
+                        if ctl.stop_requested() {
+                            break;
+                        }
+                    }
                     let seg = walker.next_segment(remaining);
                     run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
+                    local += seg.len;
                     remaining -= seg.len;
+                }
+                if let Some(ctl) = ctl {
+                    ctl.add_done(local);
                 }
             }
             Recovery::Batched(vlength) => {
@@ -342,7 +410,13 @@ where
                     let mut first_pos = Some(NestPosition::of(nest, &sc.anchors[..d]));
                     let mut walker = RowWalker::anchor(nest, &sc.anchors[..d]);
                     let mut remaining = span as u64;
+                    let mut local = 0u64;
                     for anchor in sc.anchors.chunks_exact(d) {
+                        if let Some(ctl) = ctl {
+                            if ctl.stop_requested() {
+                                break;
+                            }
+                        }
                         debug_assert_eq!(
                             walker.point(),
                             anchor,
@@ -350,11 +424,15 @@ where
                         );
                         let mut batch = (vlength as u64).min(remaining);
                         remaining -= batch;
+                        local += batch;
                         while batch > 0 {
                             let seg = walker.next_segment(batch);
                             run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
                             batch -= seg.len;
                         }
+                    }
+                    if let Some(ctl) = ctl {
+                        ctl.add_done(local);
                     }
                 });
             }

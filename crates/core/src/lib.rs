@@ -53,10 +53,13 @@ pub mod unrank;
 
 pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
 pub use exec::{
-    run_collapsed, run_collapsed_prefix, run_outer_parallel, run_outer_parallel_range, run_seq,
-    run_warp_sim, Recovery, ZeroVectorLength,
+    run_collapsed, run_collapsed_prefix, run_collapsed_prefix_resume, run_collapsed_prefix_with,
+    run_collapsed_resume, run_collapsed_with, run_outer_parallel, run_outer_parallel_range,
+    run_seq, run_warp_sim, run_warp_sim_with, Recovery, ZeroVectorLength,
 };
-pub use imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
+pub use imperfect::{
+    run_collapsed_guarded, run_collapsed_guarded_with, run_seq_guarded, NestPosition,
+};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};
 pub use plan::ParamPlan;
 pub use ranking::Ranking;
@@ -64,5 +67,5 @@ pub use rowwalk::{RowSegment, RowWalker};
 pub use unrank::{EngineCalibration, LevelEngine, RecoveryStats};
 
 // Re-exports so downstream users need only one crate.
-pub use nrl_parfor::{Schedule, ThreadPool};
+pub use nrl_parfor::{RunOutcome, RunToken, Schedule, StopCause, ThreadPool};
 pub use nrl_polyhedra::{Affine, BoundNest, NestSpec, Space};

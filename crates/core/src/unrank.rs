@@ -333,6 +333,22 @@ impl RecoveryCounters {
     }
 }
 
+/// The probe target `pc·den`, overflow-checked: every recovery probe
+/// compares numerators against this product, so an overflow here (a
+/// rank beyond what the denominator leaves room for in `i128`) must
+/// fail loudly instead of wrapping into a wrong index. Under the
+/// `fault-inject` feature the containment tests can force this path
+/// without a 10³⁸-point domain.
+#[inline]
+fn rank_target(pc: i128, den: i128) -> i128 {
+    #[cfg(feature = "fault-inject")]
+    if nrl_parfor::faults::forced_overflow() {
+        panic!("rank target overflows i128 at this denominator (forced by fault injection)");
+    }
+    pc.checked_mul(den)
+        .expect("rank target overflows i128 at this denominator")
+}
+
 impl BoundLevel {
     /// Folds the prefix `point[..k]` into the flat Horner ladder for
     /// this recovery (the once-per-recovery specialization step).
@@ -404,9 +420,7 @@ impl BoundLevel {
         let den = spec.denominator();
         // All probes compare numerators against `pc·den`: no division
         // (or exactness check) anywhere in the probe loop.
-        let target = pc
-            .checked_mul(den)
-            .expect("rank target overflows i128 at this denominator");
+        let target = rank_target(pc, den);
         let deg = spec.degree();
         // Exact integer path for linear levels (covers the innermost
         // level — the paper's `ic = pc − r(i1..i_{c−1}, 0)` — and every
@@ -506,9 +520,7 @@ impl BoundLevel {
             debug_assert!(c1 > 0, "ranking must increase with the index");
             let mut pc = pc0;
             for l in 0..lanes {
-                let target = pc
-                    .checked_mul(den)
-                    .expect("rank target overflows i128 at this denominator");
+                let target = rank_target(pc, den);
                 let x = (target - c0).div_euclid(c1);
                 out[l * out_stride] = x.clamp(lb as i128, ub as i128) as i64;
                 pc += pc_stride;
@@ -526,9 +538,7 @@ impl BoundLevel {
         let mut budget = LANE_SWEEP_LIMIT;
         for l in 1..lanes {
             pc += pc_stride;
-            let target = pc
-                .checked_mul(den)
-                .expect("rank target overflows i128 at this denominator");
+            let target = rank_target(pc, den);
             let prev = v;
             // Invariant: numer(v) ≤ target (targets are non-decreasing
             // and v was exact for the previous one). Advance v while

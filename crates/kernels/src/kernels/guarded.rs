@@ -17,7 +17,9 @@
 
 use crate::mode::Mode;
 use crate::registry::{Kernel, KernelInfo};
-use nrl_core::imperfect::{run_collapsed_guarded, run_seq_guarded, NestPosition};
+use nrl_core::imperfect::{
+    run_collapsed_guarded, run_collapsed_guarded_with, run_seq_guarded, NestPosition,
+};
 use nrl_core::Collapsed;
 use nrl_polyhedra::{BoundNest, NestSpec};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -138,6 +140,21 @@ impl Kernel for GuardedNest {
                     &self.collapsed,
                     *schedule,
                     *recovery,
+                    |_tid, p, pos| self.visit(p, pos),
+                );
+            }
+            Mode::CollapsedWith {
+                pool,
+                schedule,
+                recovery,
+                token,
+            } => {
+                run_collapsed_guarded_with(
+                    pool,
+                    &self.collapsed,
+                    *schedule,
+                    *recovery,
+                    token,
                     |_tid, p, pos| self.visit(p, pos),
                 );
             }

@@ -29,7 +29,7 @@ pub mod registry;
 pub mod shared;
 
 pub use data::Matrix;
-pub use mode::{execute_mode, Mode};
+pub use mode::{execute_mode, execute_mode_with_outcome, Mode};
 pub use registry::{
     all_kernels, extended_kernels, guarded_kernels, kernel_by_name, set_plan_verification, Kernel,
     KernelInfo,

@@ -2,8 +2,8 @@
 //! configurations the paper's experiments compare.
 
 use nrl_core::{
-    run_collapsed, run_outer_parallel, run_seq, run_warp_sim, Collapsed, Recovery, Schedule,
-    ThreadPool,
+    run_collapsed, run_collapsed_with, run_outer_parallel, run_seq, run_warp_sim, Collapsed,
+    Recovery, RunOutcome, RunToken, Schedule, ThreadPool,
 };
 use nrl_polyhedra::BoundNest;
 use std::time::{Duration, Instant};
@@ -34,6 +34,19 @@ pub enum Mode<'a> {
         /// Index-recovery strategy (§V / §VI.A).
         recovery: Recovery,
     },
+    /// Collapsed execution observing a [`RunToken`]: the run can be
+    /// cancelled or deadlined from outside and reports a
+    /// [`RunOutcome`] instead of silently completing.
+    CollapsedWith {
+        /// Thread pool to run on.
+        pool: &'a ThreadPool,
+        /// OpenMP schedule for the flattened `pc` loop.
+        schedule: Schedule,
+        /// Index-recovery strategy (§V / §VI.A).
+        recovery: Recovery,
+        /// Cancellation/deadline token polled once per row segment.
+        token: &'a RunToken,
+    },
     /// §VI.B GPU-warp simulation with the given warp width.
     Warp {
         /// Thread pool whose threads act as warp lanes.
@@ -53,6 +66,9 @@ impl Mode<'_> {
             Mode::Collapsed {
                 schedule, recovery, ..
             } => format!("collapsed-{}-{recovery:?}", schedule.label()),
+            Mode::CollapsedWith {
+                schedule, recovery, ..
+            } => format!("collapsed-{}-{recovery:?}-token", schedule.label()),
             Mode::Warp { warp, .. } => format!("warp-{warp}"),
         }
     }
@@ -64,7 +80,23 @@ pub fn execute_mode<B>(nest: &BoundNest, collapsed: &Collapsed, mode: &Mode, bod
 where
     B: Fn(usize, &[i64]) + Sync,
 {
+    execute_mode_with_outcome(nest, collapsed, mode, body).0
+}
+
+/// Like [`execute_mode`], but also reports how the run ended. Modes
+/// without a token always complete; [`Mode::CollapsedWith`] surfaces
+/// cancellation and deadline expiry with the exact point count.
+pub fn execute_mode_with_outcome<B>(
+    nest: &BoundNest,
+    collapsed: &Collapsed,
+    mode: &Mode,
+    body: B,
+) -> (Duration, RunOutcome)
+where
+    B: Fn(usize, &[i64]) + Sync,
+{
     let start = Instant::now();
+    let mut outcome = RunOutcome::Completed;
     match mode {
         Mode::Seq => run_seq(nest, |p| body(0, p)),
         Mode::SeqWithRecoveries(k) => {
@@ -118,9 +150,17 @@ where
         } => {
             run_collapsed(pool, collapsed, *schedule, *recovery, body);
         }
+        Mode::CollapsedWith {
+            pool,
+            schedule,
+            recovery,
+            token,
+        } => {
+            outcome = run_collapsed_with(pool, collapsed, *schedule, *recovery, token, body).0;
+        }
         Mode::Warp { pool, warp } => run_warp_sim(pool, collapsed, *warp, body),
     }
-    start.elapsed()
+    (start.elapsed(), outcome)
 }
 
 #[cfg(test)]
@@ -151,6 +191,7 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let pool = ThreadPool::new(1);
+        let token = RunToken::new();
         let modes = [
             Mode::Seq,
             Mode::SeqWithRecoveries(12),
@@ -163,6 +204,12 @@ mod tests {
                 schedule: Schedule::Static,
                 recovery: Recovery::OncePerChunk,
             },
+            Mode::CollapsedWith {
+                pool: &pool,
+                schedule: Schedule::Static,
+                recovery: Recovery::OncePerChunk,
+                token: &token,
+            },
             Mode::Warp {
                 pool: &pool,
                 warp: 32,
@@ -171,5 +218,47 @@ mod tests {
         let labels: Vec<String> = modes.iter().map(Mode::label).collect();
         let unique: std::collections::HashSet<&String> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn collapsed_with_live_token_matches_plain_collapsed() {
+        let nest = NestSpec::correlation();
+        let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[20]).unwrap();
+        let bound = nest.bind(&[20]);
+        let pool = ThreadPool::new(2);
+        let token = RunToken::new();
+        let sum = std::sync::atomic::AtomicI64::new(0);
+        let mode = Mode::CollapsedWith {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+            token: &token,
+        };
+        let (_, outcome) = execute_mode_with_outcome(&bound, &collapsed, &mode, |_, p| {
+            sum.fetch_add(3 * p[0] + p[1], std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(outcome, RunOutcome::Completed);
+        let expect: i64 = nest.enumerate(&[20]).map(|p| 3 * p[0] + p[1]).sum();
+        assert_eq!(sum.into_inner(), expect);
+    }
+
+    #[test]
+    fn collapsed_with_cancelled_token_runs_nothing() {
+        let nest = NestSpec::correlation();
+        let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[20]).unwrap();
+        let bound = nest.bind(&[20]);
+        let pool = ThreadPool::new(2);
+        let token = RunToken::new();
+        token.cancel();
+        let mode = Mode::CollapsedWith {
+            pool: &pool,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+            token: &token,
+        };
+        let (_, outcome) = execute_mode_with_outcome(&bound, &collapsed, &mode, |_, _| {
+            panic!("body must not run under a pre-cancelled token");
+        });
+        assert_eq!(outcome, RunOutcome::Cancelled { points_done: 0 });
     }
 }

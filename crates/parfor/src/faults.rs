@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the containment tests (compiled
+//! only under the `fault-inject` feature; never in production builds).
+//!
+//! A test builds a [`FaultPlan`] — panic at the Nth body call (globally
+//! or on a specific thread), delay a chosen worker, force the checked
+//! recovery path to report overflow — and [`arm`](FaultPlan::arm)s it.
+//! Arming takes a process-wide test lock, so concurrent `#[test]`s
+//! serialize instead of observing each other's faults; dropping the
+//! returned [`ArmedGuard`] disarms everything.
+//!
+//! Instrumentation is cooperative: test bodies call
+//! [`on_body_call`]`(tid)` once per invocation. The only production
+//! hook is [`forced_overflow`], consulted by `nrl_core`'s checked
+//! rank-target multiply (also feature-gated there), so the overflow
+//! `expect` path can be driven without a 10¹⁸-point domain.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Highest thread id the per-thread call counters track.
+pub const MAX_TIDS: usize = 64;
+
+/// `usize` sentinel for "no thread targeted".
+const NO_TID: usize = usize::MAX;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+static PANIC_TID: AtomicUsize = AtomicUsize::new(NO_TID);
+static PANIC_NTH: AtomicU64 = AtomicU64::new(0);
+static PANIC_GLOBAL_NTH: AtomicU64 = AtomicU64::new(0);
+static DELAY_TID: AtomicUsize = AtomicUsize::new(NO_TID);
+static DELAY_NTH: AtomicU64 = AtomicU64::new(0);
+static DELAY_MICROS: AtomicU64 = AtomicU64::new(0);
+static FORCE_OVERFLOW: AtomicBool = AtomicBool::new(false);
+
+static GLOBAL_CALLS: AtomicU64 = AtomicU64::new(0);
+static TID_CALLS: [AtomicU64; MAX_TIDS] = [const { AtomicU64::new(0) }; MAX_TIDS];
+
+/// A fault configuration to arm for one test section.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    panic_on: Option<(usize, u64)>,
+    panic_at: Option<u64>,
+    delay_on: Option<(usize, u64, Duration)>,
+    force_overflow: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panic inside the `nth` (1-based) body call executed by thread
+    /// `tid`. Deterministic only under schedules that give `tid` a
+    /// fixed share (e.g. `Schedule::Static`).
+    pub fn panic_on(mut self, tid: usize, nth: u64) -> FaultPlan {
+        assert!(tid < MAX_TIDS && nth >= 1);
+        self.panic_on = Some((tid, nth));
+        self
+    }
+
+    /// Panic inside the `nth` (1-based) body call process-wide,
+    /// whichever thread executes it — deterministic under every
+    /// schedule as long as the domain has ≥ `nth` points.
+    pub fn panic_at(mut self, nth: u64) -> FaultPlan {
+        assert!(nth >= 1);
+        self.panic_at = Some(nth);
+        self
+    }
+
+    /// Sleep `delay` inside thread `tid`'s `nth` body call (and every
+    /// call after it), simulating a straggler worker.
+    pub fn delay_on(mut self, tid: usize, nth: u64, delay: Duration) -> FaultPlan {
+        assert!(tid < MAX_TIDS && nth >= 1);
+        self.delay_on = Some((tid, nth, delay));
+        self
+    }
+
+    /// Make the checked recovery path report rank-target overflow on
+    /// its next multiply (see [`forced_overflow`]).
+    pub fn force_overflow(mut self) -> FaultPlan {
+        self.force_overflow = true;
+        self
+    }
+
+    /// Arms the plan, resetting all call counters. Holds the global
+    /// fault lock until the returned guard drops (tests injecting
+    /// faults serialize on it).
+    pub fn arm(self) -> ArmedGuard {
+        let lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        GLOBAL_CALLS.store(0, Ordering::Relaxed);
+        for c in &TID_CALLS {
+            c.store(0, Ordering::Relaxed);
+        }
+        let (ptid, pnth) = self.panic_on.unwrap_or((NO_TID, 0));
+        PANIC_TID.store(ptid, Ordering::Relaxed);
+        PANIC_NTH.store(pnth, Ordering::Relaxed);
+        PANIC_GLOBAL_NTH.store(self.panic_at.unwrap_or(0), Ordering::Relaxed);
+        let (dtid, dnth, ddur) = self.delay_on.unwrap_or((NO_TID, 0, Duration::ZERO));
+        DELAY_TID.store(dtid, Ordering::Relaxed);
+        DELAY_NTH.store(dnth, Ordering::Relaxed);
+        DELAY_MICROS.store(ddur.as_micros() as u64, Ordering::Relaxed);
+        FORCE_OVERFLOW.store(self.force_overflow, Ordering::Release);
+        ArmedGuard { _lock: lock }
+    }
+}
+
+/// Keeps the armed [`FaultPlan`] active; dropping it disarms every
+/// fault and releases the global fault lock.
+pub struct ArmedGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        PANIC_TID.store(NO_TID, Ordering::Relaxed);
+        PANIC_NTH.store(0, Ordering::Relaxed);
+        PANIC_GLOBAL_NTH.store(0, Ordering::Relaxed);
+        DELAY_TID.store(NO_TID, Ordering::Relaxed);
+        DELAY_NTH.store(0, Ordering::Relaxed);
+        DELAY_MICROS.store(0, Ordering::Relaxed);
+        FORCE_OVERFLOW.store(false, Ordering::Release);
+    }
+}
+
+/// The payload message injected panics carry (tests downcast and match
+/// on it to distinguish injected faults from real bugs).
+pub const INJECTED_PANIC: &str = "injected fault: body panic";
+
+/// Cooperative instrumentation point: test bodies call this once per
+/// body invocation, with the executing thread id.
+#[inline]
+pub fn on_body_call(tid: usize) {
+    let global = GLOBAL_CALLS.fetch_add(1, Ordering::Relaxed) + 1;
+    let per_tid = if tid < MAX_TIDS {
+        TID_CALLS[tid].fetch_add(1, Ordering::Relaxed) + 1
+    } else {
+        0
+    };
+    let dnth = DELAY_NTH.load(Ordering::Relaxed);
+    if dnth != 0 && DELAY_TID.load(Ordering::Relaxed) == tid && per_tid >= dnth {
+        std::thread::sleep(Duration::from_micros(DELAY_MICROS.load(Ordering::Relaxed)));
+    }
+    let gnth = PANIC_GLOBAL_NTH.load(Ordering::Relaxed);
+    if gnth != 0 && global == gnth {
+        panic!("{INJECTED_PANIC}");
+    }
+    let pnth = PANIC_NTH.load(Ordering::Relaxed);
+    if pnth != 0 && PANIC_TID.load(Ordering::Relaxed) == tid && per_tid == pnth {
+        panic!("{INJECTED_PANIC}");
+    }
+}
+
+/// Total instrumented body calls since the last [`FaultPlan::arm`].
+pub fn body_calls() -> u64 {
+    GLOBAL_CALLS.load(Ordering::Relaxed)
+}
+
+/// True while an armed plan forces the checked recovery multiply to
+/// report overflow. Consulted by `nrl_core::unrank`'s rank-target
+/// helper under its own `fault-inject` gate.
+#[inline]
+pub fn forced_overflow() -> bool {
+    FORCE_OVERFLOW.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_panic_fires_on_exact_call() {
+        let _guard = FaultPlan::new().panic_on(1, 3).arm();
+        on_body_call(1);
+        on_body_call(1);
+        on_body_call(0); // other thread: never trips
+        let err = std::panic::catch_unwind(|| on_body_call(1));
+        assert!(err.is_err(), "third call on tid 1 must panic");
+    }
+
+    #[test]
+    fn global_panic_fires_regardless_of_tid() {
+        let _guard = FaultPlan::new().panic_at(2).arm();
+        on_body_call(3);
+        let err = std::panic::catch_unwind(|| on_body_call(0));
+        assert!(err.is_err(), "second call overall must panic");
+        assert_eq!(body_calls(), 2);
+    }
+
+    #[test]
+    fn disarm_on_drop() {
+        {
+            let _guard = FaultPlan::new().panic_at(1).force_overflow().arm();
+            assert!(forced_overflow());
+        }
+        assert!(!forced_overflow());
+        on_body_call(0); // would panic if still armed
+    }
+}

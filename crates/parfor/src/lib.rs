@@ -39,13 +39,17 @@
 //! assert_eq!(report.total_iterations(), 1000);
 //! ```
 
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod pool;
 pub mod schedule;
 pub mod scratch;
 pub mod stats;
 mod sync;
+pub mod token;
 
 pub use pool::ThreadPool;
 pub use schedule::{ParseScheduleError, Schedule};
 pub use scratch::WorkerLocal;
 pub use stats::{ImbalanceReport, ThreadStats};
+pub use token::{RunOutcome, RunToken, StopCause};

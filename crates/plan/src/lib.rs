@@ -36,8 +36,22 @@ use nrl_polyhedra::NestSpec;
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a cache mutex ignoring poisoning: an `analyze` unwind (or a
+/// panicking borrower) never leaves shard or quarantine bookkeeping in
+/// an invalid state — every mutation below is complete before the lock
+/// drops — so later callers proceed instead of cascading the panic.
+fn lock_immune<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consecutive analyze panics after which a shape is quarantined:
+/// further lookups fail fast with [`CollapseError::Quarantined`]
+/// instead of re-running an analysis that keeps crashing the caller.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// The execution context a plan is cached under. The symbolic plan
 /// itself is schedule-independent today, but the key space reserves
@@ -94,6 +108,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the per-shard LRU policy.
     pub evictions: u64,
+    /// Lookups refused because the shape is quarantined (counted
+    /// separately from hits/misses: a quarantined lookup serves no
+    /// plan and runs no analysis).
+    pub quarantined: u64,
     /// Plans currently resident across all shards.
     pub entries: usize,
 }
@@ -130,6 +148,11 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    quarantined: AtomicU64,
+    /// Consecutive analyze-panic counts per shape fingerprint; a
+    /// successful analysis clears the shape's entry. Tiny (only shapes
+    /// that crashed analysis appear), so one mutex suffices.
+    quarantine: Mutex<Vec<(u64, u32)>>,
 }
 
 impl PlanCache {
@@ -148,6 +171,8 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            quarantine: Mutex::new(Vec::new()),
         }
     }
 
@@ -168,12 +193,13 @@ impl PlanCache {
         let entries = self
             .shards
             .iter()
-            .map(|s| s.entries.lock().expect("plan cache poisoned").len())
+            .map(|s| lock_immune(&s.entries).len())
             .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -200,6 +226,20 @@ impl PlanCache {
 
     /// Resolves the plan for `(nest shape, context)`: a cached `Arc` on
     /// a hit, a fresh analysis (inserted LRU-wise) on a miss.
+    ///
+    /// # Fault story
+    ///
+    /// Analysis runs outside every lock, so a panicking `analyze`
+    /// unwinds with the cache fully consistent: the miss is counted,
+    /// no entry (or half-entry) exists, the shard's LRU clock is
+    /// untouched, and the next caller of the same shape retries
+    /// cleanly. The panic itself keeps propagating to the caller.
+    /// A shape whose analysis panics [`QUARANTINE_THRESHOLD`] times in
+    /// a row is quarantined: further lookups fail fast with
+    /// [`CollapseError::Quarantined`] (counted in
+    /// [`CacheStats::quarantined`], not as hits or misses) instead of
+    /// re-running an analysis that keeps crashing its callers. One
+    /// successful analysis clears the shape's failure record.
     pub fn get_or_analyze(
         &self,
         nest: &NestSpec,
@@ -211,11 +251,32 @@ impl PlanCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(plan);
         }
+        if let Some(failures) = self.quarantine_failures(fp) {
+            if failures >= QUARANTINE_THRESHOLD {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return Err(CollapseError::Quarantined { failures });
+            }
+        }
         // Analyze outside the shard lock: symbolic analysis is the
         // expensive path and must not serialize unrelated lookups.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(ParamPlan::analyze(nest)?);
-        let mut entries = shard.entries.lock().expect("plan cache poisoned");
+        let analyzed = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(any(test, feature = "fault-inject"))]
+            faults::maybe_panic_in_analyze();
+            ParamPlan::analyze(nest)
+        }));
+        let plan = match analyzed {
+            Ok(result) => Arc::new(result?),
+            Err(payload) => {
+                // Unwound with no lock held and no entry inserted —
+                // record the failure for the quarantine threshold and
+                // let the panic keep propagating.
+                self.record_analyze_panic(fp);
+                resume_unwind(payload);
+            }
+        };
+        self.clear_analyze_panics(fp);
+        let mut entries = lock_immune(&shard.entries);
         // Double-check: a racing thread may have inserted the same key
         // while we analyzed — reuse its entry rather than duplicating.
         if let Some(e) = entries
@@ -245,6 +306,30 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// Consecutive analyze-panic count recorded for `fp` (`None` when
+    /// the shape has no failure record).
+    fn quarantine_failures(&self, fp: u64) -> Option<u32> {
+        lock_immune(&self.quarantine)
+            .iter()
+            .find(|(f, _)| *f == fp)
+            .map(|(_, n)| *n)
+    }
+
+    fn record_analyze_panic(&self, fp: u64) {
+        let mut q = lock_immune(&self.quarantine);
+        match q.iter_mut().find(|(f, _)| *f == fp) {
+            Some((_, n)) => *n = n.saturating_add(1),
+            None => q.push((fp, 1)),
+        }
+    }
+
+    fn clear_analyze_panics(&self, fp: u64) {
+        let mut q = lock_immune(&self.quarantine);
+        if let Some(i) = q.iter().position(|(f, _)| *f == fp) {
+            q.swap_remove(i);
+        }
+    }
+
     fn lookup(
         &self,
         shard: &Shard,
@@ -252,7 +337,7 @@ impl PlanCache {
         ctx: &PlanContext,
         nest: &NestSpec,
     ) -> Option<Arc<ParamPlan>> {
-        let mut entries = shard.entries.lock().expect("plan cache poisoned");
+        let mut entries = lock_immune(&shard.entries);
         let e = entries
             .iter_mut()
             .find(|e| e.fingerprint == fp && &e.ctx == ctx && &e.nest == nest)?;
@@ -274,6 +359,41 @@ impl PlanCache {
 }
 
 pub use nrl_core::ParamPlan;
+
+/// Deterministic fault hooks for the containment tests (compiled for
+/// this crate's own unit tests and under the `fault-inject` feature).
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod faults {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ANALYZE_PANICS: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// The payload message injected analyze panics carry.
+    pub const INJECTED_ANALYZE_PANIC: &str = "injected fault: analyze panic";
+
+    /// Makes the next `n` [`PlanCache`](crate::PlanCache) analyses
+    /// **on this thread** panic before any real analysis work runs.
+    /// Thread-local on purpose: concurrently running tests (or pool
+    /// workers) never consume each other's injected faults.
+    pub fn inject_analyze_panics(n: u32) {
+        ANALYZE_PANICS.with(|c| c.set(n));
+    }
+
+    pub(crate) fn maybe_panic_in_analyze() {
+        let fire = ANALYZE_PANICS.with(|c| {
+            let v = c.get();
+            if v > 0 {
+                c.set(v - 1);
+            }
+            v > 0
+        });
+        if fire {
+            panic!("{INJECTED_ANALYZE_PANIC}");
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -411,5 +531,121 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
         assert!(stats.entries <= cache.capacity());
+    }
+
+    /// Runs one lookup expecting the injected analyze panic, returning
+    /// the panic message.
+    fn panicking_lookup(cache: &PlanCache, nest: &NestSpec) -> String {
+        faults::inject_analyze_panics(1);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_analyze(nest, PlanContext::default())
+        }))
+        .expect_err("injected analyze panic must propagate to the caller");
+        *payload
+            .downcast::<String>()
+            .expect("injected panic carries its message")
+    }
+
+    #[test]
+    fn analyze_panic_leaves_cache_consistent_and_retries() {
+        let cache = PlanCache::new(1, 4);
+        let nest = NestSpec::correlation();
+        let msg = panicking_lookup(&cache, &nest);
+        assert_eq!(msg, faults::INJECTED_ANALYZE_PANIC);
+        // Fault story: miss counted, no entry (or half-entry), nothing
+        // quarantined yet.
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries, stats.quarantined),
+            (0, 1, 0, 0)
+        );
+        // The same shape retries cleanly and caches as usual.
+        let plan = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        assert_eq!(plan.instantiate(&[100]).unwrap().total(), 99 * 100 / 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 1));
+        cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        assert_eq!(cache.stats().hits, 1, "third lookup must hit");
+    }
+
+    #[test]
+    fn repeated_analyze_panics_quarantine_the_shape() {
+        let cache = PlanCache::new(1, 4);
+        let nest = NestSpec::correlation();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            panicking_lookup(&cache, &nest);
+        }
+        // No injection armed: the quarantine itself must refuse the
+        // lookup before analysis runs.
+        let err = cache
+            .get_or_analyze(&nest, PlanContext::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CollapseError::Quarantined {
+                failures: QUARANTINE_THRESHOLD
+            }
+        ));
+        let err = cache
+            .collapse(&nest, PlanContext::default(), &[100])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Analyze(CollapseError::Quarantined { .. })
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.quarantined, 2, "both refusals counted");
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, QUARANTINE_THRESHOLD as u64, 0),
+            "quarantined lookups are neither hits nor misses"
+        );
+        // Other shapes are unaffected.
+        cache
+            .get_or_analyze(&NestSpec::figure6(), PlanContext::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn successful_analysis_clears_the_failure_record() {
+        // One shard, one entry — so a second shape can evict the first
+        // and force re-analysis later.
+        let cache = PlanCache::new(1, 1);
+        let nest = NestSpec::correlation();
+        for _ in 0..QUARANTINE_THRESHOLD - 1 {
+            panicking_lookup(&cache, &nest);
+        }
+        // One success wipes the streak.
+        cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        // Evict it, then panic twice more: the pre-success failures
+        // must not count toward the threshold.
+        cache
+            .get_or_analyze(&NestSpec::figure6(), PlanContext::default())
+            .unwrap();
+        for _ in 0..QUARANTINE_THRESHOLD - 1 {
+            panicking_lookup(&cache, &nest);
+        }
+        let plan = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        assert_eq!(plan.instantiate(&[10]).unwrap().total(), 9 * 10 / 2);
+        assert_eq!(cache.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn injected_panics_are_thread_local() {
+        // A panic armed on a worker thread fires there and only there:
+        // the owning thread's analysis of the same shape succeeds.
+        let cache = Arc::new(PlanCache::new(1, 4));
+        let nest = NestSpec::correlation();
+        std::thread::scope(|scope| {
+            let worker = {
+                let cache = Arc::clone(&cache);
+                let nest = nest.clone();
+                scope.spawn(move || panicking_lookup(&cache, &nest))
+            };
+            assert_eq!(worker.join().unwrap(), faults::INJECTED_ANALYZE_PANIC);
+            cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
+        });
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.quarantined), (1, 0));
     }
 }

@@ -56,12 +56,14 @@ pub use nrl_solver as solver;
 /// The names most programs need.
 pub mod prelude {
     pub use nrl_core::{
-        balanced_outer_cuts, run_collapsed, run_collapsed_guarded, run_collapsed_prefix,
-        run_outer_parallel, run_outer_partitioned, run_seq, run_seq_guarded, run_warp_sim,
-        CollapseSpec, Collapsed, NestPosition, OuterCuts, ParamPlan, Ranking, Recovery,
+        balanced_outer_cuts, run_collapsed, run_collapsed_guarded, run_collapsed_guarded_with,
+        run_collapsed_prefix, run_collapsed_prefix_resume, run_collapsed_prefix_with,
+        run_collapsed_resume, run_collapsed_with, run_outer_parallel, run_outer_partitioned,
+        run_seq, run_seq_guarded, run_warp_sim, run_warp_sim_with, CollapseSpec, Collapsed,
+        NestPosition, OuterCuts, ParamPlan, Ranking, Recovery,
     };
     pub use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
-    pub use nrl_parfor::{Schedule, ThreadPool};
+    pub use nrl_parfor::{RunOutcome, RunToken, Schedule, StopCause, ThreadPool};
     pub use nrl_plan::{PlanCache, PlanContext};
     pub use nrl_polyhedra::{Affine, NestSpec, Space};
 }
