@@ -10,6 +10,7 @@ use nrl_core::{
 };
 use nrl_plan::{PlanCache, PlanContext};
 use nrl_polyhedra::NestSpec;
+use nrl_serve::{CollapseService, ServeConfig, Tenant};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -258,6 +259,59 @@ fn bench_guarded(c: &mut Criterion) {
     black_box(sink.load(Ordering::Relaxed));
 }
 
+fn bench_serve_overhead(c: &mut Criterion) {
+    // The serving front's per-request tax over a direct
+    // `run_collapsed_with` of the same work (correlation N=800,
+    // once-per-chunk recovery): admission bookkeeping, one bounded-
+    // queue handoff, the dispatcher hop, and the response-slot park.
+    // The acceptance target holds `served` within 10% of `direct`
+    // (both ids sit inside the standing 25%/30 ns CI gate).
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let service = CollapseService::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let sink = AtomicU64::new(0);
+    let token = RunToken::new();
+    let mut group = c.benchmark_group("serve_overhead");
+    group.sample_size(20);
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            run_collapsed_with(
+                &pool,
+                &collapsed,
+                Schedule::Static,
+                Recovery::OncePerChunk,
+                &token,
+                |_t, p| {
+                    sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                },
+            )
+        });
+    });
+    group.bench_function("served", |b| {
+        b.iter(|| {
+            service
+                .run_bound(
+                    Tenant(0),
+                    &collapsed,
+                    Schedule::Static,
+                    Recovery::OncePerChunk,
+                    None,
+                    &|_t, p| {
+                        sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                    },
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
 fn bench_plan(c: &mut Criterion) {
     // The analyze/instantiate split on two shipped kernel shapes
     // (correlation is the registry's motivating kernel, figure6 the
@@ -319,5 +373,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_plan }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_serve_overhead, bench_plan }
 criterion_main!(benches);

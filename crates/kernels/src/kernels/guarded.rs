@@ -158,7 +158,7 @@ impl Kernel for GuardedNest {
                     |_tid, p, pos| self.visit(p, pos),
                 );
             }
-            Mode::Outer { .. } | Mode::Warp { .. } => {
+            Mode::Outer { .. } | Mode::Warp { .. } | Mode::Served { .. } => {
                 panic!("guarded kernels support Seq and Collapsed modes only")
             }
         }

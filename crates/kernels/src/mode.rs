@@ -6,6 +6,7 @@ use nrl_core::{
     Recovery, RunOutcome, RunToken, Schedule, ThreadPool,
 };
 use nrl_polyhedra::BoundNest;
+use nrl_serve::{CollapseService, Tenant};
 use std::time::{Duration, Instant};
 
 /// One execution configuration of a kernel.
@@ -54,6 +55,21 @@ pub enum Mode<'a> {
         /// Number of lanes.
         warp: usize,
     },
+    /// Collapsed execution routed through the serving front
+    /// ([`nrl_serve::CollapseService::run_bound`]): admission, the
+    /// bounded FIFO queue, and dispatch onto the service's own pool
+    /// all sit on the request path. The smoke configuration for
+    /// measuring the serving layer's overhead over a direct run.
+    Served {
+        /// The service front to route through.
+        service: &'a CollapseService,
+        /// Tenant the request is admitted as.
+        tenant: Tenant,
+        /// OpenMP schedule for the flattened `pc` loop.
+        schedule: Schedule,
+        /// Index-recovery strategy (§V / §VI.A).
+        recovery: Recovery,
+    },
 }
 
 impl Mode<'_> {
@@ -70,6 +86,9 @@ impl Mode<'_> {
                 schedule, recovery, ..
             } => format!("collapsed-{}-{recovery:?}-token", schedule.label()),
             Mode::Warp { warp, .. } => format!("warp-{warp}"),
+            Mode::Served {
+                schedule, recovery, ..
+            } => format!("served-{}-{recovery:?}", schedule.label()),
         }
     }
 }
@@ -159,6 +178,17 @@ where
             outcome = run_collapsed_with(pool, collapsed, *schedule, *recovery, token, body).0;
         }
         Mode::Warp { pool, warp } => run_warp_sim(pool, collapsed, *warp, body),
+        Mode::Served {
+            service,
+            tenant,
+            schedule,
+            recovery,
+        } => {
+            let reply = service
+                .run_bound(*tenant, collapsed, *schedule, *recovery, None, &body)
+                .expect("serve smoke path must admit the request");
+            outcome = reply.outcome;
+        }
     }
     (start.elapsed(), outcome)
 }
@@ -192,6 +222,10 @@ mod tests {
     fn labels_are_distinct() {
         let pool = ThreadPool::new(1);
         let token = RunToken::new();
+        let service = CollapseService::new(nrl_serve::ServeConfig {
+            workers: 1,
+            ..nrl_serve::ServeConfig::default()
+        });
         let modes = [
             Mode::Seq,
             Mode::SeqWithRecoveries(12),
@@ -213,6 +247,12 @@ mod tests {
             Mode::Warp {
                 pool: &pool,
                 warp: 32,
+            },
+            Mode::Served {
+                service: &service,
+                tenant: nrl_serve::Tenant(0),
+                schedule: Schedule::Static,
+                recovery: Recovery::OncePerChunk,
             },
         ];
         let labels: Vec<String> = modes.iter().map(Mode::label).collect();
@@ -240,6 +280,31 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Completed);
         let expect: i64 = nest.enumerate(&[20]).map(|p| 3 * p[0] + p[1]).sum();
         assert_eq!(sum.into_inner(), expect);
+    }
+
+    #[test]
+    fn served_matches_direct_collapsed_run() {
+        let nest = NestSpec::correlation();
+        let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[20]).unwrap();
+        let bound = nest.bind(&[20]);
+        let service = CollapseService::new(nrl_serve::ServeConfig {
+            workers: 2,
+            ..nrl_serve::ServeConfig::default()
+        });
+        let sum = std::sync::atomic::AtomicI64::new(0);
+        let mode = Mode::Served {
+            service: &service,
+            tenant: nrl_serve::Tenant(1),
+            schedule: Schedule::Dynamic(8),
+            recovery: Recovery::OncePerChunk,
+        };
+        let (_, outcome) = execute_mode_with_outcome(&bound, &collapsed, &mode, |_, p| {
+            sum.fetch_add(3 * p[0] + p[1], std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(outcome, RunOutcome::Completed);
+        let expect: i64 = nest.enumerate(&[20]).map(|p| 3 * p[0] + p[1]).sum();
+        assert_eq!(sum.into_inner(), expect, "served run must cover the domain");
+        assert_eq!(service.runs_executed(), 1);
     }
 
     #[test]

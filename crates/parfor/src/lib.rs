@@ -42,6 +42,7 @@
 #[cfg(feature = "fault-inject")]
 pub mod faults;
 pub mod pool;
+pub mod queue;
 pub mod schedule;
 pub mod scratch;
 pub mod stats;
@@ -49,6 +50,7 @@ mod sync;
 pub mod token;
 
 pub use pool::ThreadPool;
+pub use queue::{BoundedQueue, QueueFull};
 pub use schedule::{ParseScheduleError, Schedule};
 pub use scratch::WorkerLocal;
 pub use stats::{ImbalanceReport, ThreadStats};

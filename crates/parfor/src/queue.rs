@@ -1,0 +1,224 @@
+//! A bounded, multi-producer FIFO handoff queue.
+//!
+//! The serving layer admits requests on caller threads and executes
+//! them on the pool; this queue is the handoff point between the two.
+//! Its semantics are chosen for *backpressure*, not buffering comfort:
+//! [`BoundedQueue::try_push`] never blocks — a full queue rejects the
+//! item immediately (returning it to the caller), so admission control
+//! can turn the rejection into an explicit `queue_full` response
+//! instead of letting latency pile up invisibly. Consumers block in
+//! [`BoundedQueue::pop`] until an item arrives or the queue is closed
+//! and drained.
+//!
+//! Built on the same poison-immune `Mutex`/`Condvar` shims as the
+//! pool, so a panicking producer or consumer never wedges the queue.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Error from [`BoundedQueue::try_push`]: the queue was at capacity (or
+/// closed) and the item was not enqueued. Carries the item back so the
+/// caller can report or retry without cloning.
+#[derive(Debug)]
+pub struct QueueFull<T>(pub T);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue with non-blocking producers and blocking
+/// consumers (see the [module docs](self)).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (racy by nature; a metric, not a guard).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy, like [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` if there is room, **without blocking**: a full
+    /// or closed queue returns the item back inside [`QueueFull`] so
+    /// the producer can surface backpressure to its own caller.
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull<T>> {
+        {
+            let mut state = self.state.lock();
+            if state.closed || state.items.len() >= self.capacity {
+                return Err(QueueFull(item));
+            }
+            state.items.push_back(item);
+        }
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue has been [closed](Self::close)
+    /// **and** drained — already-enqueued items are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    /// Closes the queue: further pushes are rejected, and consumers
+    /// drain the remaining items before [`Self::pop`] returns `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let QueueFull(rejected) = q.try_push(3).unwrap_err();
+        assert_eq!(rejected, 3, "the rejected item comes back");
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(q.try_push(8).is_err());
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed+empty stays terminal");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..10 {
+            // Spin until there's room: exercises the wake-on-pop path.
+            let mut item = i;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => break,
+                    Err(QueueFull(back)) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let nproducers = 4usize;
+        let per = 50usize;
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        std::thread::scope(|scope| {
+            for p in 0..nproducers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        let mut item = (p, i);
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(QueueFull(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut got = consumer.join().unwrap();
+        assert_eq!(got.len(), nproducers * per);
+        // Per-producer FIFO: each producer's items arrive in order.
+        for p in 0..nproducers {
+            let seq: Vec<usize> = got
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(seq, (0..per).collect::<Vec<_>>(), "producer {p}");
+        }
+        got.sort();
+    }
+}

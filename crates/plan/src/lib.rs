@@ -15,6 +15,16 @@
 //! shape — the service workload — cost one cache probe and one
 //! microsecond-scale instantiation.
 //!
+//! For service fronts the cache also offers **request coalescing**
+//! ([`PlanCache::get_or_analyze_coalesced`]): a per-shape in-flight
+//! table makes a thundering herd of N concurrent requests for one
+//! uncached shape pay exactly one analysis — one leader runs
+//! `analyze`, the other N−1 callers park on its result (counted in
+//! [`CacheStats::coalesced`], not as hits or misses). A leader panic
+//! propagates the [`CollapseError::Quarantined`] failure to every
+//! waiter without poisoning the table: the flight is removed before
+//! the payload re-throws, so the next request starts a clean retry.
+//!
 //! ```
 //! use nrl_plan::{PlanCache, PlanContext};
 //! use nrl_polyhedra::NestSpec;
@@ -38,7 +48,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Locks a cache mutex ignoring poisoning: an `analyze` unwind (or a
 /// panicking borrower) never leaves shard or quarantine bookkeeping in
@@ -112,8 +122,49 @@ pub struct CacheStats {
     /// separately from hits/misses: a quarantined lookup serves no
     /// plan and runs no analysis).
     pub quarantined: u64,
+    /// Coalesced lookups: callers that parked on another thread's
+    /// in-flight analysis of the same shape instead of analyzing
+    /// themselves (counted separately from hits/misses — a coalesced
+    /// wait probes no shard and runs no analysis; only
+    /// [`PlanCache::get_or_analyze_coalesced`] can increment this).
+    pub coalesced: u64,
     /// Plans currently resident across all shards.
     pub entries: usize,
+}
+
+/// One in-flight analysis: the leader publishes its result here and
+/// wakes every parked waiter. The slot is written exactly once —
+/// including on a leader panic, where the failure is published *before*
+/// the payload re-throws — so waiters can never block forever.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<ParamPlan>, CollapseError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the leader's result and wakes all waiters.
+    fn publish(&self, result: Result<Arc<ParamPlan>, CollapseError>) {
+        *lock_immune(&self.slot) = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the leader publishes, then returns its result.
+    fn wait(&self) -> Result<Arc<ParamPlan>, CollapseError> {
+        let mut slot = lock_immune(&self.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 struct Entry {
@@ -149,10 +200,16 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     quarantined: AtomicU64,
+    coalesced: AtomicU64,
     /// Consecutive analyze-panic counts per shape fingerprint; a
     /// successful analysis clears the shape's entry. Tiny (only shapes
     /// that crashed analysis appear), so one mutex suffices.
     quarantine: Mutex<Vec<(u64, u32)>>,
+    /// In-flight analyses keyed by shape fingerprint (the coalescing
+    /// table). Tiny — an entry exists only while an analysis runs —
+    /// so one mutex suffices; it is held only for table bookkeeping,
+    /// never across an analysis or a shard operation.
+    inflight: Mutex<Vec<(u64, Arc<Flight>)>>,
 }
 
 impl PlanCache {
@@ -172,7 +229,9 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             quarantine: Mutex::new(Vec::new()),
+            inflight: Mutex::new(Vec::new()),
         }
     }
 
@@ -200,6 +259,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -257,6 +317,100 @@ impl PlanCache {
                 return Err(CollapseError::Quarantined { failures });
             }
         }
+        self.analyze_miss(nest, ctx, fp, shard)
+    }
+
+    /// [`Self::get_or_analyze`] with **request coalescing**: when
+    /// another thread is already analyzing this `(shape, context)`,
+    /// the call parks on that leader's result instead of running a
+    /// duplicate analysis — a thundering herd of N concurrent requests
+    /// for one uncached shape pays exactly one `analyze` (1 miss,
+    /// N−1 [`CacheStats::coalesced`] waits, 0 hits).
+    ///
+    /// # Fault story
+    ///
+    /// The leader runs the exact [`Self::get_or_analyze`] miss path,
+    /// so its own caller sees identical semantics (panic propagation,
+    /// quarantine bookkeeping). Waiters never observe the panic
+    /// itself: a leader panic publishes
+    /// [`CollapseError::Quarantined`] — with the consecutive-failure
+    /// count recorded so far, the same failure the quarantine gate
+    /// reports once the threshold is reached — to every parked waiter,
+    /// *after* removing the flight from the in-flight table. The table
+    /// is therefore never poisoned: the next request for the shape
+    /// starts a fresh flight and retries cleanly.
+    pub fn get_or_analyze_coalesced(
+        &self,
+        nest: &NestSpec,
+        ctx: PlanContext,
+    ) -> Result<Arc<ParamPlan>, CollapseError> {
+        let fp = Self::fingerprint(nest, &ctx);
+        let shard = &self.shards[(fp as usize) & (self.shards.len() - 1)];
+        if let Some(plan) = self.lookup(shard, fp, &ctx, nest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
+        }
+        if let Some(failures) = self.quarantine_failures(fp) {
+            if failures >= QUARANTINE_THRESHOLD {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return Err(CollapseError::Quarantined { failures });
+            }
+        }
+        // Join the in-flight analysis if one exists, else lead one.
+        let (flight, leader) = {
+            let mut inflight = lock_immune(&self.inflight);
+            match inflight.iter().find(|(f, _)| *f == fp) {
+                Some((_, flight)) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    inflight.push((fp, Arc::clone(&flight)));
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return flight.wait();
+        }
+        // Leader: run the ordinary miss path (analysis outside every
+        // lock), then publish to the waiters. `analyze_miss` re-throws
+        // an analyze panic after recording it — catch it here so the
+        // flight can be retired and the waiters unblocked first.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.analyze_miss(nest, ctx, fp, shard)));
+        let (published, unwind) = match outcome {
+            Ok(result) => (result, None),
+            Err(payload) => {
+                let failures = self.quarantine_failures(fp).unwrap_or(1);
+                (Err(CollapseError::Quarantined { failures }), Some(payload))
+            }
+        };
+        // Retire the flight *before* publishing: a request arriving
+        // after the waiters wake must start fresh, not join a dead
+        // flight. (Waiters hold their own `Arc`, so removal is safe.)
+        {
+            let mut inflight = lock_immune(&self.inflight);
+            if let Some(i) = inflight.iter().position(|(f, _)| *f == fp) {
+                inflight.swap_remove(i);
+            }
+        }
+        flight.publish(published.clone());
+        match unwind {
+            Some(payload) => resume_unwind(payload),
+            None => published,
+        }
+    }
+
+    /// The shared miss path: count the miss, analyze outside every
+    /// lock, insert LRU-wise with a racing-insert double-check. An
+    /// analyze panic unwinds with the failure recorded for the
+    /// quarantine threshold (see [`Self::get_or_analyze`]).
+    fn analyze_miss(
+        &self,
+        nest: &NestSpec,
+        ctx: PlanContext,
+        fp: u64,
+        shard: &Shard,
+    ) -> Result<Arc<ParamPlan>, CollapseError> {
         // Analyze outside the shard lock: symbolic analysis is the
         // expensive path and must not serialize unrelated lookups.
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -356,6 +510,20 @@ impl PlanCache {
         let plan = self.get_or_analyze(nest, ctx)?;
         Ok(plan.instantiate(params)?)
     }
+
+    /// [`Self::collapse`] over the coalescing lookup
+    /// ([`Self::get_or_analyze_coalesced`]): the service-front path,
+    /// where concurrent requests for one uncached shape must share a
+    /// single analysis.
+    pub fn collapse_coalesced(
+        &self,
+        nest: &NestSpec,
+        ctx: PlanContext,
+        params: &[i64],
+    ) -> Result<Collapsed, PlanError> {
+        let plan = self.get_or_analyze_coalesced(nest, ctx)?;
+        Ok(plan.instantiate(params)?)
+    }
 }
 
 pub use nrl_core::ParamPlan;
@@ -368,6 +536,7 @@ pub mod faults {
 
     thread_local! {
         static ANALYZE_PANICS: Cell<u32> = const { Cell::new(0) };
+        static ANALYZE_DELAY: Cell<Option<std::time::Duration>> = const { Cell::new(None) };
     }
 
     /// The payload message injected analyze panics carry.
@@ -381,7 +550,25 @@ pub mod faults {
         ANALYZE_PANICS.with(|c| c.set(n));
     }
 
+    /// Makes every [`PlanCache`](crate::PlanCache) analysis **on this
+    /// thread** sleep for `d` before running (and before any injected
+    /// panic fires). The coalescing herd tests use this to pin flight
+    /// leadership deterministically: arm a delay on the designated
+    /// leader, let it enter first, then release the herd while the
+    /// leader is provably still inside `analyze`.
+    pub fn delay_analyze(d: std::time::Duration) {
+        ANALYZE_DELAY.with(|c| c.set(Some(d)));
+    }
+
+    /// Clears a [`delay_analyze`] armed on this thread.
+    pub fn clear_analyze_delay() {
+        ANALYZE_DELAY.with(|c| c.set(None));
+    }
+
     pub(crate) fn maybe_panic_in_analyze() {
+        if let Some(d) = ANALYZE_DELAY.with(|c| c.get()) {
+            std::thread::sleep(d);
+        }
         let fire = ANALYZE_PANICS.with(|c| {
             let v = c.get();
             if v > 0 {
@@ -628,6 +815,146 @@ mod tests {
         let plan = cache.get_or_analyze(&nest, PlanContext::default()).unwrap();
         assert_eq!(plan.instantiate(&[10]).unwrap().total(), 9 * 10 / 2);
         assert_eq!(cache.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn coalesced_lookup_behaves_like_plain_on_hits_and_solo_misses() {
+        let cache = PlanCache::new(2, 4);
+        let nest = NestSpec::correlation();
+        let a = cache
+            .get_or_analyze_coalesced(&nest, PlanContext::default())
+            .unwrap();
+        let b = cache
+            .get_or_analyze_coalesced(&nest, PlanContext::default())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.coalesced), (1, 1, 0));
+        let collapsed = cache
+            .collapse_coalesced(&nest, PlanContext::default(), &[100])
+            .unwrap();
+        assert_eq!(collapsed.total(), 99 * 100 / 2);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    /// Parks a herd of waiters behind a delayed leader and returns the
+    /// herd's per-waiter results plus the leader's outcome (its panic
+    /// message when `leader_panics`). Leadership is deterministic: the
+    /// leader arms a thread-local analyze delay, and the waiters are
+    /// only released once the leader's miss is visible in the stats —
+    /// i.e. while it is provably inside its (slowed) analysis.
+    type WaiterResults = Vec<Result<Arc<ParamPlan>, CollapseError>>;
+
+    fn run_herd(
+        cache: &Arc<PlanCache>,
+        nest: &NestSpec,
+        waiters: usize,
+        leader_panics: bool,
+    ) -> (WaiterResults, Result<Arc<ParamPlan>, String>) {
+        std::thread::scope(|scope| {
+            let leader = {
+                let cache = Arc::clone(cache);
+                let nest = nest.clone();
+                scope.spawn(move || {
+                    faults::delay_analyze(std::time::Duration::from_millis(300));
+                    if leader_panics {
+                        faults::inject_analyze_panics(1);
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        cache.get_or_analyze_coalesced(&nest, PlanContext::default())
+                    }));
+                    faults::clear_analyze_delay();
+                    match outcome {
+                        Ok(result) => Ok(result.expect("delayed analysis must succeed")),
+                        Err(payload) => Err(*payload
+                            .downcast::<String>()
+                            .expect("injected panic carries its message")),
+                    }
+                })
+            };
+            // Release the herd only once the leader owns the flight
+            // (its miss is counted before its delayed analysis runs).
+            while cache.stats().misses == 0 {
+                std::thread::yield_now();
+            }
+            let herd: Vec<_> = (0..waiters)
+                .map(|_| {
+                    let cache = Arc::clone(cache);
+                    let nest = nest.clone();
+                    scope.spawn(move || {
+                        cache.get_or_analyze_coalesced(&nest, PlanContext::default())
+                    })
+                })
+                .collect();
+            let results = herd.into_iter().map(|h| h.join().unwrap()).collect();
+            (results, leader.join().unwrap())
+        })
+    }
+
+    #[test]
+    fn coalesced_herd_pays_exactly_one_analysis() {
+        let cache = Arc::new(PlanCache::new(2, 4));
+        let nest = NestSpec::correlation();
+        let waiters = 32usize;
+        let (results, leader) = run_herd(&cache, &nest, waiters, false);
+        let lead_plan = leader.expect("leader must succeed");
+        for r in &results {
+            let plan = r.as_ref().expect("waiters share the leader's success");
+            assert!(
+                Arc::ptr_eq(plan, &lead_plan),
+                "every waiter must receive the leader's plan"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "the herd pays exactly one analysis");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(
+            stats.coalesced, waiters as u64,
+            "every waiter parked on the leader's flight"
+        );
+        assert!(
+            lock_immune(&cache.inflight).is_empty(),
+            "the flight is retired once published"
+        );
+        // The shape is cached for subsequent lookups.
+        cache
+            .get_or_analyze_coalesced(&nest, PlanContext::default())
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn coalesced_herd_leader_panic_fails_waiters_without_poisoning() {
+        let cache = Arc::new(PlanCache::new(2, 4));
+        let nest = NestSpec::correlation();
+        let waiters = 32usize;
+        let (results, leader) = run_herd(&cache, &nest, waiters, true);
+        // The leader's own caller sees the raw panic (PR 6 semantics).
+        assert_eq!(leader.unwrap_err(), faults::INJECTED_ANALYZE_PANIC);
+        // Every waiter gets the Quarantined-path error, not a panic
+        // and not a hang.
+        for r in results {
+            assert!(
+                matches!(r, Err(CollapseError::Quarantined { failures: 1 })),
+                "waiters observe the recorded failure"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.misses, stats.hits, stats.coalesced, stats.entries),
+            (1, 0, waiters as u64, 0),
+            "one failed analysis, no cached entry"
+        );
+        assert!(
+            lock_immune(&cache.inflight).is_empty(),
+            "a panicking leader must still retire its flight"
+        );
+        // The next request starts a fresh flight and retries cleanly.
+        let plan = cache
+            .get_or_analyze_coalesced(&nest, PlanContext::default())
+            .unwrap();
+        assert_eq!(plan.instantiate(&[100]).unwrap().total(), 99 * 100 / 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # nrl-serve — collapse-as-a-service
+//!
+//! A long-lived, thread-pool-backed service front over the collapse
+//! engine: requests go in as [`CollapseRequest`] (shape + parameters +
+//! cache context + deadline + tenant), and come out as either a bound
+//! plan handle (`Arc<Collapsed>`) or a completed run
+//! ([`RunReply`]: `RunOutcome` + the run's recovery-counter delta).
+//! The ROADMAP's one-core-many-frontends pattern starts here: one
+//! engine behind a stable service boundary, with the `extern "C"`/WASM
+//! frontends planned to bolt onto the `repr`-stable request/response
+//! scalars ([`Tenant`], [`RejectReason`]) later.
+//!
+//! Three mechanisms make it a *service* rather than a function call:
+//!
+//! * **Request coalescing** — plan resolution goes through
+//!   [`PlanCache::get_or_analyze_coalesced`](nrl_plan::PlanCache::get_or_analyze_coalesced),
+//!   so a thundering herd of N concurrent requests for one uncached
+//!   shape pays exactly one symbolic analysis (N−1 callers park on the
+//!   leader's flight; a leader panic fails the waiters with the
+//!   `Quarantined` error without poisoning the table).
+//! * **Admission control** — a bounded FIFO queue
+//!   ([`nrl_parfor::BoundedQueue`]) feeds the pool; a full queue
+//!   rejects immediately ([`RejectReason::QueueFull`]) instead of
+//!   letting latency pile up, and a per-tenant in-flight quota
+//!   ([`RejectReason::QuotaExceeded`]) keeps one tenant from starving
+//!   the rest.
+//! * **Deadlines** — each run carries a
+//!   [`RunToken`](nrl_parfor::RunToken) armed at admission, so time
+//!   spent queued counts against the request's deadline and an expired
+//!   run reports exactly how many points completed.
+//!
+//! Observability is plain text by design:
+//! [`CollapseService::metrics_report`] aggregates the plan-cache
+//! counters, the recovery-counter totals, per-tenant accept/reject/
+//! outcome counts, and the live queue depth (see `docs/COUNTERS.md`
+//! for every counter and the invariants the stress bins assert).
+//!
+//! ```
+//! use nrl_serve::{CollapseRequest, CollapseService, ServeConfig, Tenant};
+//! use nrl_polyhedra::NestSpec;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//!
+//! let service = CollapseService::new(ServeConfig::default());
+//! let request = CollapseRequest::new(NestSpec::correlation(), vec![100], Tenant(7));
+//! let sum = AtomicI64::new(0);
+//! let reply = service
+//!     .run(&request, &|_tid, p| {
+//!         sum.fetch_add(p[0] + p[1], Ordering::Relaxed);
+//!     })
+//!     .unwrap();
+//! assert!(reply.outcome.is_completed());
+//! println!("{}", service.metrics_report());
+//! ```
+
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use metrics::{ServeMetrics, TenantStats};
+pub use request::{CollapseRequest, CollapseResponse, RejectReason, RunReply, ServeError, Tenant};
+pub use service::{CollapseService, ServeConfig};

@@ -1,0 +1,181 @@
+//! The plain-text observability surface.
+//!
+//! Every counter the service exposes is aggregated here:
+//! [`ServeMetrics`] snapshots the plan-cache counters
+//! ([`CacheStats`]), the service-wide recovery-counter totals
+//! ([`RecoveryStats`], summed over every run's delta), the per-tenant
+//! admission/outcome counters ([`TenantStats`]), and the live queue
+//! depth. [`ServeMetrics::report`] renders the whole snapshot as plain
+//! text — the format the `serve_demo` example prints and the
+//! `serve_stress` CI bin parses nothing from (it asserts on the typed
+//! snapshot; the text is for humans).
+//!
+//! The counter semantics and the exact consistency invariants the
+//! stress bins assert are documented in `docs/COUNTERS.md`.
+
+use crate::request::Tenant;
+use nrl_core::RecoveryStats;
+use nrl_plan::CacheStats;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-tenant admission and outcome counters.
+///
+/// Every `run` submission ends in exactly one of `accepted`,
+/// `rejected_queue_full`, `rejected_quota`, or `plan_failed`; every
+/// accepted run ends in exactly one of `completed`, `cancelled`,
+/// `deadline_expired`, or `body_panicked`. Every `bind` submission
+/// ends in exactly one of `bound`, `rejected_quota`, or `plan_failed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Run requests admitted to the work queue.
+    pub accepted: u64,
+    /// Run requests refused because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests refused because the tenant's in-flight quota was hit.
+    pub rejected_quota: u64,
+    /// Requests whose plan resolution or instantiation failed after
+    /// admission (bad shape/parameters, quarantined or panicking
+    /// analysis).
+    pub plan_failed: u64,
+    /// Runs whose whole domain executed.
+    pub completed: u64,
+    /// Runs stopped by cancellation.
+    pub cancelled: u64,
+    /// Runs stopped by their deadline (including expiry while queued).
+    pub deadline_expired: u64,
+    /// Runs whose body panicked (the request fails, the service
+    /// survives).
+    pub body_panicked: u64,
+    /// Bind-only requests served successfully.
+    pub bound: u64,
+    /// Requests currently admitted and not yet finished.
+    pub inflight: u64,
+}
+
+/// One full metrics snapshot (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Plan-cache counters (hits/misses/coalesced/evictions/
+    /// quarantined/entries) of the service's own cache.
+    pub cache: CacheStats,
+    /// Recovery-counter totals summed over every run the service
+    /// executed.
+    pub recovery: RecoveryStats,
+    /// Per-tenant counters, ordered by tenant id.
+    pub tenants: Vec<(Tenant, TenantStats)>,
+    /// Jobs sitting in the work queue right now (racy by nature).
+    pub queue_depth: usize,
+    /// Capacity of the work queue.
+    pub queue_capacity: usize,
+}
+
+impl ServeMetrics {
+    /// Renders the snapshot as plain text, one line per subsystem and
+    /// one line per tenant.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "nrl_serve metrics");
+        let _ = writeln!(
+            out,
+            "queue: depth {} capacity {}",
+            self.queue_depth, self.queue_capacity
+        );
+        let c = &self.cache;
+        let _ = writeln!(
+            out,
+            "plan_cache: hits {} misses {} coalesced {} evictions {} quarantined {} entries {}",
+            c.hits, c.misses, c.coalesced, c.evictions, c.quarantined, c.entries
+        );
+        let r = &self.recovery;
+        let _ = writeln!(
+            out,
+            "recovery: closed_form_exact {} corrected {} binary_search {} linear_exact {} \
+             spec_cache_hit {} spec_cache_miss {} lane_sweep {}",
+            r.closed_form_exact,
+            r.corrected,
+            r.binary_search,
+            r.linear_exact,
+            r.spec_cache_hit,
+            r.spec_cache_miss,
+            r.lane_sweep
+        );
+        for (tenant, t) in &self.tenants {
+            let _ = writeln!(
+                out,
+                "{tenant}: accepted {} rejected_queue_full {} rejected_quota {} plan_failed {} \
+                 completed {} cancelled {} deadline_expired {} body_panicked {} bound {} inflight {}",
+                t.accepted,
+                t.rejected_queue_full,
+                t.rejected_quota,
+                t.plan_failed,
+                t.completed,
+                t.cancelled,
+                t.deadline_expired,
+                t.body_panicked,
+                t.bound,
+                t.inflight
+            );
+        }
+        out
+    }
+}
+
+/// Service-wide recovery-counter totals, accumulated run by run from
+/// each run's snapshot delta.
+#[derive(Default)]
+pub(crate) struct RecoveryTotals {
+    closed_form_exact: AtomicU64,
+    corrected: AtomicU64,
+    binary_search: AtomicU64,
+    linear_exact: AtomicU64,
+    spec_cache_hit: AtomicU64,
+    spec_cache_miss: AtomicU64,
+    lane_sweep: AtomicU64,
+}
+
+impl RecoveryTotals {
+    pub(crate) fn add(&self, d: &RecoveryStats) {
+        self.closed_form_exact
+            .fetch_add(d.closed_form_exact, Ordering::Relaxed);
+        self.corrected.fetch_add(d.corrected, Ordering::Relaxed);
+        self.binary_search
+            .fetch_add(d.binary_search, Ordering::Relaxed);
+        self.linear_exact
+            .fetch_add(d.linear_exact, Ordering::Relaxed);
+        self.spec_cache_hit
+            .fetch_add(d.spec_cache_hit, Ordering::Relaxed);
+        self.spec_cache_miss
+            .fetch_add(d.spec_cache_miss, Ordering::Relaxed);
+        self.lane_sweep.fetch_add(d.lane_sweep, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RecoveryStats {
+        RecoveryStats {
+            closed_form_exact: self.closed_form_exact.load(Ordering::Relaxed),
+            corrected: self.corrected.load(Ordering::Relaxed),
+            binary_search: self.binary_search.load(Ordering::Relaxed),
+            linear_exact: self.linear_exact.load(Ordering::Relaxed),
+            spec_cache_hit: self.spec_cache_hit.load(Ordering::Relaxed),
+            spec_cache_miss: self.spec_cache_miss.load(Ordering::Relaxed),
+            lane_sweep: self.lane_sweep.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `after − before` for two monotone snapshots of one `Collapsed`'s
+/// counters (saturating, in case a counter is shared with runs outside
+/// the service).
+pub(crate) fn stats_delta(before: &RecoveryStats, after: &RecoveryStats) -> RecoveryStats {
+    RecoveryStats {
+        closed_form_exact: after
+            .closed_form_exact
+            .saturating_sub(before.closed_form_exact),
+        corrected: after.corrected.saturating_sub(before.corrected),
+        binary_search: after.binary_search.saturating_sub(before.binary_search),
+        linear_exact: after.linear_exact.saturating_sub(before.linear_exact),
+        spec_cache_hit: after.spec_cache_hit.saturating_sub(before.spec_cache_hit),
+        spec_cache_miss: after.spec_cache_miss.saturating_sub(before.spec_cache_miss),
+        lane_sweep: after.lane_sweep.saturating_sub(before.lane_sweep),
+    }
+}

@@ -1,0 +1,166 @@
+//! Request/response types of the serving boundary.
+//!
+//! These are the types a frontend speaks: everything that crosses the
+//! service boundary is either one of the structs here or a plain
+//! scalar. The FFI/WASM boundary from the ROADMAP is out of scope for
+//! this layer, but the scalar-bearing types are already `repr`-stable
+//! ([`Tenant`] is `repr(transparent)` over `u32`, [`RejectReason`] is
+//! `repr(u32)`) so an `extern "C"` shim can map them without
+//! re-encoding.
+
+use nrl_core::{Collapsed, RecoveryStats};
+use nrl_parfor::RunOutcome;
+use nrl_plan::{PlanContext, PlanError};
+use nrl_polyhedra::NestSpec;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tenant identifier. The service tracks admission quotas and
+/// counters per tenant; the id itself is opaque (an FFI frontend maps
+/// its own principals onto it).
+#[repr(transparent)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tenant(pub u32);
+
+impl fmt::Display for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// One collapse request: the loop-nest shape to serve, the parameter
+/// values to instantiate at, the cache context, and the admission
+/// envelope (deadline + tenant).
+///
+/// The same request feeds both service verbs:
+/// [`CollapseService::bind`](crate::CollapseService::bind) returns the
+/// bound plan handle, [`CollapseService::run`](crate::CollapseService::run)
+/// executes a body over it. For `run`, the context doubles as the
+/// execution configuration: `ctx.schedule` / `ctx.recovery` select the
+/// schedule and recovery strategy (defaults: static schedule,
+/// once-per-chunk recovery).
+#[derive(Clone, Debug)]
+pub struct CollapseRequest {
+    /// The loop-nest shape (together with `ctx`, the plan-cache key).
+    pub nest: NestSpec,
+    /// Parameter values to instantiate the plan at.
+    pub params: Vec<i64>,
+    /// Cache context; for runs, also the execution configuration.
+    pub ctx: PlanContext,
+    /// Relative deadline for the whole request. The clock starts at
+    /// admission, so time spent queued counts; `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// The requesting tenant.
+    pub tenant: Tenant,
+}
+
+impl CollapseRequest {
+    /// A request with default context and no deadline.
+    pub fn new(nest: NestSpec, params: Vec<i64>, tenant: Tenant) -> CollapseRequest {
+        CollapseRequest {
+            nest,
+            params,
+            ctx: PlanContext::default(),
+            deadline: None,
+            tenant,
+        }
+    }
+
+    /// Sets the cache/execution context.
+    pub fn with_ctx(mut self, ctx: PlanContext) -> CollapseRequest {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Sets the relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> CollapseRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why admission refused a request (`repr(u32)` for the future FFI
+/// boundary).
+#[repr(u32)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded work queue was at capacity (backpressure: retry
+    /// later or shed load upstream).
+    QueueFull = 0,
+    /// The tenant already has its quota of requests in flight.
+    QuotaExceeded = 1,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue_full"),
+            RejectReason::QuotaExceeded => write!(f, "quota_exceeded"),
+        }
+    }
+}
+
+/// Any failure a service verb can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission refused the request before any engine work ran.
+    Rejected {
+        /// What admission check failed.
+        reason: RejectReason,
+    },
+    /// Plan resolution or instantiation failed (bad shape, bad
+    /// parameters, or a quarantined shape).
+    Plan(PlanError),
+    /// The shape's analysis panicked while *this* request led the
+    /// coalesced flight. Parked waiters of the same flight see
+    /// [`ServeError::Plan`] with the `Quarantined` failure instead —
+    /// this variant is the leader-side view of the same fault, caught
+    /// at the service boundary so it never unwinds into a frontend.
+    AnalyzePanicked,
+    /// The loop body panicked mid-run. The pool and the service
+    /// survive (the panic is contained at the dispatch boundary); only
+    /// this request fails.
+    BodyPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ServeError::Plan(e) => write!(f, "{e}"),
+            ServeError::AnalyzePanicked => write!(f, "shape analysis panicked"),
+            ServeError::BodyPanicked => write!(f, "loop body panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> ServeError {
+        ServeError::Plan(e)
+    }
+}
+
+/// The result of an executed run request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReply {
+    /// How the run ended (completed, cancelled, or deadline-expired —
+    /// the latter two with the exact point count).
+    pub outcome: RunOutcome,
+    /// The recovery-counter delta this run contributed (snapshotted
+    /// around the run; also folded into the service-wide totals of
+    /// [`ServeMetrics`](crate::ServeMetrics)).
+    pub recovery: RecoveryStats,
+}
+
+/// What a successfully served request produced.
+#[derive(Clone, Debug)]
+pub enum CollapseResponse {
+    /// A bind-only request: the bound plan handle, shareable and cheap
+    /// to clone (eviction from the plan cache never invalidates it).
+    Bound(Arc<Collapsed>),
+    /// A run request: the completed (or stopped) execution.
+    Ran(RunReply),
+}

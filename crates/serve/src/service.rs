@@ -1,0 +1,672 @@
+//! The service itself: admission, the dispatcher, and the verbs.
+//!
+//! [`CollapseService`] owns the full serving stack — its own
+//! [`PlanCache`] (isolated from the process-global one), a
+//! [`ThreadPool`], a bounded FIFO work queue, and one dispatcher
+//! thread that drains the queue and executes each run on the pool via
+//! `run_collapsed_with`. Two verbs:
+//!
+//! * [`CollapseService::bind`] — synchronous on the caller thread:
+//!   coalesced plan resolution + instantiation, returning the bound
+//!   `Arc<Collapsed>` handle. Herds of callers binding one uncached
+//!   shape share a single analysis.
+//! * [`CollapseService::run`] — resolves the plan the same way, then
+//!   queues the execution. The caller blocks until the dispatcher has
+//!   run the job on the pool (or the queue rejected it); backpressure
+//!   is explicit, not implicit latency.
+//!
+//! Runs are serialized by the single dispatcher — each run already
+//! spreads over the whole pool, so the queue orders *pool-wide* jobs
+//! rather than oversubscribing workers. Concurrency across callers
+//! comes from admission (many callers queue; the herd coalesces on
+//! analysis), not from overlapping pool runs.
+//!
+//! # Fault containment
+//!
+//! A panicking loop body is caught at the dispatch boundary: the
+//! request fails with [`ServeError::BodyPanicked`], the pool recovers
+//! (PR 6 semantics: the panic re-throws on the dispatcher after the
+//! worker barrier, where it is caught), and the dispatcher keeps
+//! draining. A panicking *analysis* is caught on the caller thread
+//! ([`ServeError::AnalyzePanicked`] for the flight leader, the
+//! `Quarantined` plan error for coalesced waiters). No service thread
+//! dies; no lock is poisoned.
+
+use crate::metrics::{stats_delta, RecoveryTotals, ServeMetrics, TenantStats};
+use crate::request::{CollapseRequest, RejectReason, RunReply, ServeError, Tenant};
+use nrl_core::{run_collapsed_with, Collapsed, Recovery};
+use nrl_parfor::{BoundedQueue, QueueFull, RunOutcome, RunToken, Schedule, ThreadPool};
+use nrl_plan::PlanCache;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks ignoring poisoning (same discipline as the pool and the plan
+/// cache): every critical section below completes its mutation before
+/// unlocking, so an unwinding thread never leaves partial state.
+fn lock_immune<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sizing knobs for a [`CollapseService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Threads in the execution pool (including the dispatcher when it
+    /// participates as thread 0 of a run).
+    pub workers: usize,
+    /// Capacity of the bounded work queue; a full queue rejects with
+    /// [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests one tenant may have in flight (admitted but
+    /// not finished); `0` refuses the tenant's every request.
+    pub tenant_quota: usize,
+    /// Lock stripes of the service's plan cache.
+    pub cache_shards: usize,
+    /// Plans each cache shard retains (LRU beyond that).
+    pub cache_plans_per_shard: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            tenant_quota: 16,
+            cache_shards: 8,
+            cache_plans_per_shard: 8,
+        }
+    }
+}
+
+/// Type-erased pointer to the submitting caller's bound plan.
+///
+/// Safety: the submitting caller blocks on the job's [`ResponseSlot`]
+/// until the dispatcher publishes, and the dispatcher publishes only
+/// after the run (or its catch) finished — so the pointee outlives
+/// every dereference. On shutdown the queue is closed and fully
+/// drained before the dispatcher exits, so no job is ever dropped
+/// unpublished.
+struct CollapsedPtr(*const Collapsed);
+// SAFETY: `Collapsed` is `Sync` (shared by pool workers every run) and
+// the pointer's lifetime is bracketed by the blocking caller as above.
+unsafe impl Send for CollapsedPtr {}
+
+/// Type-erased pointer to the caller's loop body (same bracketing
+/// argument as [`CollapsedPtr`]; the pool erases body lifetimes the
+/// same way).
+struct BodyPtr(*const (dyn Fn(usize, &[i64]) + Sync));
+// SAFETY: see `CollapsedPtr`; the pointee is `Sync` by bound.
+unsafe impl Send for BodyPtr {}
+
+/// Where the dispatcher publishes a job's reply and the submitting
+/// caller parks for it. Written exactly once per job.
+struct ResponseSlot {
+    slot: Mutex<Option<Result<RunReply, ServeError>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> ResponseSlot {
+        ResponseSlot {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, reply: Result<RunReply, ServeError>) {
+        *lock_immune(&self.slot) = Some(reply);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<RunReply, ServeError> {
+        let mut slot = lock_immune(&self.slot);
+        loop {
+            if let Some(reply) = slot.take() {
+                return reply;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One queued execution.
+struct Job {
+    tenant: Tenant,
+    collapsed: CollapsedPtr,
+    schedule: Schedule,
+    recovery: Recovery,
+    token: RunToken,
+    body: BodyPtr,
+    slot: Arc<ResponseSlot>,
+}
+
+/// State shared between the verbs (caller threads) and the dispatcher.
+struct Shared {
+    pool: ThreadPool,
+    queue: BoundedQueue<Job>,
+    tenants: Mutex<Vec<(Tenant, TenantStats)>>,
+    recovery: RecoveryTotals,
+    /// Completed pool runs (all outcomes), for the demo/stress tools.
+    runs: AtomicU64,
+}
+
+impl Shared {
+    /// Runs `f` on the tenant's counter row (created on first touch).
+    fn with_tenant<R>(&self, tenant: Tenant, f: impl FnOnce(&mut TenantStats) -> R) -> R {
+        let mut tenants = lock_immune(&self.tenants);
+        if let Some((_, stats)) = tenants.iter_mut().find(|(t, _)| *t == tenant) {
+            return f(stats);
+        }
+        tenants.push((tenant, TenantStats::default()));
+        let (_, stats) = tenants.last_mut().expect("row just pushed");
+        f(stats)
+    }
+}
+
+/// The service front (see the [module docs](self) and the crate docs).
+pub struct CollapseService {
+    cache: PlanCache,
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    tenant_quota: u64,
+}
+
+impl CollapseService {
+    /// Builds the full serving stack: pool, cache, queue, and the
+    /// dispatcher thread.
+    pub fn new(config: ServeConfig) -> CollapseService {
+        let shared = Arc::new(Shared {
+            pool: ThreadPool::new(config.workers.max(1)),
+            queue: BoundedQueue::new(config.queue_capacity),
+            tenants: Mutex::new(Vec::new()),
+            recovery: RecoveryTotals::default(),
+            runs: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("nrl-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(shared))
+                .expect("failed to spawn service dispatcher")
+        };
+        CollapseService {
+            cache: PlanCache::new(config.cache_shards, config.cache_plans_per_shard),
+            shared,
+            dispatcher: Some(dispatcher),
+            tenant_quota: config.tenant_quota as u64,
+        }
+    }
+
+    /// Serves a bind-only request: coalesced plan resolution plus
+    /// instantiation, on the caller thread. The returned handle stays
+    /// valid regardless of later cache evictions.
+    pub fn bind(&self, request: &CollapseRequest) -> Result<Arc<Collapsed>, ServeError> {
+        self.admit(request.tenant)?;
+        match self.resolve(request) {
+            Ok(collapsed) => {
+                self.shared.with_tenant(request.tenant, |t| {
+                    t.inflight -= 1;
+                    t.bound += 1;
+                });
+                Ok(Arc::new(collapsed))
+            }
+            Err(e) => {
+                self.shared.with_tenant(request.tenant, |t| {
+                    t.inflight -= 1;
+                    t.plan_failed += 1;
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// Serves a run request end to end: coalesced plan resolution on
+    /// the caller thread, then a queued execution of `body` over every
+    /// point of the instantiated domain on the service pool. Blocks
+    /// until the run finished (or admission rejected it); the reply
+    /// carries the outcome and the run's recovery-counter delta.
+    ///
+    /// `request.ctx.schedule` / `request.ctx.recovery` configure the
+    /// execution (defaults: [`Schedule::Static`],
+    /// [`Recovery::OncePerChunk`]).
+    pub fn run(
+        &self,
+        request: &CollapseRequest,
+        body: &(dyn Fn(usize, &[i64]) + Sync),
+    ) -> Result<RunReply, ServeError> {
+        self.admit(request.tenant)?;
+        let collapsed = match self.resolve(request) {
+            Ok(collapsed) => collapsed,
+            Err(e) => {
+                self.shared.with_tenant(request.tenant, |t| {
+                    t.inflight -= 1;
+                    t.plan_failed += 1;
+                });
+                return Err(e);
+            }
+        };
+        let schedule = request.ctx.schedule.unwrap_or(Schedule::Static);
+        let recovery = request.ctx.recovery.unwrap_or(Recovery::OncePerChunk);
+        self.enqueue_and_wait(
+            request.tenant,
+            &collapsed,
+            schedule,
+            recovery,
+            request.deadline,
+            body,
+        )
+    }
+
+    /// Runs `body` over an already-bound plan through the service
+    /// queue (admission, FIFO ordering, deadline, and fault
+    /// containment — but no plan resolution). This is the
+    /// `Mode::Served` smoke path of the kernel harness and the natural
+    /// verb for a frontend that binds once and runs many times.
+    pub fn run_bound(
+        &self,
+        tenant: Tenant,
+        collapsed: &Collapsed,
+        schedule: Schedule,
+        recovery: Recovery,
+        deadline: Option<Duration>,
+        body: &(dyn Fn(usize, &[i64]) + Sync),
+    ) -> Result<RunReply, ServeError> {
+        self.admit(tenant)?;
+        self.enqueue_and_wait(tenant, collapsed, schedule, recovery, deadline, body)
+    }
+
+    /// Snapshot of every counter the service exposes.
+    pub fn metrics(&self) -> ServeMetrics {
+        let mut tenants = lock_immune(&self.shared.tenants).clone();
+        tenants.sort_by_key(|(t, _)| *t);
+        ServeMetrics {
+            cache: self.cache.stats(),
+            recovery: self.shared.recovery.snapshot(),
+            tenants,
+            queue_depth: self.shared.queue.len(),
+            queue_capacity: self.shared.queue.capacity(),
+        }
+    }
+
+    /// [`Self::metrics`] rendered as plain text.
+    pub fn metrics_report(&self) -> String {
+        self.metrics().report()
+    }
+
+    /// Pool runs executed so far (all outcomes).
+    pub fn runs_executed(&self) -> u64 {
+        self.shared.runs.load(Ordering::Relaxed)
+    }
+
+    /// Quota check + in-flight accounting, shared by every verb.
+    fn admit(&self, tenant: Tenant) -> Result<(), ServeError> {
+        let quota = self.tenant_quota;
+        self.shared.with_tenant(tenant, |t| {
+            if t.inflight >= quota {
+                t.rejected_quota += 1;
+                return Err(ServeError::Rejected {
+                    reason: RejectReason::QuotaExceeded,
+                });
+            }
+            t.inflight += 1;
+            Ok(())
+        })
+    }
+
+    /// Coalesced plan resolution + instantiation, with analysis panics
+    /// contained at the service boundary (see [`ServeError`]).
+    fn resolve(&self, request: &CollapseRequest) -> Result<Collapsed, ServeError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.cache
+                .collapse_coalesced(&request.nest, request.ctx, &request.params)
+        }));
+        match outcome {
+            Ok(result) => result.map_err(ServeError::from),
+            Err(_panic) => Err(ServeError::AnalyzePanicked),
+        }
+    }
+
+    /// Queues one execution and parks until the dispatcher replies.
+    fn enqueue_and_wait(
+        &self,
+        tenant: Tenant,
+        collapsed: &Collapsed,
+        schedule: Schedule,
+        recovery: Recovery,
+        deadline: Option<Duration>,
+        body: &(dyn Fn(usize, &[i64]) + Sync),
+    ) -> Result<RunReply, ServeError> {
+        // The token is armed *now*: queue wait counts against the
+        // deadline, so a request that rots in the queue reports
+        // `DeadlineExpired { points_done: 0 }` instead of running late.
+        let token = match deadline {
+            Some(d) => RunToken::with_deadline(d),
+            None => RunToken::new(),
+        };
+        let slot = Arc::new(ResponseSlot::new());
+        // SAFETY: see `CollapsedPtr`/`BodyPtr` — the lifetimes are
+        // erased only for the span of this call; `slot.wait()` below
+        // restores the invariant before returning.
+        let body = BodyPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, &[i64]) + Sync),
+                *const (dyn Fn(usize, &[i64]) + Sync),
+            >(body as *const _)
+        });
+        let job = Job {
+            tenant,
+            collapsed: CollapsedPtr(collapsed as *const Collapsed),
+            schedule,
+            recovery,
+            token,
+            body,
+            slot: Arc::clone(&slot),
+        };
+        if let Err(QueueFull(_job)) = self.shared.queue.try_push(job) {
+            self.shared.with_tenant(tenant, |t| {
+                t.inflight -= 1;
+                t.rejected_queue_full += 1;
+            });
+            return Err(ServeError::Rejected {
+                reason: RejectReason::QueueFull,
+            });
+        }
+        self.shared.with_tenant(tenant, |t| t.accepted += 1);
+        slot.wait()
+    }
+}
+
+impl std::fmt::Debug for CollapseService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CollapseService(queue {}/{}, {} runs)",
+            self.shared.queue.len(),
+            self.shared.queue.capacity(),
+            self.runs_executed()
+        )
+    }
+}
+
+impl Drop for CollapseService {
+    fn drop(&mut self) {
+        // Close-and-drain: already-admitted jobs still execute and
+        // publish (their callers are parked on the slots), then the
+        // dispatcher sees the closed+empty queue and exits.
+        self.shared.queue.close();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Drains the queue, executing each job on the pool with the body
+/// panic contained, and publishes exactly one reply per job.
+fn dispatcher_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        // SAFETY: see `CollapsedPtr`/`BodyPtr` — the submitting caller
+        // is parked on `job.slot` until the publish below.
+        let collapsed = unsafe { &*job.collapsed.0 };
+        let body = unsafe { &*job.body.0 };
+        let before = collapsed.stats();
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            run_collapsed_with(
+                &shared.pool,
+                collapsed,
+                job.schedule,
+                job.recovery,
+                &job.token,
+                body,
+            )
+        }));
+        shared.runs.fetch_add(1, Ordering::Relaxed);
+        let reply = match ran {
+            Ok((outcome, _report)) => {
+                let delta = stats_delta(&before, &collapsed.stats());
+                shared.recovery.add(&delta);
+                Ok(RunReply {
+                    outcome,
+                    recovery: delta,
+                })
+            }
+            // The pool already recovered (the panic re-threw here after
+            // the worker barrier); fail this request only.
+            Err(_payload) => Err(ServeError::BodyPanicked),
+        };
+        shared.with_tenant(job.tenant, |t| {
+            t.inflight -= 1;
+            match &reply {
+                Ok(r) => match r.outcome {
+                    RunOutcome::Completed => t.completed += 1,
+                    RunOutcome::Cancelled { .. } => t.cancelled += 1,
+                    RunOutcome::DeadlineExpired { .. } => t.deadline_expired += 1,
+                },
+                Err(_) => t.body_panicked += 1,
+            }
+        });
+        job.slot.publish(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::CollapseResponse;
+    use nrl_plan::PlanError;
+    use nrl_polyhedra::NestSpec;
+    use std::sync::atomic::AtomicI64;
+
+    fn request(n: i64, tenant: u32) -> CollapseRequest {
+        CollapseRequest::new(NestSpec::correlation(), vec![n], Tenant(tenant))
+    }
+
+    #[test]
+    fn run_covers_the_domain_and_counts() {
+        let service = CollapseService::new(ServeConfig::default());
+        let sum = AtomicI64::new(0);
+        let reply = service
+            .run(&request(100, 1), &|_tid, p| {
+                sum.fetch_add(3 * p[0] + p[1], Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(reply.outcome, RunOutcome::Completed);
+        let expect: i64 = NestSpec::correlation()
+            .enumerate(&[100])
+            .map(|p| 3 * p[0] + p[1])
+            .sum();
+        assert_eq!(sum.into_inner(), expect);
+        let m = service.metrics();
+        let (_, t) = m.tenants[0];
+        assert_eq!((t.accepted, t.completed, t.inflight), (1, 1, 0));
+        assert_eq!(m.cache.misses, 1);
+        // The run recovered indices: its delta reached the totals.
+        let recovered = m.recovery.closed_form_exact
+            + m.recovery.corrected
+            + m.recovery.binary_search
+            + m.recovery.linear_exact;
+        assert!(recovered > 0, "a chunked run must recover at least once");
+    }
+
+    #[test]
+    fn bind_returns_a_reusable_handle() {
+        let service = CollapseService::new(ServeConfig::default());
+        let collapsed = service.bind(&request(50, 2)).unwrap();
+        assert_eq!(collapsed.total(), 49 * 50 / 2);
+        let response = CollapseResponse::Bound(Arc::clone(&collapsed));
+        match response {
+            CollapseResponse::Bound(c) => assert_eq!(c.total(), collapsed.total()),
+            CollapseResponse::Ran(_) => unreachable!(),
+        }
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!((t.bound, t.inflight), (1, 0));
+    }
+
+    #[test]
+    fn bad_params_fail_as_plan_errors() {
+        let service = CollapseService::new(ServeConfig::default());
+        let err = service.run(&request(0, 3), &|_, _| {}).unwrap_err();
+        assert!(matches!(err, ServeError::Plan(PlanError::Bind(_))));
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!((t.plan_failed, t.inflight, t.accepted), (1, 0, 0));
+    }
+
+    #[test]
+    fn zero_quota_rejects_everything() {
+        let service = CollapseService::new(ServeConfig {
+            tenant_quota: 0,
+            ..ServeConfig::default()
+        });
+        let err = service.bind(&request(10, 4)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Rejected {
+                reason: RejectReason::QuotaExceeded
+            }
+        );
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!((t.rejected_quota, t.inflight), (1, 0));
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_running() {
+        let service = CollapseService::new(ServeConfig::default());
+        let req = request(200, 5).with_deadline(Duration::ZERO);
+        let reply = service
+            .run(&req, &|_, _| {
+                panic!("must not run past an expired deadline")
+            })
+            .unwrap();
+        assert_eq!(
+            reply.outcome,
+            RunOutcome::DeadlineExpired { points_done: 0 }
+        );
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!((t.deadline_expired, t.completed, t.inflight), (1, 0, 0));
+    }
+
+    #[test]
+    fn body_panic_fails_the_request_and_the_service_survives() {
+        let service = CollapseService::new(ServeConfig::default());
+        let err = service
+            .run(&request(50, 6), &|_, p| {
+                if p[0] == 25 {
+                    panic!("injected body fault");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, ServeError::BodyPanicked);
+        // The pool, queue, and dispatcher all survive: a clean run
+        // completes afterwards.
+        let count = AtomicU64::new(0);
+        let reply = service
+            .run(&request(50, 6), &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(reply.outcome, RunOutcome::Completed);
+        assert_eq!(count.into_inner(), 49 * 50 / 2);
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!((t.body_panicked, t.completed, t.inflight), (1, 1, 0));
+    }
+
+    #[test]
+    fn herd_on_one_shape_pays_one_analysis() {
+        let service = Arc::new(CollapseService::new(ServeConfig {
+            tenant_quota: 64,
+            ..ServeConfig::default()
+        }));
+        let herd = 32usize;
+        std::thread::scope(|scope| {
+            for i in 0..herd {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let collapsed = service.bind(&request(100, i as u32 % 4)).unwrap();
+                    assert_eq!(collapsed.total(), 99 * 100 / 2);
+                });
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.cache.misses, 1, "the herd shares a single analysis");
+        assert_eq!(
+            m.cache.hits + m.cache.coalesced,
+            herd as u64 - 1,
+            "everyone else either coalesced onto the flight or hit the cache"
+        );
+        let bound: u64 = m.tenants.iter().map(|(_, t)| t.bound).sum();
+        assert_eq!(bound, herd as u64);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure() {
+        let service = Arc::new(CollapseService::new(ServeConfig {
+            workers: 2,
+            queue_capacity: 1,
+            tenant_quota: 16,
+            ..ServeConfig::default()
+        }));
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let running = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            // First job: occupies the pool until the gate opens.
+            let first = {
+                let service = Arc::clone(&service);
+                let gate = Arc::clone(&gate);
+                let running = Arc::clone(&running);
+                scope.spawn(move || {
+                    service.run(&request(10, 9), &|_, _| {
+                        running.store(true, Ordering::Release);
+                        while !gate.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+            };
+            // Wait until the first job left the queue and is running
+            // on the pool (so the queue slot below is truly free).
+            while !running.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            // Second job fills the single queue slot.
+            let second = {
+                let service = Arc::clone(&service);
+                scope.spawn(move || service.run(&request(10, 9), &|_, _| {}))
+            };
+            while service.shared.queue.is_empty() {
+                std::thread::yield_now();
+            }
+            // Third job must be rejected without blocking.
+            let err = service.run(&request(10, 9), &|_, _| {}).unwrap_err();
+            assert_eq!(
+                err,
+                ServeError::Rejected {
+                    reason: RejectReason::QueueFull
+                }
+            );
+            gate.store(true, Ordering::Release);
+            assert!(first.join().unwrap().unwrap().outcome.is_completed());
+            assert!(second.join().unwrap().unwrap().outcome.is_completed());
+        });
+        let (_, t) = service.metrics().tenants[0];
+        assert_eq!(
+            (t.accepted, t.completed, t.rejected_queue_full, t.inflight),
+            (2, 2, 1, 0)
+        );
+    }
+
+    #[test]
+    fn drop_drains_admitted_work() {
+        let service = CollapseService::new(ServeConfig::default());
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let c = Arc::clone(&count);
+            service
+                .run(&request(30, 11), &move |_, _| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+        }
+        drop(service);
+        assert_eq!(count.load(Ordering::Relaxed), 29 * 30 / 2);
+    }
+}

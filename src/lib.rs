@@ -19,9 +19,15 @@
 //! | closed forms | [`solver`] | complex arithmetic, Cardano/Ferrari |
 //! | runtime | [`parfor`] | OpenMP-like schedules on a thread pool |
 //! | **the paper** | [`core`] | ranking polynomials, unranking, executors |
+//! | caching | [`plan`] | analyze-once/instantiate-many plan cache with request coalescing |
+//! | serving | [`serve`] | collapse-as-a-service: admission, queues, quotas, metrics |
 //! | extensions | [`morph`] | shape remapping, fusion, packed layouts (§IX future work) |
 //! | tooling | [`dsl`] | C-like parser, collapsed-code generation |
 //! | evaluation | [`kernels`] | the paper's 11 benchmark programs |
+//!
+//! The crate-by-crate map with the full request lifecycle lives in
+//! `docs/ARCHITECTURE.md`; every observable counter is documented in
+//! `docs/COUNTERS.md`.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +57,7 @@ pub use nrl_plan as plan;
 pub use nrl_poly as poly;
 pub use nrl_polyhedra as polyhedra;
 pub use nrl_rational as rational;
+pub use nrl_serve as serve;
 pub use nrl_solver as solver;
 
 /// The names most programs need.
@@ -66,4 +73,5 @@ pub mod prelude {
     pub use nrl_parfor::{RunOutcome, RunToken, Schedule, StopCause, ThreadPool};
     pub use nrl_plan::{PlanCache, PlanContext};
     pub use nrl_polyhedra::{Affine, NestSpec, Space};
+    pub use nrl_serve::{CollapseRequest, CollapseService, ServeConfig, Tenant};
 }
