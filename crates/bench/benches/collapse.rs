@@ -4,13 +4,11 @@
 //! whose anchors come from the same batched recovery.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nrl_core::{
-    run_collapsed, run_collapsed_guarded, run_collapsed_with, run_warp_sim, CollapseSpec,
-    ParamPlan, Recovery, RunToken, Schedule, ThreadPool,
-};
+use nrl_core::{CollapseSpec, ParamPlan, Recovery, RunToken, Schedule, ThreadPool};
+use nrl_kernels::kernels::Correlation;
 use nrl_plan::{PlanCache, PlanContext};
 use nrl_polyhedra::NestSpec;
-use nrl_serve::{CollapseService, ServeConfig, Tenant};
+use nrl_serve::{CollapseService, RunRequest, RunWork, ServeConfig, Tenant};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,7 +34,7 @@ fn bench_recoveries(c: &mut Criterion) {
             &recovery,
             |b, &recovery| {
                 b.iter(|| {
-                    run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |_t, p| {
+                    collapsed.runner(&pool).recovery(recovery).run(|_t, p| {
                         sink.fetch_add(p[1] as u64, Ordering::Relaxed);
                     })
                 });
@@ -58,15 +56,13 @@ fn bench_recoveries(c: &mut Criterion) {
             &recovery,
             |b, &recovery| {
                 b.iter(|| {
-                    run_collapsed(
-                        &pool,
-                        &collapsed,
-                        Schedule::Dynamic(32),
-                        recovery,
-                        |_t, p| {
+                    collapsed
+                        .runner(&pool)
+                        .schedule(Schedule::Dynamic(32))
+                        .recovery(recovery)
+                        .run(|_t, p| {
                             sink.fetch_add(p[1] as u64, Ordering::Relaxed);
-                        },
-                    )
+                        })
                 });
             },
         );
@@ -99,16 +95,13 @@ fn bench_cancellation_overhead(c: &mut Criterion) {
             &recovery,
             |b, &recovery| {
                 b.iter(|| {
-                    run_collapsed_with(
-                        &pool,
-                        &collapsed,
-                        Schedule::Static,
-                        recovery,
-                        &token,
-                        |_t, p| {
+                    collapsed
+                        .runner(&pool)
+                        .recovery(recovery)
+                        .token(&token)
+                        .run(|_t, p| {
                             sink.fetch_add(p[1] as u64, Ordering::Relaxed);
-                        },
-                    )
+                        })
                 });
             },
         );
@@ -168,7 +161,7 @@ fn bench_warp_sim(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_with_input(BenchmarkId::from_parameter(warp), &warp, |b, &warp| {
         b.iter(|| {
-            run_warp_sim(&pool, &collapsed, warp, |_t, p| {
+            collapsed.runner(&pool).warp(warp, |_t, p| {
                 sink.fetch_add(p[1] as u64, Ordering::Relaxed);
             })
         });
@@ -220,39 +213,26 @@ fn bench_guarded(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("segmented", |b| {
         b.iter(|| {
-            run_collapsed_guarded(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p, pos| guarded_body(p, pos),
-            )
+            collapsed
+                .runner(&pool)
+                .run_guarded(|_t, p, pos| guarded_body(p, pos))
         });
     });
     group.bench_function("batched64", |b| {
         b.iter(|| {
-            run_collapsed_guarded(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::Batched(64),
-                |_t, p, pos| guarded_body(p, pos),
-            )
+            collapsed
+                .runner(&pool)
+                .recovery(Recovery::Batched(64))
+                .run_guarded(|_t, p, pos| guarded_body(p, pos))
         });
     });
     group.bench_function("per_point_scan", |b| {
         let bound = nest.bind(&[800]);
         b.iter(|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p| {
-                    let pos = nrl_core::NestPosition::of(&bound, p);
-                    guarded_body(p, pos);
-                },
-            )
+            collapsed.runner(&pool).run(|_t, p| {
+                let pos = nrl_core::NestPosition::of(&bound, p);
+                guarded_body(p, pos);
+            })
         });
     });
     group.finish();
@@ -260,8 +240,8 @@ fn bench_guarded(c: &mut Criterion) {
 }
 
 fn bench_serve_overhead(c: &mut Criterion) {
-    // The serving front's per-request tax over a direct
-    // `run_collapsed_with` of the same work (correlation N=800,
+    // The serving front's per-request tax over a direct token-wired
+    // `Runner::run` of the same work (correlation N=800,
     // once-per-chunk recovery): admission bookkeeping, one bounded-
     // queue handoff, the dispatcher hop, and the response-slot park.
     // The acceptance target holds `served` within 10% of `direct`
@@ -280,36 +260,48 @@ fn bench_serve_overhead(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("direct", |b| {
         b.iter(|| {
-            run_collapsed_with(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                &token,
-                |_t, p| {
-                    sink.fetch_add(p[1] as u64, Ordering::Relaxed);
-                },
-            )
+            collapsed.runner(&pool).token(&token).run(|_t, p| {
+                sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+            })
         });
     });
     group.bench_function("served", |b| {
+        let body = |_t: usize, p: &[i64]| {
+            sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+        };
         b.iter(|| {
             service
-                .run_bound(
-                    Tenant(0),
-                    &collapsed,
-                    Schedule::Static,
-                    Recovery::OncePerChunk,
-                    None,
-                    &|_t, p| {
-                        sink.fetch_add(p[1] as u64, Ordering::Relaxed);
-                    },
-                )
+                .submit_bound(&collapsed, RunRequest::new(Tenant(0), RunWork::Body(&body)))
                 .unwrap()
         });
     });
     group.finish();
     black_box(sink.load(Ordering::Relaxed));
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    // Deterministic reduction vs the hand-rolled outer-parallel
+    // baseline, both folding the real correlation update aggregate
+    // (N=800, pool 4). `runner_collapsed` buys bit-reproducibility
+    // across schedules/pool sizes with the fixed-grid join;
+    // `outer_parallel_baseline` is what a programmer writes by hand
+    // (per-worker partials, thread-id-order join) and is only
+    // reproducible up to FP reassociation. The acceptance target holds
+    // `runner_collapsed` at parity or better — the collapsed schedule
+    // balances the triangle where the outer rows cannot.
+    let kernel = Correlation::new(800);
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("reduce");
+    group.sample_size(20);
+    group.bench_function("runner_collapsed", |b| {
+        b.iter(|| {
+            black_box(kernel.update_aggregate(&pool, Schedule::Static, Recovery::OncePerChunk))
+        });
+    });
+    group.bench_function("outer_parallel_baseline", |b| {
+        b.iter(|| black_box(kernel.update_aggregate_outer(&pool, Schedule::Static)));
+    });
+    group.finish();
 }
 
 fn bench_plan(c: &mut Criterion) {
@@ -373,5 +365,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_serve_overhead, bench_plan }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_serve_overhead, bench_reduce, bench_plan }
 criterion_main!(benches);

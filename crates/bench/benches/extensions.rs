@@ -3,10 +3,7 @@
 //! position queries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nrl_core::{
-    balanced_outer_cuts, run_collapsed, run_collapsed_guarded, CollapseSpec, NestPosition,
-    Recovery, Schedule, ThreadPool,
-};
+use nrl_core::{balanced_outer_cuts, CollapseSpec, NestPosition, Schedule, ThreadPool};
 use nrl_polyhedra::NestSpec;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,29 +21,17 @@ fn bench_guarded_overhead(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("plain_collapsed", |b| {
         b.iter(|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p| {
-                    sink.fetch_add(p[2] as u64, Ordering::Relaxed);
-                },
-            )
+            collapsed.runner(&pool).run(|_t, p| {
+                sink.fetch_add(p[2] as u64, Ordering::Relaxed);
+            })
         })
     });
     group.bench_function("guarded_collapsed", |b| {
         b.iter(|| {
-            run_collapsed_guarded(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p, pos| {
-                    let bonus = u64::from(pos.fires_prologue(0));
-                    sink.fetch_add(p[2] as u64 + bonus, Ordering::Relaxed);
-                },
-            )
+            collapsed.runner(&pool).run_guarded(|_t, p, pos| {
+                let bonus = u64::from(pos.fires_prologue(0));
+                sink.fetch_add(p[2] as u64 + bonus, Ordering::Relaxed);
+            })
         })
     });
     group.finish();

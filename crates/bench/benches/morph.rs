@@ -2,7 +2,7 @@
 //! locality, remap traversal cost, and fusion vs. per-part execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nrl_core::{run_collapsed, CollapseSpec, Collapsed, Recovery, Schedule, ThreadPool};
+use nrl_core::{CollapseSpec, Collapsed, Schedule, ThreadPool};
 use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
 use nrl_polyhedra::NestSpec;
 use std::hint::black_box;
@@ -106,24 +106,12 @@ fn bench_fusion(c: &mut Criterion) {
         let tri = collapse(&NestSpec::correlation(), &[tri_n]);
         let tetra = collapse(&NestSpec::figure6(), &[tetra_n]);
         b.iter(|| {
-            run_collapsed(
-                &pool,
-                &tri,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p| {
-                    black_box((0usize, p[0]));
-                },
-            );
-            run_collapsed(
-                &pool,
-                &tetra,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_t, p| {
-                    black_box((1usize, p[0]));
-                },
-            );
+            tri.runner(&pool).run(|_t, p| {
+                black_box((0usize, p[0]));
+            });
+            tetra.runner(&pool).run(|_t, p| {
+                black_box((1usize, p[0]));
+            });
         })
     });
     group.finish();

@@ -21,8 +21,8 @@
 
 use nrl_bench::{fmt_duration, time_median, Args, Table};
 use nrl_core::{
-    balanced_outer_cuts, run_collapsed, run_outer_parallel, run_outer_partitioned, run_warp_sim,
-    CollapseSpec, Recovery, Schedule, ThreadPool,
+    balanced_outer_cuts, run_outer_parallel, run_outer_partitioned, CollapseSpec, Recovery,
+    Schedule, ThreadPool,
 };
 use nrl_polyhedra::NestSpec;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,16 +51,7 @@ fn main() {
 
     // --- 1. recovery strategies -----------------------------------
     let mut t1 = Table::new(&["recovery", "time", "slowdown vs once-per-chunk"]);
-    let once = time_median(reps, 1, || {
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            body,
-        )
-        .wall()
-    });
+    let once = time_median(reps, 1, || collapsed.runner(&pool).run(body).report.wall());
     for (label, recovery) in [
         ("once-per-chunk (§V)", Recovery::OncePerChunk),
         ("batched 64 (§VI.A)", Recovery::Batched(64)),
@@ -68,7 +59,12 @@ fn main() {
         ("binary-search (exact-only)", Recovery::BinarySearch),
     ] {
         let t = time_median(reps, 1, || {
-            run_collapsed(&pool, &collapsed, Schedule::Static, recovery, body).wall()
+            collapsed
+                .runner(&pool)
+                .recovery(recovery)
+                .run(body)
+                .report
+                .wall()
         });
         t1.row(vec![
             label.to_string(),
@@ -87,7 +83,12 @@ fn main() {
             Schedule::StaticChunk(chunk)
         };
         let t = time_median(reps, 1, || {
-            run_collapsed(&pool, &collapsed, schedule, Recovery::OncePerChunk, body).wall()
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .run(body)
+                .report
+                .wall()
         });
         t2.row(vec![schedule.label(), fmt_duration(t)]);
     }
@@ -100,7 +101,7 @@ fn main() {
     for warp in [32usize, 64, 128, 256] {
         let t = time_median(reps, 1, || {
             let start = std::time::Instant::now();
-            run_warp_sim(&pool, &collapsed, warp, body);
+            collapsed.runner(&pool).warp(warp, body);
             start.elapsed()
         });
         t3.row(vec![warp.to_string(), fmt_duration(t)]);
@@ -162,26 +163,8 @@ fn main() {
         fmt_duration(b),
     ]);
     let (a, b) = time_pair(
-        &|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                cell_body,
-            )
-            .wall()
-        },
-        &|| {
-            run_collapsed(
-                &pool,
-                &band,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                cell_body,
-            )
-            .wall()
-        },
+        &|| collapsed.runner(&pool).run(cell_body).report.wall(),
+        &|| band.runner(&pool).run(cell_body).report.wall(),
     );
     t4.row(vec![
         "collapsed (this paper)".into(),

@@ -7,7 +7,7 @@
 //! ```
 
 use nrl_bench::Args;
-use nrl_core::{run_collapsed, run_outer_parallel, CollapseSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{run_outer_parallel, CollapseSpec, Schedule, ThreadPool};
 use nrl_polyhedra::NestSpec;
 
 fn main() {
@@ -29,14 +29,11 @@ fn main() {
     print!("{}", outer.render());
 
     println!("\ncollapsed loop, schedule(static) — balanced (the paper's fix):");
-    let flat = run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_t, _p| {
+    let flat = collapsed
+        .runner(&pool)
+        .run(|_t, _p| {
             std::hint::black_box(0u64);
-        },
-    );
+        })
+        .report;
     print!("{}", flat.render());
 }

@@ -9,7 +9,7 @@
 //! follow-up sweep reproduces the expected checksum bit-exactly. Exit
 //! code 1 with a `::error` annotation on any violation.
 
-use nrl_core::{run_collapsed, CollapseSpec, Recovery, Schedule};
+use nrl_core::{CollapseSpec, Recovery, Schedule};
 use nrl_parfor::ThreadPool;
 use nrl_polyhedra::NestSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -74,11 +74,15 @@ fn main() {
         let recovery = recoveries[(cycle % recoveries.len() as u64) as usize];
         let calls = AtomicU64::new(0);
         let err = catch_unwind(AssertUnwindSafe(|| {
-            run_collapsed(&pool, &collapsed, schedule, recovery, |_, _| {
-                if calls.fetch_add(1, Ordering::Relaxed) + 1 == panic_at {
-                    panic!("{PANIC_MSG}");
-                }
-            });
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .run(|_, _| {
+                    if calls.fetch_add(1, Ordering::Relaxed) + 1 == panic_at {
+                        panic!("{PANIC_MSG}");
+                    }
+                });
         }));
         match err {
             Ok(()) => {
@@ -105,9 +109,13 @@ fn main() {
         }
         // The same pool must serve a bit-identical clean sweep.
         let sum = AtomicI64::new(0);
-        run_collapsed(&pool, &collapsed, schedule, recovery, |_, p| {
-            sum.fetch_add(point_hash(p), Ordering::Relaxed);
-        });
+        collapsed
+            .runner(&pool)
+            .schedule(schedule)
+            .recovery(recovery)
+            .run(|_, p| {
+                sum.fetch_add(point_hash(p), Ordering::Relaxed);
+            });
         let got = sum.into_inner();
         if got != expect {
             println!(

@@ -226,7 +226,12 @@ pub fn run_seq<F: FnMut(&[i64])>(nest: &BoundNest, mut body: F) {
 /// Walks the sub-nest of `nest` rooted at `level` with `point[..level]`
 /// fixed, invoking `body` on every completed point. The innermost level
 /// runs as a tight loop so the walk costs what the original nest costs.
-fn walk_subtree<F: FnMut(&[i64])>(nest: &BoundNest, point: &mut [i64], level: usize, body: &mut F) {
+pub(crate) fn walk_subtree<F: FnMut(&[i64])>(
+    nest: &BoundNest,
+    point: &mut [i64],
+    level: usize,
+    body: &mut F,
+) {
     let d = nest.depth();
     if level == d {
         body(point);
@@ -306,6 +311,7 @@ where
 ///
 /// Within each chunk, `body` observes points in the original
 /// lexicographic order.
+#[deprecated(note = "use `collapsed.runner(&pool).run(body)`")]
 pub fn run_collapsed<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -316,8 +322,12 @@ pub fn run_collapsed<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let count = total_points(collapsed);
-    run_collapsed_window(pool, collapsed, 0, count, schedule, recovery, None, body)
+    collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .run(body)
+        .report
 }
 
 /// [`run_collapsed`] polling a [`RunToken`] once per row segment (and
@@ -327,6 +337,7 @@ where
 /// O(rows), never O(points) — one relaxed load per segment while the
 /// token stays live (plus one coarse timestamp probe when a deadline
 /// is set).
+#[deprecated(note = "use `collapsed.runner(&pool).token(&token).run(body)`")]
 pub fn run_collapsed_with<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -338,19 +349,13 @@ pub fn run_collapsed_with<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let count = total_points(collapsed);
-    let ctl = TokenCtl::new(token);
-    let report = run_collapsed_window(
-        pool,
-        collapsed,
-        0,
-        count,
-        schedule,
-        recovery,
-        Some(&ctl),
-        body,
-    );
-    (ctl.outcome(), report)
+    let r = collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .token(token)
+        .run(body);
+    (r.outcome, r.report)
 }
 
 /// Resumes a collapsed sweep over the remaining rank window: executes
@@ -358,6 +363,7 @@ where
 /// `points_done = skip` invocations completes the sweep exactly). The
 /// same token discipline as [`run_collapsed_with`] applies; pass a
 /// fresh token to run the remainder uninterrupted.
+#[deprecated(note = "use `collapsed.runner(&pool).resume(skip).token(&token).run(body)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_collapsed_resume<F>(
     pool: &ThreadPool,
@@ -371,20 +377,14 @@ pub fn run_collapsed_resume<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let total = total_points(collapsed);
-    assert!(skip <= total, "resume offset past the domain");
-    let ctl = TokenCtl::new(token);
-    let report = run_collapsed_window(
-        pool,
-        collapsed,
-        skip,
-        total - skip,
-        schedule,
-        recovery,
-        Some(&ctl),
-        body,
-    );
-    (ctl.outcome(), report)
+    let r = collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .token(token)
+        .resume(skip)
+        .run(body);
+    (r.outcome, r.report)
 }
 
 /// The one collapsed executor behind [`run_collapsed`] and its token
@@ -393,7 +393,7 @@ where
 /// [`TokenCtl`] polled once per row segment / batch — never per point
 /// (except the deliberately per-point Naive ablation).
 #[allow(clippy::too_many_arguments)]
-fn run_collapsed_window<F>(
+pub(crate) fn run_collapsed_window<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
     base: u64,
@@ -617,6 +617,7 @@ where
 /// flattened iteration.
 ///
 /// `body` receives the complete `full.depth()`-tuple.
+#[deprecated(note = "use `collapsed.runner(&pool).over(&full).run(body)`")]
 pub fn run_collapsed_prefix<F>(
     pool: &ThreadPool,
     full: &BoundNest,
@@ -628,23 +629,13 @@ pub fn run_collapsed_prefix<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let c = collapsed.depth();
-    let d = full.depth();
-    assert!(c >= 1 && c <= d, "prefix depth out of range");
-    if c == d {
-        return run_collapsed(pool, collapsed, schedule, recovery, body);
-    }
-    // Per-worker full-tuple buffers, same `WorkerLocal` design as the
-    // chunk scratch in `run_collapsed` (each slot belongs to its tid).
-    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
-    run_collapsed(pool, collapsed, schedule, recovery, |tid, prefix| {
-        points.with(tid, |point| {
-            let point = &mut point[..d];
-            point[..c].copy_from_slice(prefix);
-            let mut call = |p: &[i64]| body(tid, p);
-            walk_subtree(full, point, c, &mut call);
-        })
-    })
+    collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .over(full)
+        .run(body)
+        .report
 }
 
 /// [`run_collapsed_prefix`] polling a [`RunToken`], with the same
@@ -653,6 +644,7 @@ where
 /// unit the schedule distributes), not full-depth points: a resumed
 /// run picks up at that prefix rank via
 /// [`run_collapsed_prefix_resume`].
+#[deprecated(note = "use `collapsed.runner(&pool).over(&full).token(&token).run(body)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_collapsed_prefix_with<F>(
     pool: &ThreadPool,
@@ -666,21 +658,14 @@ pub fn run_collapsed_prefix_with<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let c = collapsed.depth();
-    let d = full.depth();
-    assert!(c >= 1 && c <= d, "prefix depth out of range");
-    if c == d {
-        return run_collapsed_with(pool, collapsed, schedule, recovery, token, body);
-    }
-    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
-    run_collapsed_with(pool, collapsed, schedule, recovery, token, |tid, prefix| {
-        points.with(tid, |point| {
-            let point = &mut point[..d];
-            point[..c].copy_from_slice(prefix);
-            let mut call = |p: &[i64]| body(tid, p);
-            walk_subtree(full, point, c, &mut call);
-        })
-    })
+    let r = collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .over(full)
+        .token(token)
+        .run(body);
+    (r.outcome, r.report)
 }
 
 /// Resumes a partial-collapse sweep over the remaining **prefix-rank**
@@ -688,6 +673,9 @@ where
 /// ranks `skip+1 ..= total`, each with its full inner sub-nest, so the
 /// interrupted and resumed halves together cover the domain exactly
 /// once.
+#[deprecated(
+    note = "use `collapsed.runner(&pool).over(&full).resume(skip).token(&token).run(body)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_collapsed_prefix_resume<F>(
     pool: &ThreadPool,
@@ -702,29 +690,15 @@ pub fn run_collapsed_prefix_resume<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let c = collapsed.depth();
-    let d = full.depth();
-    assert!(c >= 1 && c <= d, "prefix depth out of range");
-    if c == d {
-        return run_collapsed_resume(pool, collapsed, skip, schedule, recovery, token, body);
-    }
-    let points = WorkerLocal::new(pool.nthreads(), |_| [0i64; MAX_DEPTH]);
-    run_collapsed_resume(
-        pool,
-        collapsed,
-        skip,
-        schedule,
-        recovery,
-        token,
-        |tid, prefix| {
-            points.with(tid, |point| {
-                let point = &mut point[..d];
-                point[..c].copy_from_slice(prefix);
-                let mut call = |p: &[i64]| body(tid, p);
-                walk_subtree(full, point, c, &mut call);
-            })
-        },
-    )
+    let r = collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .over(full)
+        .token(token)
+        .resume(skip)
+        .run(body);
+    (r.outcome, r.report)
 }
 
 /// §VI.B: simulates a GPU warp of `warp` lanes over the collapsed loop.
@@ -736,11 +710,12 @@ where
 /// then each lane advances `W` odometer steps between iterations. The
 /// anchor buffers live in the same per-worker [`WorkerLocal`] scratch
 /// design as [`run_collapsed`]'s chunk scratch.
+#[deprecated(note = "use `collapsed.runner(&pool).warp(warp, body)`")]
 pub fn run_warp_sim<F>(pool: &ThreadPool, collapsed: &Collapsed, warp: usize, body: F)
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    run_warp_sim_ctl(pool, collapsed, warp, None, body);
+    collapsed.runner(pool).warp(warp, body);
 }
 
 /// [`run_warp_sim`] polling a [`RunToken`]: checked at every lane
@@ -748,6 +723,7 @@ where
 /// lane (each step already pays an `O(rows crossed)` skip, so the poll
 /// stays off the per-point path). Returns the exact body-invocation
 /// count on a stop, like [`run_collapsed_with`].
+#[deprecated(note = "use `collapsed.runner(&pool).token(&token).warp(warp, body)`")]
 pub fn run_warp_sim_with<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -758,15 +734,13 @@ pub fn run_warp_sim_with<F>(
 where
     F: Fn(usize, &[i64]) + Sync,
 {
-    let ctl = TokenCtl::new(token);
-    run_warp_sim_ctl(pool, collapsed, warp, Some(&ctl), body);
-    ctl.outcome()
+    collapsed.runner(pool).token(token).warp(warp, body)
 }
 
 /// Lane steps between token polls in the warp executor.
 const WARP_POLL_STRIDE: u64 = 32;
 
-fn run_warp_sim_ctl<F>(
+pub(crate) fn run_warp_sim_ctl<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
     warp: usize,
@@ -927,9 +901,10 @@ mod tests {
             Recovery::Reference,
         ] {
             let got = collect_parallel(|body| {
-                run_collapsed(&pool, &collapsed, Schedule::Static, recovery, |t, p| {
-                    body(t, p)
-                })
+                collapsed
+                    .runner(&pool)
+                    .recovery(recovery)
+                    .run(|t, p| body(t, p))
             });
             assert_eq!(got, reference(&nest, &[25]), "{recovery:?}");
         }
@@ -948,13 +923,10 @@ mod tests {
             Schedule::Guided(2),
         ] {
             let got = collect_parallel(|body| {
-                run_collapsed(
-                    &pool,
-                    &collapsed,
-                    schedule,
-                    Recovery::OncePerChunk,
-                    |t, p| body(t, p),
-                )
+                collapsed
+                    .runner(&pool)
+                    .schedule(schedule)
+                    .run(|t, p| body(t, p))
             });
             assert_eq!(got, reference(&nest, &[10]), "{schedule:?}");
         }
@@ -969,13 +941,7 @@ mod tests {
         let collapsed = spec.bind(&[200]).unwrap();
         let pool = ThreadPool::new(5);
         let outer = run_outer_parallel(&pool, &nest.bind(&[200]), Schedule::Static, |_, _| {});
-        let flat = run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_, _| {},
-        );
+        let flat = collapsed.runner(&pool).run(|_, _| {}).report;
         assert!(
             outer.iteration_imbalance() > 1.5,
             "outer static should be imbalanced: ×{:.3}",
@@ -1004,14 +970,12 @@ mod tests {
         let pool = ThreadPool::new(3);
         for recovery in [Recovery::OncePerChunk, Recovery::Naive] {
             let got = collect_parallel(|body| {
-                run_collapsed_prefix(
-                    &pool,
-                    &full,
-                    &collapsed,
-                    Schedule::Dynamic(4),
-                    recovery,
-                    |t, p| body(t, p),
-                )
+                collapsed
+                    .runner(&pool)
+                    .over(&full)
+                    .schedule(Schedule::Dynamic(4))
+                    .recovery(recovery)
+                    .run(|t, p| body(t, p))
             });
             assert_eq!(got, reference(&nest, &[n]), "{recovery:?}");
         }
@@ -1024,16 +988,8 @@ mod tests {
         let spec = CollapseSpec::new(&nest.prefix(2)).unwrap();
         let collapsed = spec.bind(&[12]).unwrap();
         let pool = ThreadPool::new(2);
-        let got = collect_parallel(|body| {
-            run_collapsed_prefix(
-                &pool,
-                &full,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |t, p| body(t, p),
-            )
-        });
+        let got =
+            collect_parallel(|body| collapsed.runner(&pool).over(&full).run(|t, p| body(t, p)));
         assert_eq!(got, reference(&nest, &[12]));
     }
 
@@ -1045,7 +1001,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         for warp in [1usize, 3, 32, 1000] {
             let got =
-                collect_parallel(|body| run_warp_sim(&pool, &collapsed, warp, |t, p| body(t, p)));
+                collect_parallel(|body| collapsed.runner(&pool).warp(warp, |t, p| body(t, p)));
             assert_eq!(got, reference(&nest, &[7]), "warp={warp}");
         }
     }
@@ -1065,13 +1021,10 @@ mod tests {
         let nchunks = total.div_ceil(chunk);
         assert!(nchunks >= 2, "test needs multiple chunks");
         let pool = ThreadPool::new(1);
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Dynamic(chunk),
-            Recovery::OncePerChunk,
-            |_, _| {},
-        );
+        collapsed
+            .runner(&pool)
+            .schedule(Schedule::Dynamic(chunk))
+            .run(|_, _| {});
         let stats = collapsed.stats();
         assert!(
             stats.spec_cache_hit >= nchunks - 1,
@@ -1097,13 +1050,11 @@ mod tests {
                 Schedule::Guided(2),
             ] {
                 let got = collect_parallel(|body| {
-                    run_collapsed(
-                        &pool,
-                        &collapsed,
-                        schedule,
-                        Recovery::Batched(vlength),
-                        |t, p| body(t, p),
-                    )
+                    collapsed
+                        .runner(&pool)
+                        .schedule(schedule)
+                        .recovery(Recovery::Batched(vlength))
+                        .run(|t, p| body(t, p))
                 });
                 assert_eq!(got, reference(&nest, &[9]), "L={vlength} {schedule:?}");
             }
@@ -1120,15 +1071,12 @@ mod tests {
         let collapsed = spec.bind(&[30]).unwrap();
         let pool = ThreadPool::new(1);
         let seen = Mutex::new(Vec::new());
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::Batched(13),
-            |_, p| {
+        collapsed
+            .runner(&pool)
+            .recovery(Recovery::Batched(13))
+            .run(|_, p| {
                 seen.lock().unwrap().push(p.to_vec());
-            },
-        );
+            });
         let seen = seen.into_inner().unwrap();
         let expect: Vec<Vec<i64>> = nest.enumerate(&[30]).collect();
         assert_eq!(seen, expect);
@@ -1145,13 +1093,10 @@ mod tests {
         let collapsed = spec.bind(&[10]).unwrap();
         let pool = ThreadPool::new(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::Batched(0),
-                |_, _| {},
-            )
+            collapsed
+                .runner(&pool)
+                .recovery(Recovery::Batched(0))
+                .run(|_, _| {})
         }));
         assert!(result.is_err(), "Batched(0) must panic, not clamp");
     }
@@ -1165,13 +1110,10 @@ mod tests {
         let spec = CollapseSpec::new(&nest).unwrap();
         let collapsed = spec.bind(&[120]).unwrap();
         let pool = ThreadPool::new(2);
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::Batched(16),
-            |_, _| {},
-        );
+        collapsed
+            .runner(&pool)
+            .recovery(Recovery::Batched(16))
+            .run(|_, _| {});
         let stats = collapsed.stats();
         assert!(
             stats.lane_sweep > 0,
@@ -1185,15 +1127,7 @@ mod tests {
         let spec = CollapseSpec::new(&nest).unwrap();
         let collapsed = spec.bind(&[1]).unwrap();
         let pool = ThreadPool::new(2);
-        let got = collect_parallel(|body| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |t, p| body(t, p),
-            )
-        });
+        let got = collect_parallel(|body| collapsed.runner(&pool).run(|t, p| body(t, p)));
         assert!(got.is_empty());
         run_seq(&nest.bind(&[1]), |_| panic!("no iterations expected"));
     }
@@ -1207,17 +1141,35 @@ mod tests {
         let collapsed = spec.bind(&[30]).unwrap();
         let pool = ThreadPool::new(1); // single chunk ⇒ full order
         let seen = Mutex::new(Vec::new());
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_, p| {
-                seen.lock().unwrap().push(p.to_vec());
-            },
-        );
+        collapsed.runner(&pool).run(|_, p| {
+            seen.lock().unwrap().push(p.to_vec());
+        });
         let seen = seen.into_inner().unwrap();
         let expect: Vec<Vec<i64>> = nest.enumerate(&[30]).collect();
         assert_eq!(seen, expect);
+    }
+
+    /// Pins the deprecated free-function shims: they must keep
+    /// delegating to the [`Runner`](crate::Runner) builder with
+    /// identical coverage until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_cover_domain() {
+        let nest = NestSpec::correlation();
+        let spec = CollapseSpec::new(&nest).unwrap();
+        let collapsed = spec.bind(&[15]).unwrap();
+        let pool = ThreadPool::new(3);
+        let got = collect_parallel(|body| {
+            run_collapsed(
+                &pool,
+                &collapsed,
+                Schedule::Dynamic(4),
+                Recovery::OncePerChunk,
+                |t, p| body(t, p),
+            )
+        });
+        assert_eq!(got, reference(&nest, &[15]));
+        let warped = collect_parallel(|body| run_warp_sim(&pool, &collapsed, 8, |t, p| body(t, p)));
+        assert_eq!(warped, reference(&nest, &[15]));
     }
 }

@@ -205,14 +205,13 @@ pub fn run_seq_guarded<F: FnMut(&[i64], NestPosition)>(nest: &BoundNest, mut bod
 /// exit guards, and every interior point a neutral position — no
 /// per-point bounds scan anywhere.
 #[inline]
-fn run_guarded_segment<F>(
+pub(crate) fn run_guarded_segment<F>(
     walker: &mut RowWalker<'_>,
     seg: &RowSegment,
     first_pos: Option<NestPosition>,
-    tid: usize,
-    body: &F,
+    body: &mut F,
 ) where
-    F: Fn(usize, &[i64], NestPosition) + Sync,
+    F: FnMut(&[i64], NestPosition),
 {
     let d = walker.depth();
     let pre0 = match (first_pos, seg.pre_from) {
@@ -227,7 +226,7 @@ fn run_guarded_segment<F>(
     walker.for_each(seg, |p| {
         let pre_from = if r == 0 { pre0 } else { d };
         let post_from = if r + 1 == n { seg.post_from } else { d };
-        body(tid, p, NestPosition::from_parts(pre_from, post_from, d));
+        body(p, NestPosition::from_parts(pre_from, post_from, d));
         r += 1;
     });
 }
@@ -249,6 +248,7 @@ fn run_guarded_segment<F>(
 /// lane-parallel `unrank_batch_into` call as the unguarded executor.
 ///
 /// [`run_collapsed`]: crate::exec::run_collapsed
+#[deprecated(note = "use `collapsed.runner(&pool).run_guarded(body)`")]
 pub fn run_collapsed_guarded<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -259,7 +259,12 @@ pub fn run_collapsed_guarded<F>(
 where
     F: Fn(usize, &[i64], NestPosition) + Sync,
 {
-    run_collapsed_guarded_ctl(pool, collapsed, schedule, recovery, None, body)
+    collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .run_guarded(body)
+        .report
 }
 
 /// [`run_collapsed_guarded`] polling a
@@ -269,6 +274,7 @@ where
 /// exactness included (a segment either runs whole — prologues,
 /// bodies, epilogues — or not at all), and the outcome reports the
 /// exact body-invocation count.
+#[deprecated(note = "use `collapsed.runner(&pool).token(&token).run_guarded(body)`")]
 pub fn run_collapsed_guarded_with<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
@@ -280,12 +286,16 @@ pub fn run_collapsed_guarded_with<F>(
 where
     F: Fn(usize, &[i64], NestPosition) + Sync,
 {
-    let ctl = TokenCtl::new(token);
-    let report = run_collapsed_guarded_ctl(pool, collapsed, schedule, recovery, Some(&ctl), body);
-    (ctl.outcome(), report)
+    let r = collapsed
+        .runner(pool)
+        .schedule(schedule)
+        .recovery(recovery)
+        .token(token)
+        .run_guarded(body);
+    (r.outcome, r.report)
 }
 
-fn run_collapsed_guarded_ctl<F>(
+pub(crate) fn run_collapsed_guarded_ctl<F>(
     pool: &ThreadPool,
     collapsed: &Collapsed,
     schedule: Schedule,
@@ -380,7 +390,9 @@ where
                         }
                     }
                     let seg = walker.next_segment(remaining);
-                    run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
+                    run_guarded_segment(&mut walker, &seg, first_pos.take(), &mut |p, pos| {
+                        body(tid, p, pos)
+                    });
                     local += seg.len;
                     remaining -= seg.len;
                 }
@@ -427,7 +439,12 @@ where
                         local += batch;
                         while batch > 0 {
                             let seg = walker.next_segment(batch);
-                            run_guarded_segment(&mut walker, &seg, first_pos.take(), tid, &body);
+                            run_guarded_segment(
+                                &mut walker,
+                                &seg,
+                                first_pos.take(),
+                                &mut |p, pos| body(tid, p, pos),
+                            );
                             batch -= seg.len;
                         }
                     }
@@ -550,12 +567,10 @@ mod tests {
         let pool = ThreadPool::new(4);
         for schedule in [Schedule::Static, Schedule::Dynamic(5), Schedule::Guided(2)] {
             let seen = Mutex::new(Vec::new());
-            run_collapsed_guarded(
-                &pool,
-                &collapsed,
-                schedule,
-                Recovery::OncePerChunk,
-                |_tid, point, pos| {
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .run_guarded(|_tid, point, pos| {
                     let mut local = Vec::new();
                     for k in pos.prologues() {
                         local.push(Instance::Pre(k, point[..=k].to_vec()));
@@ -565,8 +580,7 @@ mod tests {
                         local.push(Instance::Post(k, point[..=k].to_vec()));
                     }
                     seen.lock().unwrap().extend(local);
-                },
-            );
+                });
             let mut got = seen.into_inner().unwrap();
             got.sort();
             let mut expect = imperfect_reference(&nest.bind(&[8]));
@@ -585,17 +599,11 @@ mod tests {
         let collapsed = spec.bind(&[n]).unwrap();
         let pool = ThreadPool::new(3);
         let rows = std::sync::atomic::AtomicU64::new(0);
-        run_collapsed_guarded(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_t, _p, pos| {
-                if pos.fires_prologue(0) {
-                    rows.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-            },
-        );
+        collapsed.runner(&pool).run_guarded(|_t, _p, pos| {
+            if pos.fires_prologue(0) {
+                rows.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
         assert_eq!(
             rows.load(std::sync::atomic::Ordering::Relaxed),
             (n - 1) as u64

@@ -48,22 +48,30 @@ pub mod imperfect;
 pub mod partition;
 pub mod plan;
 pub mod ranking;
+pub mod reduce;
 pub mod rowwalk;
+pub mod runner;
 pub mod unrank;
 
 pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
+#[allow(deprecated)]
 pub use exec::{
     run_collapsed, run_collapsed_prefix, run_collapsed_prefix_resume, run_collapsed_prefix_with,
-    run_collapsed_resume, run_collapsed_with, run_outer_parallel, run_outer_parallel_range,
-    run_seq, run_warp_sim, run_warp_sim_with, Recovery, ZeroVectorLength,
+    run_collapsed_resume, run_collapsed_with, run_warp_sim, run_warp_sim_with,
 };
-pub use imperfect::{
-    run_collapsed_guarded, run_collapsed_guarded_with, run_seq_guarded, NestPosition,
-};
+pub use exec::{run_outer_parallel, run_outer_parallel_range, run_seq, Recovery, ZeroVectorLength};
+#[allow(deprecated)]
+pub use imperfect::{run_collapsed_guarded, run_collapsed_guarded_with};
+pub use imperfect::{run_seq_guarded, NestPosition};
 pub use partition::{balanced_outer_cuts, run_outer_partitioned, OuterCuts};
 pub use plan::ParamPlan;
 pub use ranking::Ranking;
+pub use reduce::{
+    guarded_reducer, reduce_grain, reducer, FnGuardedReducer, FnReducer, GuardedReducer,
+    ReduceCounters, Reducer, Reduction,
+};
 pub use rowwalk::{RowSegment, RowWalker};
+pub use runner::{RunReport, Runner};
 pub use unrank::{EngineCalibration, LevelEngine, RecoveryStats};
 
 // Re-exports so downstream users need only one crate.

@@ -285,13 +285,7 @@ mod tests {
             busy_part <= 2,
             "outer partitioning is capped at the row count"
         );
-        let flat = crate::exec::run_collapsed(
-            &pool,
-            &collapsed,
-            nrl_parfor::Schedule::Static,
-            crate::exec::Recovery::OncePerChunk,
-            |_, _| {},
-        );
+        let flat = collapsed.runner(&pool).run(|_, _| {}).report;
         let busy_flat = flat
             .per_thread()
             .iter()

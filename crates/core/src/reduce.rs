@@ -1,0 +1,701 @@
+//! Deterministic parallel reductions and segmented scans over
+//! collapsed iterations.
+//!
+//! A collapsed chunk is a rank interval, so Farzan & Nicolet's
+//! divide-and-conquer synthesis applies directly: fold each chunk into
+//! a partial aggregate, then combine the partials with an associative
+//! `join`. Two design decisions make the result **bit-reproducible**
+//! regardless of schedule, recovery strategy, thread count, or
+//! cancellation point:
+//!
+//! 1. **A fixed chunk grid.** Partial boundaries are *not* the
+//!    schedule's chunks: the domain is cut into grid chunks of
+//!    [`reduce_grain`] points, a pure function of the domain size.
+//!    The user's [`Schedule`] distributes *grid-chunk indices*, so a
+//!    dynamic schedule on 8 threads folds exactly the same partials as
+//!    a static schedule on 1 thread.
+//! 2. **Fixed join order.** After the pool joins, the per-worker
+//!    partials (accumulated into [`WorkerLocal`] scratch, one
+//!    `(chunk, partial)` pair per grid chunk) are combined in
+//!    ascending chunk-index order — a left fold over the grid, never a
+//!    race-ordered tree.
+//!
+//! With an exact accumulator (integer, wrapping arithmetic) the result
+//! is additionally bit-identical to the *sequential* fold whenever the
+//! reducer satisfies the homomorphism law on [`Reducer`]. Floating-
+//! point reducers keep the cross-configuration guarantee (same value
+//! for every schedule × recovery × thread count) because the grid and
+//! the join order never move; only the grouping relative to a
+//! sequential fold differs.
+//!
+//! **Cancellation** reuses the `RunToken` window machinery: the token
+//! is polled once per grid chunk, a stopped run returns the joined
+//! *contiguous prefix* of completed chunks plus the exact
+//! `points_done` those chunks cover, and completed chunks beyond a gap
+//! are discarded (visible in [`ReduceCounters::discarded`]). Because
+//! `points_done` is always grid-aligned, resuming at
+//! `skip = points_done` re-runs exactly the missing chunks of the same
+//! absolute grid — `join(prefix, resumed)` is bit-identical to the
+//! uninterrupted run.
+//!
+//! The entry points live on the [`Runner`](crate::runner::Runner)
+//! builder (`collapsed.runner(&pool).reduce(&r)`); this module holds
+//! the traits, the result types, and the executors.
+
+use crate::collapsed::Collapsed;
+use crate::exec::{recover_chunk_anchor, total_points, ExecScratch, Recovery, TokenCtl};
+use crate::imperfect::{run_guarded_segment, NestPosition};
+use crate::rowwalk::RowWalker;
+use crate::unrank::MAX_DEPTH;
+use nrl_parfor::{RunOutcome, Schedule, ThreadPool, WorkerLocal};
+
+/// A parallel reduction over collapsed iterations.
+///
+/// # Laws
+///
+/// For the parallel result to equal the sequential left fold
+/// (`acc = identity; for p in domain { accum(p, &mut acc) }`), the
+/// three operations must form a *fold homomorphism*:
+///
+/// * `join` is associative and `identity()` is its two-sided identity;
+/// * folding a rank interval from `identity` and joining it onto a
+///   left aggregate equals folding the interval directly onto that
+///   aggregate: `join(a, fold(identity, pts)) == fold(a, pts)`.
+///
+/// Integer sums/products/min/max (wrapping or checked) satisfy both
+/// exactly. Floating-point addition satisfies them only up to
+/// rounding: the executor still produces *one* deterministic grouping
+/// (see the [module docs](self)), but that grouping differs from the
+/// sequential fold's.
+///
+/// `accum` must not depend on the executing `tid` for the result to be
+/// schedule-independent; the `tid` is passed for instrumentation
+/// (per-worker counters, scratch) only.
+pub trait Reducer<A: Send>: Sync {
+    /// The neutral accumulator a fresh chunk starts from.
+    fn identity(&self) -> A;
+    /// Folds one iteration-space point into the accumulator.
+    fn accum(&self, tid: usize, point: &[i64], acc: &mut A);
+    /// Combines two adjacent aggregates (left-to-right in rank order).
+    fn join(&self, left: A, right: A) -> A;
+}
+
+/// A reduction over a *guarded* (imperfect) nest: `accum` additionally
+/// receives the point's [`NestPosition`], so sunken prologue/epilogue
+/// statements can contribute to the aggregate exactly once, at their
+/// original program position. Same laws as [`Reducer`].
+pub trait GuardedReducer<A: Send>: Sync {
+    /// The neutral accumulator a fresh chunk starts from.
+    fn identity(&self) -> A;
+    /// Folds one guarded point into the accumulator.
+    fn accum(&self, tid: usize, point: &[i64], pos: NestPosition, acc: &mut A);
+    /// Combines two adjacent aggregates (left-to-right in rank order).
+    fn join(&self, left: A, right: A) -> A;
+}
+
+/// A [`Reducer`] assembled from three closures — the quick way to
+/// build one at a call site:
+///
+/// ```
+/// use nrl_core::{reducer, CollapseSpec, ThreadPool};
+/// use nrl_polyhedra::NestSpec;
+///
+/// let collapsed = CollapseSpec::new(&NestSpec::correlation())
+///     .unwrap()
+///     .bind(&[100])
+///     .unwrap();
+/// let pool = ThreadPool::new(4);
+/// let sum = reducer(
+///     || 0i64,
+///     |_tid, p: &[i64], acc: &mut i64| *acc += p[0] + p[1],
+///     |a, b| a + b,
+/// );
+/// let red = collapsed.runner(&pool).reduce(&sum);
+/// assert!(red.outcome.is_completed());
+/// ```
+pub struct FnReducer<I, F, J> {
+    identity: I,
+    accum: F,
+    join: J,
+}
+
+/// Builds a [`FnReducer`] from `identity`/`accum`/`join` closures.
+pub fn reducer<A, I, F, J>(identity: I, accum: F, join: J) -> FnReducer<I, F, J>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(usize, &[i64], &mut A) + Sync,
+    J: Fn(A, A) -> A + Sync,
+{
+    FnReducer {
+        identity,
+        accum,
+        join,
+    }
+}
+
+impl<A, I, F, J> Reducer<A> for FnReducer<I, F, J>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(usize, &[i64], &mut A) + Sync,
+    J: Fn(A, A) -> A + Sync,
+{
+    fn identity(&self) -> A {
+        (self.identity)()
+    }
+    fn accum(&self, tid: usize, point: &[i64], acc: &mut A) {
+        (self.accum)(tid, point, acc)
+    }
+    fn join(&self, left: A, right: A) -> A {
+        (self.join)(left, right)
+    }
+}
+
+/// A [`GuardedReducer`] assembled from three closures (see
+/// [`guarded_reducer`]).
+pub struct FnGuardedReducer<I, F, J> {
+    identity: I,
+    accum: F,
+    join: J,
+}
+
+/// Builds a [`FnGuardedReducer`] from `identity`/`accum`/`join`
+/// closures, where `accum` receives the point's [`NestPosition`].
+pub fn guarded_reducer<A, I, F, J>(identity: I, accum: F, join: J) -> FnGuardedReducer<I, F, J>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(usize, &[i64], NestPosition, &mut A) + Sync,
+    J: Fn(A, A) -> A + Sync,
+{
+    FnGuardedReducer {
+        identity,
+        accum,
+        join,
+    }
+}
+
+impl<A, I, F, J> GuardedReducer<A> for FnGuardedReducer<I, F, J>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(usize, &[i64], NestPosition, &mut A) + Sync,
+    J: Fn(A, A) -> A + Sync,
+{
+    fn identity(&self) -> A {
+        (self.identity)()
+    }
+    fn accum(&self, tid: usize, point: &[i64], pos: NestPosition, acc: &mut A) {
+        (self.accum)(tid, point, pos, acc)
+    }
+    fn join(&self, left: A, right: A) -> A {
+        (self.join)(left, right)
+    }
+}
+
+/// Counters a reduction reports alongside its value (documented in
+/// `docs/COUNTERS.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceCounters {
+    /// Grid chunks the reduced window decomposes into.
+    pub chunks: u64,
+    /// Partials joined into the returned value — equals `chunks` on a
+    /// completed run, the contiguous-prefix length on a stopped one.
+    pub joined: u64,
+    /// Completed partials discarded because an earlier chunk was
+    /// stopped first (their work is re-done by a resume).
+    pub discarded: u64,
+    /// Points per full grid chunk ([`reduce_grain`] of the domain).
+    pub grain: u64,
+}
+
+/// The result of a parallel reduction: the joined value, how the run
+/// ended, and the join-tree counters.
+///
+/// On [`RunOutcome::Cancelled`]/[`RunOutcome::DeadlineExpired`],
+/// `value` aggregates exactly the contiguous prefix of the reduced
+/// window (`points_done` points), and `points_done` is grid-aligned,
+/// so resuming at `skip + points_done` reduces exactly the remainder.
+#[derive(Debug)]
+pub struct Reduction<A> {
+    /// The joined aggregate (of the whole window, or of the stopped
+    /// run's contiguous prefix).
+    pub value: A,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Join-tree accounting.
+    pub counters: ReduceCounters,
+}
+
+/// Points per grid chunk for a domain of `total` points — a pure
+/// function of the domain size, so the partial boundaries (and with
+/// them the join tree) are identical for every schedule, recovery,
+/// and thread count. Targets ~256 chunks (enough slack for dynamic
+/// balancing on any realistic pool) with the grain capped so a single
+/// chunk never starves cancellation.
+pub fn reduce_grain(total: u64) -> u64 {
+    (total / 256).clamp(1, 65_536)
+}
+
+/// One partial: window-relative grid-chunk index, aggregate, points.
+type Partial<A> = (u64, A, u64);
+
+/// The join half of a reducer — lets the grid core serve both
+/// [`Reducer`] and [`GuardedReducer`] without duplicating the
+/// fixed-order join.
+trait Joiner<A>: Sync {
+    fn identity(&self) -> A;
+    fn join(&self, left: A, right: A) -> A;
+}
+
+struct PlainJoiner<'r, R>(&'r R);
+
+impl<A: Send, R: Reducer<A>> Joiner<A> for PlainJoiner<'_, R> {
+    fn identity(&self) -> A {
+        self.0.identity()
+    }
+    fn join(&self, left: A, right: A) -> A {
+        self.0.join(left, right)
+    }
+}
+
+struct GuardedJoiner<'r, R>(&'r R);
+
+impl<A: Send, R: GuardedReducer<A>> Joiner<A> for GuardedJoiner<'_, R> {
+    fn identity(&self) -> A {
+        self.0.identity()
+    }
+    fn join(&self, left: A, right: A) -> A {
+        self.0.join(left, right)
+    }
+}
+
+/// The grid-reduction core behind `Runner::reduce`: reduces the rank
+/// window `base+1 ..= base+count` of `collapsed` over the fixed chunk
+/// grid (anchored at rank 1, never at the window), joining partials in
+/// ascending chunk order. See the [module docs](self) for the
+/// determinism and cancellation contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reduce_window<A, R>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    base: u64,
+    count: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    ctl: Option<&TokenCtl<'_>>,
+    reducer: &R,
+) -> Reduction<A>
+where
+    A: Send,
+    R: Reducer<A>,
+{
+    run_reduce_grid(
+        pool,
+        collapsed,
+        base,
+        count,
+        schedule,
+        ctl,
+        &PlainJoiner(reducer),
+        |scratch, tid, s, e, acc| {
+            accumulate_chunk(collapsed, scratch, recovery, tid, s, e, |tid, p| {
+                reducer.accum(tid, p, acc)
+            })
+        },
+        recovery,
+    )
+}
+
+/// The guarded twin of [`run_reduce_window`]: every accumulated point
+/// carries its [`NestPosition`], derived from the row walker's carry
+/// depths exactly like
+/// [`run_collapsed_guarded`](crate::imperfect::run_collapsed_guarded).
+/// All recovery modes anchor once per grid chunk (the batched tuple
+/// materialization has no guard channel, so `Recovery::Batched`
+/// recovers its anchors through the default engine here).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reduce_guarded_window<A, R>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    base: u64,
+    count: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    ctl: Option<&TokenCtl<'_>>,
+    reducer: &R,
+) -> Reduction<A>
+where
+    A: Send,
+    R: GuardedReducer<A>,
+{
+    let nest = collapsed.nest();
+    let d = collapsed.depth();
+    run_reduce_grid(
+        pool,
+        collapsed,
+        base,
+        count,
+        schedule,
+        ctl,
+        &GuardedJoiner(reducer),
+        |scratch, tid, s, e, acc| {
+            if d == 0 {
+                for _ in s..e {
+                    reducer.accum(tid, &[], NestPosition::from_parts(0, 0, 0), acc);
+                }
+                return;
+            }
+            let mut point = [0i64; MAX_DEPTH];
+            let point = &mut point[..d];
+            recover_chunk_anchor(collapsed, scratch, recovery, tid, s, point);
+            let mut first_pos = Some(NestPosition::of(nest, point));
+            let mut walker = RowWalker::anchor(nest, point);
+            let mut remaining = e - s;
+            while remaining > 0 {
+                let seg = walker.next_segment(remaining);
+                run_guarded_segment(&mut walker, &seg, first_pos.take(), &mut |p, pos| {
+                    reducer.accum(tid, p, pos, acc)
+                });
+                remaining -= seg.len;
+            }
+        },
+        recovery,
+    )
+}
+
+/// Shared grid machinery behind the plain and guarded reductions:
+/// distributes window-relative grid-chunk indices under `schedule`,
+/// folds each chunk with `fold_chunk(scratch, tid, s, e, &mut acc)`
+/// into per-worker [`WorkerLocal`] partial lists, and joins the
+/// contiguous prefix in fixed chunk order after the pool joins.
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_grid<A, J, FoldChunk>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    base: u64,
+    count: u64,
+    schedule: Schedule,
+    ctl: Option<&TokenCtl<'_>>,
+    joiner: &J,
+    fold_chunk: FoldChunk,
+    recovery: Recovery,
+) -> Reduction<A>
+where
+    A: Send,
+    J: Joiner<A>,
+    FoldChunk: Fn(Option<&WorkerLocal<ExecScratch<'_>>>, usize, u64, u64, &mut A) + Sync,
+{
+    let total = total_points(collapsed);
+    assert!(
+        base <= total && count <= total - base,
+        "rank window out of range"
+    );
+    let grain = reduce_grain(total.max(1));
+    if count == 0 {
+        let outcome = match ctl {
+            Some(ctl) => ctl.outcome(),
+            None => RunOutcome::Completed,
+        };
+        return Reduction {
+            value: joiner.identity(),
+            outcome,
+            counters: ReduceCounters {
+                grain,
+                ..ReduceCounters::default()
+            },
+        };
+    }
+    // The grid is anchored at rank 1, not at the window: a resumed
+    // window starting at a chunk boundary folds exactly the chunks the
+    // stopped run did not join.
+    let first_chunk = base / grain;
+    let last_chunk = (base + count - 1) / grain;
+    let nchunks = last_chunk - first_chunk + 1;
+    // Per-worker partial lists plus the executor scratch of
+    // `run_collapsed`: both live in `WorkerLocal` slots, allocated once
+    // per reduction and drained (never reused) on join — partials
+    // cannot leak into a later run.
+    let partials: WorkerLocal<Vec<Partial<A>>> = WorkerLocal::new(pool.nthreads(), |_| Vec::new());
+    let scratch: Option<WorkerLocal<ExecScratch<'_>>> = if recovery == Recovery::Reference {
+        None
+    } else {
+        Some(WorkerLocal::new(pool.nthreads(), |_| {
+            ExecScratch::new(collapsed)
+        }))
+    };
+    pool.parallel_for(nchunks, schedule, &|tid, ws, we| {
+        for w in ws..we {
+            // The token is polled once per grid chunk: a chunk either
+            // folds whole or not at all, so every produced partial is
+            // joinable.
+            if let Some(ctl) = ctl {
+                if ctl.stop_requested() {
+                    return;
+                }
+            }
+            let g = first_chunk + w;
+            let s = (g * grain).max(base);
+            let e = ((g + 1) * grain).min(base + count);
+            let mut acc = joiner.identity();
+            fold_chunk(scratch.as_ref(), tid, s, e, &mut acc);
+            partials.with(tid, |list| list.push((w, acc, e - s)));
+        }
+    });
+    // Fixed-order join: gather every worker's partials, order by grid
+    // index, and left-fold the contiguous prefix. Each grid chunk was
+    // folded by exactly one worker, so indices are unique — a partial
+    // is joined at most once by construction.
+    let mut produced: Vec<Partial<A>> = partials.into_iter().flatten().collect();
+    produced.sort_unstable_by_key(|(w, _, _)| *w);
+    let nproduced = produced.len() as u64;
+    let mut value = joiner.identity();
+    let mut joined = 0u64;
+    let mut points = 0u64;
+    for (w, acc, n) in produced {
+        if w != joined {
+            // A gap: an earlier chunk was stopped before this one
+            // completed. Everything past the gap is discarded (and
+            // re-done by a resume).
+            break;
+        }
+        value = joiner.join(value, acc);
+        joined += 1;
+        points += n;
+    }
+    let discarded = nproduced - joined;
+    let outcome = match ctl {
+        Some(ctl) => {
+            ctl.add_done(points);
+            ctl.outcome()
+        }
+        None => RunOutcome::Completed,
+    };
+    debug_assert!(
+        !outcome.is_completed() || joined == nchunks,
+        "a completed reduction joins every chunk"
+    );
+    Reduction {
+        value,
+        outcome,
+        counters: ReduceCounters {
+            chunks: nchunks,
+            joined,
+            discarded,
+            grain,
+        },
+    }
+}
+
+/// Folds the rank window `s+1 ..= e` (0-based offsets `s..e`) of one
+/// grid chunk, recovering indices per `recovery` exactly like
+/// `run_collapsed`'s chunk bodies: once-per-chunk anchor + row
+/// segments for the cached modes, per-point recovery for the Naive
+/// ablation, lane-parallel batch anchors + tuple fills for Batched.
+fn accumulate_chunk<F>(
+    collapsed: &Collapsed,
+    scratch: Option<&WorkerLocal<ExecScratch<'_>>>,
+    recovery: Recovery,
+    tid: usize,
+    s: u64,
+    e: u64,
+    mut body: F,
+) where
+    F: FnMut(usize, &[i64]),
+{
+    debug_assert!(s < e);
+    let d = collapsed.depth();
+    if let Recovery::Batched(vlength) = recovery {
+        assert!(
+            vlength >= 1,
+            "Recovery::Batched vector length must be ≥ 1 (validate with Recovery::batched)"
+        );
+    }
+    let mut point = [0i64; MAX_DEPTH];
+    let point = &mut point[..d];
+    if d == 0 {
+        for _ in s..e {
+            body(tid, point);
+        }
+        return;
+    }
+    match recovery {
+        Recovery::Naive => {
+            let scratch = scratch.expect("cached modes hold scratch");
+            scratch.with(tid, |sc| {
+                for pc in s..e {
+                    sc.unranker.unrank_into((pc + 1) as i128, point);
+                    body(tid, point);
+                }
+            });
+        }
+        Recovery::OncePerChunk
+        | Recovery::BinarySearch
+        | Recovery::ClosedForm
+        | Recovery::Reference => {
+            recover_chunk_anchor(collapsed, scratch, recovery, tid, s, point);
+            let mut walker = RowWalker::anchor(collapsed.nest(), point);
+            let mut remaining = e - s;
+            while remaining > 0 {
+                let seg = walker.next_segment(remaining);
+                walker.for_each(&seg, |p| body(tid, p));
+                remaining -= seg.len;
+            }
+        }
+        Recovery::Batched(vlength) => {
+            let scratch = scratch.expect("cached modes hold scratch");
+            let nest = collapsed.nest();
+            scratch.with(tid, |sc| {
+                let span = (e - s) as usize;
+                let nbatches = span.div_ceil(vlength);
+                sc.anchors.resize(nbatches * d, 0);
+                sc.unranker.unrank_batch_into(
+                    (s + 1) as i128,
+                    vlength as i128,
+                    nbatches,
+                    &mut sc.anchors,
+                );
+                sc.tuples.resize(vlength * d, 0);
+                let mut walker = RowWalker::anchor(nest, &sc.anchors[..d]);
+                let mut remaining = span;
+                for anchor in sc.anchors.chunks_exact(d) {
+                    let batch = vlength.min(remaining);
+                    walker.reanchor(anchor);
+                    let mut filled = 0usize;
+                    while filled < batch {
+                        let seg = walker.next_segment((batch - filled) as u64);
+                        walker.fill(&seg, &mut sc.tuples[filled * d..]);
+                        filled += seg.len as usize;
+                    }
+                    for tuple in sc.tuples[..batch * d].chunks_exact(d) {
+                        body(tid, tuple);
+                    }
+                    remaining -= batch;
+                }
+            });
+        }
+    }
+}
+
+/// The segmented-scan core behind `Runner::scan`: for every point of
+/// the rank window `base+1 ..= base+count`, `emit(tid, point, &acc)`
+/// observes the **row-inclusive prefix aggregate** — the fold of
+/// `accum` from the point's row start (innermost lower bound) through
+/// the point itself. This is the prefix-wise join form of the
+/// reduction: the aggregate emitted at each point is `join` applied
+/// left-to-right over the point's [`RowWalker`] row prefix.
+///
+/// Each point's value depends only on its row prefix, so the emitted
+/// values are independent of chunking, schedule, and thread count by
+/// construction. A chunk anchored mid-row re-folds its row's silent
+/// prefix (the points before the anchor) without emitting — bounded by
+/// one row per chunk.
+///
+/// All recovery modes anchor once per chunk through
+/// [`recover_chunk_anchor`]; the token (when present) is polled once
+/// per row segment and `points_done` counts **emitted** points
+/// exactly, matching the stop discipline of
+/// [`run_collapsed_with`](crate::exec::run_collapsed_with).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scan_rows_window<A, R, E>(
+    pool: &ThreadPool,
+    collapsed: &Collapsed,
+    base: u64,
+    count: u64,
+    schedule: Schedule,
+    recovery: Recovery,
+    ctl: Option<&TokenCtl<'_>>,
+    reducer: &R,
+    emit: &E,
+) -> RunOutcome
+where
+    A: Send,
+    R: Reducer<A>,
+    E: Fn(usize, &[i64], &A) + Sync,
+{
+    let total = total_points(collapsed);
+    assert!(
+        base <= total && count <= total - base,
+        "rank window out of range"
+    );
+    let d = collapsed.depth();
+    let nest = collapsed.nest();
+    let scratch: Option<WorkerLocal<ExecScratch<'_>>> = if recovery == Recovery::Reference {
+        None
+    } else {
+        Some(WorkerLocal::new(pool.nthreads(), |_| {
+            ExecScratch::new(collapsed)
+        }))
+    };
+    pool.parallel_for(count, schedule, &|tid, s, e| {
+        debug_assert!(s < e);
+        let (s, e) = (base + s, base + e);
+        if let Some(ctl) = ctl {
+            if ctl.stop_requested() {
+                return;
+            }
+        }
+        let mut point = [0i64; MAX_DEPTH];
+        let point = &mut point[..d];
+        if d == 0 {
+            // A zero-depth nest has no rows: every (empty-tuple)
+            // iteration is its own one-point row.
+            let mut local = 0u64;
+            for _ in s..e {
+                let mut acc = reducer.identity();
+                reducer.accum(tid, point, &mut acc);
+                emit(tid, point, &acc);
+                local += 1;
+            }
+            if let Some(ctl) = ctl {
+                ctl.add_done(local);
+            }
+            return;
+        }
+        recover_chunk_anchor(collapsed, scratch.as_ref(), recovery, tid, s, point);
+        // Re-fold the anchor row's silent prefix: everything from the
+        // row start up to (excluding) the anchor, accumulated without
+        // emitting.
+        let last = d - 1;
+        let anchor_j = point[last];
+        let mut acc = reducer.identity();
+        let row_lo = nest.lower(last, point);
+        for j in row_lo..anchor_j {
+            point[last] = j;
+            reducer.accum(tid, point, &mut acc);
+        }
+        point[last] = anchor_j;
+        let mut walker = RowWalker::anchor(nest, point);
+        let mut remaining = e - s;
+        let mut local = 0u64;
+        while remaining > 0 {
+            if let Some(ctl) = ctl {
+                if ctl.stop_requested() {
+                    break;
+                }
+            }
+            let seg = walker.next_segment(remaining);
+            // A carry into a new row resets the prefix aggregate;
+            // mid-row continuations keep it.
+            if let Some(carry) = seg.pre_from {
+                if carry < d {
+                    acc = reducer.identity();
+                }
+            }
+            walker.for_each(&seg, |p| {
+                reducer.accum(tid, p, &mut acc);
+                emit(tid, p, &acc);
+            });
+            local += seg.len;
+            remaining -= seg.len;
+        }
+        if let Some(ctl) = ctl {
+            ctl.add_done(local);
+        }
+    });
+    match ctl {
+        Some(ctl) => ctl.outcome(),
+        None => RunOutcome::Completed,
+    }
+}

@@ -6,7 +6,7 @@
 //! row carries, and end exactly at the domain boundary (the chunk-
 //! boundary shapes the batched executor produces).
 
-use nrl_core::{run_collapsed, run_seq, CollapseSpec, NestSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{run_seq, CollapseSpec, NestSpec, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::Space;
 use proptest::prelude::*;
 
@@ -165,13 +165,11 @@ fn batched_executor_covers_domain_at_every_lane_width() {
     for vlength in LANE_WIDTHS {
         for schedule in [Schedule::StaticChunk(23), Schedule::Dynamic(13)] {
             let seen = std::sync::Mutex::new(Vec::new());
-            run_collapsed(
-                &pool,
-                &collapsed,
-                schedule,
-                Recovery::Batched(vlength),
-                |_t, p| seen.lock().unwrap().push(p.to_vec()),
-            );
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(Recovery::Batched(vlength))
+                .run(|_t, p| seen.lock().unwrap().push(p.to_vec()));
             let mut got = seen.into_inner().unwrap();
             got.sort();
             assert_eq!(got, expect, "L={vlength} {schedule:?}");

@@ -3,10 +3,7 @@
 //! execute in order) resuming the remaining rank interval completes
 //! the sweep bit-identically to an undisturbed enumeration.
 
-use nrl_core::{
-    run_collapsed_resume, run_collapsed_with, CollapseSpec, Recovery, RunOutcome, Schedule,
-    ThreadPool,
-};
+use nrl_core::{CollapseSpec, Recovery, RunOutcome, Schedule, ThreadPool};
 use nrl_polyhedra::{NestSpec, Space};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,16 +73,16 @@ proptest! {
             for recovery in RECOVERIES {
                 let token = nrl_core::RunToken::new();
                 let seen = Mutex::new(Vec::new());
-                let (outcome, _) = run_collapsed_with(
-                    &pool, &collapsed, schedule, recovery, &token,
-                    |_, p| {
+                let outcome = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery).token(&token)
+                    .run(|_, p| {
                         let mut s = seen.lock().unwrap();
                         s.push(p.to_vec());
                         if s.len() as u64 == k {
                             token.cancel();
                         }
-                    },
-                );
+                    })
+                    .outcome;
                 let mut got = seen.into_inner().unwrap();
                 let done = match outcome {
                     RunOutcome::Cancelled { points_done } => {
@@ -113,10 +110,10 @@ proptest! {
                 // Resume the remaining interval with a live token.
                 let live = nrl_core::RunToken::new();
                 let rest = Mutex::new(Vec::new());
-                let (outcome, _) = run_collapsed_resume(
-                    &pool, &collapsed, done, schedule, recovery, &live,
-                    |_, p| rest.lock().unwrap().push(p.to_vec()),
-                );
+                let outcome = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery).token(&live).resume(done)
+                    .run(|_, p| rest.lock().unwrap().push(p.to_vec()))
+                    .outcome;
                 prop_assert_eq!(outcome, RunOutcome::Completed);
                 got.extend(rest.into_inner().unwrap());
                 prop_assert_eq!(&got, &expect,
@@ -137,14 +134,14 @@ proptest! {
             for recovery in RECOVERIES {
                 let token = nrl_core::RunToken::new();
                 let calls = AtomicU64::new(0);
-                let (outcome, _) = run_collapsed_with(
-                    &pool, &collapsed, schedule, recovery, &token,
-                    |_, _| {
+                let outcome = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery).token(&token)
+                    .run(|_, _| {
                         if calls.fetch_add(1, Ordering::Relaxed) + 1 == k {
                             token.cancel();
                         }
-                    },
-                );
+                    })
+                    .outcome;
                 let calls = calls.load(Ordering::Relaxed);
                 match outcome {
                     RunOutcome::Cancelled { points_done } => {

@@ -132,9 +132,13 @@ proptest! {
             Recovery::Reference,
         ] {
             let seen = std::sync::Mutex::new(Vec::new());
-            nrl_core::run_collapsed(&pool, &collapsed, Schedule::Dynamic(5), recovery, |_t, p| {
-                seen.lock().unwrap().push(p.to_vec());
-            });
+            collapsed
+                .runner(&pool)
+                .schedule(Schedule::Dynamic(5))
+                .recovery(recovery)
+                .run(|_t, p| {
+                    seen.lock().unwrap().push(p.to_vec());
+                });
             let mut got = seen.into_inner().unwrap();
             got.sort();
             prop_assert_eq!(&got, &expected, "{:?}", recovery);

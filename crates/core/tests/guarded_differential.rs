@@ -19,7 +19,7 @@
 //! every prefix — the strict-trip-count precondition under which guard
 //! sinking is exact (see `nrl_core::imperfect`).
 
-use nrl_core::imperfect::{run_collapsed_guarded, run_seq_guarded};
+use nrl_core::imperfect::run_seq_guarded;
 use nrl_core::{CollapseSpec, NestSpec, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::{BoundNest, Space};
 use proptest::prelude::*;
@@ -132,11 +132,15 @@ fn check_guarded(nest: &NestSpec, params: &[i64]) -> Result<(), TestCaseError> {
             Schedule::Guided(2),
         ] {
             let seen = Mutex::new(Vec::new());
-            run_collapsed_guarded(&pool, &collapsed, schedule, recovery, |_tid, p, pos| {
-                let mut local = Vec::new();
-                record(p, pos, &mut local);
-                seen.lock().unwrap().extend(local);
-            });
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .run_guarded(|_tid, p, pos| {
+                    let mut local = Vec::new();
+                    record(p, pos, &mut local);
+                    seen.lock().unwrap().extend(local);
+                });
             let mut got = seen.into_inner().unwrap();
             got.sort();
             prop_assert_eq!(
@@ -231,17 +235,15 @@ fn chunk_seams_inside_rows_assign_guards_to_the_right_points() {
     for chunk in [1u64, 2, 3, 5] {
         for recovery in [Recovery::OncePerChunk, Recovery::Batched(2)] {
             let seen = Mutex::new(Vec::new());
-            run_collapsed_guarded(
-                &pool,
-                &collapsed,
-                Schedule::Dynamic(chunk),
-                recovery,
-                |_tid, p, pos| {
+            collapsed
+                .runner(&pool)
+                .schedule(Schedule::Dynamic(chunk))
+                .recovery(recovery)
+                .run_guarded(|_tid, p, pos| {
                     let mut local = Vec::new();
                     record(p, pos, &mut local);
                     seen.lock().unwrap().extend(local);
-                },
-            );
+                });
             let mut got = seen.into_inner().unwrap();
             got.sort();
             assert_eq!(got, expect, "chunk={chunk} {recovery:?}");
@@ -262,17 +264,14 @@ fn single_chunk_guarded_stream_is_in_order() {
     let pool = ThreadPool::new(1);
     for recovery in [Recovery::OncePerChunk, Recovery::Batched(8)] {
         let seen = Mutex::new(Vec::new());
-        run_collapsed_guarded(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            recovery,
-            |_tid, p, pos| {
+        collapsed
+            .runner(&pool)
+            .recovery(recovery)
+            .run_guarded(|_tid, p, pos| {
                 let mut local = Vec::new();
                 record(p, pos, &mut local);
                 seen.lock().unwrap().extend(local);
-            },
-        );
+            });
         assert_eq!(seen.into_inner().unwrap(), expect, "{recovery:?}");
     }
 }

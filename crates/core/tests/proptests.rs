@@ -3,7 +3,7 @@
 //! `1..=total`, unranking inverts it exactly, and every executor
 //! produces the same iteration multiset as the sequential reference.
 
-use nrl_core::{run_collapsed, run_seq, CollapseSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{run_seq, CollapseSpec, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::{NestSpec, Space};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -104,9 +104,13 @@ proptest! {
         let pool = ThreadPool::new(3);
         for recovery in [Recovery::Naive, Recovery::OncePerChunk, Recovery::Batched(4)] {
             let seen = Mutex::new(Vec::new());
-            run_collapsed(&pool, &collapsed, Schedule::Dynamic(3), recovery, |_t, p| {
-                seen.lock().unwrap().push(p.to_vec());
-            });
+            collapsed
+                .runner(&pool)
+                .schedule(Schedule::Dynamic(3))
+                .recovery(recovery)
+                .run(|_t, p| {
+                    seen.lock().unwrap().push(p.to_vec());
+                });
             let mut got = seen.into_inner().unwrap();
             got.sort();
             prop_assert_eq!(&got, &expected, "{:?}", recovery);
@@ -153,10 +157,10 @@ proptest! {
         expected.sort();
         let pool = ThreadPool::new(2);
         let seen = Mutex::new(Vec::new());
-        nrl_core::run_collapsed_prefix(
-            &pool, &full, &collapsed, Schedule::Static, Recovery::OncePerChunk,
-            |_t, p| seen.lock().unwrap().push(p.to_vec()),
-        );
+        collapsed
+            .runner(&pool)
+            .over(&full)
+            .run(|_t, p| seen.lock().unwrap().push(p.to_vec()));
         let mut got = seen.into_inner().unwrap();
         got.sort();
         prop_assert_eq!(got, expected);

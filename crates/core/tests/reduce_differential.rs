@@ -1,0 +1,317 @@
+//! Differential property tests for the deterministic reduction and
+//! scan engines: on random nests of depth 1–6, `Runner::reduce` with
+//! an exact (wrapping) accumulator must equal the sequential left fold
+//! **bit-exactly** under every schedule × recovery × pool-size
+//! combination; a cancelled reduction must return exactly the joined
+//! contiguous prefix, and joining it with the resumed remainder must
+//! reproduce the uninterrupted value.
+//!
+//! The accumulator is an affine map `x ↦ a·x + b` over wrapping u64
+//! composed left-to-right — associative but **non-commutative**, so a
+//! partial joined out of order, twice, or not at all shifts the result
+//! (a plain wrapping sum would hide ordering bugs).
+
+use nrl_core::{
+    reducer, run_seq, CollapseSpec, NestSpec, Recovery, ReduceCounters, RunOutcome, RunToken,
+    Schedule, ThreadPool,
+};
+use nrl_polyhedra::Space;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SCHEDULES: [Schedule; 4] = [
+    Schedule::Static,
+    Schedule::StaticChunk(7),
+    Schedule::Dynamic(5),
+    Schedule::Guided(2),
+];
+
+const RECOVERIES: [Recovery; 4] = [
+    Recovery::OncePerChunk,
+    Recovery::Batched(8),
+    Recovery::Naive,
+    Recovery::BinarySearch,
+];
+
+const POOLS: [usize; 3] = [1, 3, 8];
+
+/// The affine accumulator: composing `x ↦ a·x + b` maps in rank order.
+type Aff = (u64, u64);
+
+const AFF_ID: Aff = (1, 0);
+
+/// One iteration point as an affine map, from a point hash.
+fn point_aff(point: &[i64]) -> Aff {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &x in point {
+        h = (h ^ x as u64).wrapping_mul(0x1000_0000_01B3);
+    }
+    // An even multiplier would collapse long products toward 0.
+    (h | 1, h.rotate_left(17))
+}
+
+/// `left` then `right`: (a2·a1, a2·b1 + b2), all wrapping.
+fn compose(left: Aff, right: Aff) -> Aff {
+    (
+        right.0.wrapping_mul(left.0),
+        right.0.wrapping_mul(left.1).wrapping_add(right.1),
+    )
+}
+
+fn aff_reducer() -> impl nrl_core::Reducer<Aff> {
+    reducer(
+        || AFF_ID,
+        |_tid, p: &[i64], acc: &mut Aff| *acc = compose(*acc, point_aff(p)),
+        compose,
+    )
+}
+
+/// Random nest of depth 1..=6: a rectangular box (the only shape at
+/// every depth), or one of the paper's triangular/tetrahedral nests.
+fn arb_case() -> impl Strategy<Value = (NestSpec, Vec<i64>)> {
+    (
+        0u8..4,    // shape family
+        1usize..7, // rectangular depth
+        1i64..5,   // rectangular extents (per-axis, rotated)
+        2i64..6,
+        1i64..4,
+        3i64..14, // N for the paper shapes
+    )
+        .prop_filter_map("valid domain", |(fam, d, l0, l1, l2, n)| {
+            let (nest, params) = match fam {
+                0 | 1 => {
+                    let names: Vec<String> = (0..d).map(|i| format!("i{i}")).collect();
+                    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    let s = Space::new(&name_refs, &[]);
+                    let lens = [l0, l1, l2];
+                    let bounds = (0..d).map(|i| (s.cst(0), s.cst(lens[i % 3] - 1))).collect();
+                    (NestSpec::new(s, bounds).ok()?, vec![])
+                }
+                2 => (NestSpec::correlation(), vec![n]),
+                _ => (NestSpec::figure6(), vec![n.min(8)]),
+            };
+            nest.check_trip_counts(&params, false).ok()?;
+            Some((nest, params))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fixed-grid reduction of an exact accumulator equals the
+    /// sequential left fold bit-exactly, no matter how the work is
+    /// scheduled, recovered, or spread across threads.
+    #[test]
+    fn reduction_equals_sequential_fold((nest, params) in arb_case()) {
+        let collapsed = CollapseSpec::new(&nest).expect("spec")
+            .bind(&params).expect("bind");
+        let mut expect = AFF_ID;
+        run_seq(&nest.bind(&params), |p| expect = compose(expect, point_aff(p)));
+        let red = aff_reducer();
+        for &nthreads in &POOLS {
+            let pool = ThreadPool::new(nthreads);
+            for schedule in SCHEDULES {
+                for recovery in RECOVERIES {
+                    let got = collapsed.runner(&pool)
+                        .schedule(schedule)
+                        .recovery(recovery)
+                        .reduce(&red);
+                    prop_assert_eq!(got.outcome, RunOutcome::Completed);
+                    prop_assert_eq!(
+                        got.value, expect,
+                        "{} threads under {:?}/{:?}",
+                        nthreads, schedule, recovery
+                    );
+                    prop_assert_eq!(got.counters.joined, got.counters.chunks);
+                    prop_assert_eq!(got.counters.discarded, 0);
+                }
+            }
+        }
+    }
+
+    /// A cancelled reduction returns the joined contiguous prefix and
+    /// a grid-aligned `points_done`; resuming at that offset and
+    /// joining the two values reproduces the uninterrupted reduction
+    /// bit-exactly — on any pool size, not just one thread.
+    #[test]
+    fn cancelled_prefix_plus_resume_joins_to_the_full_value(
+        (nest, params) in arb_case(),
+        cancel_at in 1u64..48,
+        nthreads in prop::sample::select(POOLS.to_vec()),
+    ) {
+        let collapsed = CollapseSpec::new(&nest).expect("spec")
+            .bind(&params).expect("bind");
+        let total = collapsed.total() as u64;
+        let red = aff_reducer();
+        let pool = ThreadPool::new(nthreads);
+        for schedule in SCHEDULES {
+            for recovery in [Recovery::OncePerChunk, Recovery::Batched(8)] {
+                let full = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery)
+                    .reduce(&red);
+
+                let token = RunToken::new();
+                let calls = AtomicU64::new(0);
+                let cancelling = reducer(
+                    || AFF_ID,
+                    |_tid, p: &[i64], acc: &mut Aff| {
+                        if calls.fetch_add(1, Ordering::Relaxed) + 1 == cancel_at {
+                            token.cancel();
+                        }
+                        *acc = compose(*acc, point_aff(p));
+                    },
+                    compose,
+                );
+                let stopped = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery).token(&token)
+                    .reduce(&cancelling);
+                let done = match stopped.outcome {
+                    RunOutcome::Cancelled { points_done } => points_done,
+                    // The cancel landed in the final grid chunk (or past
+                    // the domain): the reduction legitimately completes.
+                    RunOutcome::Completed => {
+                        prop_assert_eq!(
+                            stopped.value, full.value,
+                            "a completed run must carry the full value"
+                        );
+                        continue;
+                    }
+                    other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+                };
+                // The prefix is grid-aligned: whole chunks, never a
+                // partial one.
+                let grain = stopped.counters.grain;
+                prop_assert!(done < total);
+                prop_assert_eq!(done % grain, 0,
+                    "points_done {} not aligned to grain {}", done, grain);
+                prop_assert_eq!(done, stopped.counters.joined * grain);
+
+                // The prefix value is the rank-order fold of the first
+                // `done` points.
+                let mut seen = 0u64;
+                let mut prefix = AFF_ID;
+                run_seq(&nest.bind(&params), |p| {
+                    if seen < done {
+                        prefix = compose(prefix, point_aff(p));
+                    }
+                    seen += 1;
+                });
+                prop_assert_eq!(stopped.value, prefix,
+                    "stopped value must be the contiguous prefix fold");
+
+                // Resume the remainder; the join reproduces the whole.
+                let resumed = collapsed.runner(&pool)
+                    .schedule(schedule).recovery(recovery).resume(done)
+                    .reduce(&red);
+                prop_assert_eq!(resumed.outcome, RunOutcome::Completed);
+                prop_assert_eq!(
+                    compose(stopped.value, resumed.value), full.value,
+                    "join(prefix, resumed) must equal the full reduction"
+                );
+            }
+        }
+    }
+
+    /// The segmented scan emits the row-inclusive prefix aggregate at
+    /// every point — equal to the sequential per-row running fold,
+    /// independent of schedule and pool size.
+    #[test]
+    fn scan_emits_row_prefix_aggregates((nest, params) in arb_case()) {
+        let collapsed = CollapseSpec::new(&nest).expect("spec")
+            .bind(&params).expect("bind");
+        let d = nest.depth();
+        // Sequential reference: restart the fold at each row start.
+        let mut expect: Vec<(Vec<i64>, Aff)> = Vec::new();
+        let mut row_acc = AFF_ID;
+        let mut prev: Option<Vec<i64>> = None;
+        run_seq(&nest.bind(&params), |p| {
+            let new_row = match &prev {
+                Some(q) => p[..d - 1] != q[..d - 1],
+                None => true,
+            };
+            if new_row {
+                row_acc = AFF_ID;
+            }
+            row_acc = compose(row_acc, point_aff(p));
+            expect.push((p.to_vec(), row_acc));
+            prev = Some(p.to_vec());
+        });
+        let red = aff_reducer();
+        for &nthreads in &[1usize, 4] {
+            let pool = ThreadPool::new(nthreads);
+            for schedule in [Schedule::Static, Schedule::Dynamic(5)] {
+                for recovery in [Recovery::OncePerChunk, Recovery::Naive] {
+                    let got = std::sync::Mutex::new(Vec::new());
+                    let outcome = collapsed.runner(&pool)
+                        .schedule(schedule)
+                        .recovery(recovery)
+                        .scan(&red, |_t, p, acc: &Aff| {
+                            got.lock().unwrap().push((p.to_vec(), *acc));
+                        });
+                    prop_assert_eq!(outcome, RunOutcome::Completed);
+                    let mut got = got.into_inner().unwrap();
+                    got.sort();
+                    let mut want = expect.clone();
+                    want.sort();
+                    prop_assert_eq!(got, want,
+                        "{} threads under {:?}/{:?}",
+                        nthreads, schedule, recovery);
+                }
+            }
+        }
+    }
+}
+
+/// Satellite regression for the PR 2 scratch-survival cache: worker
+/// scratch and partial lists must not leak between reductions on the
+/// same pool/collapsed — including after a cancelled run whose
+/// discarded partials must never be joined into a later call.
+#[test]
+fn repeated_reductions_never_leak_partials() {
+    let collapsed = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[120])
+        .unwrap();
+    let pool = ThreadPool::new(4);
+    let red = aff_reducer();
+    let baseline = collapsed.runner(&pool).reduce(&red);
+    assert!(baseline.outcome.is_completed());
+    for round in 0..8 {
+        // A cancelled reduction in between produces discarded partials
+        // and a short prefix…
+        let token = RunToken::new();
+        token.cancel();
+        let stopped = collapsed.runner(&pool).token(&token).reduce(&red);
+        assert!(
+            !stopped.outcome.is_completed(),
+            "round {round}: pre-cancelled token must stop the run"
+        );
+        // …which must leave no trace in the next full reduction.
+        let again = collapsed.runner(&pool).reduce(&red);
+        assert_eq!(again.outcome, RunOutcome::Completed, "round {round}");
+        assert_eq!(again.value, baseline.value, "round {round}");
+        assert_eq!(again.counters, baseline.counters, "round {round}");
+    }
+}
+
+/// An empty window reduces to the identity with zeroed counters.
+#[test]
+fn empty_window_reduces_to_identity() {
+    let collapsed = CollapseSpec::new(&NestSpec::correlation())
+        .unwrap()
+        .bind(&[50])
+        .unwrap();
+    let pool = ThreadPool::new(2);
+    let red = aff_reducer();
+    let total = collapsed.total() as u64;
+    let empty = collapsed.runner(&pool).resume(total).reduce(&red);
+    assert_eq!(empty.value, AFF_ID);
+    assert!(empty.outcome.is_completed());
+    assert_eq!(
+        empty.counters,
+        ReduceCounters {
+            grain: empty.counters.grain,
+            ..ReduceCounters::default()
+        }
+    );
+}

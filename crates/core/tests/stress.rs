@@ -4,7 +4,7 @@
 //! the rounding. The pure binary-search unranker is the ground truth
 //! (integer arithmetic only).
 
-use nrl_core::{CollapseSpec, NestSpec, Recovery, Schedule, ThreadPool};
+use nrl_core::{CollapseSpec, NestSpec, Schedule, ThreadPool};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Deterministic sample of ranks spanning the whole range, with
@@ -123,15 +123,12 @@ fn parallel_execution_at_large_n_covers_chunk_seams() {
     let n2: i64 = 2_000;
     let collapsed2 = spec.bind(&[n2]).unwrap();
     let seen = std::sync::Mutex::new(Vec::new());
-    nrl_core::run_collapsed(
-        &pool,
-        &collapsed2,
-        Schedule::Dynamic(37),
-        Recovery::OncePerChunk,
-        |_tid, p| {
+    collapsed2
+        .runner(&pool)
+        .schedule(Schedule::Dynamic(37))
+        .run(|_tid, p| {
             seen.lock().unwrap().push((p[0], p[1]));
-        },
-    );
+        });
     drop(collapsed);
     let mut got = seen.into_inner().unwrap();
     got.sort();

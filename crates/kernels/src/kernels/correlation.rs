@@ -2,9 +2,10 @@
 
 use crate::data::Matrix;
 use crate::mode::{execute_mode, Mode};
+use crate::reductions::{outer_sum, reduce_sum, seq_sum};
 use crate::registry::{Kernel, KernelInfo};
 use crate::shared::SyncSlice;
-use nrl_core::Collapsed;
+use nrl_core::{Collapsed, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::{BoundNest, NestSpec, Space};
 use std::time::Duration;
 
@@ -35,6 +36,54 @@ impl Correlation {
             bound,
             collapsed,
         }
+    }
+}
+
+impl Correlation {
+    /// Per-point contribution to the update aggregate: iteration
+    /// `(i, j)` writes `dot(b[:,i], c[:,j])` into both mirror cells of
+    /// `a`, so its total contribution to `Σ a` is twice the dot
+    /// product.
+    pub(crate) fn point_value(&self) -> impl Fn(&[i64]) -> f64 + Sync + '_ {
+        let (b, c, n) = (&self.b, &self.c, self.n);
+        move |p: &[i64]| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut dot = 0.0f64;
+            for k in 0..n {
+                dot += b.at(k, i) * c.at(k, j);
+            }
+            2.0 * dot
+        }
+    }
+
+    /// `Σ a` after the update, computed directly as a deterministic
+    /// parallel reduction — no output matrix is materialized, and the
+    /// value is bit-identical across schedules, recoveries, and pool
+    /// sizes (see [`crate::reductions`]).
+    pub fn update_aggregate(
+        &self,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        recovery: Recovery,
+    ) -> f64 {
+        reduce_sum(
+            &self.collapsed,
+            pool,
+            schedule,
+            recovery,
+            self.point_value(),
+        )
+    }
+
+    /// The hand-rolled outer-parallel baseline for the same aggregate
+    /// (per-worker partials, joined in thread-id order).
+    pub fn update_aggregate_outer(&self, pool: &ThreadPool, schedule: Schedule) -> f64 {
+        outer_sum(pool, &self.bound, schedule, self.point_value())
+    }
+
+    /// The sequential rank-order reference fold.
+    pub fn update_aggregate_seq(&self) -> f64 {
+        seq_sum(&self.bound, self.point_value())
     }
 }
 
@@ -194,7 +243,6 @@ impl Kernel for CorrelationTiled {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nrl_core::{Recovery, Schedule, ThreadPool};
 
     #[test]
     fn collapsed_matches_sequential() {

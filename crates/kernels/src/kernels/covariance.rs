@@ -2,9 +2,10 @@
 
 use crate::data::Matrix;
 use crate::mode::{execute_mode, Mode};
+use crate::reductions::{outer_sum, reduce_sum, seq_sum};
 use crate::registry::{Kernel, KernelInfo};
 use crate::shared::SyncSlice;
-use nrl_core::Collapsed;
+use nrl_core::{Collapsed, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::{BoundNest, NestSpec, Space};
 use std::time::Duration;
 
@@ -47,6 +48,56 @@ impl Covariance {
             bound,
             collapsed,
         }
+    }
+}
+
+impl Covariance {
+    /// Per-point contribution to `Σ cov`: pair `(i, j)` with `i ≤ j`
+    /// writes the covariance into `(i, j)` and `(j, i)` — one cell on
+    /// the diagonal, two off it.
+    pub(crate) fn point_value(&self) -> impl Fn(&[i64]) -> f64 + Sync + '_ {
+        let (data, mean, m) = (&self.data, self.mean.as_slice(), self.m);
+        let denom = (m as f64 - 1.0).max(1.0);
+        move |p: &[i64]| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let mut acc = 0.0f64;
+            for k in 0..m {
+                acc += (data.at(k, i) - mean[i]) * (data.at(k, j) - mean[j]);
+            }
+            acc /= denom;
+            if i == j {
+                acc
+            } else {
+                2.0 * acc
+            }
+        }
+    }
+
+    /// `Σ cov` computed directly as a deterministic parallel
+    /// reduction (see [`crate::reductions`]).
+    pub fn update_aggregate(
+        &self,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        recovery: Recovery,
+    ) -> f64 {
+        reduce_sum(
+            &self.collapsed,
+            pool,
+            schedule,
+            recovery,
+            self.point_value(),
+        )
+    }
+
+    /// The hand-rolled outer-parallel baseline for the same aggregate.
+    pub fn update_aggregate_outer(&self, pool: &ThreadPool, schedule: Schedule) -> f64 {
+        outer_sum(pool, &self.bound, schedule, self.point_value())
+    }
+
+    /// The sequential rank-order reference fold.
+    pub fn update_aggregate_seq(&self) -> f64 {
+        seq_sum(&self.bound, self.point_value())
     }
 }
 

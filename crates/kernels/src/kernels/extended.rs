@@ -294,13 +294,7 @@ mod tests {
         });
         assert_eq!(k.checksum(), reference);
         // Distribution check straight from the executor.
-        let report = nrl_core::run_collapsed(
-            &pool,
-            k.collapsed(),
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_, _| {},
-        );
+        let report = k.collapsed().runner(&pool).run(|_, _| {}).report;
         let busy = report
             .per_thread()
             .iter()

@@ -17,9 +17,7 @@
 
 use crate::mode::Mode;
 use crate::registry::{Kernel, KernelInfo};
-use nrl_core::imperfect::{
-    run_collapsed_guarded, run_collapsed_guarded_with, run_seq_guarded, NestPosition,
-};
+use nrl_core::imperfect::{run_seq_guarded, NestPosition};
 use nrl_core::Collapsed;
 use nrl_polyhedra::{BoundNest, NestSpec};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -135,13 +133,11 @@ impl Kernel for GuardedNest {
                 schedule,
                 recovery,
             } => {
-                run_collapsed_guarded(
-                    pool,
-                    &self.collapsed,
-                    *schedule,
-                    *recovery,
-                    |_tid, p, pos| self.visit(p, pos),
-                );
+                self.collapsed
+                    .runner(pool)
+                    .schedule(*schedule)
+                    .recovery(*recovery)
+                    .run_guarded(|_tid, p, pos| self.visit(p, pos));
             }
             Mode::CollapsedWith {
                 pool,
@@ -149,14 +145,12 @@ impl Kernel for GuardedNest {
                 recovery,
                 token,
             } => {
-                run_collapsed_guarded_with(
-                    pool,
-                    &self.collapsed,
-                    *schedule,
-                    *recovery,
-                    token,
-                    |_tid, p, pos| self.visit(p, pos),
-                );
+                self.collapsed
+                    .runner(pool)
+                    .schedule(*schedule)
+                    .recovery(*recovery)
+                    .token(token)
+                    .run_guarded(|_tid, p, pos| self.visit(p, pos));
             }
             Mode::Outer { .. } | Mode::Warp { .. } | Mode::Served { .. } => {
                 panic!("guarded kernels support Seq and Collapsed modes only")

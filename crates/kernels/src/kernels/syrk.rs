@@ -3,9 +3,10 @@
 
 use crate::data::Matrix;
 use crate::mode::{execute_mode, Mode};
+use crate::reductions::{outer_sum, reduce_sum, seq_sum};
 use crate::registry::{Kernel, KernelInfo};
 use crate::shared::SyncSlice;
-use nrl_core::Collapsed;
+use nrl_core::{Collapsed, Recovery, Schedule, ThreadPool};
 use nrl_polyhedra::{BoundNest, NestSpec, Space};
 use std::time::Duration;
 
@@ -40,6 +41,50 @@ impl Syrk {
             bound,
             collapsed,
         }
+    }
+}
+
+impl Syrk {
+    /// Per-point contribution to `Σ C` over the lower triangle: cell
+    /// `(i, j)` holds `β·C₀[i][j] + α·Σ_k A[i][k]·A[j][k]`.
+    pub(crate) fn point_value(&self) -> impl Fn(&[i64]) -> f64 + Sync + '_ {
+        let (a, c0, n) = (&self.a, &self.c0, self.n);
+        move |p: &[i64]| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let (ri, rj) = (a.row(i), a.row(j));
+            let mut acc = 0.0f64;
+            for k in 0..n {
+                acc += ri[k] * rj[k];
+            }
+            BETA * c0.at(i, j) + ALPHA * acc
+        }
+    }
+
+    /// `Σ C` over the lower triangle, computed directly as a
+    /// deterministic parallel reduction (see [`crate::reductions`]).
+    pub fn update_aggregate(
+        &self,
+        pool: &ThreadPool,
+        schedule: Schedule,
+        recovery: Recovery,
+    ) -> f64 {
+        reduce_sum(
+            &self.collapsed,
+            pool,
+            schedule,
+            recovery,
+            self.point_value(),
+        )
+    }
+
+    /// The hand-rolled outer-parallel baseline for the same aggregate.
+    pub fn update_aggregate_outer(&self, pool: &ThreadPool, schedule: Schedule) -> f64 {
+        outer_sum(pool, &self.bound, schedule, self.point_value())
+    }
+
+    /// The sequential rank-order reference fold.
+    pub fn update_aggregate_seq(&self) -> f64 {
+        seq_sum(&self.bound, self.point_value())
     }
 }
 

@@ -2,11 +2,10 @@
 //! configurations the paper's experiments compare.
 
 use nrl_core::{
-    run_collapsed, run_collapsed_with, run_outer_parallel, run_seq, run_warp_sim, Collapsed,
-    Recovery, RunOutcome, RunToken, Schedule, ThreadPool,
+    run_outer_parallel, run_seq, Collapsed, Recovery, RunOutcome, RunToken, Schedule, ThreadPool,
 };
 use nrl_polyhedra::BoundNest;
-use nrl_serve::{CollapseService, Tenant};
+use nrl_serve::{CollapseService, RunRequest, RunWork, Tenant};
 use std::time::{Duration, Instant};
 
 /// One execution configuration of a kernel.
@@ -56,7 +55,7 @@ pub enum Mode<'a> {
         warp: usize,
     },
     /// Collapsed execution routed through the serving front
-    /// ([`nrl_serve::CollapseService::run_bound`]): admission, the
+    /// ([`nrl_serve::CollapseService::submit_bound`]): admission, the
     /// bounded FIFO queue, and dispatch onto the service's own pool
     /// all sit on the request path. The smoke configuration for
     /// measuring the serving layer's overhead over a direct run.
@@ -167,7 +166,11 @@ where
             schedule,
             recovery,
         } => {
-            run_collapsed(pool, collapsed, *schedule, *recovery, body);
+            collapsed
+                .runner(pool)
+                .schedule(*schedule)
+                .recovery(*recovery)
+                .run(body);
         }
         Mode::CollapsedWith {
             pool,
@@ -175,9 +178,17 @@ where
             recovery,
             token,
         } => {
-            outcome = run_collapsed_with(pool, collapsed, *schedule, *recovery, token, body).0;
+            outcome = collapsed
+                .runner(pool)
+                .schedule(*schedule)
+                .recovery(*recovery)
+                .token(token)
+                .run(body)
+                .outcome;
         }
-        Mode::Warp { pool, warp } => run_warp_sim(pool, collapsed, *warp, body),
+        Mode::Warp { pool, warp } => {
+            outcome = collapsed.runner(pool).warp(*warp, body);
+        }
         Mode::Served {
             service,
             tenant,
@@ -185,7 +196,12 @@ where
             recovery,
         } => {
             let reply = service
-                .run_bound(*tenant, collapsed, *schedule, *recovery, None, &body)
+                .submit_bound(
+                    collapsed,
+                    RunRequest::new(*tenant, RunWork::Body(&body))
+                        .with_schedule(*schedule)
+                        .with_recovery(*recovery),
+                )
                 .expect("serve smoke path must admit the request");
             outcome = reply.outcome;
         }

@@ -58,5 +58,8 @@ pub mod request;
 pub mod service;
 
 pub use metrics::{ServeMetrics, TenantStats};
-pub use request::{CollapseRequest, CollapseResponse, RejectReason, RunReply, ServeError, Tenant};
+pub use request::{
+    CollapseRequest, CollapseResponse, RejectReason, RunReply, RunRequest, RunWork, ServeError,
+    ServeReducer, Tenant,
+};
 pub use service::{CollapseService, ServeConfig};

@@ -8,8 +8,8 @@
 //! `repr(u32)`) so an `extern "C"` shim can map them without
 //! re-encoding.
 
-use nrl_core::{Collapsed, RecoveryStats};
-use nrl_parfor::RunOutcome;
+use nrl_core::{Collapsed, Recovery, RecoveryStats};
+use nrl_parfor::{RunOutcome, Schedule};
 use nrl_plan::{PlanContext, PlanError};
 use nrl_polyhedra::NestSpec;
 use std::fmt;
@@ -80,6 +80,95 @@ impl CollapseRequest {
     }
 }
 
+/// A reduction the service can run on a caller's behalf: the dyn-safe
+/// (object-callable) face of [`nrl_core::Reducer`], fixed at `f64`
+/// accumulators so the result crosses the boundary as one scalar (the
+/// natural shape for the future FFI surface — `f64` is `repr`-stable
+/// by definition).
+///
+/// The same determinism contract as the engine applies: the service
+/// folds per-chunk partials in fixed chunk-index order, so the reply's
+/// [`reduced`](RunReply::reduced) value is bit-identical across pool
+/// sizes, schedules, and recovery strategies, provided `join` is
+/// associative with `identity` as two-sided unit.
+pub trait ServeReducer: Sync {
+    /// The fold's identity element.
+    fn identity(&self) -> f64;
+    /// Folds one iteration-space point into the running accumulator.
+    fn accum(&self, tid: usize, point: &[i64], acc: &mut f64);
+    /// Combines two partial accumulators.
+    fn join(&self, left: f64, right: f64) -> f64;
+}
+
+/// What a run request executes over the instantiated domain.
+pub enum RunWork<'w> {
+    /// A side-effecting loop body, invoked once per point.
+    Body(&'w (dyn Fn(usize, &[i64]) + Sync)),
+    /// A deterministic reduction; its value comes back in
+    /// [`RunReply::reduced`].
+    Reduce(&'w dyn ServeReducer),
+}
+
+impl fmt::Debug for RunWork<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunWork::Body(_) => write!(f, "RunWork::Body"),
+            RunWork::Reduce(_) => write!(f, "RunWork::Reduce"),
+        }
+    }
+}
+
+/// One execution request over an already-bound plan: the admission
+/// envelope (tenant + deadline), the execution configuration, and the
+/// work itself. This is the single parameter of
+/// [`CollapseService::submit_bound`](crate::CollapseService::submit_bound),
+/// folding what used to be a six-argument verb.
+#[derive(Debug)]
+pub struct RunRequest<'w> {
+    /// The requesting tenant.
+    pub tenant: Tenant,
+    /// OpenMP-style schedule for the flattened loop.
+    pub schedule: Schedule,
+    /// Index-recovery strategy.
+    pub recovery: Recovery,
+    /// Relative deadline (queue wait counts); `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// The body or reduction to execute.
+    pub work: RunWork<'w>,
+}
+
+impl<'w> RunRequest<'w> {
+    /// A request with the default execution configuration
+    /// ([`Schedule::Static`], [`Recovery::OncePerChunk`], no deadline).
+    pub fn new(tenant: Tenant, work: RunWork<'w>) -> RunRequest<'w> {
+        RunRequest {
+            tenant,
+            schedule: Schedule::Static,
+            recovery: Recovery::OncePerChunk,
+            deadline: None,
+            work,
+        }
+    }
+
+    /// Sets the schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> RunRequest<'w> {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the recovery strategy.
+    pub fn with_recovery(mut self, recovery: Recovery) -> RunRequest<'w> {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> RunRequest<'w> {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// Why admission refused a request (`repr(u32)` for the future FFI
 /// boundary).
 #[repr(u32)]
@@ -144,7 +233,7 @@ impl From<PlanError> for ServeError {
 }
 
 /// The result of an executed run request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunReply {
     /// How the run ended (completed, cancelled, or deadline-expired —
     /// the latter two with the exact point count).
@@ -153,6 +242,11 @@ pub struct RunReply {
     /// around the run; also folded into the service-wide totals of
     /// [`ServeMetrics`](crate::ServeMetrics)).
     pub recovery: RecoveryStats,
+    /// The reduction value when the work was [`RunWork::Reduce`]
+    /// (`None` for plain bodies). On a cancelled or deadline-expired
+    /// run this is the deterministic joined prefix over exactly
+    /// `points_done` points.
+    pub reduced: Option<f64>,
 }
 
 /// What a successfully served request produced.

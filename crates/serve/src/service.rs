@@ -4,16 +4,23 @@
 //! [`PlanCache`] (isolated from the process-global one), a
 //! [`ThreadPool`], a bounded FIFO work queue, and one dispatcher
 //! thread that drains the queue and executes each run on the pool via
-//! `run_collapsed_with`. Two verbs:
+//! the [`Runner`](nrl_core::Runner) builder. The verbs:
 //!
 //! * [`CollapseService::bind`] — synchronous on the caller thread:
 //!   coalesced plan resolution + instantiation, returning the bound
 //!   `Arc<Collapsed>` handle. Herds of callers binding one uncached
 //!   shape share a single analysis.
-//! * [`CollapseService::run`] — resolves the plan the same way, then
-//!   queues the execution. The caller blocks until the dispatcher has
-//!   run the job on the pool (or the queue rejected it); backpressure
-//!   is explicit, not implicit latency.
+//! * [`CollapseService::submit`] — resolves the plan the same way,
+//!   then queues the execution of a [`RunWork`] (a loop body or a
+//!   deterministic reduction). The caller blocks until the dispatcher
+//!   has run the job on the pool (or the queue rejected it);
+//!   backpressure is explicit, not implicit latency.
+//!   [`CollapseService::run`] and [`CollapseService::reduce`] are the
+//!   body/reducer conveniences over it.
+//! * [`CollapseService::submit_bound`] — executes a [`RunRequest`]
+//!   over an already-bound plan through the same queue (admission,
+//!   FIFO ordering, deadline, fault containment — no plan
+//!   resolution).
 //!
 //! Runs are serialized by the single dispatcher — each run already
 //! spreads over the whole pool, so the queue orders *pool-wide* jobs
@@ -33,14 +40,15 @@
 //! dies; no lock is poisoned.
 
 use crate::metrics::{stats_delta, RecoveryTotals, ServeMetrics, TenantStats};
-use crate::request::{CollapseRequest, RejectReason, RunReply, ServeError, Tenant};
-use nrl_core::{run_collapsed_with, Collapsed, Recovery};
+use crate::request::{
+    CollapseRequest, RejectReason, RunReply, RunRequest, RunWork, ServeError, ServeReducer, Tenant,
+};
+use nrl_core::{Collapsed, Recovery, Reducer};
 use nrl_parfor::{BoundedQueue, QueueFull, RunOutcome, RunToken, Schedule, ThreadPool};
 use nrl_plan::PlanCache;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
 
 /// Locks ignoring poisoning (same discipline as the pool and the plan
 /// cache): every critical section below completes its mutation before
@@ -99,6 +107,34 @@ struct BodyPtr(*const (dyn Fn(usize, &[i64]) + Sync));
 // SAFETY: see `CollapsedPtr`; the pointee is `Sync` by bound.
 unsafe impl Send for BodyPtr {}
 
+/// Type-erased pointer to the caller's reducer (same bracketing
+/// argument as [`CollapsedPtr`]).
+struct ReducerPtr(*const dyn ServeReducer);
+// SAFETY: see `CollapsedPtr`; `ServeReducer: Sync` by supertrait.
+unsafe impl Send for ReducerPtr {}
+
+/// The type-erased form of [`RunWork`] carried by a queued job.
+enum WorkPtr {
+    Body(BodyPtr),
+    Reduce(ReducerPtr),
+}
+
+/// Adapts a dyn [`ServeReducer`] to the engine's [`Reducer`] trait for
+/// the dispatcher's [`Runner::reduce`](nrl_core::Runner::reduce) call.
+struct DynReducer<'r>(&'r dyn ServeReducer);
+
+impl Reducer<f64> for DynReducer<'_> {
+    fn identity(&self) -> f64 {
+        self.0.identity()
+    }
+    fn accum(&self, tid: usize, point: &[i64], acc: &mut f64) {
+        self.0.accum(tid, point, acc)
+    }
+    fn join(&self, left: f64, right: f64) -> f64 {
+        self.0.join(left, right)
+    }
+}
+
 /// Where the dispatcher publishes a job's reply and the submitting
 /// caller parks for it. Written exactly once per job.
 struct ResponseSlot {
@@ -137,7 +173,7 @@ struct Job {
     schedule: Schedule,
     recovery: Recovery,
     token: RunToken,
-    body: BodyPtr,
+    work: WorkPtr,
     slot: Arc<ResponseSlot>,
 }
 
@@ -221,19 +257,21 @@ impl CollapseService {
         }
     }
 
-    /// Serves a run request end to end: coalesced plan resolution on
-    /// the caller thread, then a queued execution of `body` over every
-    /// point of the instantiated domain on the service pool. Blocks
-    /// until the run finished (or admission rejected it); the reply
-    /// carries the outcome and the run's recovery-counter delta.
+    /// Serves an execution request end to end: coalesced plan
+    /// resolution on the caller thread, then a queued execution of
+    /// `work` over every point of the instantiated domain on the
+    /// service pool. Blocks until the run finished (or admission
+    /// rejected it); the reply carries the outcome, the run's
+    /// recovery-counter delta, and — for [`RunWork::Reduce`] — the
+    /// deterministic reduction value.
     ///
     /// `request.ctx.schedule` / `request.ctx.recovery` configure the
     /// execution (defaults: [`Schedule::Static`],
     /// [`Recovery::OncePerChunk`]).
-    pub fn run(
+    pub fn submit(
         &self,
         request: &CollapseRequest,
-        body: &(dyn Fn(usize, &[i64]) + Sync),
+        work: RunWork<'_>,
     ) -> Result<RunReply, ServeError> {
         self.admit(request.tenant)?;
         let collapsed = match self.resolve(request) {
@@ -246,34 +284,47 @@ impl CollapseService {
                 return Err(e);
             }
         };
-        let schedule = request.ctx.schedule.unwrap_or(Schedule::Static);
-        let recovery = request.ctx.recovery.unwrap_or(Recovery::OncePerChunk);
-        self.enqueue_and_wait(
-            request.tenant,
-            &collapsed,
-            schedule,
-            recovery,
-            request.deadline,
-            body,
-        )
+        let run = RunRequest {
+            tenant: request.tenant,
+            schedule: request.ctx.schedule.unwrap_or(Schedule::Static),
+            recovery: request.ctx.recovery.unwrap_or(Recovery::OncePerChunk),
+            deadline: request.deadline,
+            work,
+        };
+        self.enqueue_and_wait(&collapsed, run)
     }
 
-    /// Runs `body` over an already-bound plan through the service
-    /// queue (admission, FIFO ordering, deadline, and fault
-    /// containment — but no plan resolution). This is the
-    /// `Mode::Served` smoke path of the kernel harness and the natural
-    /// verb for a frontend that binds once and runs many times.
-    pub fn run_bound(
+    /// Body-shaped convenience over [`submit`](Self::submit).
+    pub fn run(
         &self,
-        tenant: Tenant,
-        collapsed: &Collapsed,
-        schedule: Schedule,
-        recovery: Recovery,
-        deadline: Option<Duration>,
+        request: &CollapseRequest,
         body: &(dyn Fn(usize, &[i64]) + Sync),
     ) -> Result<RunReply, ServeError> {
-        self.admit(tenant)?;
-        self.enqueue_and_wait(tenant, collapsed, schedule, recovery, deadline, body)
+        self.submit(request, RunWork::Body(body))
+    }
+
+    /// Reduction-shaped convenience over [`submit`](Self::submit): the
+    /// reply's [`reduced`](RunReply::reduced) field carries the value.
+    pub fn reduce(
+        &self,
+        request: &CollapseRequest,
+        reducer: &dyn ServeReducer,
+    ) -> Result<RunReply, ServeError> {
+        self.submit(request, RunWork::Reduce(reducer))
+    }
+
+    /// Executes a [`RunRequest`] over an already-bound plan through
+    /// the service queue (admission, FIFO ordering, deadline, and
+    /// fault containment — but no plan resolution). This is the
+    /// `Mode::Served` smoke path of the kernel harness and the natural
+    /// verb for a frontend that binds once and runs many times.
+    pub fn submit_bound(
+        &self,
+        collapsed: &Collapsed,
+        request: RunRequest<'_>,
+    ) -> Result<RunReply, ServeError> {
+        self.admit(request.tenant)?;
+        self.enqueue_and_wait(collapsed, request)
     }
 
     /// Snapshot of every counter the service exposes.
@@ -330,37 +381,41 @@ impl CollapseService {
     /// Queues one execution and parks until the dispatcher replies.
     fn enqueue_and_wait(
         &self,
-        tenant: Tenant,
         collapsed: &Collapsed,
-        schedule: Schedule,
-        recovery: Recovery,
-        deadline: Option<Duration>,
-        body: &(dyn Fn(usize, &[i64]) + Sync),
+        request: RunRequest<'_>,
     ) -> Result<RunReply, ServeError> {
+        let tenant = request.tenant;
         // The token is armed *now*: queue wait counts against the
         // deadline, so a request that rots in the queue reports
         // `DeadlineExpired { points_done: 0 }` instead of running late.
-        let token = match deadline {
+        let token = match request.deadline {
             Some(d) => RunToken::with_deadline(d),
             None => RunToken::new(),
         };
         let slot = Arc::new(ResponseSlot::new());
-        // SAFETY: see `CollapsedPtr`/`BodyPtr` — the lifetimes are
-        // erased only for the span of this call; `slot.wait()` below
-        // restores the invariant before returning.
-        let body = BodyPtr(unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(usize, &[i64]) + Sync),
-                *const (dyn Fn(usize, &[i64]) + Sync),
-            >(body as *const _)
-        });
+        // SAFETY: see `CollapsedPtr`/`BodyPtr`/`ReducerPtr` — the
+        // lifetimes are erased only for the span of this call;
+        // `slot.wait()` below restores the invariant before returning.
+        let work = match request.work {
+            RunWork::Body(body) => WorkPtr::Body(BodyPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize, &[i64]) + Sync),
+                    *const (dyn Fn(usize, &[i64]) + Sync),
+                >(body as *const _)
+            })),
+            RunWork::Reduce(reducer) => WorkPtr::Reduce(ReducerPtr(unsafe {
+                std::mem::transmute::<*const dyn ServeReducer, *const dyn ServeReducer>(
+                    reducer as *const _,
+                )
+            })),
+        };
         let job = Job {
             tenant,
             collapsed: CollapsedPtr(collapsed as *const Collapsed),
-            schedule,
-            recovery,
+            schedule: request.schedule,
+            recovery: request.recovery,
             token,
-            body,
+            work,
             slot: Arc::clone(&slot),
         };
         if let Err(QueueFull(_job)) = self.shared.queue.try_push(job) {
@@ -405,29 +460,36 @@ impl Drop for CollapseService {
 /// panic contained, and publishes exactly one reply per job.
 fn dispatcher_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        // SAFETY: see `CollapsedPtr`/`BodyPtr` — the submitting caller
-        // is parked on `job.slot` until the publish below.
+        // SAFETY: see `CollapsedPtr`/`BodyPtr`/`ReducerPtr` — the
+        // submitting caller is parked on `job.slot` until the publish
+        // below.
         let collapsed = unsafe { &*job.collapsed.0 };
-        let body = unsafe { &*job.body.0 };
         let before = collapsed.stats();
-        let ran = catch_unwind(AssertUnwindSafe(|| {
-            run_collapsed_with(
-                &shared.pool,
-                collapsed,
-                job.schedule,
-                job.recovery,
-                &job.token,
-                body,
-            )
+        let runner = collapsed
+            .runner(&shared.pool)
+            .schedule(job.schedule)
+            .recovery(job.recovery)
+            .token(&job.token);
+        let ran = catch_unwind(AssertUnwindSafe(|| match &job.work {
+            WorkPtr::Body(body) => {
+                let body = unsafe { &*body.0 };
+                (runner.run(body).outcome, None)
+            }
+            WorkPtr::Reduce(reducer) => {
+                let reducer = DynReducer(unsafe { &*reducer.0 });
+                let red = runner.reduce(&reducer);
+                (red.outcome, Some(red.value))
+            }
         }));
         shared.runs.fetch_add(1, Ordering::Relaxed);
         let reply = match ran {
-            Ok((outcome, _report)) => {
+            Ok((outcome, reduced)) => {
                 let delta = stats_delta(&before, &collapsed.stats());
                 shared.recovery.add(&delta);
                 Ok(RunReply {
                     outcome,
                     recovery: delta,
+                    reduced,
                 })
             }
             // The pool already recovered (the panic re-threw here after
@@ -456,6 +518,7 @@ mod tests {
     use nrl_plan::PlanError;
     use nrl_polyhedra::NestSpec;
     use std::sync::atomic::AtomicI64;
+    use std::time::Duration;
 
     fn request(n: i64, tenant: u32) -> CollapseRequest {
         CollapseRequest::new(NestSpec::correlation(), vec![n], Tenant(tenant))
@@ -651,6 +714,97 @@ mod tests {
         assert_eq!(
             (t.accepted, t.completed, t.rejected_queue_full, t.inflight),
             (2, 2, 1, 0)
+        );
+    }
+
+    /// Σ (3i + j) over the correlation triangle as a service-side
+    /// reduction.
+    struct WeightedSum;
+
+    impl ServeReducer for WeightedSum {
+        fn identity(&self) -> f64 {
+            0.0
+        }
+        fn accum(&self, _tid: usize, p: &[i64], acc: &mut f64) {
+            *acc += (3 * p[0] + p[1]) as f64;
+        }
+        fn join(&self, left: f64, right: f64) -> f64 {
+            left + right
+        }
+    }
+
+    #[test]
+    fn reduce_verb_returns_the_deterministic_value() {
+        let expect: f64 = NestSpec::correlation()
+            .enumerate(&[100])
+            .map(|p| (3 * p[0] + p[1]) as f64)
+            .sum();
+        let mut values = Vec::new();
+        for workers in [1usize, 3, 8] {
+            let service = CollapseService::new(ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            });
+            let reply = service.reduce(&request(100, 7), &WeightedSum).unwrap();
+            assert_eq!(reply.outcome, RunOutcome::Completed);
+            values.push(reply.reduced.expect("reduction must produce a value"));
+        }
+        assert_eq!(values[0], expect);
+        assert_eq!(
+            values[0].to_bits(),
+            values[1].to_bits(),
+            "reduction must be bit-identical across pool sizes"
+        );
+        assert_eq!(values[0].to_bits(), values[2].to_bits());
+    }
+
+    #[test]
+    fn submit_bound_runs_both_work_shapes() {
+        let service = CollapseService::new(ServeConfig::default());
+        let collapsed = service.bind(&request(60, 8)).unwrap();
+        let count = AtomicU64::new(0);
+        let reply = service
+            .submit_bound(
+                &collapsed,
+                RunRequest::new(
+                    Tenant(8),
+                    RunWork::Body(&|_t, _p| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }),
+                )
+                .with_schedule(Schedule::Dynamic(16)),
+            )
+            .unwrap();
+        assert_eq!(reply.outcome, RunOutcome::Completed);
+        assert_eq!(reply.reduced, None, "plain bodies carry no value");
+        assert_eq!(count.into_inner(), 59 * 60 / 2);
+        let reply = service
+            .submit_bound(
+                &collapsed,
+                RunRequest::new(Tenant(8), RunWork::Reduce(&WeightedSum))
+                    .with_recovery(Recovery::Batched(8)),
+            )
+            .unwrap();
+        let expect: f64 = NestSpec::correlation()
+            .enumerate(&[60])
+            .map(|p| (3 * p[0] + p[1]) as f64)
+            .sum();
+        assert_eq!(reply.reduced, Some(expect));
+    }
+
+    #[test]
+    fn deadline_expired_reduction_reports_the_prefix() {
+        let service = CollapseService::new(ServeConfig::default());
+        let req = request(200, 12).with_deadline(Duration::ZERO);
+        let reply = service.reduce(&req, &WeightedSum).unwrap();
+        assert_eq!(
+            reply.outcome,
+            RunOutcome::DeadlineExpired { points_done: 0 }
+        );
+        assert_eq!(
+            reply.reduced,
+            Some(0.0),
+            "zero points folded means the identity comes back"
         );
     }
 

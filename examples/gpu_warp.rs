@@ -25,7 +25,7 @@ fn main() {
     for warp in [32usize, 64, 128] {
         let sum = AtomicU64::new(0);
         let t0 = std::time::Instant::now();
-        run_warp_sim(&pool, &collapsed, warp, |_lane, p| {
+        collapsed.runner(&pool).warp(warp, |_lane, p| {
             // Consecutive pc values live in adjacent lanes → on a real
             // GPU the (i, j, k)-derived accesses coalesce.
             sum.fetch_add((p[0] + p[1] + p[2]) as u64, Ordering::Relaxed);

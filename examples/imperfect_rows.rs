@@ -30,7 +30,6 @@
 //! cargo run --release --example imperfect_rows
 //! ```
 
-use nrl::core::{run_collapsed_guarded, run_seq_guarded};
 use nrl::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
@@ -98,12 +97,10 @@ fn main() {
         let a_sum_par = AtomicI64::new(0);
         let prologue_count = AtomicU64::new(0);
         let epilogue_count = AtomicU64::new(0);
-        let report = run_collapsed_guarded(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            recovery,
-            |_tid, p, pos| {
+        let report = collapsed
+            .runner(&pool)
+            .recovery(recovery)
+            .run_guarded(|_tid, p, pos| {
                 let (i, j) = (p[0], p[1]);
                 if pos.fires_prologue(0) {
                     prologue_count.fetch_add(1, Ordering::Relaxed);
@@ -114,8 +111,8 @@ fn main() {
                     epilogue_count.fetch_add(1, Ordering::Relaxed);
                     last_par[i as usize].store(i + n, Ordering::Relaxed);
                 }
-            },
-        );
+            })
+            .report;
         let b_par: Vec<i64> = b_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         let last_par: Vec<i64> = last_par.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         assert_eq!(b_par, b_ref);

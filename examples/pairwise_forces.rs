@@ -59,26 +59,20 @@ fn main() {
             .iter_mut()
             .map(|v| nrl::kernels::SyncSlice::new(v.as_mut_slice()))
             .collect();
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |tid, p| {
-                let (i, j) = (p[0] as usize, p[1] as usize);
-                let f = force(&pos, i, j);
-                // SAFETY: slot `tid` is only touched by thread `tid`, and
-                // within a thread accesses are sequential.
-                unsafe {
-                    let fi = slots[tid].get_mut(i);
-                    fi[0] += f[0];
-                    fi[1] += f[1];
-                    let fj = slots[tid].get_mut(j);
-                    fj[0] -= f[0];
-                    fj[1] -= f[1];
-                }
-            },
-        );
+        collapsed.runner(&pool).run(|tid, p| {
+            let (i, j) = (p[0] as usize, p[1] as usize);
+            let f = force(&pos, i, j);
+            // SAFETY: slot `tid` is only touched by thread `tid`, and
+            // within a thread accesses are sequential.
+            unsafe {
+                let fi = slots[tid].get_mut(i);
+                fi[0] += f[0];
+                fi[1] += f[1];
+                let fj = slots[tid].get_mut(j);
+                fj[0] -= f[0];
+                fj[1] -= f[1];
+            }
+        });
     }
     let elapsed = t0.elapsed();
 

@@ -40,14 +40,11 @@ fn main() {
     print!("{}", outer.render());
 
     println!("\ncollapsed schedule(static) — the paper's transformation:");
-    let flat = run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_t, _p| {
+    let flat = collapsed
+        .runner(&pool)
+        .run(|_t, _p| {
             std::hint::black_box(0);
-        },
-    );
+        })
+        .report;
     print!("{}", flat.render());
 }

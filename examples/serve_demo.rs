@@ -1,7 +1,9 @@
 //! Collapse-as-a-service demo: a herd of tenants hammers one service
 //! front, and the plain-text metrics report shows what happened —
 //! coalesced analyses, quota rejections, deadline expirations, and the
-//! recovery-counter totals.
+//! recovery-counter totals. A final request runs the reduce verb: the
+//! service computes a deterministic aggregate over the domain and
+//! returns the value in the reply instead of calling back into a body.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -51,7 +53,30 @@ fn main() {
     let rushed = CollapseRequest::new(NestSpec::correlation(), vec![n], Tenant(9))
         .with_deadline(Duration::ZERO);
     let reply = service.run(&rushed, &|_, _| {}).unwrap();
-    println!("deadline demo: {:?}\n", reply.outcome);
+    println!("deadline demo: {:?}", reply.outcome);
+
+    // The reduce verb: same admission/queue/deadline path, but the
+    // work is a reducer and the reply carries the deterministic value
+    // (bit-identical no matter how the pool splits the domain). Here:
+    // Σ (i + j) over the triangle — every index appears in n−1 pairs.
+    struct IndexSum;
+    impl ServeReducer for IndexSum {
+        fn identity(&self) -> f64 {
+            0.0
+        }
+        fn accum(&self, _tid: usize, point: &[i64], acc: &mut f64) {
+            *acc += (point[0] + point[1]) as f64;
+        }
+        fn join(&self, left: f64, right: f64) -> f64 {
+            left + right
+        }
+    }
+    let request = CollapseRequest::new(NestSpec::correlation(), vec![n], Tenant(5));
+    let reply = service.reduce(&request, &IndexSum).unwrap();
+    let reduced = reply.reduced.expect("reduce verb returns a value");
+    let expect = ((n - 1) * n * (n - 1) / 2) as f64;
+    assert_eq!(reduced, expect);
+    println!("reduce demo: Σ(i+j) = {reduced}\n");
 
     println!("{}", service.metrics_report());
 }

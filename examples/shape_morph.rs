@@ -48,18 +48,12 @@ fn packed_triangle() {
     let spec = CollapseSpec::new(&NestSpec::correlation()).unwrap();
     let collapsed = spec.bind(&[n]).unwrap();
     let partial = std::sync::Mutex::new(vec![0.0f64; pool.nthreads()]);
-    nrl::core::run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |tid, point| {
-            let v = *a.get(point);
-            // Cheap per-thread accumulation for the demo.
-            let mut guard = partial.lock().unwrap();
-            guard[tid] += v;
-        },
-    );
+    collapsed.runner(&pool).run(|tid, point| {
+        let v = *a.get(point);
+        // Cheap per-thread accumulation for the demo.
+        let mut guard = partial.lock().unwrap();
+        guard[tid] += v;
+    });
     let parallel: f64 = partial.into_inner().unwrap().iter().sum();
     println!("serial sum   = {serial:.9}");
     println!("parallel sum = {parallel:.9} (same up to fp reassociation)\n");

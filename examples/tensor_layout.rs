@@ -73,17 +73,11 @@ fn main() {
     // to iterate the packed storage in parallel with original indices.
     let pool = ThreadPool::new(4);
     let checks = std::sync::atomic::AtomicUsize::new(0);
-    run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_t, p| {
-            let idx = (collapsed.rank(p) - 1) as usize;
-            assert_eq!(packed[idx], value(p[0], p[1], p[2]));
-            checks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        },
-    );
+    collapsed.runner(&pool).run(|_t, p| {
+        let idx = (collapsed.rank(p) - 1) as usize;
+        assert_eq!(packed[idx], value(p[0], p[1], p[2]));
+        checks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
     println!(
         "verified {} packed entries from a parallel collapsed walk",
         checks.load(std::sync::atomic::Ordering::Relaxed)

@@ -40,12 +40,18 @@
 //!
 //! // 499500 iterations, distributed perfectly evenly:
 //! let pool = ThreadPool::new(4);
-//! let report = run_collapsed(
-//!     &pool, &collapsed, Schedule::Static, Recovery::OncePerChunk,
-//!     |_tid, point| { let (_i, _j) = (point[0], point[1]); },
-//! );
+//! let report = collapsed
+//!     .runner(&pool)
+//!     .run(|_tid, point| { let (_i, _j) = (point[0], point[1]); })
+//!     .report;
 //! assert_eq!(report.total_iterations(), 499_500);
 //! assert!(report.iteration_imbalance() < 1.01);
+//!
+//! // Deterministic parallel reduction over the same points: the value
+//! // is bit-identical for any schedule, recovery, or pool size.
+//! let sum = reducer(|| 0i64, |_t, p: &[i64], acc: &mut i64| *acc += p[1], |a, b| a + b);
+//! let expect: i64 = (0..1000).map(|j| j * j).sum();
+//! assert_eq!(collapsed.runner(&pool).reduce(&sum).value, expect);
 //! ```
 
 pub use nrl_core as core;
@@ -63,15 +69,21 @@ pub use nrl_solver as solver;
 /// The names most programs need.
 pub mod prelude {
     pub use nrl_core::{
-        balanced_outer_cuts, run_collapsed, run_collapsed_guarded, run_collapsed_guarded_with,
-        run_collapsed_prefix, run_collapsed_prefix_resume, run_collapsed_prefix_with,
-        run_collapsed_resume, run_collapsed_with, run_outer_parallel, run_outer_partitioned,
-        run_seq, run_seq_guarded, run_warp_sim, run_warp_sim_with, CollapseSpec, Collapsed,
-        NestPosition, OuterCuts, ParamPlan, Ranking, Recovery,
+        balanced_outer_cuts, guarded_reducer, reducer, run_outer_parallel, run_outer_partitioned,
+        run_seq, run_seq_guarded, CollapseSpec, Collapsed, GuardedReducer, NestPosition, OuterCuts,
+        ParamPlan, Ranking, Recovery, ReduceCounters, Reducer, Reduction, RunReport, Runner,
+    };
+    #[allow(deprecated)]
+    pub use nrl_core::{
+        run_collapsed, run_collapsed_guarded, run_collapsed_guarded_with, run_collapsed_prefix,
+        run_collapsed_prefix_resume, run_collapsed_prefix_with, run_collapsed_resume,
+        run_collapsed_with, run_warp_sim, run_warp_sim_with,
     };
     pub use nrl_morph::{FusedLoop, PackedArray, PackedLayout, RankRemap};
     pub use nrl_parfor::{RunOutcome, RunToken, Schedule, StopCause, ThreadPool};
     pub use nrl_plan::{PlanCache, PlanContext};
     pub use nrl_polyhedra::{Affine, NestSpec, Space};
-    pub use nrl_serve::{CollapseRequest, CollapseService, ServeConfig, Tenant};
+    pub use nrl_serve::{
+        CollapseRequest, CollapseService, RunRequest, RunWork, ServeConfig, ServeReducer, Tenant,
+    };
 }

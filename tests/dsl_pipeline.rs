@@ -46,13 +46,10 @@ fn parsed_nests_execute_like_their_enumeration() {
         let mut expected: Vec<Vec<i64>> = nest.enumerate(params).collect();
         expected.sort();
         let seen = Mutex::new(Vec::new());
-        run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Dynamic(4),
-            Recovery::OncePerChunk,
-            |_t, p| seen.lock().unwrap().push(p.to_vec()),
-        );
+        collapsed
+            .runner(&pool)
+            .schedule(Schedule::Dynamic(4))
+            .run(|_t, p| seen.lock().unwrap().push(p.to_vec()));
         let mut got = seen.into_inner().unwrap();
         got.sort();
         assert_eq!(got, expected, "{name}");

@@ -226,15 +226,9 @@ fn parsed_schedule_drives_execution() {
     for text in ["static", "static,5", "dynamic,7", "guided"] {
         let schedule: Schedule = text.parse().unwrap();
         let count = std::sync::atomic::AtomicU64::new(0);
-        nrl::core::run_collapsed(
-            &pool,
-            &collapsed,
-            schedule,
-            Recovery::OncePerChunk,
-            |_t, _p| {
-                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            },
-        );
+        collapsed.runner(&pool).schedule(schedule).run(|_t, _p| {
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
         assert_eq!(
             count.load(std::sync::atomic::Ordering::Relaxed) as i128,
             collapsed.total(),

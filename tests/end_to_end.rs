@@ -131,46 +131,36 @@ fn all_executors_cover_each_zoo_domain() {
         let runs: Vec<(String, Vec<Vec<i64>>)> = vec![
             ("collapsed-static".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(
-                    &pool,
-                    &collapsed,
-                    Schedule::Static,
-                    Recovery::OncePerChunk,
-                    |_t, p| {
-                        seen.lock().unwrap().push(p.to_vec());
-                    },
-                );
+                collapsed.runner(&pool).run(|_t, p| {
+                    seen.lock().unwrap().push(p.to_vec());
+                });
                 seen.into_inner().unwrap()
             }),
             ("collapsed-dynamic-naive".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(
-                    &pool,
-                    &collapsed,
-                    Schedule::Dynamic(8),
-                    Recovery::Naive,
-                    |_t, p| {
+                collapsed
+                    .runner(&pool)
+                    .schedule(Schedule::Dynamic(8))
+                    .recovery(Recovery::Naive)
+                    .run(|_t, p| {
                         seen.lock().unwrap().push(p.to_vec());
-                    },
-                );
+                    });
                 seen.into_inner().unwrap()
             }),
             ("collapsed-guided-batched".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_collapsed(
-                    &pool,
-                    &collapsed,
-                    Schedule::Guided(4),
-                    Recovery::Batched(8),
-                    |_t, p| {
+                collapsed
+                    .runner(&pool)
+                    .schedule(Schedule::Guided(4))
+                    .recovery(Recovery::Batched(8))
+                    .run(|_t, p| {
                         seen.lock().unwrap().push(p.to_vec());
-                    },
-                );
+                    });
                 seen.into_inner().unwrap()
             }),
             ("warp-64".into(), {
                 let seen = Mutex::new(Vec::new());
-                run_warp_sim(&pool, &collapsed, 64, |_t, p| {
+                collapsed.runner(&pool).warp(64, |_t, p| {
                     seen.lock().unwrap().push(p.to_vec());
                 });
                 seen.into_inner().unwrap()
@@ -199,13 +189,7 @@ fn collapsed_static_balances_every_non_rectangular_shape() {
         if collapsed.total() < 100 {
             continue;
         }
-        let report = run_collapsed(
-            &pool,
-            &collapsed,
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_t, _p| {},
-        );
+        let report = collapsed.runner(&pool).run(|_t, _p| {}).report;
         assert!(
             report.iteration_imbalance() < 1.10,
             "{name}: collapsed static imbalance ×{:.3}",

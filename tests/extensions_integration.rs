@@ -1,7 +1,7 @@
 //! Cross-crate integration of the §IX-future-work extensions: DSL
 //! source → nest → collapse → morph/guarded execution, end to end.
 
-use nrl::core::{run_collapsed, run_collapsed_guarded, run_seq_guarded};
+use nrl::core::run_seq_guarded;
 use nrl::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Mutex;
@@ -31,18 +31,12 @@ fn packed_triangular_addition_matches_dense() {
     // Validate every entry against the dense formula, in parallel.
     let pool = ThreadPool::new(4);
     let mismatches = AtomicI64::new(0);
-    run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_t, p| {
-            let expect = (p[0] * 7 + p[1]) as f64 + (p[0] - 11 * p[1]) as f64;
-            if (*c.get(p) - expect).abs() > 0.0 {
-                mismatches.fetch_add(1, Ordering::Relaxed);
-            }
-        },
-    );
+    collapsed.runner(&pool).run(|_t, p| {
+        let expect = (p[0] * 7 + p[1]) as f64 + (p[0] - 11 * p[1]) as f64;
+        if (*c.get(p) - expect).abs() > 0.0 {
+            mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+    });
     assert_eq!(mismatches.load(Ordering::Relaxed), 0);
     assert_eq!(c.len() as i64, n * (n - 1) / 2);
 }
@@ -156,12 +150,10 @@ fn guarded_collapse_runs_imperfect_program() {
         let pre: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
         let post: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
         let sum = AtomicI64::new(0);
-        run_collapsed_guarded(
-            &pool,
-            &collapsed,
-            schedule,
-            Recovery::OncePerChunk,
-            |_t, p, pos| {
+        collapsed
+            .runner(&pool)
+            .schedule(schedule)
+            .run_guarded(|_t, p, pos| {
                 if pos.fires_prologue(0) {
                     pre[p[0] as usize].store(2 * p[0] + 1, Ordering::Relaxed);
                 }
@@ -169,8 +161,7 @@ fn guarded_collapse_runs_imperfect_program() {
                 if pos.fires_epilogue(0) {
                     post[p[0] as usize].store(p[0] - n, Ordering::Relaxed);
                 }
-            },
-        );
+            });
         let pre: Vec<i64> = pre.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         let post: Vec<i64> = post.iter().map(|x| x.load(Ordering::Relaxed)).collect();
         assert_eq!(pre, pre_ref, "{schedule:?}");

@@ -4,7 +4,7 @@
 //! schedule × recovery combination, asserting the three containment
 //! guarantees end to end:
 //!
-//! 1. a panic propagates to the caller of `run_*` — and the pool
+//! 1. a panic propagates to the caller of the `Runner` — and the pool
 //!    survives: a follow-up sweep on the *same* pool is bit-identical
 //!    to an undisturbed baseline;
 //! 2. cancellation and deadlines halt within one row segment per
@@ -78,7 +78,7 @@ fn baseline_checksum(n: i64) -> i64 {
 }
 
 /// A panic injected at the Kth body call propagates out of
-/// `run_collapsed` under every schedule × recovery, and the pool it
+/// `Runner::run` under every schedule × recovery, and the pool it
 /// interrupted serves a bit-identical clean sweep right after.
 #[test]
 fn injected_panic_propagates_and_pool_survives() {
@@ -91,10 +91,14 @@ fn injected_panic_propagates_and_pool_survives() {
                 let _armed = FaultPlan::new().panic_at(37).arm();
                 let sum = AtomicI64::new(0);
                 let err = catch_unwind(AssertUnwindSafe(|| {
-                    run_collapsed(&pool, &collapsed, schedule, recovery, |tid, p| {
-                        faults::on_body_call(tid);
-                        sum.fetch_add(point_hash(p), Ordering::Relaxed);
-                    });
+                    collapsed
+                        .runner(&pool)
+                        .schedule(schedule)
+                        .recovery(recovery)
+                        .run(|tid, p| {
+                            faults::on_body_call(tid);
+                            sum.fetch_add(point_hash(p), Ordering::Relaxed);
+                        });
                 }))
                 .expect_err("injected panic must reach the caller");
                 assert_eq!(
@@ -109,9 +113,13 @@ fn injected_panic_propagates_and_pool_survives() {
             }
             // Guard dropped: same pool, clean sweep, bit-identical sum.
             let sum = AtomicI64::new(0);
-            run_collapsed(&pool, &collapsed, schedule, recovery, |_, p| {
-                sum.fetch_add(point_hash(p), Ordering::Relaxed);
-            });
+            collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .run(|_, p| {
+                    sum.fetch_add(point_hash(p), Ordering::Relaxed);
+                });
             assert_eq!(
                 sum.into_inner(),
                 expect,
@@ -135,12 +143,17 @@ fn cancellation_halts_within_one_segment() {
         for recovery in RECOVERIES {
             let token = RunToken::new();
             let calls = AtomicU64::new(0);
-            let (outcome, _) =
-                run_collapsed_with(&pool, &collapsed, schedule, recovery, &token, |_, _| {
+            let outcome = collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .token(&token)
+                .run(|_, _| {
                     if calls.fetch_add(1, Ordering::Relaxed) + 1 == CANCEL_AT {
                         token.cancel();
                     }
-                });
+                })
+                .outcome;
             let done = match outcome {
                 RunOutcome::Cancelled { points_done } => points_done,
                 other => panic!("expected Cancelled, got {other:?} ({schedule:?}/{recovery:?})"),
@@ -172,10 +185,15 @@ fn expired_deadline_runs_no_bodies() {
     for schedule in SCHEDULES {
         for recovery in RECOVERIES {
             let token = RunToken::with_deadline(Duration::ZERO);
-            let (outcome, _) =
-                run_collapsed_with(&pool, &collapsed, schedule, recovery, &token, |_, _| {
+            let outcome = collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .token(&token)
+                .run(|_, _| {
                     panic!("no body may run under an expired deadline");
-                });
+                })
+                .outcome;
             assert_eq!(
                 outcome,
                 RunOutcome::DeadlineExpired { points_done: 0 },
@@ -199,13 +217,18 @@ fn straggler_delay_keeps_points_done_exact() {
         for recovery in [Recovery::OncePerChunk, Recovery::Batched(4)] {
             let token = RunToken::new();
             let calls = AtomicU64::new(0);
-            let (outcome, _) =
-                run_collapsed_with(&pool, &collapsed, schedule, recovery, &token, |tid, _| {
+            let outcome = collapsed
+                .runner(&pool)
+                .schedule(schedule)
+                .recovery(recovery)
+                .token(&token)
+                .run(|tid, _| {
                     faults::on_body_call(tid);
                     if calls.fetch_add(1, Ordering::Relaxed) + 1 == 30 {
                         token.cancel();
                     }
-                });
+                })
+                .outcome;
             match outcome {
                 RunOutcome::Cancelled { points_done } => {
                     assert_eq!(points_done, calls.into_inner(), "{schedule:?}/{recovery:?}");
@@ -226,28 +249,16 @@ fn forced_overflow_is_contained() {
     {
         let _armed = FaultPlan::new().force_overflow().arm();
         let err = catch_unwind(AssertUnwindSafe(|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Static,
-                Recovery::OncePerChunk,
-                |_, _| {},
-            );
+            collapsed.runner(&pool).run(|_, _| {});
         }))
         .expect_err("forced overflow must reach the caller");
         let msg = payload_str(&*err);
         assert!(msg.contains("overflows"), "unexpected payload: {msg}");
     }
     let sum = AtomicI64::new(0);
-    run_collapsed(
-        &pool,
-        &collapsed,
-        Schedule::Static,
-        Recovery::OncePerChunk,
-        |_, p| {
-            sum.fetch_add(point_hash(p), Ordering::Relaxed);
-        },
-    );
+    collapsed.runner(&pool).run(|_, p| {
+        sum.fetch_add(point_hash(p), Ordering::Relaxed);
+    });
     assert_eq!(sum.into_inner(), expect);
 }
 
@@ -261,18 +272,16 @@ fn guarded_and_warp_executors_honour_tokens() {
 
     let token = RunToken::new();
     let calls = AtomicU64::new(0);
-    let (outcome, _) = run_collapsed_guarded_with(
-        &pool,
-        &collapsed,
-        Schedule::Dynamic(7),
-        Recovery::OncePerChunk,
-        &token,
-        |_, _, _pos| {
+    let outcome = collapsed
+        .runner(&pool)
+        .schedule(Schedule::Dynamic(7))
+        .token(&token)
+        .run_guarded(|_, _, _pos| {
             if calls.fetch_add(1, Ordering::Relaxed) + 1 == 40 {
                 token.cancel();
             }
-        },
-    );
+        })
+        .outcome;
     match outcome {
         RunOutcome::Cancelled { points_done } => {
             assert_eq!(points_done, calls.into_inner(), "guarded executor");
@@ -282,7 +291,7 @@ fn guarded_and_warp_executors_honour_tokens() {
 
     let token = RunToken::new();
     let calls = AtomicU64::new(0);
-    let outcome = run_warp_sim_with(&pool, &collapsed, 8, &token, |_, _| {
+    let outcome = collapsed.runner(&pool).token(&token).warp(8, |_, _| {
         if calls.fetch_add(1, Ordering::Relaxed) + 1 == 40 {
             token.cancel();
         }
@@ -307,13 +316,10 @@ fn counters_stay_consistent_across_faults() {
         let _armed = FaultPlan::new().panic_at(20).arm();
         let before = collapsed.stats();
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            run_collapsed(
-                &pool,
-                &collapsed,
-                Schedule::Dynamic(7),
-                Recovery::OncePerChunk,
-                |tid, _| faults::on_body_call(tid),
-            );
+            collapsed
+                .runner(&pool)
+                .schedule(Schedule::Dynamic(7))
+                .run(|tid, _| faults::on_body_call(tid));
         }));
         let after = collapsed.stats();
         // Monotone: an unwind never loses or corrupts recovery tallies.

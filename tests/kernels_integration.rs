@@ -102,13 +102,7 @@ fn collapsed_outperforms_outer_static_on_balance() {
             Schedule::Static,
             |_t, _p| {},
         );
-        let flat = nrl::core::run_collapsed(
-            &pool,
-            kernel.collapsed(),
-            Schedule::Static,
-            Recovery::OncePerChunk,
-            |_t, _p| {},
-        );
+        let flat = kernel.collapsed().runner(&pool).run(|_t, _p| {}).report;
         assert!(
             flat.iteration_imbalance() <= outer.iteration_imbalance() + 1e-9,
             "{}: collapsed ×{:.3} vs outer ×{:.3}",
