@@ -279,6 +279,42 @@ fn bench_serve_overhead(c: &mut Criterion) {
     black_box(sink.load(Ordering::Relaxed));
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The tracing tax on the hottest instrumented end-to-end path
+    // (correlation N=800, once-per-chunk recovery, the
+    // `collapsed_recovery/once_per_chunk` twin): `off` runs with the
+    // probes compiled in but recording disabled — one relaxed load per
+    // chunk — and `on` records a span per chunk into the per-worker
+    // rings (steady-state: the rings wrap and drop-oldest, which is
+    // exactly the unattended-recording cost). The CI gate holds `on`
+    // within the standing 25%/30 ns bar of its committed baseline;
+    // the design target is ≤5% over `off`. Built without
+    // `--features obs-trace` both ids measure the same un-instrumented
+    // loop (the probes don't exist), which trivially passes.
+    let nest = NestSpec::correlation();
+    let spec = CollapseSpec::new(&nest).unwrap();
+    let collapsed = spec.bind(&[800]).unwrap();
+    let pool = ThreadPool::new(4);
+    let sink = AtomicU64::new(0);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    for (label, enabled) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &enabled, |b, &on| {
+            nrl_obs::TraceConfig::set_enabled(on);
+            b.iter(|| {
+                collapsed.runner(&pool).run(|_t, p| {
+                    sink.fetch_add(p[1] as u64, Ordering::Relaxed);
+                })
+            });
+            nrl_obs::TraceConfig::set_enabled(false);
+        });
+    }
+    group.finish();
+    // Leave no buffered spans behind for anything run after us.
+    let _ = nrl_obs::drain();
+    black_box(sink.load(Ordering::Relaxed));
+}
+
 fn bench_reduce(c: &mut Criterion) {
     // Deterministic reduction vs the hand-rolled outer-parallel
     // baseline, both folding the real correlation update aggregate
@@ -365,5 +401,5 @@ fn config() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500))
 }
-criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_serve_overhead, bench_reduce, bench_plan }
+criterion_group! { name = benches; config = config(); targets = bench_recoveries, bench_cancellation_overhead, bench_batch_anchors, bench_warp_sim, bench_spec_construction, bench_guarded, bench_serve_overhead, bench_obs_overhead, bench_reduce, bench_plan }
 criterion_main!(benches);

@@ -1,0 +1,331 @@
+//! CI trace smoke: runs a correlation reduction under a recording
+//! `TraceSession` and validates the whole observability pipeline
+//! end to end:
+//!
+//! * the exported chrome-trace JSON is well-formed (checked with a
+//!   strict hand-rolled parser — no serde in the workspace) and
+//!   carries one `"X"` complete event per drained span plus the
+//!   process/thread `"M"` metadata rows;
+//! * spans nest properly per `(pid, tid)` timeline — no partial
+//!   overlap anywhere (a drop-guard probe can only produce properly
+//!   nested intervals on its own thread, so a violation means a
+//!   clock or ring bug);
+//! * the `reduce.chunk` span count equals the run's
+//!   `ReduceCounters::chunks` — the instrumentation is exactly
+//!   O(chunks), never O(points) and never double-emitted;
+//! * no ring dropped an event (`Trace::dropped == 0` at this scale).
+//!
+//! Built without `--features obs-trace` the probes don't exist; the
+//! bin prints a skip line and exits 0 so the CI step is a no-op on
+//! un-instrumented legs. Exit code 1 with a `::error` annotation on
+//! any violation.
+
+#[cfg(not(feature = "obs-trace"))]
+fn main() {
+    println!("trace_smoke: skipped (built without --features obs-trace)");
+}
+
+#[cfg(feature = "obs-trace")]
+fn main() {
+    smoke::run();
+}
+
+#[cfg(feature = "obs-trace")]
+mod smoke {
+    use nrl_core::{reducer, CollapseSpec};
+    use nrl_obs::{Trace, TraceSession};
+    use nrl_parfor::ThreadPool;
+    use nrl_polyhedra::NestSpec;
+
+    const PARAM: i64 = 200;
+    const THREADS: usize = 4;
+
+    fn fail(msg: &str) -> ! {
+        println!("::error::trace_smoke: {msg}");
+        std::process::exit(1);
+    }
+
+    pub fn run() {
+        let nest = NestSpec::correlation();
+        let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[PARAM]).unwrap();
+        let pool = ThreadPool::new(THREADS);
+        let sum = reducer(
+            || 0u64,
+            |_tid, p: &[i64], acc: &mut u64| *acc += (p[0] + p[1]) as u64,
+            |a, b| a + b,
+        );
+
+        let session = TraceSession::begin();
+        let red = collapsed.runner(&pool).reduce(&sum);
+        let trace = session.end();
+
+        if !red.outcome.is_completed() {
+            fail("reduction did not complete");
+        }
+        let expect: u64 = nest.enumerate(&[PARAM]).map(|p| (p[0] + p[1]) as u64).sum();
+        if red.value != expect {
+            fail("reduction value mismatch");
+        }
+
+        if trace.dropped != 0 {
+            fail(&format!("{} events dropped at smoke scale", trace.dropped));
+        }
+        if trace.events.is_empty() {
+            fail("tracing enabled but no spans recorded");
+        }
+
+        // Chunk-granularity contract: one reduce.chunk span per grid
+        // chunk, bit-equal to the run's own counter.
+        let chunk_spans = trace
+            .events
+            .iter()
+            .filter(|e| e.ev.name == "reduce.chunk")
+            .count() as u64;
+        if chunk_spans != red.counters.chunks {
+            fail(&format!(
+                "reduce.chunk spans {} != ReduceCounters::chunks {}",
+                chunk_spans, red.counters.chunks
+            ));
+        }
+
+        check_nesting(&trace);
+        check_json(&trace);
+
+        println!(
+            "trace_smoke: OK ({} spans, {} chunk spans, {} threads, 0 dropped)",
+            trace.events.len(),
+            chunk_spans,
+            trace.threads.len()
+        );
+    }
+
+    /// Per-(pid, tid) timeline, spans must be properly nested: sorted
+    /// by start (longest first on ties), every span must close within
+    /// the innermost still-open span that contains its start.
+    fn check_nesting(trace: &Trace) {
+        let mut keys: Vec<(u32, u32)> = trace.events.iter().map(|e| (e.pid, e.tid)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for (pid, tid) in keys {
+            let mut spans: Vec<(u64, u64, &str)> = trace
+                .events
+                .iter()
+                .filter(|e| e.pid == pid && e.tid == tid)
+                .map(|e| (e.ev.t0, e.ev.t1, e.ev.name))
+                .collect();
+            spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+            let mut open: Vec<(u64, u64, &str)> = Vec::new();
+            for s in spans {
+                while let Some(top) = open.last() {
+                    if top.1 <= s.0 {
+                        open.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(top) = open.last() {
+                    if s.1 > top.1 {
+                        fail(&format!(
+                            "span {} [{}..{}] partially overlaps {} [{}..{}] on ({pid},{tid})",
+                            s.2, s.0, s.1, top.2, top.0, top.1
+                        ));
+                    }
+                }
+                open.push(s);
+            }
+        }
+    }
+
+    /// Parse the chrome-trace export with a strict little JSON parser
+    /// and cross-check its shape against the typed trace.
+    fn check_json(trace: &Trace) {
+        let json = trace.to_chrome_json();
+        let bytes = json.as_bytes();
+        let mut p = Parser {
+            b: bytes,
+            i: 0,
+            x_events: 0,
+            m_events: 0,
+        };
+        p.ws();
+        p.value();
+        p.ws();
+        if p.i != bytes.len() {
+            fail("trailing garbage after the top-level JSON value");
+        }
+        if p.x_events != trace.events.len() as u64 {
+            fail(&format!(
+                "JSON carries {} \"X\" events, trace drained {}",
+                p.x_events,
+                trace.events.len()
+            ));
+        }
+        if p.m_events == 0 {
+            fail("no process/thread metadata rows in the export");
+        }
+        if !json.starts_with("{\"traceEvents\":[") {
+            fail("export is not a traceEvents envelope");
+        }
+    }
+
+    /// Minimal strict JSON validator; counts `"ph":"X"` / `"ph":"M"`
+    /// pairs as it goes. Rejects anything RFC 8259 rejects at the
+    /// structural level (unbalanced brackets, bad literals, bare keys,
+    /// truncated strings).
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+        x_events: u64,
+        m_events: u64,
+    }
+
+    impl<'a> Parser<'a> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> u8 {
+            if self.i >= self.b.len() {
+                fail("unexpected end of JSON");
+            }
+            self.b[self.i]
+        }
+
+        fn expect(&mut self, c: u8) {
+            if self.peek() != c {
+                fail(&format!(
+                    "expected '{}' at byte {}, found '{}'",
+                    c as char, self.i, self.b[self.i] as char
+                ));
+            }
+            self.i += 1;
+        }
+
+        fn value(&mut self) {
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => {
+                    self.string();
+                }
+                b't' => self.literal(b"true"),
+                b'f' => self.literal(b"false"),
+                b'n' => self.literal(b"null"),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) {
+            self.expect(b'{');
+            self.ws();
+            if self.peek() == b'}' {
+                self.i += 1;
+                return;
+            }
+            loop {
+                self.ws();
+                let key = self.string();
+                self.ws();
+                self.expect(b':');
+                self.ws();
+                if key == "ph" && self.peek() == b'"' {
+                    match self.string() {
+                        "X" => self.x_events += 1,
+                        "M" => self.m_events += 1,
+                        _ => fail("unknown event phase in export"),
+                    }
+                } else {
+                    self.value();
+                }
+                self.ws();
+                match self.peek() {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return;
+                    }
+                    _ => fail("expected ',' or '}' in object"),
+                }
+            }
+        }
+
+        fn array(&mut self) {
+            self.expect(b'[');
+            self.ws();
+            if self.peek() == b']' {
+                self.i += 1;
+                return;
+            }
+            loop {
+                self.ws();
+                self.value();
+                self.ws();
+                match self.peek() {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return;
+                    }
+                    _ => fail("expected ',' or ']' in array"),
+                }
+            }
+        }
+
+        fn string(&mut self) -> &'a str {
+            self.expect(b'"');
+            let start = self.i;
+            loop {
+                match self.peek() {
+                    b'"' => break,
+                    b'\\' => {
+                        self.i += 1;
+                        match self.peek() {
+                            b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                            b'u' => {
+                                self.i += 1;
+                                for _ in 0..4 {
+                                    if !self.peek().is_ascii_hexdigit() {
+                                        fail("bad \\u escape");
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => fail("bad escape in string"),
+                        }
+                    }
+                    c if c < 0x20 => fail("raw control character in string"),
+                    _ => self.i += 1,
+                }
+            }
+            let s = std::str::from_utf8(&self.b[start..self.i]).unwrap_or_else(|_| {
+                fail("non-UTF-8 string");
+            });
+            self.i += 1; // closing quote
+            s
+        }
+
+        fn number(&mut self) {
+            let start = self.i;
+            if self.peek() == b'-' {
+                self.i += 1;
+            }
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'.')
+            {
+                self.i += 1;
+            }
+            if self.i == start || self.b[start] == b'.' || self.b[self.i - 1] == b'.' {
+                fail("malformed number");
+            }
+        }
+
+        fn literal(&mut self, lit: &[u8]) {
+            if self.b.len() - self.i < lit.len() || &self.b[self.i..self.i + lit.len()] != lit {
+                fail("bad literal");
+            }
+            self.i += lit.len();
+        }
+    }
+}

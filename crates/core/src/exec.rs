@@ -440,6 +440,9 @@ where
                 return;
             }
         }
+        // One span per schedule chunk — the same granularity as the
+        // token poll above, never per point.
+        let _chunk = crate::obs::span("exec", "exec.chunk");
         let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {

@@ -333,6 +333,8 @@ where
                 return;
             }
         }
+        // Once per schedule chunk, same granularity as the token poll.
+        let _chunk = crate::obs::span("exec", "exec.chunk");
         let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {

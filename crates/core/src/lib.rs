@@ -45,6 +45,7 @@
 pub mod collapsed;
 pub mod exec;
 pub mod imperfect;
+pub(crate) mod obs;
 pub mod partition;
 pub mod plan;
 pub mod ranking;

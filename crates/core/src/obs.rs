@@ -1,0 +1,28 @@
+//! Tracing shim: real `nrl_obs` probes under the `obs-trace` feature,
+//! zero-size no-ops otherwise, so the chunk-granularity spans in
+//! `exec`/`reduce` compile away entirely in the default build. Spans
+//! here follow the PR 6 token-poll discipline: once per chunk,
+//! O(rows) never O(points).
+
+#[cfg(feature = "obs-trace")]
+pub(crate) use nrl_obs::span;
+
+#[cfg(not(feature = "obs-trace"))]
+mod noop {
+    /// Disabled-probe stand-in; holds nothing, drops to nothing. The
+    /// explicit `Drop` keeps call sites that close a span early with
+    /// `drop(span)` meaningful in both builds.
+    #[derive(Debug)]
+    pub(crate) struct Span;
+
+    impl Drop for Span {
+        fn drop(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub(crate) fn span(_cat: &'static str, _name: &'static str) -> Option<Span> {
+        None
+    }
+}
+#[cfg(not(feature = "obs-trace"))]
+pub(crate) use noop::span;

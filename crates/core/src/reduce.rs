@@ -438,6 +438,11 @@ where
             let g = first_chunk + w;
             let s = (g * grain).max(base);
             let e = ((g + 1) * grain).min(base + count);
+            // One span per *grid* chunk (not schedule chunk): a
+            // completed reduction records exactly
+            // `ReduceCounters::chunks` of these — the invariant
+            // `trace_smoke` asserts against the export.
+            let _chunk = crate::obs::span("reduce", "reduce.chunk");
             let mut acc = joiner.identity();
             fold_chunk(scratch.as_ref(), tid, s, e, &mut acc);
             partials.with(tid, |list| list.push((w, acc, e - s)));
@@ -447,6 +452,7 @@ where
     // index, and left-fold the contiguous prefix. Each grid chunk was
     // folded by exactly one worker, so indices are unique — a partial
     // is joined at most once by construction.
+    let join_span = crate::obs::span("reduce", "reduce.join");
     let mut produced: Vec<Partial<A>> = partials.into_iter().flatten().collect();
     produced.sort_unstable_by_key(|(w, _, _)| *w);
     let nproduced = produced.len() as u64;
@@ -464,6 +470,7 @@ where
         joined += 1;
         points += n;
     }
+    drop(join_span);
     let discarded = nproduced - joined;
     let outcome = match ctl {
         Some(ctl) => {
@@ -636,6 +643,8 @@ where
                 return;
             }
         }
+        // Once per schedule chunk, same granularity as the token poll.
+        let _chunk = crate::obs::span("exec", "exec.chunk");
         let mut point = [0i64; MAX_DEPTH];
         let point = &mut point[..d];
         if d == 0 {

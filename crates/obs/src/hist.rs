@@ -1,0 +1,284 @@
+//! Log2-bucketed latency histograms.
+//!
+//! A [`Hist`] is a fixed `[u64; 64]`: value `v` lands in bucket
+//! `floor(log2(max(v, 1)))`, so bucket `i` covers `[2^i, 2^(i+1))`
+//! (bucket 0 additionally absorbs `v == 0`). That gives full `u64`
+//! nanosecond range at constant size, constant-time record, and exact
+//! loss-free merge — the three properties a per-verb / per-phase
+//! latency family needs to live inside an always-on metrics snapshot.
+//! Percentiles are read back as the **upper edge** of the bucket
+//! holding the requested rank, i.e. "p95 ≤ x" statements with at most
+//! 2x resolution, which is the honest precision class of a log2
+//! sketch.
+//!
+//! [`SharedHist`] is the concurrent variant (relaxed atomic buckets,
+//! `snapshot() -> Hist`); recording threads never contend on a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets — one per possible `u64` bit position.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log2 latency histogram (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// The bucket index value `v` lands in: `floor(log2(max(v, 1)))`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (63 - (v | 1).leading_zeros()) as usize
+    }
+
+    /// The inclusive upper edge of bucket `i` (`2^(i+1) - 1`, saturating
+    /// at `u64::MAX` for the last bucket).
+    #[inline]
+    pub fn bucket_high(i: usize) -> u64 {
+        debug_assert!(i < BUCKETS);
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Fold `other` into `self`. Merging is exact (bucket-wise add),
+    /// associative and commutative.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the upper edge of the bucket
+    /// containing that rank, or 0 for an empty histogram.
+    ///
+    /// Monotone in `p`; `percentile(1.0)` is an upper bound on the
+    /// maximum recorded value.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank in 1..=n: the smallest k with cum(k) covering p·n.
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_high(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// One plain-text report line: `label: n=… p50≤… p95≤… p99≤… max≤…`
+    /// with nanosecond values rendered human-readable.
+    pub fn render(&self, label: &str) -> String {
+        let n = self.count();
+        if n == 0 {
+            return format!("{label}: n=0");
+        }
+        format!(
+            "{label}: n={n} p50\u{2264}{} p95\u{2264}{} p99\u{2264}{} max\u{2264}{}",
+            fmt_ns(self.percentile(0.50)),
+            fmt_ns(self.percentile(0.95)),
+            fmt_ns(self.percentile(0.99)),
+            fmt_ns(self.percentile(1.0)),
+        )
+    }
+}
+
+/// Render a nanosecond quantity with a human unit (ns/µs/ms/s).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}\u{b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// The concurrent histogram: relaxed atomic buckets, lock-free
+/// recording from any thread, exact bucket-wise `snapshot`.
+///
+/// Snapshots taken while recorders are in flight are consistent per
+/// bucket but not across buckets — the same contract as every other
+/// counter snapshot in the workspace (`docs/COUNTERS.md`).
+#[derive(Debug)]
+pub struct SharedHist {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for SharedHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedHist {
+    /// An empty shared histogram.
+    #[allow(clippy::new_without_default)]
+    pub const fn new() -> Self {
+        SharedHist {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Record one observation (relaxed; never blocks).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Hist::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counts into a plain [`Hist`].
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_land_exactly() {
+        // 0 and 1 share bucket 0; every power of two opens its bucket
+        // and (2^k - 1) closes the previous one.
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 0);
+        for k in 1..64usize {
+            let lo = 1u64 << k;
+            assert_eq!(Hist::bucket_of(lo), k, "2^{k} opens bucket {k}");
+            assert_eq!(
+                Hist::bucket_of(lo - 1),
+                k - 1,
+                "2^{k}-1 closes bucket {}",
+                k - 1
+            );
+            if k < 63 {
+                assert_eq!(Hist::bucket_of(lo + 1), k, "2^{k}+1 stays in bucket {k}");
+            }
+        }
+        assert_eq!(Hist::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_high_edges() {
+        assert_eq!(Hist::bucket_high(0), 1);
+        assert_eq!(Hist::bucket_high(1), 3);
+        assert_eq!(Hist::bucket_high(10), 2047);
+        assert_eq!(Hist::bucket_high(63), u64::MAX);
+        // A value's own bucket upper edge bounds it.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            assert!(v <= Hist::bucket_high(Hist::bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn percentile_of_known_distribution() {
+        let mut h = Hist::new();
+        // 99 fast (bucket of 100 = 6, high edge 127), 1 slow.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.50), 127);
+        assert_eq!(h.percentile(0.99), 127);
+        assert_eq!(
+            h.percentile(1.0),
+            Hist::bucket_high(Hist::bucket_of(1_000_000))
+        );
+    }
+
+    #[test]
+    fn empty_hist_is_inert() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.render("x"), "x: n=0");
+    }
+
+    #[test]
+    fn merge_is_exact_and_associative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Hist::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 9000, u64::MAX]);
+        let b = mk(&[0, 2, 2, 1 << 40]);
+        let c = mk(&[17, 1 << 20]);
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn shared_hist_snapshot_matches_serial() {
+        let s = SharedHist::new();
+        let mut plain = Hist::new();
+        for v in [0u64, 1, 2, 77, 4096, 1 << 33] {
+            s.record(v);
+            plain.record(v);
+        }
+        assert_eq!(s.snapshot(), plain);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5\u{b5}s");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-thread lock-free event ring buffers.
+//!
+//! An [`EventRing`] holds completed spans as fixed-size [`Event`]s in
+//! a power-of-two slot array. The contract mirrors how the pool uses
+//! it:
+//!
+//! * **one producer** — the owning thread pushes; no allocation, no
+//!   lock, no syscall on the push path;
+//! * **any drainer** — a `TraceSession` (or test) drains from another
+//!   thread while the producer keeps running;
+//! * **drop-oldest** — a full ring overwrites its oldest unread slot
+//!   and counts the loss in [`EventRing::dropped`]; recording never
+//!   blocks and never grows.
+//!
+//! Every index in the push sequence is retired exactly once, either
+//! by the producer's drop-oldest CAS (counted dropped) or by the
+//! drainer's CAS (delivered), so at quiescence
+//! `drained + dropped == pushed` — the invariant the wraparound and
+//! hammer tests assert.
+//!
+//! Each slot stores the event fields as individual relaxed atomics
+//! guarded by a seqlock-style sequence word (odd = write in progress,
+//! `2·(i+1)` = push `i` committed). A drainer copies the raw words,
+//! re-validates the sequence, and only then claims the slot — a torn
+//! read is detected and retried, never delivered.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+/// One completed span: a closed `[t0, t1]` interval on the
+/// [`crate::Clock`] axis, tagged with static category/name strings and
+/// the ids that stitch it into a request tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Coarse family, e.g. `"plan"`, `"exec"`, `"pool"`, `"serve"`.
+    pub cat: &'static str,
+    /// Span name, e.g. `"exec.chunk"` (see `docs/OBSERVABILITY.md`).
+    pub name: &'static str,
+    /// Start, nanoseconds on the process clock.
+    pub t0: u64,
+    /// End, nanoseconds on the process clock (`t1 >= t0`).
+    pub t1: u64,
+    /// This span's id ([`crate::SpanId`]); unique per process.
+    pub span: u64,
+    /// The request trace this span belongs to, or 0 for none.
+    pub trace: u64,
+}
+
+/// One slot: a seqlock word plus the event fields as plain atomics
+/// (so a racing read is a defined, detectable torn read — not UB).
+struct Slot {
+    seq: AtomicU64,
+    cat_ptr: AtomicUsize,
+    cat_len: AtomicUsize,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    t0: AtomicU64,
+    t1: AtomicU64,
+    span: AtomicU64,
+    trace: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            cat_ptr: AtomicUsize::new(0),
+            cat_len: AtomicUsize::new(0),
+            name_ptr: AtomicUsize::new(0),
+            name_len: AtomicUsize::new(0),
+            t0: AtomicU64::new(0),
+            t1: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn store(&self, ev: &Event) {
+        self.cat_ptr
+            .store(ev.cat.as_ptr() as usize, Ordering::Relaxed);
+        self.cat_len.store(ev.cat.len(), Ordering::Relaxed);
+        self.name_ptr
+            .store(ev.name.as_ptr() as usize, Ordering::Relaxed);
+        self.name_len.store(ev.name.len(), Ordering::Relaxed);
+        self.t0.store(ev.t0, Ordering::Relaxed);
+        self.t1.store(ev.t1, Ordering::Relaxed);
+        self.span.store(ev.span, Ordering::Relaxed);
+        self.trace.store(ev.trace, Ordering::Relaxed);
+    }
+
+    /// Raw word copy; only materialized into an [`Event`] after the
+    /// sequence re-check proves the copy was not torn.
+    #[inline]
+    fn load_raw(&self) -> (usize, usize, usize, usize, u64, u64, u64, u64) {
+        (
+            self.cat_ptr.load(Ordering::Relaxed),
+            self.cat_len.load(Ordering::Relaxed),
+            self.name_ptr.load(Ordering::Relaxed),
+            self.name_len.load(Ordering::Relaxed),
+            self.t0.load(Ordering::Relaxed),
+            self.t1.load(Ordering::Relaxed),
+            self.span.load(Ordering::Relaxed),
+            self.trace.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A fixed-capacity, drop-oldest, single-producer event ring (see
+/// module docs for the full contract).
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Total pushes ever (monotone). `head & mask` is the next write slot.
+    head: AtomicU64,
+    /// Next push index a drainer will deliver; advanced by CAS either
+    /// by the producer (drop-oldest) or by a drainer (delivery).
+    read: AtomicU64,
+    /// Events overwritten before any drainer delivered them.
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` events (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        EventRing {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            read: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to drop-oldest so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered (pushed, neither dropped nor drained).
+    pub fn len(&self) -> usize {
+        let h = self.head.load(Ordering::Acquire);
+        let t = self.read.load(Ordering::Acquire);
+        h.saturating_sub(t) as usize
+    }
+
+    /// True when no buffered events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one event. **Single-producer**: only the ring's owning
+    /// thread may call this. Never blocks, never allocates; a full
+    /// ring retires its oldest unread event into `dropped`.
+    pub fn push(&self, ev: &Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        // Drop-oldest: claim the read cursor forward until the write
+        // slot is free. The CAS race is against a drainer claiming the
+        // same index for delivery — whoever wins retires it.
+        loop {
+            let t = self.read.load(Ordering::Acquire);
+            if h.wrapping_sub(t) < cap {
+                break;
+            }
+            if self
+                .read
+                .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = &self.slots[(h & self.mask) as usize];
+        // Seqlock write: odd marks in-progress, 2·(h+1) commits push h.
+        slot.seq
+            .store(h.wrapping_mul(2).wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.store(ev);
+        slot.seq
+            .store(h.wrapping_add(1).wrapping_mul(2), Ordering::Release);
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Drain every currently-buffered event into `f`, in push order.
+    /// Safe to call from any thread, concurrently with the producer.
+    /// Returns the number of events delivered.
+    pub fn drain(&self, mut f: impl FnMut(Event)) -> u64 {
+        let mut delivered = 0u64;
+        loop {
+            let t = self.read.load(Ordering::Acquire);
+            let h = self.head.load(Ordering::Acquire);
+            if t == h {
+                return delivered;
+            }
+            let slot = &self.slots[(t & self.mask) as usize];
+            let expect = t.wrapping_add(1).wrapping_mul(2);
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != expect {
+                // The producer lapped us (or is mid-write of a lap);
+                // the read cursor has been (or is being) advanced by
+                // its drop-oldest CAS — reload and continue.
+                std::hint::spin_loop();
+                continue;
+            }
+            let raw = slot.load_raw();
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s2 != s1 {
+                continue;
+            }
+            // Claim delivery of index t; losing the race means the
+            // producer dropped it first — our copy must not be double
+            // counted.
+            if self
+                .read
+                .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let (cp, cl, np, nl, t0, t1, span, trace) = raw;
+                // SAFETY: the seqlock re-check proved this word copy is
+                // the untorn image of one committed push, and pushes
+                // only ever store pointers/lengths of &'static str.
+                let cat = unsafe {
+                    std::str::from_utf8_unchecked(std::slice::from_raw_parts(cp as *const u8, cl))
+                };
+                let name = unsafe {
+                    std::str::from_utf8_unchecked(std::slice::from_raw_parts(np as *const u8, nl))
+                };
+                f(Event {
+                    cat,
+                    name,
+                    t0,
+                    t1,
+                    span,
+                    trace,
+                });
+                delivered += 1;
+            }
+        }
+    }
+
+    /// Drop all buffered events without delivering them (they are not
+    /// counted in `dropped`: this is a deliberate reset, not loss).
+    pub fn clear(&self) {
+        loop {
+            let t = self.read.load(Ordering::Acquire);
+            let h = self.head.load(Ordering::Acquire);
+            if t >= h {
+                return;
+            }
+            let _ = self
+                .read
+                .compare_exchange(t, h, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+
+    /// Reset the drop counter, returning the previous value.
+    pub fn take_dropped(&self) -> u64 {
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+// SAFETY: all shared state is atomics; the single-producer rule is an
+// API contract (violating it interleaves events, it cannot corrupt
+// memory — slots are only ever plain word stores).
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            cat: "t",
+            name: "t.ev",
+            t0: i,
+            t1: i + 1,
+            span: i,
+            trace: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..5 {
+            r.push(&ev(i));
+        }
+        let mut got = Vec::new();
+        let n = r.drain(|e| got.push(e.t0));
+        assert_eq!(n, 5);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_accounts_exactly() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..20 {
+            r.push(&ev(i));
+        }
+        // 8 newest survive; the 12 oldest were dropped, oldest-first.
+        assert_eq!(r.dropped(), 12);
+        let mut got = Vec::new();
+        let drained = r.drain(|e| got.push(e.t0));
+        assert_eq!(got, (12..20).collect::<Vec<_>>());
+        assert_eq!(drained + r.dropped(), 20, "drained + dropped == pushed");
+        assert_eq!(r.pushed(), 20);
+    }
+
+    #[test]
+    fn interleaved_drain_and_refill() {
+        let r = EventRing::with_capacity(4);
+        let mut next = 0u64;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            for _ in 0..3 {
+                r.push(&ev(next));
+                next += 1;
+            }
+            r.drain(|e| seen.push(e.t0));
+        }
+        // Nothing dropped (drained fast enough), strict push order.
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(seen, (0..next).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_discards_without_counting_drops() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..6 {
+            r.push(&ev(i));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(&ev(99));
+        let mut got = Vec::new();
+        r.drain(|e| got.push(e.t0));
+        assert_eq!(got, vec![99]);
+    }
+
+    #[test]
+    fn cross_thread_hammer_accounts_every_event() {
+        // 4 producer threads × own ring, one drainer hammering all
+        // four concurrently: at quiescence every pushed event is
+        // either delivered (in order, untorn) or counted dropped.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const PUSHES: u64 = 20_000;
+        let rings: Vec<Arc<EventRing>> = (0..4)
+            .map(|_| Arc::new(EventRing::with_capacity(64)))
+            .collect();
+        let done = Arc::new(AtomicBool::new(false));
+
+        let producers: Vec<_> = rings
+            .iter()
+            .cloned()
+            .map(|r| {
+                std::thread::spawn(move || {
+                    for i in 0..PUSHES {
+                        r.push(&ev(i));
+                    }
+                })
+            })
+            .collect();
+
+        let drainer = {
+            let rings: Vec<_> = rings.to_vec();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut delivered = vec![0u64; rings.len()];
+                let mut last = vec![None::<u64>; rings.len()];
+                loop {
+                    let quiescent = done.load(Ordering::Acquire);
+                    for (k, r) in rings.iter().enumerate() {
+                        delivered[k] += r.drain(|e| {
+                            // Untorn: t0/t1/span all derive from one i.
+                            assert_eq!(e.t1, e.t0 + 1);
+                            assert_eq!(e.span, e.t0);
+                            assert_eq!(e.name, "t.ev");
+                            // In-order: strictly increasing per ring.
+                            if let Some(prev) = last[k] {
+                                assert!(e.t0 > prev, "out of order: {} after {prev}", e.t0);
+                            }
+                            last[k] = Some(e.t0);
+                        });
+                    }
+                    if quiescent {
+                        return delivered;
+                    }
+                }
+            })
+        };
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let delivered = drainer.join().unwrap();
+        for (k, r) in rings.iter().enumerate() {
+            assert_eq!(
+                delivered[k] + r.dropped(),
+                PUSHES,
+                "ring {k}: delivered {} + dropped {} != pushed {PUSHES}",
+                delivered[k],
+                r.dropped()
+            );
+            assert!(r.is_empty());
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Recording front: runtime config, id allocators, the per-thread ring
+//! registry, span guards, and chrome-trace export.
+//!
+//! The hot-path contract: with recording disabled, [`span`] is one
+//! relaxed atomic load and returns `None` — no clock read, no
+//! thread-local touch, no allocation. Enabled, a span costs two clock
+//! reads, two id/counter bumps and one ring push. Instrumented crates
+//! additionally compile the whole probe away when their `obs-trace`
+//! feature is off, so the shipping default pays nothing at all.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock::now_ns;
+use crate::ring::{Event, EventRing};
+
+/// Events each per-thread ring can hold before drop-oldest engages.
+/// At one event per *chunk* (the instrumentation granularity rule),
+/// 4096 covers every workload in the repo's bench suite per drain.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Runtime config
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Runtime gate for span recording. Compiled-in probes check this
+/// before touching the clock or a ring; the disabled path is exactly
+/// one relaxed load.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig;
+
+impl TraceConfig {
+    /// Is recording currently enabled?
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off (any thread; takes effect at each
+    /// probe's next enabled-check).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ids
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_POOL: AtomicU32 = AtomicU32::new(1);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// Identifies one request end-to-end across threads (0 = none).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The "no trace" id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Allocate a fresh process-unique id (never 0).
+    pub fn next() -> TraceId {
+        TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// True for [`TraceId::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifies one emitted span (unique per process, never 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Allocate a fresh process-unique id.
+    pub fn next() -> SpanId {
+        SpanId(NEXT_SPAN.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Allocate a process-unique pool id for chrome-trace `pid` grouping.
+/// Pid 0 is reserved for caller/service threads that belong to no
+/// pool; each `ThreadPool` takes the next id at construction.
+pub fn next_pool_id() -> u32 {
+    NEXT_POOL.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Registry: one ring + metadata per recording thread
+
+struct ThreadMeta {
+    pid: u32,
+    tid: u32,
+    name: String,
+}
+
+struct Registered {
+    ring: EventRing,
+    meta: Mutex<ThreadMeta>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Registered>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Registered>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Registered>>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&Registered) -> R) -> R {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let reg = l.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let reg = Arc::new(Registered {
+                ring: EventRing::with_capacity(DEFAULT_RING_CAPACITY),
+                meta: Mutex::new(ThreadMeta {
+                    pid: 0,
+                    tid,
+                    name: format!("thread-{tid}"),
+                }),
+            });
+            registry().lock().unwrap().push(reg.clone());
+            reg
+        });
+        f(reg)
+    })
+}
+
+/// Bind the calling thread's timeline to `(pid, tid, name)` in the
+/// export: pool workers call this at startup with their pool's
+/// [`next_pool_id`] and worker index, so the chrome trace shows one
+/// process row per pool and one thread row per worker. Threads that
+/// never call it appear under pid 0 with an auto-assigned tid.
+pub fn set_thread_meta(pid: u32, tid: u32, name: &str) {
+    with_local(|reg| {
+        let mut m = reg.meta.lock().unwrap();
+        m.pid = pid;
+        m.tid = tid;
+        m.name = name.to_string();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+
+/// A live span: created by [`span`]/[`span_traced`], emits one event
+/// into the calling thread's ring when dropped.
+#[must_use = "a span records its interval when dropped"]
+#[derive(Debug)]
+pub struct Span {
+    cat: &'static str,
+    name: &'static str,
+    t0: u64,
+    trace: u64,
+}
+
+impl Span {
+    /// The trace id this span carries (0 = none).
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ev = Event {
+            cat: self.cat,
+            name: self.name,
+            t0: self.t0,
+            t1: now_ns(),
+            span: SpanId::next().0,
+            trace: self.trace,
+        };
+        with_local(|reg| reg.ring.push(&ev));
+    }
+}
+
+/// Open a span, or `None` (one relaxed load) when recording is off.
+/// Bind the result to a `_`-prefixed local; the interval closes and
+/// records when the guard drops.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Option<Span> {
+    if !TraceConfig::enabled() {
+        return None;
+    }
+    Some(Span {
+        cat,
+        name,
+        t0: now_ns(),
+        trace: 0,
+    })
+}
+
+/// [`span`], tagged with a request [`TraceId`] (pass the raw `u64`;
+/// 0 means untagged).
+#[inline]
+pub fn span_traced(cat: &'static str, name: &'static str, trace: u64) -> Option<Span> {
+    if !TraceConfig::enabled() {
+        return None;
+    }
+    Some(Span {
+        cat,
+        name,
+        t0: now_ns(),
+        trace,
+    })
+}
+
+/// Record an interval measured elsewhere (e.g. a queue wait whose
+/// start lives on the submitting thread); attributed to the calling
+/// thread's timeline. No-op (one relaxed load) when recording is off.
+#[inline]
+pub fn emit(cat: &'static str, name: &'static str, t0: u64, t1: u64, trace: u64) {
+    if !TraceConfig::enabled() {
+        return;
+    }
+    let ev = Event {
+        cat,
+        name,
+        t0,
+        t1: t1.max(t0),
+        span: SpanId::next().0,
+        trace,
+    };
+    with_local(|reg| reg.ring.push(&ev));
+}
+
+// ---------------------------------------------------------------------------
+// Draining + export
+
+/// One drained event with its thread-of-origin coordinates.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Pool id (0 = caller/service threads outside any pool).
+    pub pid: u32,
+    /// Thread id within the pid row.
+    pub tid: u32,
+    /// The recorded span.
+    pub ev: Event,
+}
+
+/// Everything one drain collected: events (per-ring push order),
+/// thread names, and the drop count accumulated since the last drain.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Drained events from every registered ring.
+    pub events: Vec<TraceEvent>,
+    /// `(pid, tid, name)` rows for every thread that ever recorded.
+    pub threads: Vec<(u32, u32, String)>,
+    /// Events lost to ring drop-oldest since the previous drain.
+    pub dropped: u64,
+}
+
+/// Drain every registered ring (concurrently safe with producers) and
+/// reset their drop counters into the returned [`Trace::dropped`].
+pub fn drain() -> Trace {
+    let rings: Vec<Arc<Registered>> = registry().lock().unwrap().clone();
+    let mut out = Trace::default();
+    for reg in &rings {
+        let (pid, tid, name) = {
+            let m = reg.meta.lock().unwrap();
+            (m.pid, m.tid, m.name.clone())
+        };
+        reg.ring
+            .drain(|ev| out.events.push(TraceEvent { pid, tid, ev }));
+        out.dropped += reg.ring.take_dropped();
+        out.threads.push((pid, tid, name));
+    }
+    out
+}
+
+/// An enable→record→drain bracket.
+///
+/// `begin()` clears stale buffered events and turns recording on;
+/// `end()` turns it off and returns the drained [`Trace`]. Sessions
+/// are process-global (the gate is one flag); nesting two sessions
+/// merely extends the outer one's window.
+#[derive(Debug)]
+pub struct TraceSession(());
+
+impl TraceSession {
+    /// Clear stale events, then enable recording.
+    pub fn begin() -> TraceSession {
+        for reg in registry().lock().unwrap().iter() {
+            reg.ring.clear();
+            reg.ring.take_dropped();
+        }
+        TraceConfig::set_enabled(true);
+        TraceSession(())
+    }
+
+    /// Disable recording and drain everything recorded meanwhile.
+    pub fn end(self) -> Trace {
+        TraceConfig::set_enabled(false);
+        drain()
+    }
+}
+
+impl Trace {
+    /// Render as chrome://tracing "trace event format" JSON: one `"X"`
+    /// (complete) event per span with `ts`/`dur` in microseconds, plus
+    /// `"M"` metadata rows naming each process (pool) and thread
+    /// (worker). Load the output in Perfetto or chrome://tracing.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 160);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut seen_pids: Vec<u32> = Vec::new();
+        for &(pid, tid, ref name) in &self.threads {
+            if !seen_pids.contains(&pid) {
+                seen_pids.push(pid);
+                push_sep(&mut out, &mut first);
+                let pname = if pid == 0 {
+                    "nrl-callers".to_string()
+                } else {
+                    format!("nrl-pool-{pid}")
+                };
+                out.push_str(&format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    esc(&pname)
+                ));
+            }
+            push_sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ));
+        }
+        for te in &self.events {
+            push_sep(&mut out, &mut first);
+            let ts = te.ev.t0 as f64 / 1e3;
+            let dur = te.ev.t1.saturating_sub(te.ev.t0) as f64 / 1e3;
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3},\
+                 \"args\":{{\"span\":{},\"trace\":{}}}}}",
+                esc(te.ev.name),
+                esc(te.ev.cat),
+                te.pid,
+                te.tid,
+                te.ev.span,
+                te.ev.trace,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Minimal JSON string escaping (names are static identifiers, but
+/// thread names are caller strings).
+fn esc(s: &str) -> String {
+    let mut o = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            c if (c as u32) < 0x20 => o.push_str(&format!("\\u{:04x}", c as u32)),
+            c => o.push(c),
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and the enabled flag are process-global, so the
+    // tests below serialize on one lock to keep their drains disjoint.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _g = test_lock();
+        TraceConfig::set_enabled(false);
+        assert!(span("t", "t.off").is_none());
+        emit("t", "t.off", 1, 2, 0);
+        let tr = drain();
+        assert!(
+            tr.events.iter().all(|e| e.ev.name != "t.off"),
+            "disabled probe leaked an event"
+        );
+    }
+
+    #[test]
+    fn session_brackets_spans_and_exports_json() {
+        let _g = test_lock();
+        let session = TraceSession::begin();
+        set_thread_meta(0, 7, "test-main");
+        {
+            let _outer = span_traced("t", "t.outer", 42);
+            let _inner = span("t", "t.inner");
+        }
+        emit("t", "t.emitted", 5, 9, 42);
+        let tr = session.end();
+        assert!(!TraceConfig::enabled());
+        let names: Vec<&str> = tr.events.iter().map(|e| e.ev.name).collect();
+        assert!(names.contains(&"t.outer"));
+        assert!(names.contains(&"t.inner"));
+        assert!(names.contains(&"t.emitted"));
+        let outer = tr.events.iter().find(|e| e.ev.name == "t.outer").unwrap();
+        let inner = tr.events.iter().find(|e| e.ev.name == "t.inner").unwrap();
+        assert_eq!(outer.ev.trace, 42);
+        assert!(
+            outer.ev.t0 <= inner.ev.t0 && inner.ev.t1 <= outer.ev.t1,
+            "inner nests in outer"
+        );
+        let json = tr.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("test-main"));
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = TraceId::next();
+        let b = TraceId::next();
+        assert_ne!(a, b);
+        assert!(!a.is_none() && !b.is_none());
+        assert_ne!(SpanId::next(), SpanId::next());
+        assert_ne!(next_pool_id(), next_pool_id());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the log2 histogram: percentile monotonicity,
+//! merge associativity/commutativity, and count conservation under
+//! arbitrary workloads.
+
+use nrl_obs::Hist;
+use proptest::prelude::*;
+
+fn hist_of(vals: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        vals in prop::collection::vec(0u64..u64::MAX, 1..200),
+        // Permilles, so both endpoints 0.0 and 1.0 are generated.
+        ps in prop::collection::vec(0u32..=1000, 2..16),
+    ) {
+        let h = hist_of(&vals);
+        let mut sorted: Vec<f64> = ps.iter().map(|&k| k as f64 / 1000.0).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qs: Vec<u64> = sorted.iter().map(|&p| h.percentile(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentile not monotone: {:?} from ps {:?}", qs, sorted);
+        }
+    }
+
+    #[test]
+    fn percentile_bounds_every_recorded_value(
+        vals in prop::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        let h = hist_of(&vals);
+        let max = h.percentile(1.0);
+        for &v in &vals {
+            prop_assert!(v <= max, "p100 {} below recorded {}", max, v);
+        }
+        // And p0 is a lower-ish bound: no recorded value's bucket lies
+        // strictly below the first non-empty one.
+        let p0 = h.percentile(0.0);
+        prop_assert!(vals.iter().any(|&v| v <= p0));
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_conserves_counts(
+        a in prop::collection::vec(0u64..u64::MAX, 0..100),
+        b in prop::collection::vec(0u64..u64::MAX, 0..100),
+        c in prop::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab_c = ha;
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut a_bc = ha;
+        a_bc.merge(&bc);
+
+        let mut ba = hb;
+        ba.merge(&ha);
+        let mut ab = ha;
+        ab.merge(&hb);
+
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab_c.count() as usize, a.len() + b.len() + c.len());
+
+        // Merged histogram equals the histogram of the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(ab_c, hist_of(&all));
+    }
+
+    #[test]
+    fn percentile_agrees_with_sorted_rank_up_to_bucket(
+        vals in prop::collection::vec(0u64..1_000_000_000, 1..150),
+        pk in 0u32..=1000,
+    ) {
+        let p = pk as f64 / 1000.0;
+        // The histogram's p-quantile bucket must contain the exact
+        // p-quantile of the raw sample (same rank definition).
+        let h = hist_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let exact = sorted[(rank - 1) as usize];
+        let q = h.percentile(p);
+        prop_assert!(exact <= q, "exact quantile {} above bucket edge {}", exact, q);
+        prop_assert_eq!(
+            Hist::bucket_of(exact),
+            Hist::bucket_of(q),
+            "quantile landed outside its bucket"
+        );
+    }
+}

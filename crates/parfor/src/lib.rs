@@ -41,6 +41,7 @@
 
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+pub(crate) mod obs;
 pub mod pool;
 pub mod queue;
 pub mod schedule;

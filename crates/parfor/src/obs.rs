@@ -1,0 +1,22 @@
+//! Tracing shim: real `nrl_obs` probes under the `obs-trace` feature,
+//! zero-size no-ops otherwise. Call sites stay unconditional; with the
+//! feature off the probes compile away entirely (the instrumented
+//! crates each carry this same four-line shim rather than a shared
+//! macro so the leaf crates keep zero mandatory dependencies).
+
+#[cfg(feature = "obs-trace")]
+pub(crate) use nrl_obs::span;
+
+#[cfg(not(feature = "obs-trace"))]
+mod noop {
+    /// Disabled-probe stand-in; holds nothing, drops to nothing.
+    #[derive(Debug)]
+    pub(crate) struct Span;
+
+    #[inline(always)]
+    pub(crate) fn span(_cat: &'static str, _name: &'static str) -> Option<Span> {
+        None
+    }
+}
+#[cfg(not(feature = "obs-trace"))]
+pub(crate) use noop::span;

@@ -45,6 +45,10 @@ struct Shared {
     /// `parallel_for` so surviving workers stop picking up new chunks
     /// once a sibling has panicked.
     panicked: AtomicBool,
+    /// Chrome-trace process id for this pool's worker timelines (pid 0
+    /// is reserved for caller threads outside any pool).
+    #[cfg(feature = "obs-trace")]
+    obs_pid: u32,
 }
 
 impl Shared {
@@ -90,6 +94,8 @@ impl ThreadPool {
             nworkers: nthreads - 1,
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
+            #[cfg(feature = "obs-trace")]
+            obs_pid: nrl_obs::next_pool_id(),
         });
         let mut handles = Vec::with_capacity(nthreads - 1);
         for tid in 1..nthreads {
@@ -135,6 +141,7 @@ impl ThreadPool {
         if nworkers == 0 {
             // Serial degenerate case: a panic propagates directly; no
             // shared state is mid-flight, so the pool stays usable.
+            let _busy = crate::obs::span("pool", "pool.busy");
             f(0);
             return;
         }
@@ -155,8 +162,11 @@ impl ThreadPool {
         // The master participates as thread 0. Its panic must not
         // unwind past the barrier below: the workers still hold the
         // type-erased reference to `f`'s stack frame.
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(0))) {
-            self.shared.record_panic(payload);
+        {
+            let _busy = crate::obs::span("pool", "pool.busy");
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(0))) {
+                self.shared.record_panic(payload);
+            }
         }
         let mut guard = self.shared.done_mutex.lock();
         while self.shared.done.load(Ordering::Acquire) < nworkers {
@@ -306,6 +316,10 @@ impl Drop for ThreadPool {
 }
 
 fn worker_loop(shared: Arc<Shared>, tid: usize) {
+    // One chrome-trace thread row per worker, grouped under this
+    // pool's pid; the gaps between busy spans are the idle time.
+    #[cfg(feature = "obs-trace")]
+    nrl_obs::set_thread_meta(shared.obs_pid, tid as u32, &format!("nrl-parfor-{tid}"));
     let mut last_epoch = 0u64;
     loop {
         let job = {
@@ -326,8 +340,11 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         // that is the deadlock: `run` waits for `nworkers` increments
         // and an unwinding worker would never deliver its own. Catch,
         // record, and complete the barrier unconditionally.
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(tid))) {
-            shared.record_panic(payload);
+        {
+            let _busy = crate::obs::span("pool", "pool.busy");
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(tid))) {
+                shared.record_panic(payload);
+            }
         }
         let prev = shared.done.fetch_add(1, Ordering::Release);
         if prev + 1 == shared.nworkers {

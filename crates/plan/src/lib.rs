@@ -370,6 +370,7 @@ impl PlanCache {
         };
         if !leader {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let _wait = obs::span("plan", "plan.coalesced_wait");
             return flight.wait();
         }
         // Leader: run the ordinary miss path (analysis outside every
@@ -417,6 +418,9 @@ impl PlanCache {
         let analyzed = catch_unwind(AssertUnwindSafe(|| {
             #[cfg(any(test, feature = "fault-inject"))]
             faults::maybe_panic_in_analyze();
+            // Inside the catch: an analyze unwind still closes (and
+            // records) the span on the way out.
+            let _analyze = obs::span("plan", "plan.analyze");
             ParamPlan::analyze(nest)
         }));
         let plan = match analyzed {
@@ -508,6 +512,7 @@ impl PlanCache {
         params: &[i64],
     ) -> Result<Collapsed, PlanError> {
         let plan = self.get_or_analyze(nest, ctx)?;
+        let _inst = obs::span("plan", "plan.instantiate");
         Ok(plan.instantiate(params)?)
     }
 
@@ -522,11 +527,34 @@ impl PlanCache {
         params: &[i64],
     ) -> Result<Collapsed, PlanError> {
         let plan = self.get_or_analyze_coalesced(nest, ctx)?;
+        let _inst = obs::span("plan", "plan.instantiate");
         Ok(plan.instantiate(params)?)
     }
 }
 
 pub use nrl_core::ParamPlan;
+
+/// Tracing shim: real `nrl_obs` probes under the `obs-trace` feature,
+/// zero-size no-ops otherwise (same pattern as `faults`). Only the
+/// cache's slow paths carry spans — hits stay probe-free.
+mod obs {
+    #[cfg(feature = "obs-trace")]
+    pub(crate) use nrl_obs::span;
+
+    #[cfg(not(feature = "obs-trace"))]
+    mod noop {
+        /// Disabled-probe stand-in; holds nothing, drops to nothing.
+        #[derive(Debug)]
+        pub(crate) struct Span;
+
+        #[inline(always)]
+        pub(crate) fn span(_cat: &'static str, _name: &'static str) -> Option<Span> {
+            None
+        }
+    }
+    #[cfg(not(feature = "obs-trace"))]
+    pub(crate) use noop::span;
+}
 
 /// Deterministic fault hooks for the containment tests (compiled for
 /// this crate's own unit tests and under the `fault-inject` feature).

@@ -33,8 +33,14 @@
 //! Observability is plain text by design:
 //! [`CollapseService::metrics_report`] aggregates the plan-cache
 //! counters, the recovery-counter totals, per-tenant accept/reject/
-//! outcome counts, and the live queue depth (see `docs/COUNTERS.md`
-//! for every counter and the invariants the stress bins assert).
+//! outcome counts, the live queue depth plus its lifetime high-water
+//! mark, and log2 latency histograms per verb and per request phase
+//! ([`LatencyMetrics`]) — see `docs/COUNTERS.md` for every counter and
+//! the invariants the stress bins assert. Each request also gets an
+//! end-to-end trace id ([`RunReply::trace_id`]) tagging its
+//! `serve.resolve` / `serve.queue_wait` / `serve.exec` spans, so a
+//! chrome-trace export (`nrl_obs::TraceSession`, `obs-trace` feature;
+//! see `docs/OBSERVABILITY.md`) can be filtered to one request.
 //!
 //! ```
 //! use nrl_serve::{CollapseRequest, CollapseService, ServeConfig, Tenant};
@@ -57,7 +63,7 @@ pub mod metrics;
 pub mod request;
 pub mod service;
 
-pub use metrics::{ServeMetrics, TenantStats};
+pub use metrics::{LatencyMetrics, ServeMetrics, TenantStats};
 pub use request::{
     CollapseRequest, CollapseResponse, RejectReason, RunReply, RunRequest, RunWork, ServeError,
     ServeReducer, Tenant,

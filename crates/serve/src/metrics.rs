@@ -15,6 +15,7 @@
 
 use crate::request::Tenant;
 use nrl_core::RecoveryStats;
+use nrl_obs::{Hist, SharedHist};
 use nrl_plan::CacheStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +54,48 @@ pub struct TenantStats {
     pub inflight: u64,
 }
 
+/// Snapshot of the service's log2 latency-histogram families: one
+/// [`Hist`] per verb (end-to-end, admission to reply) and one per
+/// request phase. All values are nanoseconds; only requests that
+/// passed admission and finished their verb record (rejections are
+/// counted by [`TenantStats`], not timed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyMetrics {
+    /// End-to-end `bind` verb latency (resolve + instantiate).
+    pub bind: Hist,
+    /// End-to-end latency of body-shaped runs (`run`/`submit` with
+    /// [`RunWork::Body`](crate::RunWork::Body), and `submit_bound`).
+    pub run: Hist,
+    /// End-to-end latency of reduction-shaped runs.
+    pub reduce: Hist,
+    /// Phase: coalesced plan resolution + instantiation.
+    pub resolve: Hist,
+    /// Phase: time queued before the dispatcher picked the job up.
+    pub queue_wait: Hist,
+    /// Phase: pool execution of the run (dispatcher-side).
+    pub exec: Hist,
+}
+
+impl LatencyMetrics {
+    /// Renders the histogram families as plain text, one
+    /// `label: n=… p50≤… p95≤… p99≤… max≤…` line per family (the
+    /// `hist_report()` section of [`ServeMetrics::report`]).
+    pub fn hist_report(&self) -> String {
+        let mut out = String::new();
+        for (label, h) in [
+            ("latency.verb.bind", &self.bind),
+            ("latency.verb.run", &self.run),
+            ("latency.verb.reduce", &self.reduce),
+            ("latency.phase.resolve", &self.resolve),
+            ("latency.phase.queue_wait", &self.queue_wait),
+            ("latency.phase.exec", &self.exec),
+        ] {
+            let _ = writeln!(out, "{}", h.render(label));
+        }
+        out
+    }
+}
+
 /// One full metrics snapshot (see the [module docs](self)).
 #[derive(Clone, Debug)]
 pub struct ServeMetrics {
@@ -66,8 +109,14 @@ pub struct ServeMetrics {
     pub tenants: Vec<(Tenant, TenantStats)>,
     /// Jobs sitting in the work queue right now (racy by nature).
     pub queue_depth: usize,
+    /// High-water mark of the queue depth over the service's lifetime
+    /// (updated at every enqueue and dispatch), so a backpressure
+    /// incident stays visible after the queue drains.
+    pub queue_depth_max: u64,
     /// Capacity of the work queue.
     pub queue_capacity: usize,
+    /// Per-verb and per-phase latency histograms.
+    pub latency: LatencyMetrics,
 }
 
 impl ServeMetrics {
@@ -78,8 +127,8 @@ impl ServeMetrics {
         let _ = writeln!(out, "nrl_serve metrics");
         let _ = writeln!(
             out,
-            "queue: depth {} capacity {}",
-            self.queue_depth, self.queue_capacity
+            "queue: depth {} max {} capacity {}",
+            self.queue_depth, self.queue_depth_max, self.queue_capacity
         );
         let c = &self.cache;
         let _ = writeln!(
@@ -117,7 +166,34 @@ impl ServeMetrics {
                 t.inflight
             );
         }
+        out.push_str(&self.latency.hist_report());
         out
+    }
+}
+
+/// The live (recording) side of [`LatencyMetrics`]: one [`SharedHist`]
+/// per family, recorded lock-free from caller threads and the
+/// dispatcher.
+#[derive(Default)]
+pub(crate) struct LatencyTotals {
+    pub(crate) bind: SharedHist,
+    pub(crate) run: SharedHist,
+    pub(crate) reduce: SharedHist,
+    pub(crate) resolve: SharedHist,
+    pub(crate) queue_wait: SharedHist,
+    pub(crate) exec: SharedHist,
+}
+
+impl LatencyTotals {
+    pub(crate) fn snapshot(&self) -> LatencyMetrics {
+        LatencyMetrics {
+            bind: self.bind.snapshot(),
+            run: self.run.snapshot(),
+            reduce: self.reduce.snapshot(),
+            resolve: self.resolve.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            exec: self.exec.snapshot(),
+        }
     }
 }
 

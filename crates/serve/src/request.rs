@@ -247,6 +247,20 @@ pub struct RunReply {
     /// run this is the deterministic joined prefix over exactly
     /// `points_done` points.
     pub reduced: Option<f64>,
+    /// Time the job spent parked in the bounded work queue before the
+    /// dispatcher picked it up. Together with
+    /// [`exec_time`](RunReply::exec_time) a caller can tell admission
+    /// latency from execution latency without parsing
+    /// `metrics_report()`.
+    pub queue_wait: Duration,
+    /// Time the dispatcher spent executing the run on the pool
+    /// (excludes queue wait and plan resolution).
+    pub exec_time: Duration,
+    /// The request's end-to-end trace id — the same value tagged on
+    /// every span this request emitted, so a chrome-trace export can be
+    /// filtered down to one request's timeline. Never 0 for an
+    /// executed run.
+    pub trace_id: u64,
 }
 
 /// What a successfully served request produced.

@@ -39,16 +39,18 @@
 //! `Quarantined` plan error for coalesced waiters). No service thread
 //! dies; no lock is poisoned.
 
-use crate::metrics::{stats_delta, RecoveryTotals, ServeMetrics, TenantStats};
+use crate::metrics::{stats_delta, LatencyTotals, RecoveryTotals, ServeMetrics, TenantStats};
 use crate::request::{
     CollapseRequest, RejectReason, RunReply, RunRequest, RunWork, ServeError, ServeReducer, Tenant,
 };
 use nrl_core::{Collapsed, Recovery, Reducer};
+use nrl_obs::{now_ns, span_traced, TraceId};
 use nrl_parfor::{BoundedQueue, QueueFull, RunOutcome, RunToken, Schedule, ThreadPool};
 use nrl_plan::PlanCache;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Locks ignoring poisoning (same discipline as the pool and the plan
 /// cache): every critical section below completes its mutation before
@@ -175,6 +177,12 @@ struct Job {
     token: RunToken,
     work: WorkPtr,
     slot: Arc<ResponseSlot>,
+    /// The request's end-to-end trace id (tags every span the request
+    /// emits; surfaced in [`RunReply::trace_id`]).
+    trace: u64,
+    /// Enqueue timestamp on the obs monotonic clock, so the dispatcher
+    /// can attribute queue wait without a cross-thread `Instant`.
+    enq_ns: u64,
 }
 
 /// State shared between the verbs (caller threads) and the dispatcher.
@@ -183,6 +191,11 @@ struct Shared {
     queue: BoundedQueue<Job>,
     tenants: Mutex<Vec<(Tenant, TenantStats)>>,
     recovery: RecoveryTotals,
+    /// Per-verb / per-phase latency histograms (always on; lock-free).
+    latency: LatencyTotals,
+    /// High-water mark of the queue depth (enqueue- and dispatch-side
+    /// `fetch_max`), so backpressure incidents outlive the queue drain.
+    queue_depth_max: AtomicU64,
     /// Completed pool runs (all outcomes), for the demo/stress tools.
     runs: AtomicU64,
 }
@@ -217,6 +230,8 @@ impl CollapseService {
             queue: BoundedQueue::new(config.queue_capacity),
             tenants: Mutex::new(Vec::new()),
             recovery: RecoveryTotals::default(),
+            latency: LatencyTotals::default(),
+            queue_depth_max: AtomicU64::new(0),
             runs: AtomicU64::new(0),
         });
         let dispatcher = {
@@ -238,13 +253,20 @@ impl CollapseService {
     /// instantiation, on the caller thread. The returned handle stays
     /// valid regardless of later cache evictions.
     pub fn bind(&self, request: &CollapseRequest) -> Result<Arc<Collapsed>, ServeError> {
+        let trace = TraceId::next().0;
+        let _verb = span_traced("serve", "serve.bind", trace);
+        let t_verb = now_ns();
         self.admit(request.tenant)?;
-        match self.resolve(request) {
+        match self.resolve(request, trace) {
             Ok(collapsed) => {
                 self.shared.with_tenant(request.tenant, |t| {
                     t.inflight -= 1;
                     t.bound += 1;
                 });
+                self.shared
+                    .latency
+                    .bind
+                    .record(now_ns().saturating_sub(t_verb));
                 Ok(Arc::new(collapsed))
             }
             Err(e) => {
@@ -273,8 +295,20 @@ impl CollapseService {
         request: &CollapseRequest,
         work: RunWork<'_>,
     ) -> Result<RunReply, ServeError> {
+        let trace = TraceId::next().0;
+        let is_reduce = matches!(work, RunWork::Reduce(_));
+        let _verb = span_traced(
+            "serve",
+            if is_reduce {
+                "serve.reduce"
+            } else {
+                "serve.run"
+            },
+            trace,
+        );
+        let t_verb = now_ns();
         self.admit(request.tenant)?;
-        let collapsed = match self.resolve(request) {
+        let collapsed = match self.resolve(request, trace) {
             Ok(collapsed) => collapsed,
             Err(e) => {
                 self.shared.with_tenant(request.tenant, |t| {
@@ -291,7 +325,14 @@ impl CollapseService {
             deadline: request.deadline,
             work,
         };
-        self.enqueue_and_wait(&collapsed, run)
+        let reply = self.enqueue_and_wait(&collapsed, run, trace)?;
+        let verb_hist = if is_reduce {
+            &self.shared.latency.reduce
+        } else {
+            &self.shared.latency.run
+        };
+        verb_hist.record(now_ns().saturating_sub(t_verb));
+        Ok(reply)
     }
 
     /// Body-shaped convenience over [`submit`](Self::submit).
@@ -323,8 +364,27 @@ impl CollapseService {
         collapsed: &Collapsed,
         request: RunRequest<'_>,
     ) -> Result<RunReply, ServeError> {
+        let trace = TraceId::next().0;
+        let is_reduce = matches!(request.work, RunWork::Reduce(_));
+        let _verb = span_traced(
+            "serve",
+            if is_reduce {
+                "serve.reduce"
+            } else {
+                "serve.run"
+            },
+            trace,
+        );
+        let t_verb = now_ns();
         self.admit(request.tenant)?;
-        self.enqueue_and_wait(collapsed, request)
+        let reply = self.enqueue_and_wait(collapsed, request, trace)?;
+        let verb_hist = if is_reduce {
+            &self.shared.latency.reduce
+        } else {
+            &self.shared.latency.run
+        };
+        verb_hist.record(now_ns().saturating_sub(t_verb));
+        Ok(reply)
     }
 
     /// Snapshot of every counter the service exposes.
@@ -336,7 +396,9 @@ impl CollapseService {
             recovery: self.shared.recovery.snapshot(),
             tenants,
             queue_depth: self.shared.queue.len(),
+            queue_depth_max: self.shared.queue_depth_max.load(Ordering::Relaxed),
             queue_capacity: self.shared.queue.capacity(),
+            latency: self.shared.latency.snapshot(),
         }
     }
 
@@ -367,11 +429,17 @@ impl CollapseService {
 
     /// Coalesced plan resolution + instantiation, with analysis panics
     /// contained at the service boundary (see [`ServeError`]).
-    fn resolve(&self, request: &CollapseRequest) -> Result<Collapsed, ServeError> {
+    fn resolve(&self, request: &CollapseRequest, trace: u64) -> Result<Collapsed, ServeError> {
+        let _span = span_traced("serve", "serve.resolve", trace);
+        let t0 = now_ns();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.cache
                 .collapse_coalesced(&request.nest, request.ctx, &request.params)
         }));
+        self.shared
+            .latency
+            .resolve
+            .record(now_ns().saturating_sub(t0));
         match outcome {
             Ok(result) => result.map_err(ServeError::from),
             Err(_panic) => Err(ServeError::AnalyzePanicked),
@@ -383,6 +451,7 @@ impl CollapseService {
         &self,
         collapsed: &Collapsed,
         request: RunRequest<'_>,
+        trace: u64,
     ) -> Result<RunReply, ServeError> {
         let tenant = request.tenant;
         // The token is armed *now*: queue wait counts against the
@@ -417,6 +486,8 @@ impl CollapseService {
             token,
             work,
             slot: Arc::clone(&slot),
+            trace,
+            enq_ns: now_ns(),
         };
         if let Err(QueueFull(_job)) = self.shared.queue.try_push(job) {
             self.shared.with_tenant(tenant, |t| {
@@ -427,6 +498,9 @@ impl CollapseService {
                 reason: RejectReason::QueueFull,
             });
         }
+        self.shared
+            .queue_depth_max
+            .fetch_max(self.shared.queue.len() as u64, Ordering::Relaxed);
         self.shared.with_tenant(tenant, |t| t.accepted += 1);
         slot.wait()
     }
@@ -460,6 +534,16 @@ impl Drop for CollapseService {
 /// panic contained, and publishes exactly one reply per job.
 fn dispatcher_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        // The popped job still counted toward the depth an instant ago.
+        shared
+            .queue_depth_max
+            .fetch_max(shared.queue.len() as u64 + 1, Ordering::Relaxed);
+        let t_pop = now_ns();
+        let queue_wait_ns = t_pop.saturating_sub(job.enq_ns);
+        shared.latency.queue_wait.record(queue_wait_ns);
+        // The wait's start lives on the submitting thread; attribute
+        // the interval to the dispatcher timeline it ended on.
+        nrl_obs::emit("serve", "serve.queue_wait", job.enq_ns, t_pop, job.trace);
         // SAFETY: see `CollapsedPtr`/`BodyPtr`/`ReducerPtr` — the
         // submitting caller is parked on `job.slot` until the publish
         // below.
@@ -470,17 +554,23 @@ fn dispatcher_loop(shared: Arc<Shared>) {
             .schedule(job.schedule)
             .recovery(job.recovery)
             .token(&job.token);
-        let ran = catch_unwind(AssertUnwindSafe(|| match &job.work {
-            WorkPtr::Body(body) => {
-                let body = unsafe { &*body.0 };
-                (runner.run(body).outcome, None)
-            }
-            WorkPtr::Reduce(reducer) => {
-                let reducer = DynReducer(unsafe { &*reducer.0 });
-                let red = runner.reduce(&reducer);
-                (red.outcome, Some(red.value))
-            }
-        }));
+        let t_exec = now_ns();
+        let ran = {
+            let _exec = span_traced("serve", "serve.exec", job.trace);
+            catch_unwind(AssertUnwindSafe(|| match &job.work {
+                WorkPtr::Body(body) => {
+                    let body = unsafe { &*body.0 };
+                    (runner.run(body).outcome, None)
+                }
+                WorkPtr::Reduce(reducer) => {
+                    let reducer = DynReducer(unsafe { &*reducer.0 });
+                    let red = runner.reduce(&reducer);
+                    (red.outcome, Some(red.value))
+                }
+            }))
+        };
+        let exec_ns = now_ns().saturating_sub(t_exec);
+        shared.latency.exec.record(exec_ns);
         shared.runs.fetch_add(1, Ordering::Relaxed);
         let reply = match ran {
             Ok((outcome, reduced)) => {
@@ -490,6 +580,9 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                     outcome,
                     recovery: delta,
                     reduced,
+                    queue_wait: Duration::from_nanos(queue_wait_ns),
+                    exec_time: Duration::from_nanos(exec_ns),
+                    trace_id: job.trace,
                 })
             }
             // The pool already recovered (the panic re-threw here after
@@ -806,6 +899,37 @@ mod tests {
             Some(0.0),
             "zero points folded means the identity comes back"
         );
+    }
+
+    #[test]
+    fn replies_carry_timing_and_metrics_carry_histograms() {
+        let service = CollapseService::new(ServeConfig::default());
+        let reply = service.run(&request(100, 13), &|_, _| {}).unwrap();
+        assert_ne!(reply.trace_id, 0, "every executed run gets a trace id");
+        assert!(
+            reply.exec_time > Duration::ZERO,
+            "a 4950-point run takes measurable time"
+        );
+        let reply2 = service.reduce(&request(100, 13), &WeightedSum).unwrap();
+        assert_ne!(reply2.trace_id, reply.trace_id, "trace ids are per request");
+        let _ = service.bind(&request(100, 13)).unwrap();
+        let m = service.metrics();
+        assert!(
+            m.queue_depth_max >= 1,
+            "an executed run must have raised the high-water mark"
+        );
+        assert_eq!(m.latency.run.count(), 1);
+        assert_eq!(m.latency.reduce.count(), 1);
+        assert_eq!(m.latency.bind.count(), 1);
+        // submit + reduce + bind all resolved; queue_wait/exec saw the
+        // two executed runs.
+        assert_eq!(m.latency.resolve.count(), 3);
+        assert_eq!(m.latency.queue_wait.count(), 2);
+        assert_eq!(m.latency.exec.count(), 2);
+        let report = m.report();
+        assert!(report.contains("latency.verb.run: n=1"));
+        assert!(report.contains("latency.phase.exec: n=2"));
+        assert!(report.contains(&format!("max {}", m.queue_depth_max)));
     }
 
     #[test]

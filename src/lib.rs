@@ -21,6 +21,7 @@
 //! | **the paper** | [`core`] | ranking polynomials, unranking, executors |
 //! | caching | [`plan`] | analyze-once/instantiate-many plan cache with request coalescing |
 //! | serving | [`serve`] | collapse-as-a-service: admission, queues, quotas, metrics |
+//! | observability | [`obs`] | spans, event rings, log2 latency histograms, chrome-trace export |
 //! | extensions | [`morph`] | shape remapping, fusion, packed layouts (§IX future work) |
 //! | tooling | [`dsl`] | C-like parser, collapsed-code generation |
 //! | evaluation | [`kernels`] | the paper's 11 benchmark programs |
@@ -58,6 +59,7 @@ pub use nrl_core as core;
 pub use nrl_dsl as dsl;
 pub use nrl_kernels as kernels;
 pub use nrl_morph as morph;
+pub use nrl_obs as obs;
 pub use nrl_parfor as parfor;
 pub use nrl_plan as plan;
 pub use nrl_poly as poly;
