@@ -1,0 +1,215 @@
+//! CI autotuner stress smoke: proves the persisted strategy winner is
+//! **stable across plan-cache hit / evict / re-analyze cycles**.
+//!
+//! An undersized `PlanCache` (1 shard × 2 plans) serves more shapes
+//! than it can hold, so every round re-resolves a mix of cached and
+//! freshly re-analyzed plans. Each resolve consults the plan's
+//! per-context autotune slot through the deterministic path
+//! (`ParamPlan::tune_strategy_with` with
+//! `EngineCalibration::STATIC`); a re-analyzed plan has lost its slot
+//! and must re-search. The assertions:
+//!
+//! * the winner equals the ground truth computed once per shape from a
+//!   fresh bind (`ShapeProfile::measure` → `strategy::search`), every
+//!   round, hit or re-analysis alike;
+//! * a second tune against the same resolved plan is served from the
+//!   slot (`fresh == false`) — cache hits skip the search;
+//! * overflowing one plan's slot table (`>` 32 param vectors) evicts
+//!   oldest-first, and the re-searched evictee reproduces its winner;
+//! * the cache actually evicted (the re-analyze leg really ran).
+//!
+//! Exit code 1 with a `::error` annotation on any violation.
+
+use nrl_core::strategy as tuner;
+use nrl_core::{CollapseSpec, EngineCalibration, ShapeProfile, TunedStrategy};
+use nrl_plan::{PlanCache, PlanContext};
+use nrl_polyhedra::{NestSpec, Space};
+
+const ROUNDS: usize = 12;
+const THREADS: usize = 4;
+const PARAM: i64 = 60;
+
+/// Six shapes against two cache slots, so the LRU churns.
+fn shapes() -> Vec<NestSpec> {
+    let mut out = vec![NestSpec::correlation(), NestSpec::figure6()];
+    for c in 0..4i64 {
+        let s = Space::new(&["i", "j"], &["N"]);
+        out.push(
+            NestSpec::new(
+                s.clone(),
+                vec![(s.cst(0), s.var("N") - 1), (s.cst(0), s.var("i") + c)],
+            )
+            .expect("stress shape is well-formed"),
+        );
+    }
+    out
+}
+
+fn main() {
+    let cache = PlanCache::new(1, 2);
+    let shapes = shapes();
+    let ctx = PlanContext::default();
+    let key = ctx.key();
+    let mut bad = 0u64;
+
+    // Ground truth per shape: profile a fresh bind and search once,
+    // outside the cache entirely.
+    let expected: Vec<TunedStrategy> = shapes
+        .iter()
+        .map(|nest| {
+            let collapsed = CollapseSpec::new(nest).unwrap().bind(&[PARAM]).unwrap();
+            let profile = ShapeProfile::measure(&collapsed);
+            tuner::search(&profile, &EngineCalibration::STATIC, THREADS)
+        })
+        .collect();
+
+    let mut searches = 0u64;
+    let mut slot_hits = 0u64;
+    for round in 0..ROUNDS {
+        for (idx, nest) in shapes.iter().enumerate() {
+            let (plan, collapsed) = cache
+                .collapse_coalesced_with_plan(nest, ctx, &[PARAM])
+                .expect("stress shape must collapse");
+            let (tuned, fresh) = plan.tune_strategy_with(
+                key,
+                &[PARAM],
+                &collapsed,
+                THREADS,
+                &EngineCalibration::STATIC,
+            );
+            if fresh {
+                searches += 1;
+            } else {
+                slot_hits += 1;
+            }
+            if tuned != expected[idx] {
+                println!(
+                    "::error title=autotune stress::round {round} shape {idx}: winner drifted \
+                     ({} predicted {} ns, expected {} predicted {} ns, fresh={fresh})",
+                    tuned.strategy.label(),
+                    tuned.predicted_ns,
+                    expected[idx].strategy.label(),
+                    expected[idx].predicted_ns
+                );
+                bad += 1;
+            }
+            // Same resolved plan, second consult: must be a slot hit.
+            let (again, fresh2) = plan.tune_strategy_with(
+                key,
+                &[PARAM],
+                &collapsed,
+                THREADS,
+                &EngineCalibration::STATIC,
+            );
+            if fresh2 || again != tuned {
+                println!(
+                    "::error title=autotune stress::round {round} shape {idx}: slot re-consult \
+                     was not served from the slot (fresh={fresh2})"
+                );
+                bad += 1;
+            }
+        }
+        // Hit leg: the last shape is still LRU-resident, so this
+        // resolve is a cache hit and its slot must already hold the
+        // winner — no fresh search on the hit path.
+        let last = shapes.len() - 1;
+        let (plan, collapsed) = cache
+            .collapse_coalesced_with_plan(&shapes[last], ctx, &[PARAM])
+            .unwrap();
+        let (tuned, fresh) = plan.tune_strategy_with(
+            key,
+            &[PARAM],
+            &collapsed,
+            THREADS,
+            &EngineCalibration::STATIC,
+        );
+        if fresh || tuned != expected[last] {
+            println!(
+                "::error title=autotune stress::round {round}: cache hit ran a fresh search \
+                 (fresh={fresh}) or drifted ({})",
+                tuned.strategy.label()
+            );
+            bad += 1;
+        }
+        slot_hits += 1;
+    }
+
+    // Slot-table churn on one pinned plan: more param vectors than the
+    // per-plan slot cap, so old winners evict; a re-tune of an evicted
+    // params vector must re-search and reproduce its winner.
+    let (plan, _) = cache
+        .collapse_coalesced_with_plan(&shapes[0], ctx, &[PARAM])
+        .unwrap();
+    let first_params = [7i64];
+    let first_collapsed = plan.instantiate(&first_params).unwrap();
+    let (first_winner, _) = plan.tune_strategy_with(
+        key,
+        &first_params,
+        &first_collapsed,
+        THREADS,
+        &EngineCalibration::STATIC,
+    );
+    for n in 8i64..48 {
+        let params = [n];
+        let collapsed = plan.instantiate(&params).unwrap();
+        let _ = plan.tune_strategy_with(
+            key,
+            &params,
+            &collapsed,
+            THREADS,
+            &EngineCalibration::STATIC,
+        );
+    }
+    if plan.tuned_strategy(key, &first_params).is_some() {
+        println!(
+            "::error title=autotune stress::slot table never evicted after 40 further winners"
+        );
+        bad += 1;
+    }
+    let (rewinner, refresh) = plan.tune_strategy_with(
+        key,
+        &first_params,
+        &first_collapsed,
+        THREADS,
+        &EngineCalibration::STATIC,
+    );
+    if !refresh || rewinner != first_winner {
+        println!(
+            "::error title=autotune stress::evicted slot re-search drifted \
+             (fresh={refresh}, {} vs {})",
+            rewinner.strategy.label(),
+            first_winner.strategy.label()
+        );
+        bad += 1;
+    }
+
+    let stats = cache.stats();
+    println!(
+        "autotune stress: {ROUNDS} rounds over {} shapes → {searches} searches / {slot_hits} \
+         slot hits, cache {} hits / {} misses / {} evictions",
+        shapes.len(),
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+    if stats.evictions == 0 {
+        println!("::error title=autotune stress::no plan evictions — the re-analyze leg never ran");
+        bad += 1;
+    }
+    if stats.hits == 0 {
+        println!("::error title=autotune stress::no cache hits — the hit leg never ran");
+        bad += 1;
+    }
+    if searches <= shapes.len() as u64 {
+        println!(
+            "::error title=autotune stress::only {searches} searches — evicted plans must \
+             re-search, not inherit slots"
+        );
+        bad += 1;
+    }
+    if bad > 0 {
+        eprintln!("autotune stress FAILED: {bad} violation(s)");
+        std::process::exit(1);
+    }
+    println!("autotune stress passed");
+}

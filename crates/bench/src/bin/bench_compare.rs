@@ -8,12 +8,17 @@
 //!
 //! A per-id slowdown beyond `--threshold-pct` fails the gate unless the
 //! absolute delta stays within `--noise-ns` (jitter floor for
-//! nanosecond-scale ids). New ids (no baseline yet) and ids missing
-//! from the current run are reported but never fail. The comparison is
+//! nanosecond-scale ids). Ids missing from the current run are reported
+//! but never fail; ids present in the run but **absent from the
+//! baseline fail the gate** with an explicit listing — a baseline-less
+//! id has no 25%/30 ns trajectory at all, so a PR adding a bench must
+//! refresh the committed baseline in the same change. The comparison is
 //! printed as a markdown table — and appended to `$GITHUB_STEP_SUMMARY`
 //! when that variable is set, so it lands in the job summary.
 
-use nrl_bench::compare::{compare, markdown_table, parse_bench_json, regressions, GateConfig};
+use nrl_bench::compare::{
+    compare, markdown_table, new_ids, parse_bench_json, regressions, GateConfig,
+};
 use nrl_bench::Args;
 use std::io::Write as _;
 
@@ -79,6 +84,23 @@ fn main() {
             "(intentional? apply the `perf-regression-ok` label to the PR and re-run, \
              then refresh the committed baseline)"
         );
+    }
+    let news = new_ids(&rows);
+    if !news.is_empty() {
+        eprintln!(
+            "perf gate FAILED: {} id(s) in the run but missing from the baseline {baseline_path}:",
+            news.len()
+        );
+        for row in &news {
+            eprintln!(
+                "  {} : {:.2} ns (no baseline — the 25%/30 ns gate cannot apply)",
+                row.id,
+                row.current.unwrap_or(f64::NAN)
+            );
+        }
+        eprintln!("(new bench? refresh the committed baseline JSON in the same PR)");
+    }
+    if !failures.is_empty() || !news.is_empty() {
         std::process::exit(1);
     }
     println!("perf gate passed ({} ids compared)", rows.len());

@@ -164,6 +164,17 @@ pub fn regressions(rows: &[Row]) -> Vec<&Row> {
         .collect()
 }
 
+/// The ids present in the current run but absent from the committed
+/// baseline. The `bench_compare` binary fails on these too: a new id
+/// with no baseline has no 25%/30 ns gate at all, so letting it pass
+/// silently would let every freshly added bench (e.g. `autotuned/*`)
+/// dodge the perf trajectory until someone remembers to commit a
+/// baseline. The fix is always the same — refresh the committed
+/// baseline JSON in the same PR that adds the bench.
+pub fn new_ids(rows: &[Row]) -> Vec<&Row> {
+    rows.iter().filter(|r| r.verdict == Verdict::New).collect()
+}
+
 /// Renders the comparison as a GitHub-flavored markdown table.
 pub fn markdown_table(rows: &[Row], config: GateConfig) -> String {
     let mut out = String::new();
@@ -247,7 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn new_and_missing_ids_do_not_fail() {
+    fn missing_ids_are_reported_but_never_regressions() {
         let base = vec![res("gone", 50.0)];
         let cur = vec![res("fresh", 70.0)];
         let rows = compare(&base, &cur, GateConfig::default());
@@ -255,6 +266,18 @@ mod tests {
         assert_eq!(rows[0].verdict, Verdict::Missing);
         assert_eq!(rows[1].verdict, Verdict::New);
         assert!(regressions(&rows).is_empty());
+    }
+
+    #[test]
+    fn new_ids_are_listed_so_the_gate_can_fail_them() {
+        let base = vec![res("old", 50.0)];
+        let cur = vec![res("old", 50.0), res("autotuned/x", 70.0), res("b", 1.0)];
+        let rows = compare(&base, &cur, GateConfig::default());
+        let news = new_ids(&rows);
+        assert_eq!(news.len(), 2, "every baseline-less id must be surfaced");
+        assert_eq!(news[0].id, "autotuned/x");
+        assert_eq!(news[1].id, "b");
+        assert!(regressions(&rows).is_empty(), "new ≠ regressed");
     }
 
     #[test]

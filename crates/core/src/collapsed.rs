@@ -447,6 +447,13 @@ impl Collapsed {
         self.levels[k].i64_safe
     }
 
+    /// Univariate degree of level `k`'s compiled recovery ladder (the
+    /// degree the engine crossover and the
+    /// [`strategy`](crate::strategy) cost model price probes at).
+    pub fn level_degree(&self, k: usize) -> usize {
+        self.levels[k].compiled.degree()
+    }
+
     /// Whether the compiled `rank()` ladder's overflow proof succeeded
     /// (see [`Self::level_i64_proven`]).
     pub fn rank_i64_proven(&self) -> bool {

@@ -52,6 +52,7 @@ pub mod ranking;
 pub mod reduce;
 pub mod rowwalk;
 pub mod runner;
+pub mod strategy;
 pub mod unrank;
 
 pub use collapsed::{BindError, CollapseError, CollapseSpec, Collapsed, Unranker};
@@ -73,6 +74,7 @@ pub use reduce::{
 };
 pub use rowwalk::{RowSegment, RowWalker};
 pub use runner::{RunReport, Runner};
+pub use strategy::{ShapeProfile, Strategy, StrategyNode, TunedStrategy};
 pub use unrank::{EngineCalibration, LevelEngine, RecoveryStats};
 
 // Re-exports so downstream users need only one crate.

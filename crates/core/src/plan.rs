@@ -46,10 +46,56 @@ use crate::collapsed::{
     assemble_level, assemble_rank, bind_poly, iterator_box, BindError, CollapseError, CollapseSpec,
     Collapsed,
 };
+use crate::strategy::{self, ShapeProfile, TunedStrategy};
 use crate::unrank::EngineCalibration;
 use nrl_poly::{IntPoly, ParamCompiledPoly};
 use nrl_polyhedra::{NestSpec, TripCountCertificate, TripProof};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
+
+/// Cap on persisted per-`(context, params)` strategy winners per plan:
+/// a service replaying the same shapes reuses a handful of slots;
+/// past the cap the oldest slot is evicted (the search is cheap to
+/// redo, the cap only bounds memory for parameter-sweep workloads).
+const MAX_TUNED_SLOTS: usize = 32;
+
+/// One persisted autotune decision: the winner for one
+/// `(context key, parameter vector)` of this plan's shape.
+#[derive(Clone, Debug)]
+struct TunedSlot {
+    ctx_key: u64,
+    params: Vec<i64>,
+    tuned: TunedStrategy,
+}
+
+/// The keyed per-context tuning state of a plan: the machine's
+/// microprobe calibration (measured once, shared by every context —
+/// engine costs are a machine fact, not a context fact) plus the
+/// per-`(context, params)` strategy winners. This replaces the bare
+/// `OnceLock<EngineCalibration>` field of earlier revisions: cache
+/// hits now skip the strategy search, not just the microprobe.
+#[derive(Debug, Default)]
+struct TunerMap {
+    calibration: OnceLock<EngineCalibration>,
+    winners: Mutex<Vec<TunedSlot>>,
+}
+
+impl Clone for TunerMap {
+    fn clone(&self) -> Self {
+        let map = TunerMap::default();
+        if let Some(c) = self.calibration.get() {
+            let _ = map.calibration.set(*c);
+        }
+        let winners = self
+            .winners
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *map.winners
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = winners.clone();
+        drop(winners);
+        map
+    }
+}
 
 /// The reusable, parameter-independent product of analyzing one nest
 /// shape: symbolic ranking/inversion polynomials plus every bind-time
@@ -69,12 +115,14 @@ pub struct ParamPlan {
     /// Parameter-space projection of the per-level trip-count
     /// violation systems (the analyze-time half of `bind` validation).
     cert: TripCountCertificate,
-    /// Machine-measured engine-crossover constants, persisted after the
-    /// first [`calibrate_engines`](Self::calibrate_engines) call so the
+    /// Machine-measured engine/strategy constants plus the persisted
+    /// per-`(context, params)` autotune winners (see [`TunerMap`]).
+    /// The calibration half is set by the first
+    /// [`calibrate_engines`](Self::calibrate_engines) call so the
     /// microprobe cost amortizes across every instantiation of the
-    /// shape. Unset plans use [`EngineCalibration::STATIC`] and stay
-    /// bit-identical to fresh binds.
-    calibration: OnceLock<EngineCalibration>,
+    /// shape; uncalibrated plans use [`EngineCalibration::STATIC`] and
+    /// stay bit-identical to fresh binds.
+    tuner: TunerMap,
 }
 
 impl ParamPlan {
@@ -113,13 +161,100 @@ impl ParamPlan {
     /// assertion for calibrated plans *except* per-level engine
     /// equality, which only holds under the committed constants.
     pub fn calibrate_engines(&self) -> EngineCalibration {
-        *self.calibration.get_or_init(EngineCalibration::microprobe)
+        *self
+            .tuner
+            .calibration
+            .get_or_init(EngineCalibration::microprobe)
     }
 
     /// The persisted microprobe result, if
     /// [`calibrate_engines`](Self::calibrate_engines) has run.
     pub fn engine_calibration(&self) -> Option<EngineCalibration> {
-        self.calibration.get().copied()
+        self.tuner.calibration.get().copied()
+    }
+
+    /// The persisted autotune winner for `(ctx_key, params)`, if a
+    /// [`tune_strategy`](Self::tune_strategy) call already searched
+    /// this slot — the plan-cache-hit fast path that skips profiling
+    /// and search entirely.
+    ///
+    /// `ctx_key` is an opaque context discriminator computed by the
+    /// caller (the plan cache hashes its `PlanContext` into one);
+    /// callers without contexts use `0`.
+    pub fn tuned_strategy(&self, ctx_key: u64, params: &[i64]) -> Option<TunedStrategy> {
+        let winners = self
+            .tuner
+            .winners
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        winners
+            .iter()
+            .find(|s| s.ctx_key == ctx_key && s.params == params)
+            .map(|s| s.tuned)
+    }
+
+    /// Returns the autotune winner for `(ctx_key, params)`, running
+    /// the bounded strategy search (profile → per-node
+    /// `compute_main_cost` → argmin) on a miss and persisting the
+    /// result in the keyed per-context slot. The boolean reports
+    /// whether a fresh search ran (`false` = served from the slot).
+    ///
+    /// Calibrates the engines first ([`Self::calibrate_engines`] — a
+    /// one-time microprobe), so predictions use this machine's
+    /// measured constants.
+    pub fn tune_strategy(
+        &self,
+        ctx_key: u64,
+        params: &[i64],
+        collapsed: &Collapsed,
+        threads: usize,
+    ) -> (TunedStrategy, bool) {
+        if let Some(tuned) = self.tuned_strategy(ctx_key, params) {
+            return (tuned, false);
+        }
+        let cal = self.calibrate_engines();
+        self.tune_strategy_with(ctx_key, params, collapsed, threads, &cal)
+    }
+
+    /// [`Self::tune_strategy`] against an explicit calibration —
+    /// deterministic given its inputs (the `autotune_stress` bin pins
+    /// winner stability with [`EngineCalibration::STATIC`]).
+    pub fn tune_strategy_with(
+        &self,
+        ctx_key: u64,
+        params: &[i64],
+        collapsed: &Collapsed,
+        threads: usize,
+        calibration: &EngineCalibration,
+    ) -> (TunedStrategy, bool) {
+        if let Some(tuned) = self.tuned_strategy(ctx_key, params) {
+            return (tuned, false);
+        }
+        let _autotune = crate::obs::span("plan", "plan.autotune");
+        let profile = ShapeProfile::measure(collapsed);
+        let tuned = strategy::search(&profile, calibration, threads);
+        let mut winners = self
+            .tuner
+            .winners
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // A racing search may have landed first; both computed the
+        // same deterministic winner — keep the stored one.
+        if let Some(slot) = winners
+            .iter()
+            .find(|s| s.ctx_key == ctx_key && s.params == params)
+        {
+            return (slot.tuned, false);
+        }
+        if winners.len() >= MAX_TUNED_SLOTS {
+            winners.remove(0);
+        }
+        winners.push(TunedSlot {
+            ctx_key,
+            params: params.to_vec(),
+            tuned,
+        });
+        (tuned, true)
     }
 
     /// Instantiates the plan at concrete parameters, validating the
@@ -153,7 +288,11 @@ impl ParamPlan {
         full[d..].copy_from_slice(params);
         let total = self.total.eval_int(&full);
         let var_box = iterator_box(nest, params);
-        let calibration = self.calibration.get().unwrap_or(&EngineCalibration::STATIC);
+        let calibration = self
+            .tuner
+            .calibration
+            .get()
+            .unwrap_or(&EngineCalibration::STATIC);
         let levels = self
             .levels
             .iter()
@@ -216,7 +355,7 @@ impl CollapseSpec {
             rank,
             total,
             cert,
-            calibration: OnceLock::new(),
+            tuner: TunerMap::default(),
         }
     }
 }
@@ -351,6 +490,43 @@ mod tests {
         assert_eq!(calib.probe_equiv(0), 0);
         assert_eq!(calib.probe_equiv(1), 0);
         assert_eq!(calib.probe_equiv(9), 0);
+    }
+
+    #[test]
+    fn tuned_winner_persists_per_context_slot() {
+        let plan = ParamPlan::analyze(&NestSpec::correlation()).unwrap();
+        let collapsed = plan.instantiate(&[800]).unwrap();
+        assert_eq!(plan.tuned_strategy(0, &[800]), None, "empty until tuned");
+        let cal = EngineCalibration::STATIC;
+        let (first, fresh) = plan.tune_strategy_with(0, &[800], &collapsed, 4, &cal);
+        assert!(fresh, "first call must search");
+        // The slot now serves every repeat — no fresh search.
+        let (again, fresh) = plan.tune_strategy_with(0, &[800], &collapsed, 4, &cal);
+        assert!(!fresh, "slot hit must skip the search");
+        assert_eq!(first, again);
+        assert_eq!(plan.tuned_strategy(0, &[800]), Some(first));
+        // Distinct context keys and distinct params are distinct slots.
+        assert_eq!(plan.tuned_strategy(7, &[800]), None);
+        assert_eq!(plan.tuned_strategy(0, &[900]), None);
+        let (_, fresh) = plan.tune_strategy_with(7, &[800], &collapsed, 4, &cal);
+        assert!(fresh);
+        // Cloning the plan carries the persisted slots along.
+        let cloned = plan.clone();
+        assert_eq!(cloned.tuned_strategy(0, &[800]), Some(first));
+    }
+
+    #[test]
+    fn tuned_slot_cap_evicts_oldest() {
+        let plan = ParamPlan::analyze(&NestSpec::correlation()).unwrap();
+        let collapsed = plan.instantiate(&[100]).unwrap();
+        let cal = EngineCalibration::STATIC;
+        for key in 0..(super::MAX_TUNED_SLOTS as u64 + 3) {
+            plan.tune_strategy_with(key, &[100], &collapsed, 4, &cal);
+        }
+        assert_eq!(plan.tuned_strategy(0, &[100]), None, "oldest evicted");
+        assert!(plan
+            .tuned_strategy(super::MAX_TUNED_SLOTS as u64 + 2, &[100])
+            .is_some());
     }
 
     #[test]

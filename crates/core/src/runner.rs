@@ -60,7 +60,8 @@ use crate::reduce::{
     run_reduce_guarded_window, run_reduce_window, run_scan_rows_window, GuardedReducer, Reducer,
     Reduction,
 };
-use crate::unrank::MAX_DEPTH;
+use crate::strategy::{self, ShapeProfile, Strategy, TunedStrategy};
+use crate::unrank::{EngineCalibration, MAX_DEPTH};
 use nrl_parfor::{ImbalanceReport, RunOutcome, RunToken, Schedule, ThreadPool, WorkerLocal};
 use nrl_polyhedra::BoundNest;
 
@@ -117,6 +118,52 @@ impl<'a> Runner<'a> {
     pub fn recovery(mut self, recovery: Recovery) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Applies both strategy axes at once (the autotuner's unit of
+    /// configuration — see [`crate::strategy`]).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.schedule = strategy.schedule;
+        self.recovery = strategy.recovery;
+        self
+    }
+
+    /// The currently configured strategy pair (what [`run`](Self::run)
+    /// would execute) — introspection for the autotuner's differential
+    /// tests and the serve layer's reply tag.
+    pub fn strategy(&self) -> Strategy {
+        Strategy {
+            schedule: self.schedule,
+            recovery: self.recovery,
+        }
+    }
+
+    /// Autotunes the schedule/recovery pair: profiles the collapsed
+    /// loop ([`ShapeProfile::measure`] — a few dozen unranks), runs
+    /// the bounded cost-model search against the committed
+    /// [`EngineCalibration::STATIC`] constants and this pool's thread
+    /// count, and applies the winner. Overrides whatever
+    /// [`schedule`](Self::schedule)/[`recovery`](Self::recovery) were
+    /// set before it.
+    ///
+    /// Plan-served callers should prefer the persisted winner
+    /// ([`ParamPlan::tune_strategy`](crate::ParamPlan::tune_strategy)
+    /// with [`auto_with`](Self::auto_with)): that path searches once
+    /// per (shape, context, params, machine) against the *measured*
+    /// microprobe constants and skips even the profiling on cache
+    /// hits. `.auto()` re-profiles per call — cheap (microseconds),
+    /// but not free.
+    pub fn auto(self) -> Self {
+        let profile = ShapeProfile::measure(self.collapsed);
+        let tuned = strategy::search(&profile, &EngineCalibration::STATIC, self.pool.nthreads());
+        self.with_strategy(tuned.strategy)
+    }
+
+    /// Applies a persisted autotune winner (the serve-layer path: the
+    /// plan cache hands back the
+    /// [`TunedStrategy`] its keyed slot stored).
+    pub fn auto_with(self, tuned: TunedStrategy) -> Self {
+        self.with_strategy(tuned.strategy)
     }
 
     /// Attaches a cancellation/deadline token, polled at the executor's

@@ -1,0 +1,562 @@
+//! The cost-model-driven strategy autotuner: predict, search, and
+//! persist the fastest execution strategy per (shape, params, machine).
+//!
+//! The paper's speedups depend entirely on picking the right execution
+//! strategy per nest — and the committed baselines show the stakes
+//! (`batched8` is 44% slower than `once_per_chunk` on correlation
+//! N=800 while `batched64` wins; naive per-point recovery is 12×
+//! worse than either). Yet every caller so far hand-picks
+//! `Schedule × Recovery × lane width`. This module closes the loop in
+//! the `Impl`-style spirit of modular cost-model synthesis systems:
+//!
+//! 1. [`ShapeProfile::measure`] samples a bound [`Collapsed`] loop —
+//!    per-level widths, degrees, engines, row statistics — in a few
+//!    dozen unranks;
+//! 2. every [`StrategyNode`] predicts its recovery overhead via
+//!    [`compute_main_cost`](StrategyNode::compute_main_cost) from the
+//!    profile and the machine's measured [`EngineCalibration`]
+//!    constants (the PR 5 microprobe, extended to absolute picosecond
+//!    costs);
+//! 3. [`search`] walks the bounded candidate space and returns the
+//!    cheapest *executable* strategy as a [`TunedStrategy`] — which
+//!    [`ParamPlan`](crate::ParamPlan) persists per
+//!    `(context, params)` slot so plan-cache hits skip the whole
+//!    procedure, and [`Runner::auto`](crate::Runner::auto) applies.
+//!
+//! Cost formulas model **recovery overhead only** (anchor solves,
+//! probe sweeps, chunk handshakes) — the loop body is the same work
+//! under every strategy, so it cancels out of the comparison except
+//! where a node trades balance for it ([`StrategyNode::OuterParallel`],
+//! [`StrategyNode::PartialCollapse`], which price imbalance against a
+//! nominal one-multiply-add body). See `docs/AUTOTUNER.md` for the
+//! formula derivations and the model's stated limits.
+
+use crate::collapsed::Collapsed;
+use crate::exec::Recovery;
+use crate::unrank::{EngineCalibration, LevelEngine};
+use nrl_parfor::Schedule;
+use nrl_poly::LANE_WIDTH;
+
+/// Ranks sampled when profiling a shape: enough to see the row-length
+/// spread of a triangular nest, few enough that profiling stays a
+/// sub-microsecond affair.
+const PROFILE_SAMPLES: usize = 9;
+
+/// Lane widths the bounded search tries for [`StrategyNode::Batched`].
+pub const SEARCH_LANE_WIDTHS: [usize; 4] = [8, 32, 64, 256];
+
+/// Nominal per-point body cost (picoseconds) used **only** by the
+/// advisory nodes that trade thread balance against body work
+/// (`OuterParallel`, `PartialCollapse`): one multiply-add, priced like
+/// a degree-1 probe. Real bodies are heavier, which makes imbalance
+/// *more* expensive — the advisory costs are lower bounds on the
+/// penalty.
+const NOMINAL_BODY_PS: u64 = 8_000;
+
+/// Measured execution-relevant statistics of one bound collapsed loop:
+/// everything the [`StrategyNode`] cost formulas consume. Obtained by
+/// [`ShapeProfile::measure`] from a handful of evenly-spread unranks
+/// (the per-level widths are *not* stored in [`Collapsed`], so the
+/// profile reconstructs them by sampling).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeProfile {
+    /// Nest depth.
+    pub depth: usize,
+    /// Total flattened iterations.
+    pub total: i128,
+    /// Mean observed search width per level (≥ 1 entries are clamped).
+    pub level_width: Vec<f64>,
+    /// Univariate degree of each level's compiled ladder.
+    pub level_degree: Vec<usize>,
+    /// Bind-time engine of each level.
+    pub level_engine: Vec<LevelEngine>,
+    /// Bind-time i64-overflow proof of each level.
+    pub level_i64_safe: Vec<bool>,
+    /// Estimated number of innermost rows (`total / avg_row_len`).
+    pub rows: f64,
+    /// Mean innermost-row length over the samples.
+    pub avg_row_len: f64,
+    /// Shortest sampled innermost row.
+    pub min_row_len: f64,
+    /// Longest sampled innermost row.
+    pub max_row_len: f64,
+}
+
+impl ShapeProfile {
+    /// Samples `collapsed` at `PROFILE_SAMPLES` (9) evenly-spread ranks:
+    /// each sample is one `unrank_into` plus a bounds evaluation per
+    /// level. Deterministic (the sample ranks depend only on `total`),
+    /// so equal shapes at equal parameters always profile equally —
+    /// the property the `autotune_stress` winner-stability bin pins.
+    pub fn measure(collapsed: &Collapsed) -> ShapeProfile {
+        let depth = collapsed.depth();
+        let total = collapsed.total();
+        let mut profile = ShapeProfile {
+            depth,
+            total,
+            level_width: vec![1.0; depth],
+            level_degree: (0..depth).map(|k| collapsed.level_degree(k)).collect(),
+            level_engine: (0..depth).map(|k| collapsed.level_engine(k)).collect(),
+            level_i64_safe: (0..depth).map(|k| collapsed.level_i64_proven(k)).collect(),
+            rows: 1.0,
+            avg_row_len: 1.0,
+            min_row_len: 1.0,
+            max_row_len: 1.0,
+        };
+        if depth == 0 || total < 1 {
+            return profile;
+        }
+        let samples = PROFILE_SAMPLES.min(total as usize).max(1);
+        let mut point = vec![0i64; depth];
+        let mut width_sum = vec![0.0f64; depth];
+        let (mut min_row, mut max_row) = (f64::INFINITY, 0.0f64);
+        for s in 0..samples {
+            let pc = if samples == 1 {
+                1
+            } else {
+                1 + (total - 1) * s as i128 / (samples as i128 - 1)
+            };
+            collapsed.unrank_into(pc, &mut point);
+            for (k, sum) in width_sum.iter_mut().enumerate() {
+                let lb = collapsed.nest().lower(k, &point);
+                let ub = collapsed.nest().upper(k, &point);
+                let w = ((ub - lb + 1).max(1)) as f64;
+                *sum += w;
+                if k == depth - 1 {
+                    min_row = min_row.min(w);
+                    max_row = max_row.max(w);
+                }
+            }
+        }
+        for (width, sum) in profile.level_width.iter_mut().zip(&width_sum) {
+            *width = (sum / samples as f64).max(1.0);
+        }
+        profile.avg_row_len = profile.level_width[depth - 1];
+        profile.min_row_len = min_row;
+        profile.max_row_len = max_row;
+        profile.rows = (total as f64 / profile.avg_row_len).max(1.0);
+        profile
+    }
+
+    /// `⌈log₂(width + 1)⌉` — probes a binary search pays to pin one
+    /// value in a `width`-wide range (matches the engine crossover).
+    fn probes(width: f64) -> f64 {
+        let w = width.max(1.0) as u64;
+        (64 - w.leading_zeros() as u64) as f64
+    }
+
+    /// Predicted picoseconds of one **full anchor recovery** (all
+    /// levels, each through its bind-time engine), including the
+    /// per-level prefix specialization fold.
+    fn anchor_ps(&self, cal: &EngineCalibration) -> f64 {
+        self.anchor_ps_engine(cal, None)
+    }
+
+    /// [`Self::anchor_ps`] with every closed-form-capable level forced
+    /// to `engine` (the `Recovery::BinarySearch` / `::ClosedForm`
+    /// ablation axes).
+    fn anchor_ps_engine(&self, cal: &EngineCalibration, forced: Option<LevelEngine>) -> f64 {
+        let mut ps = 0.0;
+        for k in 0..self.depth {
+            let deg = self.level_degree[k];
+            // Prefix specialization: one fold pass over the ladder.
+            ps += cal.probe_ps(deg) as f64;
+            if deg <= 1 {
+                ps += cal.probe_ps(1) as f64;
+                continue;
+            }
+            let engine = forced.unwrap_or(self.level_engine[k]);
+            match engine {
+                LevelEngine::ClosedForm if cal.solve_ps(deg) > 0 => {
+                    ps += cal.solve_ps(deg) as f64;
+                }
+                _ => {
+                    let probe_cost = if self.level_i64_safe[k] { 1.0 } else { 3.0 };
+                    ps += Self::probes(self.level_width[k]) * cal.probe_ps(deg) as f64 * probe_cost;
+                }
+            }
+        }
+        ps
+    }
+
+    /// Per-row walking cost of the segmented executors: one row-end
+    /// rank evaluation plus the odometer carry.
+    fn row_step_ps(&self, cal: &EngineCalibration) -> f64 {
+        let deg_inner = self.level_degree.last().copied().unwrap_or(1);
+        2.0 * cal.probe_ps(deg_inner) as f64
+    }
+}
+
+/// One node of the strategy IR: an execution scheme whose recovery
+/// overhead [`compute_main_cost`](Self::compute_main_cost) predicts
+/// from a [`ShapeProfile`] and the machine's [`EngineCalibration`].
+///
+/// The first three nodes are **executable** through
+/// [`Runner`](crate::Runner) with nothing but a
+/// [`Strategy`] (`schedule` + `recovery`) — they form the
+/// [`search`] space. The last three are **advisory**: they require a
+/// different call shape (`Runner::warp`, `run_outer_parallel`,
+/// `Runner::over`) and are costed for reporting and analysis, not
+/// picked by `.auto()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyNode {
+    /// §V: one anchor recovery per chunk, odometer row walking after.
+    OncePerChunk,
+    /// §VI.A: lane-batched anchors every `L` points (forward Horner
+    /// sweeps between anchors).
+    Batched(usize),
+    /// Once-per-chunk anchors with every level forced onto the
+    /// monotone binary search (the pure-integer ablation engine).
+    BinarySearch,
+    /// §VI.B: a simulated GPU warp of the given width — strided
+    /// odometer advance, thread-batched anchor recovery. Advisory.
+    WarpSim(usize),
+    /// Plain outer-loop parallelism (the baseline the paper collapses
+    /// away from): zero recovery cost, full row imbalance. Advisory.
+    OuterParallel,
+    /// `collapse(c)` with `c < depth`: collapse the outer `c` levels,
+    /// walk the inner subtree sequentially per prefix rank. Advisory.
+    PartialCollapse(usize),
+}
+
+impl StrategyNode {
+    /// Predicts this node's end-to-end **overhead** in picoseconds for
+    /// one full run of the profiled loop on `threads` workers under
+    /// static chunking: recovery work (anchors, sweeps, probes), chunk
+    /// handshakes, and — for the balance-trading advisory nodes — the
+    /// imbalance penalty at a nominal body cost. Deterministic in its
+    /// inputs; the [`search`] winner is the argmin over executable
+    /// nodes.
+    pub fn compute_main_cost(
+        &self,
+        profile: &ShapeProfile,
+        cal: &EngineCalibration,
+        threads: usize,
+    ) -> u128 {
+        let n = (profile.total.max(0)) as f64;
+        let t = threads.max(1) as f64;
+        let chunks = t; // Schedule::Static: one contiguous block per thread
+        let chunk_overhead = chunks * (profile.anchor_ps(cal) + cal.chunk_ps() as f64);
+        let ps = match *self {
+            StrategyNode::OncePerChunk => chunk_overhead + profile.rows * profile.row_step_ps(cal),
+            StrategyNode::BinarySearch => {
+                let anchor = profile.anchor_ps_engine(cal, Some(LevelEngine::BinarySearch));
+                chunks * (anchor + cal.chunk_ps() as f64) + profile.rows * profile.row_step_ps(cal)
+            }
+            StrategyNode::Batched(l) => {
+                let l = l.max(1) as f64;
+                let anchors = (n / l).ceil();
+                // Each non-first anchor of a chunk resolves by forward
+                // lane sweep: the level above the innermost moves
+                // ≈ L / avg_row_len values, swept in LANE_WIDTH-wide
+                // Horner blocks; the innermost is exact-linear.
+                let outer_deg = if profile.depth >= 2 {
+                    profile.level_degree[profile.depth - 2]
+                } else {
+                    1
+                };
+                let moved = l / profile.avg_row_len.max(1.0);
+                let blocks = ((moved + 1.0) / LANE_WIDTH as f64).ceil();
+                let sweep = blocks * LANE_WIDTH as f64 * cal.probe_ps(outer_deg) as f64;
+                let lane_fixed = 2.0 * cal.probe_ps(2) as f64 + cal.probe_ps(1) as f64;
+                chunk_overhead + anchors * (lane_fixed + sweep)
+            }
+            StrategyNode::WarpSim(w) => {
+                let w = w.max(1) as f64;
+                // Strided odometer advance: each point moves the
+                // odometer ~min(W, row) micro-steps; anchors recover
+                // lane-batched once per warp row.
+                let steps = w.min(profile.avg_row_len);
+                let odo_step = (cal.probe_ps(1) as f64 / 32.0).max(100.0);
+                let lane_fixed = 2.0 * cal.probe_ps(2) as f64 + cal.probe_ps(1) as f64;
+                n * steps * odo_step + (n / w).ceil() * lane_fixed + chunk_overhead
+            }
+            StrategyNode::OuterParallel => {
+                // Zero recovery cost; the price is the longest thread's
+                // excess over perfect balance, at the nominal body.
+                let excess_points =
+                    (profile.max_row_len - profile.avg_row_len).max(0.0) * profile.rows / t;
+                excess_points * NOMINAL_BODY_PS as f64
+            }
+            StrategyNode::PartialCollapse(c) => {
+                let c = c.clamp(1, profile.depth.max(1));
+                // Points per collapsed prefix = product of the inner
+                // level widths left sequential.
+                let inner: f64 = profile.level_width[c.min(profile.depth)..]
+                    .iter()
+                    .product::<f64>()
+                    .max(1.0);
+                let prefix_rows = (n / inner).max(1.0);
+                let odo_step = (cal.probe_ps(1) as f64 / 32.0).max(100.0);
+                // Anchors only solve the outer c levels.
+                let shallow = ShapeProfile {
+                    depth: c,
+                    level_width: profile.level_width[..c].to_vec(),
+                    level_degree: profile.level_degree[..c].to_vec(),
+                    level_engine: profile.level_engine[..c].to_vec(),
+                    level_i64_safe: profile.level_i64_safe[..c].to_vec(),
+                    ..profile.clone()
+                };
+                chunks * (shallow.anchor_ps(cal) + cal.chunk_ps() as f64)
+                    + prefix_rows * profile.row_step_ps(cal)
+                    + n * odo_step
+                    // Tail imbalance: the last chunk boundary rounds to
+                    // whole prefixes of `inner` points each.
+                    + inner * (t / 2.0) * NOMINAL_BODY_PS as f64
+            }
+        };
+        ps.max(0.0) as u128
+    }
+
+    /// Whether a [`Runner`](crate::Runner) can execute this node with
+    /// nothing but a schedule + recovery configuration (the [`search`]
+    /// space); advisory nodes return `false`.
+    pub fn executable(&self) -> bool {
+        matches!(
+            self,
+            StrategyNode::OncePerChunk | StrategyNode::Batched(_) | StrategyNode::BinarySearch
+        )
+    }
+
+    /// The `Runner` configuration equivalent of an executable node
+    /// (`None` for advisory nodes).
+    pub fn as_strategy(&self) -> Option<Strategy> {
+        let recovery = match *self {
+            StrategyNode::OncePerChunk => Recovery::OncePerChunk,
+            StrategyNode::Batched(l) => Recovery::Batched(l.max(1)),
+            StrategyNode::BinarySearch => Recovery::BinarySearch,
+            _ => return None,
+        };
+        Some(Strategy {
+            schedule: Schedule::Static,
+            recovery,
+        })
+    }
+}
+
+/// An executable strategy: exactly the two [`Runner`](crate::Runner)
+/// axes a request can leave unpinned. The autotuner's unit of
+/// persistence and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Strategy {
+    /// Chunk schedule.
+    pub schedule: Schedule,
+    /// Index-recovery scheme.
+    pub recovery: Recovery,
+}
+
+impl Strategy {
+    /// The untuned default ([`Schedule::Static`] +
+    /// [`Recovery::OncePerChunk`] — the same pair `Runner` starts
+    /// from).
+    pub const DEFAULT: Strategy = Strategy {
+        schedule: Schedule::Static,
+        recovery: Recovery::OncePerChunk,
+    };
+
+    /// A compact human-readable tag (`static/batched64` style) for
+    /// metrics reports and bench labels.
+    pub fn label(&self) -> String {
+        let schedule = match self.schedule {
+            Schedule::Static => "static".to_string(),
+            Schedule::StaticChunk(c) => format!("static{c}"),
+            Schedule::Dynamic(c) => format!("dynamic{c}"),
+            Schedule::Guided(m) => format!("guided{m}"),
+        };
+        let recovery = match self.recovery {
+            Recovery::Naive => "naive".to_string(),
+            Recovery::OncePerChunk => "once_per_chunk".to_string(),
+            Recovery::Batched(l) => format!("batched{l}"),
+            Recovery::BinarySearch => "binary_search".to_string(),
+            Recovery::ClosedForm => "closed_form".to_string(),
+            Recovery::Reference => "reference".to_string(),
+        };
+        format!("{schedule}/{recovery}")
+    }
+}
+
+/// A search winner: the strategy plus the cost the model predicted for
+/// it (nanoseconds of recovery overhead per full run) — persisted in
+/// the plan's per-context slot and surfaced in `RunReply`/metrics so
+/// predictions can be checked against measured time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TunedStrategy {
+    /// The winning executable strategy.
+    pub strategy: Strategy,
+    /// The model's predicted overhead for one full run, nanoseconds.
+    pub predicted_ns: u64,
+}
+
+/// The bounded executable candidate set the search walks, in the fixed
+/// deterministic order ties resolve by.
+pub fn candidates() -> Vec<StrategyNode> {
+    let mut c = vec![StrategyNode::OncePerChunk];
+    c.extend(SEARCH_LANE_WIDTHS.map(StrategyNode::Batched));
+    c.push(StrategyNode::BinarySearch);
+    c
+}
+
+/// Picks the cheapest executable strategy for the profiled shape on
+/// this calibration and thread count: an exhaustive argmin over
+/// [`candidates`] (6 nodes — bounded by construction, deterministic by
+/// fixed iteration order with strict-less replacement).
+pub fn search(profile: &ShapeProfile, cal: &EngineCalibration, threads: usize) -> TunedStrategy {
+    if profile.depth == 0 || profile.total <= 1 {
+        return TunedStrategy {
+            strategy: Strategy::DEFAULT,
+            predicted_ns: 0,
+        };
+    }
+    let mut best: Option<(u128, Strategy)> = None;
+    for node in candidates() {
+        let cost = node.compute_main_cost(profile, cal, threads);
+        let strategy = node.as_strategy().expect("candidates are executable");
+        if best.map(|(c, _)| cost < c).unwrap_or(true) {
+            best = Some((cost, strategy));
+        }
+    }
+    let (cost_ps, strategy) = best.expect("candidate set is never empty");
+    TunedStrategy {
+        strategy,
+        predicted_ns: (cost_ps / 1000).min(u64::MAX as u128) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collapsed::CollapseSpec;
+    use nrl_polyhedra::NestSpec;
+
+    fn correlation_profile(n: i64) -> ShapeProfile {
+        let collapsed = CollapseSpec::new(&NestSpec::correlation())
+            .unwrap()
+            .bind(&[n])
+            .unwrap();
+        ShapeProfile::measure(&collapsed)
+    }
+
+    #[test]
+    fn profile_measures_triangular_shape() {
+        let p = correlation_profile(800);
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.total, 799 * 800 / 2);
+        assert_eq!(p.level_degree, vec![2, 1]);
+        // Rows of the triangle run from 799 down to 1; the evenly
+        // spread samples must see both ends and average near N/2.
+        assert!(p.max_row_len > 700.0, "{p:?}");
+        assert!(p.min_row_len < 100.0, "{p:?}");
+        assert!(
+            p.avg_row_len > 200.0 && p.avg_row_len < 600.0,
+            "{}",
+            p.avg_row_len
+        );
+        // rows × avg_row_len ≈ total by construction.
+        assert!((p.rows * p.avg_row_len - p.total as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        assert_eq!(correlation_profile(500), correlation_profile(500));
+    }
+
+    #[test]
+    fn cost_model_orders_the_known_extremes() {
+        // The committed BENCH_collapse.json ordering the model must
+        // reproduce: naive per-point recovery is an order of magnitude
+        // above every chunked scheme, and batched8's anchor storm
+        // costs more than batched64's.
+        let p = correlation_profile(800);
+        let cal = EngineCalibration::STATIC;
+        let naive_like = p.total as u128 * p.anchor_ps(&cal) as u128;
+        let opc = StrategyNode::OncePerChunk.compute_main_cost(&p, &cal, 4);
+        let b8 = StrategyNode::Batched(8).compute_main_cost(&p, &cal, 4);
+        let b64 = StrategyNode::Batched(64).compute_main_cost(&p, &cal, 4);
+        assert!(opc < b8, "once-per-chunk {opc} must beat batched8 {b8}");
+        assert!(b64 < b8, "batched64 {b64} must beat batched8 {b8}");
+        assert!(
+            naive_like > 4 * b8,
+            "per-point recovery {naive_like} must dwarf batched8 {b8}"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_and_executable() {
+        let p = correlation_profile(800);
+        let cal = EngineCalibration::STATIC;
+        let a = search(&p, &cal, 4);
+        let b = search(&p, &cal, 4);
+        assert_eq!(a, b);
+        // The winner must be one of the bounded candidates.
+        assert!(candidates()
+            .iter()
+            .any(|n| n.as_strategy() == Some(a.strategy)));
+    }
+
+    #[test]
+    fn short_row_shapes_prefer_batching_over_row_walks() {
+        // A nest with tiny rows (inner extent 2) makes the per-row
+        // walking term dominate once-per-chunk; the batched engine's
+        // fixed stride must win there.
+        let collapsed = CollapseSpec::new(&NestSpec::rectangular(&[100_000, 2]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let p = ShapeProfile::measure(&collapsed);
+        let cal = EngineCalibration::STATIC;
+        let opc = StrategyNode::OncePerChunk.compute_main_cost(&p, &cal, 4);
+        let b64 = StrategyNode::Batched(64).compute_main_cost(&p, &cal, 4);
+        assert!(b64 < opc, "batched64 {b64} vs once_per_chunk {opc}");
+        let tuned = search(&p, &cal, 4);
+        assert!(matches!(tuned.strategy.recovery, Recovery::Batched(_)));
+    }
+
+    #[test]
+    fn advisory_nodes_cost_but_do_not_execute() {
+        let p = correlation_profile(200);
+        let cal = EngineCalibration::STATIC;
+        for node in [
+            StrategyNode::WarpSim(32),
+            StrategyNode::OuterParallel,
+            StrategyNode::PartialCollapse(1),
+        ] {
+            assert!(!node.executable());
+            assert_eq!(node.as_strategy(), None);
+            // Costs are finite and positive on a real shape.
+            let c = node.compute_main_cost(&p, &cal, 4);
+            assert!(c > 0, "{node:?}");
+        }
+        // A perfectly rectangular shape has zero outer imbalance.
+        let rect = CollapseSpec::new(&NestSpec::rectangular(&[64, 64]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let rp = ShapeProfile::measure(&rect);
+        assert_eq!(
+            StrategyNode::OuterParallel.compute_main_cost(&rp, &cal, 4),
+            0
+        );
+    }
+
+    #[test]
+    fn degenerate_domains_fall_back_to_the_default() {
+        let collapsed = CollapseSpec::new(&NestSpec::rectangular(&[1]))
+            .unwrap()
+            .bind(&[])
+            .unwrap();
+        let p = ShapeProfile::measure(&collapsed);
+        let tuned = search(&p, &EngineCalibration::STATIC, 4);
+        assert_eq!(tuned.strategy, Strategy::DEFAULT);
+        assert_eq!(tuned.predicted_ns, 0);
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(Strategy::DEFAULT.label(), "static/once_per_chunk");
+        let s = Strategy {
+            schedule: Schedule::Dynamic(32),
+            recovery: Recovery::Batched(64),
+        };
+        assert_eq!(s.label(), "dynamic32/batched64");
+    }
+}

@@ -113,6 +113,28 @@ const MICROPROBE_SOLVES: usize = 8;
 /// same clock resolution.
 const MICROPROBE_PROBE_ROUNDS: usize = 16;
 
+/// Committed per-degree cost of one proven-`i64` Horner probe, in
+/// picoseconds (measured on the development machine alongside
+/// [`CLOSED_FORM_PROBE_EQUIV`]). Entries 0/1 stand in for the exact
+/// linear path's single specialized division, priced like a low-degree
+/// probe.
+const PROBE_PS_STATIC: [u32; MAX_DEGREE + 1] = [4_000, 4_000, 7_000, 9_000, 11_000];
+
+/// Committed per-chunk overhead in picoseconds: re-specializing every
+/// level's ladder at the chunk anchor's prefix plus the scheduling
+/// handshake (chunk fetch, done-counter publish).
+const CHUNK_PS_STATIC: u32 = 150_000;
+
+/// Committed per-partial join/publish cost of the deterministic
+/// fixed-grid reduction, in picoseconds.
+const JOIN_PS_STATIC: u32 = 80_000;
+
+/// Clamp range for every microprobe-measured picosecond constant: a
+/// timing artifact (clock granularity, preemption) must not push a
+/// constant into a regime where the cost model's products overflow or
+/// degenerate to zero.
+const MICROPROBE_PS_CLAMP: (u32, u32) = (500, 50_000_000);
+
 /// The engine-crossover constants the bind-time decision runs on: the
 /// per-degree cost of one closed-form solve, measured in binary-search
 /// probes (see [`LevelEngine::choose_with`]).
@@ -130,12 +152,34 @@ pub struct EngineCalibration {
     /// Probe-equivalent cost of one closed-form solve, per degree
     /// (indices 0/1 unused — those levels take the exact linear path).
     probe_equiv: [u32; MAX_DEGREE + 1],
+    /// Picoseconds per proven-`i64` Horner probe, per degree (entries
+    /// 0/1 price the exact linear path). Unproven levels probe through
+    /// checked `i128` arithmetic at roughly 3× this.
+    probe_ps: [u32; MAX_DEGREE + 1],
+    /// Picoseconds per closed-form solve + exact verification, per
+    /// degree (0 where no closed form exists).
+    solve_ps: [u32; MAX_DEGREE + 1],
+    /// Per-chunk anchor/handshake overhead, picoseconds.
+    chunk_ps: u32,
+    /// Per-partial reduction join/publish cost, picoseconds.
+    join_ps: u32,
 }
 
 impl EngineCalibration {
-    /// The committed constants (`CLOSED_FORM_PROBE_EQUIV`).
+    /// The committed constants (`CLOSED_FORM_PROBE_EQUIV` and the
+    /// development-machine picosecond costs).
     pub const STATIC: EngineCalibration = EngineCalibration {
         probe_equiv: CLOSED_FORM_PROBE_EQUIV,
+        probe_ps: PROBE_PS_STATIC,
+        solve_ps: [
+            0,
+            0,
+            CLOSED_FORM_PROBE_EQUIV[2] * PROBE_PS_STATIC[2],
+            CLOSED_FORM_PROBE_EQUIV[3] * PROBE_PS_STATIC[3],
+            CLOSED_FORM_PROBE_EQUIV[4] * PROBE_PS_STATIC[4],
+        ],
+        chunk_ps: CHUNK_PS_STATIC,
+        join_ps: JOIN_PS_STATIC,
     };
 
     /// The probe-equivalent solve cost this calibration assigns to
@@ -144,15 +188,51 @@ impl EngineCalibration {
         self.probe_equiv.get(deg).copied().unwrap_or(0)
     }
 
+    /// Picoseconds of one proven-`i64` Horner probe at degree `deg`
+    /// (degrees past [`MAX_DEGREE`] extrapolate linearly — a probe is
+    /// an `O(deg)` sweep).
+    pub fn probe_ps(&self, deg: usize) -> u64 {
+        match self.probe_ps.get(deg) {
+            Some(&ps) => ps as u64,
+            None => self.probe_ps[MAX_DEGREE] as u64 * deg as u64 / MAX_DEGREE as u64,
+        }
+    }
+
+    /// Picoseconds of one closed-form solve + exact verification at
+    /// degree `deg` (0 where no closed form exists).
+    pub fn solve_ps(&self, deg: usize) -> u64 {
+        self.solve_ps.get(deg).copied().unwrap_or(0) as u64
+    }
+
+    /// Per-chunk anchor/handshake overhead, picoseconds.
+    pub fn chunk_ps(&self) -> u64 {
+        self.chunk_ps as u64
+    }
+
+    /// Per-partial reduction join/publish cost, picoseconds.
+    pub fn join_ps(&self) -> u64 {
+        self.join_ps as u64
+    }
+
     /// Measures the solve/probe cost ratio on this machine: per
     /// closed-form degree, a synthetic monotone ladder is solved
     /// `MICROPROBE_SOLVES` (= 8) times through the closed-form path
     /// and probed `MICROPROBE_SOLVES × MICROPROBE_PROBE_ROUNDS` times
     /// through the Horner sweep; the ratio of the best-of-3 timings
     /// (clamped to `[2, 255]`) replaces the committed constant.
+    ///
+    /// The same timings also yield the **absolute** per-strategy
+    /// constants the [`strategy`](crate::strategy) cost model runs on:
+    /// measured picoseconds per probe and per solve at each degree,
+    /// with the per-chunk and join overheads scaled from their
+    /// committed values by the measured/committed probe ratio (a
+    /// machine-speed proxy — those two paths are too entangled with
+    /// the pool to microbenchmark in isolation).
     pub fn microprobe() -> EngineCalibration {
         use nrl_poly::Poly;
         let mut probe_equiv = CLOSED_FORM_PROBE_EQUIV;
+        let mut probe_ps = PROBE_PS_STATIC;
+        let mut solve_ps = EngineCalibration::STATIC.solve_ps;
         // Wide enough that roots land mid-range, small enough that
         // x^deg stays far from i64 overflow (deg 4 at 2^10 is 2^40).
         let widths: [i64; MAX_DEGREE + 1] = [0, 0, 1 << 20, 1 << 13, 1 << 10];
@@ -210,8 +290,28 @@ impl EngineCalibration {
             let per_probe =
                 (probe_ns / (MICROPROBE_SOLVES * MICROPROBE_PROBE_ROUNDS) as u128).max(1);
             probe_equiv[deg] = (per_solve / per_probe).clamp(2, 255) as u32;
+            let (lo, hi) = MICROPROBE_PS_CLAMP;
+            probe_ps[deg] = ((per_probe * 1000) as u64).clamp(lo as u64, hi as u64) as u32;
+            solve_ps[deg] = ((per_solve * 1000) as u64).clamp(lo as u64, hi as u64) as u32;
         }
-        EngineCalibration { probe_equiv }
+        // The linear-path entries keep the committed deg-1/deg-2 ratio
+        // against the measured deg-2 probe; chunk/join scale by the
+        // same machine-speed proxy.
+        let measured_deg2 = probe_ps[2] as u64;
+        let scale = move |committed: u32| -> u32 {
+            let scaled = committed as u64 * measured_deg2 / PROBE_PS_STATIC[2] as u64;
+            let (lo, hi) = MICROPROBE_PS_CLAMP;
+            scaled.clamp(lo as u64, hi as u64) as u32
+        };
+        probe_ps[0] = scale(PROBE_PS_STATIC[0]);
+        probe_ps[1] = probe_ps[0];
+        EngineCalibration {
+            probe_equiv,
+            probe_ps,
+            solve_ps,
+            chunk_ps: scale(CHUNK_PS_STATIC),
+            join_ps: scale(JOIN_PS_STATIC),
+        }
     }
 }
 
@@ -744,9 +844,11 @@ mod tests {
         // search — at the same degree, width, and overflow proof.
         let cheap_solves = EngineCalibration {
             probe_equiv: [0, 0, 4, 4, 4],
+            ..EngineCalibration::STATIC
         };
         let dear_solves = EngineCalibration {
             probe_equiv: [0, 0, 200, 200, 200],
+            ..EngineCalibration::STATIC
         };
         // Width 100 ⇒ 7 probes: more than 4, fewer than 200.
         assert_eq!(

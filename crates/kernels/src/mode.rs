@@ -47,6 +47,17 @@ pub enum Mode<'a> {
         /// Cancellation/deadline token polled once per row segment.
         token: &'a RunToken,
     },
+    /// Collapsed execution with the schedule and recovery strategy
+    /// chosen by the autotuner's cost model
+    /// ([`Runner::auto`](nrl_core::Runner::auto)): a
+    /// [`ShapeProfile`](nrl_core::ShapeProfile) of the bound domain is
+    /// priced per candidate strategy and the argmin runs. The harness
+    /// configuration for checking the tuner against the hand-picked
+    /// modes.
+    Auto {
+        /// Thread pool to run on.
+        pool: &'a ThreadPool,
+    },
     /// §VI.B GPU-warp simulation with the given warp width.
     Warp {
         /// Thread pool whose threads act as warp lanes.
@@ -84,6 +95,7 @@ impl Mode<'_> {
             Mode::CollapsedWith {
                 schedule, recovery, ..
             } => format!("collapsed-{}-{recovery:?}-token", schedule.label()),
+            Mode::Auto { .. } => "auto".into(),
             Mode::Warp { warp, .. } => format!("warp-{warp}"),
             Mode::Served {
                 schedule, recovery, ..
@@ -186,6 +198,9 @@ where
                 .run(body)
                 .outcome;
         }
+        Mode::Auto { pool } => {
+            collapsed.runner(pool).auto().run(body);
+        }
         Mode::Warp { pool, warp } => {
             outcome = collapsed.runner(pool).warp(*warp, body);
         }
@@ -260,6 +275,7 @@ mod tests {
                 recovery: Recovery::OncePerChunk,
                 token: &token,
             },
+            Mode::Auto { pool: &pool },
             Mode::Warp {
                 pool: &pool,
                 warp: 32,
@@ -321,6 +337,26 @@ mod tests {
         let expect: i64 = nest.enumerate(&[20]).map(|p| 3 * p[0] + p[1]).sum();
         assert_eq!(sum.into_inner(), expect, "served run must cover the domain");
         assert_eq!(service.runs_executed(), 1);
+    }
+
+    #[test]
+    fn auto_matches_direct_collapsed_run() {
+        let nest = NestSpec::correlation();
+        let collapsed = CollapseSpec::new(&nest).unwrap().bind(&[40]).unwrap();
+        let bound = nest.bind(&[40]);
+        for workers in [1usize, 3] {
+            let pool = ThreadPool::new(workers);
+            let sum = std::sync::atomic::AtomicI64::new(0);
+            execute_mode(&bound, &collapsed, &Mode::Auto { pool: &pool }, |_, p| {
+                sum.fetch_add(3 * p[0] + p[1], std::sync::atomic::Ordering::Relaxed);
+            });
+            let expect: i64 = nest.enumerate(&[40]).map(|p| 3 * p[0] + p[1]).sum();
+            assert_eq!(
+                sum.into_inner(),
+                expect,
+                "auto mode must cover the domain on {workers} workers"
+            );
+        }
     }
 
     #[test]
